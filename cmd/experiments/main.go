@@ -1,0 +1,78 @@
+// Command experiments regenerates the reproduction's experiment tables —
+// one experiment per quantitative claim of the paper (see DESIGN.md §3 and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run E1,E7] [-seed 42] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dynmis/internal/expt"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "reduced trial counts")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		out   = flag.String("out", "", "also write results to this file")
+	)
+	flag.Parse()
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Name, e.Claim)
+		}
+		return
+	}
+
+	var selected []expt.Experiment
+	if *run == "" {
+		selected = expt.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := expt.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := expt.Config{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Render(sink)
+		fmt.Fprintf(sink, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

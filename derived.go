@@ -1,0 +1,59 @@
+package dynmis
+
+import (
+	"dynmis/internal/clustering"
+	"dynmis/internal/coloring"
+	"dynmis/internal/graph"
+	"dynmis/internal/matching"
+	"dynmis/internal/seqdyn"
+)
+
+// EdgeChange builds an edge change for Apply.
+func EdgeChange(kind ChangeKind, u, v NodeID) Change { return graph.EdgeChange(kind, u, v) }
+
+// NodeChange builds a node change for Apply.
+func NodeChange(kind ChangeKind, node NodeID, edges ...NodeID) Change {
+	return graph.NodeChange(kind, node, edges...)
+}
+
+// ClusteringMaintainer keeps a correlation clustering (3-approximate in
+// expectation) over a dynamic graph. See internal/clustering for the full
+// method set: Apply, Clusters, Cost, Check.
+type ClusteringMaintainer = clustering.Maintainer
+
+// NewClustering returns a correlation clustering maintainer over the
+// empty graph.
+func NewClustering(seed uint64) *ClusteringMaintainer { return clustering.New(seed) }
+
+// MatchingEdge is an undirected edge of the maintained matching.
+type MatchingEdge = matching.Edge
+
+// MatchingMaintainer keeps a maximal matching via the dynamic MIS on the
+// line graph (§5). See internal/matching for the full method set.
+type MatchingMaintainer = matching.Maintainer
+
+// NewMatching returns a maximal matching maintainer over the empty graph.
+func NewMatching(seed uint64) *MatchingMaintainer { return matching.New(seed) }
+
+// ColoringMaintainer keeps a proper coloring with a fixed palette via the
+// clique-blowup reduction (§5); every node degree must stay below the
+// palette size. See internal/coloring for the full method set.
+type ColoringMaintainer = coloring.Maintainer
+
+// NewColoring returns a coloring maintainer with the given palette size.
+func NewColoring(seed uint64, palette int) (*ColoringMaintainer, error) {
+	return coloring.New(seed, palette)
+}
+
+// SequentialMaintainer is the single-machine dynamic MIS data structure of
+// the paper's §6 outlook: no message passing, O(Δ) expected work per
+// update. It maintains the same structure as the distributed engines
+// (history independent, equal to sequential greedy under its order).
+type SequentialMaintainer = seqdyn.Engine
+
+// SequentialReport is the sequential cost account (adjustments, nodes
+// processed, adjacency entries touched).
+type SequentialReport = seqdyn.Report
+
+// NewSequential returns a sequential dynamic MIS over the empty graph.
+func NewSequential(seed uint64) *SequentialMaintainer { return seqdyn.New(seed) }

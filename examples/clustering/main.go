@@ -1,0 +1,98 @@
+// Clustering: dynamic community detection on an evolving social graph via
+// correlation clustering. The maintained clustering is a 3-approximation
+// in expectation (random-greedy pivots, Ailon-Charikar-Newman), and it is
+// history independent: the communities found depend only on the current
+// friendship graph, not on the order in which friendships formed.
+//
+// Run with:
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"dynmis"
+)
+
+const (
+	groups    = 5
+	groupSize = 12
+	pIntra    = 0.7 // friendship probability within a community
+	pInter    = 0.03
+)
+
+func main() {
+	cm := dynmis.NewClustering(11)
+	rng := rand.New(rand.NewPCG(2, 3))
+
+	// A planted-partition "social network": dense groups, sparse links
+	// between them, built incrementally as people join.
+	id := func(g, i int) dynmis.NodeID { return dynmis.NodeID(g*groupSize + i) }
+	for g := 0; g < groups; g++ {
+		for i := 0; i < groupSize; i++ {
+			var friends []dynmis.NodeID
+			for pg := 0; pg < groups; pg++ {
+				for pi := 0; pi < groupSize; pi++ {
+					if pg == g && pi >= i {
+						break
+					}
+					if pg > g {
+						break
+					}
+					p := pInter
+					if pg == g {
+						p = pIntra
+					}
+					if rng.Float64() < p {
+						friends = append(friends, id(pg, pi))
+					}
+				}
+			}
+			if _, err := cm.Apply(dynmis.NodeChange(dynmis.NodeInsert, id(g, i), friends...)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("network: %d people, %d friendships\n", cm.Graph().NodeCount(), cm.Graph().EdgeCount())
+	fmt.Printf("clusters found: %d, disagreement cost: %d\n", countClusters(cm.Clusters()), cm.Cost())
+
+	// The community structure survives churn with tiny per-event updates.
+	var totalClusterMoves int
+	events := 300
+	for e := 0; e < events; e++ {
+		g := cm.Graph()
+		nodes := g.Nodes()
+		u := nodes[rng.IntN(len(nodes))]
+		v := nodes[rng.IntN(len(nodes))]
+		if u == v {
+			continue
+		}
+		kind := dynmis.EdgeInsert
+		if g.HasEdge(u, v) {
+			kind = dynmis.EdgeDeleteGraceful
+		}
+		r, err := cm.Apply(dynmis.EdgeChange(kind, u, v))
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalClusterMoves += r.ClusterAdjustments
+	}
+	fmt.Printf("after %d friendship changes: %d clusters, cost %d, %.2f cluster moves/event\n",
+		events, countClusters(cm.Clusters()), cm.Cost(), float64(totalClusterMoves)/float64(events))
+
+	if err := cm.Check(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clustering invariants verified")
+}
+
+func countClusters(assign map[dynmis.NodeID]dynmis.NodeID) int {
+	heads := map[dynmis.NodeID]bool{}
+	for _, h := range assign {
+		heads[h] = true
+	}
+	return len(heads)
+}

@@ -1,0 +1,107 @@
+// Overlay: a peer-to-peer overlay network under heavy churn elects
+// cluster heads with the dynamic MIS. MIS nodes act as super-peers; every
+// ordinary peer is adjacent to a super-peer (maximality), and no two
+// super-peers are adjacent (independence), so the head set is sparse and
+// covering. The paper's guarantee means each join/leave re-elects, in
+// expectation, at most one head — the overlay stays almost perfectly
+// stable under churn.
+//
+// Run with:
+//
+//	go run ./examples/overlay
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"dynmis"
+)
+
+const (
+	peers      = 150
+	churnSteps = 1000
+	degree     = 4
+)
+
+func main() {
+	m := dynmis.New(dynmis.WithSeed(7), dynmis.WithEngine(dynmis.EngineProtocol))
+	rng := rand.New(rand.NewPCG(1, 7))
+
+	// Bootstrap: peers join one by one, each connecting to a few random
+	// existing peers (a typical unstructured overlay).
+	var alive []dynmis.NodeID
+	next := dynmis.NodeID(0)
+	join := func() {
+		nbrs := pickDistinct(rng, alive, degree)
+		if _, err := m.InsertNode(next, nbrs...); err != nil {
+			log.Fatal(err)
+		}
+		alive = append(alive, next)
+		next++
+	}
+	for i := 0; i < peers; i++ {
+		join()
+	}
+	fmt.Printf("bootstrapped overlay: %d peers, %d super-peers\n", m.NodeCount(), len(m.MIS()))
+
+	// Churn: peers crash (abrupt) or leave politely (graceful); new peers
+	// join. Track how many head re-elections each event causes.
+	var totalAdjust, crashes, leaves, joins int
+	for step := 0; step < churnSteps; step++ {
+		switch {
+		case rng.Float64() < 0.25 && len(alive) > peers/2: // crash
+			i := rng.IntN(len(alive))
+			victim := alive[i]
+			alive = append(alive[:i], alive[i+1:]...)
+			rep, err := m.RemoveNodeAbrupt(victim)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalAdjust += rep.Adjustments
+			crashes++
+		case rng.Float64() < 0.3 && len(alive) > peers/2: // polite leave
+			i := rng.IntN(len(alive))
+			victim := alive[i]
+			alive = append(alive[:i], alive[i+1:]...)
+			rep, err := m.RemoveNode(victim)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalAdjust += rep.Adjustments
+			leaves++
+		default: // join
+			join()
+			joins++
+		}
+	}
+
+	fmt.Printf("churn: %d joins, %d crashes, %d polite leaves\n", joins, crashes, leaves)
+	fmt.Printf("head re-elections per event: %.3f (paper: ≤ 1 in expectation)\n",
+		float64(totalAdjust)/float64(churnSteps))
+	fmt.Printf("final overlay: %d peers, %d super-peers\n", m.NodeCount(), len(m.MIS()))
+
+	// Every peer must see a super-peer (maximality) — the overlay's
+	// service guarantee.
+	if err := m.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("overlay invariants verified")
+}
+
+// pickDistinct selects up to k distinct random elements of pool.
+func pickDistinct(rng *rand.Rand, pool []dynmis.NodeID, k int) []dynmis.NodeID {
+	if len(pool) == 0 {
+		return nil
+	}
+	if k > len(pool) {
+		k = len(pool)
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]dynmis.NodeID, 0, k)
+	for _, idx := range perm[:k] {
+		out = append(out, pool[idx])
+	}
+	return out
+}

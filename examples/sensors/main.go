@@ -1,0 +1,123 @@
+// Sensors: a duty-cycled sensor field. Sensors form a unit-disk-style
+// mesh; the MIS elects aggregation heads. To save battery, sensors
+// periodically mute — they stop transmitting but keep listening, exactly
+// the paper's mute/unmute change type — and later rejoin for O(1)
+// broadcasts because their knowledge stayed warm. A muted sensor leaves
+// the visible structure, so coverage (every awake sensor adjacent to a
+// head) is maintained among the awake ones at one expected adjustment per
+// duty-cycle event.
+//
+// Run with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"dynmis"
+)
+
+const (
+	side       = 8   // sensors on a side×side grid
+	dutyEvents = 600 // mute/unmute events
+)
+
+func main() {
+	m := dynmis.New(dynmis.WithSeed(21), dynmis.WithEngine(dynmis.EngineProtocol))
+	rng := rand.New(rand.NewPCG(8, 9))
+
+	// Deploy the field: a grid mesh (each sensor hears its 4 neighbors).
+	id := func(x, y int) dynmis.NodeID { return dynmis.NodeID(y*side + x) }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			var nbrs []dynmis.NodeID
+			if x > 0 {
+				nbrs = append(nbrs, id(x-1, y))
+			}
+			if y > 0 {
+				nbrs = append(nbrs, id(x, y-1))
+			}
+			if _, err := m.InsertNode(id(x, y), nbrs...); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("deployed %d sensors, %d aggregation heads\n", m.NodeCount(), len(m.MIS()))
+
+	// Remember each sensor's mesh neighborhood for rejoining.
+	neighborhood := map[dynmis.NodeID][]dynmis.NodeID{}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			var nbrs []dynmis.NodeID
+			if x > 0 {
+				nbrs = append(nbrs, id(x-1, y))
+			}
+			if x < side-1 {
+				nbrs = append(nbrs, id(x+1, y))
+			}
+			if y > 0 {
+				nbrs = append(nbrs, id(x, y-1))
+			}
+			if y < side-1 {
+				nbrs = append(nbrs, id(x, y+1))
+			}
+			neighborhood[id(x, y)] = nbrs
+		}
+	}
+
+	sleeping := map[dynmis.NodeID]bool{}
+	var totalBcasts, totalAdjust, unmutes int
+	for e := 0; e < dutyEvents; e++ {
+		if len(sleeping) < side*side/3 && rng.IntN(2) == 0 {
+			// A random awake sensor goes to sleep.
+			awake := m.Nodes()
+			victim := awake[rng.IntN(len(awake))]
+			rep, err := m.Mute(victim)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sleeping[victim] = true
+			totalBcasts += rep.Broadcasts
+			totalAdjust += rep.Adjustments
+			continue
+		}
+		if len(sleeping) == 0 {
+			continue
+		}
+		// A random sleeping sensor wakes up, reattaching to its awake
+		// mesh neighbors.
+		var victim dynmis.NodeID
+		for s := range sleeping {
+			victim = s
+			break
+		}
+		delete(sleeping, victim)
+		var nbrs []dynmis.NodeID
+		for _, u := range neighborhood[victim] {
+			if !sleeping[u] {
+				nbrs = append(nbrs, u)
+			}
+		}
+		rep, err := m.Unmute(victim, nbrs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		unmutes++
+		totalBcasts += rep.Broadcasts
+		totalAdjust += rep.Adjustments
+	}
+
+	fmt.Printf("duty cycle: %d events (%d wake-ups), %d sensors asleep now\n",
+		dutyEvents, unmutes, len(sleeping))
+	fmt.Printf("per event: %.2f broadcasts, %.2f head changes (paper: O(1) expected)\n",
+		float64(totalBcasts)/float64(dutyEvents), float64(totalAdjust)/float64(dutyEvents))
+	fmt.Printf("awake sensors: %d, heads: %d\n", m.NodeCount(), len(m.MIS()))
+
+	if err := m.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("coverage invariants verified among awake sensors")
+}

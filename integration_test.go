@@ -1,0 +1,166 @@
+package dynmis
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+// TestCrossEngineSoak is the repository's end-to-end differential test:
+// the same long random change sequence is driven through all four
+// distributed engines and the sequential data structure, all seeded
+// identically. After every change the five structures must agree exactly
+// (they are realizations of one algorithm), and all must match the greedy
+// oracle at the end.
+func TestCrossEngineSoak(t *testing.T) {
+	const seed = 2025
+	engines := map[string]*Maintainer{
+		"template": New(WithSeed(seed), WithEngine(EngineTemplate)),
+		"direct":   New(WithSeed(seed), WithEngine(EngineDirect)),
+		"protocol": New(WithSeed(seed), WithEngine(EngineProtocol)),
+		"async":    New(WithSeed(seed), WithEngine(EngineAsyncDirect)),
+	}
+	seq := NewSequential(seed)
+
+	steps := 400
+	if testing.Short() {
+		steps = 100
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	scratch := graph.New()
+	next := NodeID(0)
+
+	for step := 0; step < steps; step++ {
+		// Generate one valid change against the scratch topology
+		// (identical for every engine).
+		cs := workload.RandomChurn(rng, scratch, workload.DefaultChurn(1))
+		if len(cs) == 0 {
+			continue
+		}
+		c := cs[0]
+		if err := c.Apply(scratch); err != nil {
+			t.Fatalf("step %d: scratch apply: %v", step, err)
+		}
+		if c.Kind == NodeInsert && c.Node >= next {
+			next = c.Node + 1
+		}
+
+		var ref map[NodeID]Membership
+		for name, m := range engines {
+			if _, err := m.Apply(c); err != nil {
+				t.Fatalf("step %d: %s: Apply(%s): %v", step, name, c, err)
+			}
+			if ref == nil {
+				ref = m.State()
+				continue
+			}
+			if !core.EqualStates(ref, m.State()) {
+				t.Fatalf("step %d: %s diverged after %s", step, name, c)
+			}
+		}
+		if _, err := seq.Apply(c); err != nil {
+			t.Fatalf("step %d: seqdyn: %v", step, err)
+		}
+		if !core.EqualStates(ref, seq.State()) {
+			t.Fatalf("step %d: seqdyn diverged after %s", step, c)
+		}
+	}
+
+	for name, m := range engines {
+		if err := m.Verify(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := seq.Check(); err != nil {
+		t.Errorf("seqdyn: %v", err)
+	}
+}
+
+// TestFacadeApplyBatch exercises the batched path through the facade on
+// both the optimized (template) and fallback (protocol) engines.
+func TestFacadeApplyBatch(t *testing.T) {
+	batch := []Change{
+		NodeChange(NodeInsert, 1),
+		NodeChange(NodeInsert, 2, 1),
+		NodeChange(NodeInsert, 3, 1, 2),
+		EdgeChange(EdgeDeleteGraceful, 1, 2),
+	}
+	tm := New(WithSeed(5), WithEngine(EngineTemplate))
+	if _, err := tm.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	pm := New(WithSeed(5), WithEngine(EngineProtocol))
+	if _, err := pm.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.MIS()) != len(pm.MIS()) {
+		t.Errorf("batched template MIS %v != protocol MIS %v", tm.MIS(), pm.MIS())
+	}
+}
+
+// TestSequentialFacade smoke-tests the sequential structure through its
+// public alias.
+func TestSequentialFacade(t *testing.T) {
+	s := NewSequential(9)
+	rng := rand.New(rand.NewPCG(9, 9))
+	if _, err := s.ApplyAll(workload.GNP(rng, 50, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Apply(EdgeChange(EdgeDeleteGraceful, s.Graph().Edges()[0][0], s.Graph().Edges()[0][1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work == 0 {
+		t.Error("update reported no work")
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotThroughFacade persists a maintainer and restores it.
+func TestSnapshotThroughFacade(t *testing.T) {
+	m := New(WithSeed(31), WithEngine(EngineTemplate))
+	if _, err := m.InsertNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InsertNode(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := core.UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(decoded, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.MIS(), restored.MIS()
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Fatalf("restored MIS %v != original %v", b, a)
+	}
+	// Non-template engines refuse to snapshot.
+	if _, err := New(WithEngine(EngineProtocol)).Snapshot(); err == nil {
+		t.Error("protocol engine produced a snapshot")
+	}
+}

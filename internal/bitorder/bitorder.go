@@ -1,0 +1,83 @@
+// Package bitorder implements the lazy bit-revelation technique the paper
+// borrows from Métivier, Robson, Saheb-Djahromi and Zemmari ("An optimal
+// bit complexity randomized distributed MIS algorithm") to reach O(1)
+// expected bits per broadcast: a node never ships its full random
+// priority ℓ_v; instead adjacent nodes reveal successive bits of their
+// priorities, most significant first, until the order between them is
+// decided. For two independent uniform priorities each extra bit decides
+// with probability 1/2, so a pair needs 2 bits in expectation, and a node
+// of degree d needs O(log d) revealed bits to separate from all neighbors.
+package bitorder
+
+import (
+	"math/bits"
+
+	"dynmis/internal/order"
+)
+
+// PairBits returns the number of leading bits each endpoint must reveal to
+// decide the order between two priorities: the length of their common
+// prefix plus the deciding bit. Equal priorities (the ID tie-break case)
+// need the full width.
+func PairBits(a, b order.Priority) int {
+	if a == b {
+		return 64
+	}
+	return bits.LeadingZeros64(uint64(a)^uint64(b)) + 1
+}
+
+// RevealBits returns how many leading bits of p must be revealed so that
+// p's order relative to every priority in nbrs is decided: the maximum
+// PairBits over the neighborhood. A node with no neighbors reveals one
+// bit (its announcement still must be non-empty).
+func RevealBits(p order.Priority, nbrs []order.Priority) int {
+	need := 1
+	for _, q := range nbrs {
+		if b := PairBits(p, q); b > need {
+			need = b
+		}
+	}
+	return need
+}
+
+// Session simulates the interactive revelation between one node and its
+// neighborhood, one bit per synchronous round, and reports the transcript
+// cost. It is the model for how an insertion's Hello would be streamed in
+// rounds instead of shipped as a 64-bit word.
+type Session struct {
+	// Rounds is the number of bit-revelation rounds until every pairwise
+	// order is decided.
+	Rounds int
+	// NodeBits is the number of bits the center node broadcast.
+	NodeBits int
+	// NeighborBits is the total number of bits neighbors broadcast back.
+	NeighborBits int
+}
+
+// Run simulates the session for center priority p against nbrs. In each
+// round the center and every still-undecided neighbor broadcast one bit;
+// a neighbor stops once its order against the center is decided.
+func Run(p order.Priority, nbrs []order.Priority) Session {
+	var s Session
+	undecided := len(nbrs)
+	decidedAt := make([]int, len(nbrs))
+	for i, q := range nbrs {
+		decidedAt[i] = PairBits(p, q)
+	}
+	for round := 1; undecided > 0; round++ {
+		s.Rounds = round
+		s.NodeBits++
+		for _, d := range decidedAt {
+			if d >= round {
+				s.NeighborBits++
+			}
+		}
+		undecided = 0
+		for _, d := range decidedAt {
+			if d > round {
+				undecided++
+			}
+		}
+	}
+	return s
+}

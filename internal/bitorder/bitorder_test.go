@@ -1,0 +1,101 @@
+package bitorder
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/order"
+)
+
+func TestPairBits(t *testing.T) {
+	tests := []struct {
+		a, b order.Priority
+		want int
+	}{
+		{0, 1 << 63, 1},                 // differ in the first bit
+		{0, 1, 64},                      // differ only in the last bit
+		{0, 0, 64},                      // equal: full width (ID tie-break)
+		{0b1010 << 60, 0b1011 << 60, 4}, // differ in the 4th bit
+	}
+	for _, tc := range tests {
+		if got := PairBits(tc.a, tc.b); got != tc.want {
+			t.Errorf("PairBits(%x, %x) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := PairBits(tc.b, tc.a); got != tc.want {
+			t.Errorf("PairBits not symmetric for (%x, %x)", tc.a, tc.b)
+		}
+	}
+}
+
+func TestPairBitsExpectationIsTwo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var sum float64
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		sum += float64(PairBits(order.Priority(rng.Uint64()), order.Priority(rng.Uint64())))
+	}
+	mean := sum / trials
+	if mean < 1.9 || mean > 2.1 {
+		t.Errorf("mean pair bits = %.3f, want ≈ 2", mean)
+	}
+}
+
+func TestRevealBitsGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	meanFor := func(d int) float64 {
+		var sum float64
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			p := order.Priority(rng.Uint64())
+			nbrs := make([]order.Priority, d)
+			for j := range nbrs {
+				nbrs[j] = order.Priority(rng.Uint64())
+			}
+			sum += float64(RevealBits(p, nbrs))
+		}
+		return sum / trials
+	}
+	m1, m16, m256 := meanFor(1), meanFor(16), meanFor(256)
+	if m1 < 1.8 || m1 > 2.2 {
+		t.Errorf("d=1 mean = %.2f, want ≈ 2", m1)
+	}
+	// Each 16× in degree should add ≈ 4 bits (log₂ growth).
+	if d := m16 - m1; d < 2.5 || d > 5.5 {
+		t.Errorf("d=16 over d=1 delta = %.2f, want ≈ 4", d)
+	}
+	if d := m256 - m16; d < 2.5 || d > 5.5 {
+		t.Errorf("d=256 over d=16 delta = %.2f, want ≈ 4", d)
+	}
+}
+
+func TestRevealBitsNoNeighbors(t *testing.T) {
+	if got := RevealBits(42, nil); got != 1 {
+		t.Errorf("RevealBits with no neighbors = %d, want 1", got)
+	}
+}
+
+func TestSessionConsistentWithRevealBits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 200; trial++ {
+		p := order.Priority(rng.Uint64())
+		nbrs := make([]order.Priority, 1+rng.IntN(20))
+		for j := range nbrs {
+			nbrs[j] = order.Priority(rng.Uint64())
+		}
+		s := Run(p, nbrs)
+		if s.Rounds != RevealBits(p, nbrs) {
+			t.Fatalf("session rounds %d != reveal bits %d", s.Rounds, RevealBits(p, nbrs))
+		}
+		if s.NodeBits != s.Rounds {
+			t.Fatalf("node bits %d != rounds %d", s.NodeBits, s.Rounds)
+		}
+		// Every neighbor contributes exactly PairBits bits.
+		want := 0
+		for _, q := range nbrs {
+			want += PairBits(p, q)
+		}
+		if s.NeighborBits != want {
+			t.Fatalf("neighbor bits %d, want %d", s.NeighborBits, want)
+		}
+	}
+}

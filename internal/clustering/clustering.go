@@ -1,0 +1,135 @@
+// Package clustering implements correlation clustering on top of the
+// dynamic MIS, following Ailon, Charikar and Newman's random-greedy pivot
+// scheme that the paper inherits (§1.1): every MIS node is a cluster
+// center, and every other node joins the cluster of its earliest (in π)
+// MIS neighbor. Because the dynamic MIS simulates random greedy, the
+// maintained clustering is a 3-approximation to the optimal correlation
+// clustering in expectation.
+package clustering
+
+import (
+	"fmt"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+// Cost is the correlation clustering objective: the number of
+// disagreements, i.e. non-adjacent pairs placed in the same cluster plus
+// adjacent pairs placed in different clusters.
+func Cost(g *graph.Graph, cluster map[graph.NodeID]graph.NodeID) int {
+	size := make(map[graph.NodeID]int)
+	for _, head := range cluster {
+		size[head]++
+	}
+	intraPairs := 0
+	for _, s := range size {
+		intraPairs += s * (s - 1) / 2
+	}
+	intraEdges := 0
+	m := 0
+	for _, e := range g.Edges() {
+		m++
+		if cluster[e[0]] == cluster[e[1]] {
+			intraEdges++
+		}
+	}
+	// Missing intra-cluster edges plus present inter-cluster edges.
+	return (intraPairs - intraEdges) + (m - intraEdges)
+}
+
+// Maintainer keeps a correlation clustering under topology changes by
+// maintaining the random-greedy MIS and deriving pivots from it.
+type Maintainer struct {
+	tpl *core.Template
+}
+
+// New returns a maintainer over an empty graph.
+func New(seed uint64) *Maintainer {
+	return &Maintainer{tpl: core.NewTemplate(seed)}
+}
+
+// NewWithOrder returns a maintainer sharing a caller-supplied order.
+func NewWithOrder(ord *order.Order) *Maintainer {
+	return &Maintainer{tpl: core.NewTemplateWithOrder(ord)}
+}
+
+// Graph exposes the maintained topology (read-only for callers).
+func (m *Maintainer) Graph() *graph.Graph { return m.tpl.Graph() }
+
+// Order exposes the node order.
+func (m *Maintainer) Order() *order.Order { return m.tpl.Order() }
+
+// Report extends the MIS cost report with the clustering-level adjustment
+// count: the number of nodes whose cluster head changed.
+type Report struct {
+	core.Report
+	// ClusterAdjustments counts nodes whose cluster assignment changed.
+	// A single MIS adjustment can re-home a whole cluster, so this can
+	// exceed Report.Adjustments.
+	ClusterAdjustments int
+}
+
+// Apply performs one topology change and returns the combined report.
+func (m *Maintainer) Apply(c graph.Change) (Report, error) {
+	before := m.Clusters()
+	rep, err := m.tpl.Apply(c)
+	if err != nil {
+		return Report{}, err
+	}
+	after := m.Clusters()
+	changed := 0
+	for v, h := range after {
+		if bh, ok := before[v]; !ok || bh != h {
+			changed++
+		}
+	}
+	for v := range before {
+		if _, ok := after[v]; !ok {
+			changed++
+		}
+	}
+	return Report{Report: rep, ClusterAdjustments: changed}, nil
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports.
+func (m *Maintainer) ApplyAll(cs []graph.Change) (Report, error) {
+	var total Report
+	for i, c := range cs {
+		rep, err := m.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Report.Add(rep.Report)
+		total.ClusterAdjustments += rep.ClusterAdjustments
+	}
+	return total, nil
+}
+
+// Clusters returns the current assignment: node -> cluster head (an MIS
+// node; heads map to themselves).
+func (m *Maintainer) Clusters() map[graph.NodeID]graph.NodeID {
+	return core.GreedyClusters(m.tpl.Graph(), m.tpl.Order(), m.tpl.State())
+}
+
+// Cost returns the current correlation clustering objective value.
+func (m *Maintainer) Cost() int { return Cost(m.tpl.Graph(), m.Clusters()) }
+
+// Check verifies the underlying MIS invariant and the pivot structure.
+func (m *Maintainer) Check() error {
+	if err := m.tpl.Check(); err != nil {
+		return err
+	}
+	state := m.tpl.State()
+	g := m.tpl.Graph()
+	for v, head := range m.Clusters() {
+		if state[head] != core.In {
+			return fmt.Errorf("clustering: head %d of node %d not in MIS", head, v)
+		}
+		if v != head && !g.HasEdge(v, head) {
+			return fmt.Errorf("clustering: node %d not adjacent to head %d", v, head)
+		}
+	}
+	return nil
+}

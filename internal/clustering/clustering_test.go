@@ -1,0 +1,140 @@
+package clustering
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestCostTriangleOneCluster(t *testing.T) {
+	g := workload.BuildGraph(workload.Cycle(3))
+	all := map[graph.NodeID]graph.NodeID{0: 0, 1: 0, 2: 0}
+	if c := Cost(g, all); c != 0 {
+		t.Errorf("triangle in one cluster: cost = %d, want 0", c)
+	}
+	split := map[graph.NodeID]graph.NodeID{0: 0, 1: 1, 2: 2}
+	if c := Cost(g, split); c != 3 {
+		t.Errorf("triangle in singletons: cost = %d, want 3 (all edges cut)", c)
+	}
+}
+
+func TestCostPath(t *testing.T) {
+	// Path 0-1-2: one cluster costs 1 (missing edge 0-2); singletons
+	// cost 2 (both edges cut); {0,1},{2} costs 1.
+	g := workload.BuildGraph(workload.Path(3))
+	if c := Cost(g, map[graph.NodeID]graph.NodeID{0: 0, 1: 0, 2: 0}); c != 1 {
+		t.Errorf("one cluster: %d, want 1", c)
+	}
+	if c := Cost(g, map[graph.NodeID]graph.NodeID{0: 0, 1: 1, 2: 2}); c != 2 {
+		t.Errorf("singletons: %d, want 2", c)
+	}
+	if c := Cost(g, map[graph.NodeID]graph.NodeID{0: 0, 1: 0, 2: 2}); c != 1 {
+		t.Errorf("pair+single: %d, want 1", c)
+	}
+}
+
+func TestOptimalCostSmall(t *testing.T) {
+	// Triangle: optimum is a single cluster with cost 0.
+	g := workload.BuildGraph(workload.Cycle(3))
+	opt, err := OptimalCost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 0 {
+		t.Errorf("triangle optimum = %d, want 0", opt)
+	}
+	// Path 0-1-2: optimum cost 1.
+	p := workload.BuildGraph(workload.Path(3))
+	opt, err = OptimalCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("path optimum = %d, want 1", opt)
+	}
+	// Empty graph.
+	opt, err = OptimalCost(graph.New())
+	if err != nil || opt != 0 {
+		t.Errorf("empty optimum = %d, %v", opt, err)
+	}
+}
+
+func TestOptimalCostTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := workload.BuildGraph(workload.GNP(rng, MaxOptimalNodes+1, 0.5))
+	if _, err := OptimalCost(g); err == nil {
+		t.Error("expected size-limit error")
+	}
+}
+
+// TestThreeApproximation measures the random-greedy pivot cost against the
+// brute-force optimum on many small random graphs. The guarantee is
+// E[cost] ≤ 3·OPT; averaging over trials per graph must come in well under
+// the bound, and no mean may exceed it meaningfully.
+func TestThreeApproximation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 20))
+	for trial := 0; trial < 12; trial++ {
+		cs := workload.GNP(rng, 8, 0.35)
+		g := workload.BuildGraph(cs)
+		opt, err := OptimalCost(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		const runs = 40
+		for r := 0; r < runs; r++ {
+			m := New(uint64(trial*1000 + r))
+			if _, err := m.ApplyAll(cs); err != nil {
+				t.Fatal(err)
+			}
+			total += float64(m.Cost())
+		}
+		mean := total / runs
+		if opt == 0 {
+			// A perfect clustering exists; random greedy may still
+			// miss it, but only by a little on 8 nodes.
+			if mean > 4 {
+				t.Errorf("trial %d: OPT=0 but mean cost %.2f", trial, mean)
+			}
+			continue
+		}
+		if mean > 3.0*float64(opt)*1.15 { // 15% sampling slack
+			t.Errorf("trial %d: mean cost %.2f exceeds 3·OPT=%d", trial, mean, 3*opt)
+		}
+	}
+}
+
+func TestMaintainerDynamic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	m := New(99)
+	if _, err := m.ApplyAll(workload.GNP(rng, 40, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range workload.RandomChurn(rng, m.Graph(), workload.DefaultChurn(150)) {
+		rep, err := m.Apply(c)
+		if err != nil {
+			t.Fatalf("Apply(%s): %v", c, err)
+		}
+		if rep.ClusterAdjustments < rep.Adjustments-1 {
+			// Every MIS adjustment re-homes at least the node
+			// itself (heads map to themselves), except a deleted
+			// node which vanishes from both maps.
+			t.Errorf("cluster adjustments %d ≪ MIS adjustments %d", rep.ClusterAdjustments, rep.Adjustments)
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("after %s: %v", c, err)
+		}
+	}
+}
+
+func TestMaintainerInvalid(t *testing.T) {
+	m := New(1)
+	if _, err := m.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 2)); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,226 @@
+// Package coloring maintains a (Δ+1)-coloring of a dynamic graph through
+// the clique-blowup reduction to MIS attributed to Luby, which the paper
+// uses for its composability claim (§5): every node v of G becomes a
+// clique of P = Δ+1 copies (v,1)…(v,P) in G', every G-edge {u,v} becomes
+// the matching {(u,c),(v,c)} for all colors c, and an MIS of G' picks
+// exactly one copy per node — its color. History independence of the MIS
+// makes the derived coloring history independent.
+//
+// The palette size P is fixed at construction; callers must keep every
+// degree below P (the classic reduction needs P ≥ Δ+1).
+package coloring
+
+import (
+	"errors"
+	"fmt"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// ErrPaletteExceeded is returned when a change would push a node's degree
+// to the palette size, voiding the reduction's guarantee.
+var ErrPaletteExceeded = errors.New("coloring: node degree would reach palette size")
+
+// Maintainer keeps a proper P-coloring of a dynamic graph.
+type Maintainer struct {
+	g       *graph.Graph
+	tpl     *core.Template
+	palette int
+}
+
+// New returns a maintainer with the given palette size (≥ 2).
+func New(seed uint64, palette int) (*Maintainer, error) {
+	if palette < 2 {
+		return nil, fmt.Errorf("coloring: palette must be at least 2, got %d", palette)
+	}
+	return &Maintainer{
+		g:       graph.New(),
+		tpl:     core.NewTemplate(seed),
+		palette: palette,
+	}, nil
+}
+
+// Palette returns the palette size P.
+func (m *Maintainer) Palette() int { return m.palette }
+
+// Graph exposes the primal topology (read-only for callers).
+func (m *Maintainer) Graph() *graph.Graph { return m.g }
+
+// copyID maps the copy (v, c) with color c ∈ [1, P] to a G' node ID.
+// Node IDs must be non-negative for the encoding to be collision-free.
+func (m *Maintainer) copyID(v graph.NodeID, c int) graph.NodeID {
+	return v*graph.NodeID(m.palette) + graph.NodeID(c-1)
+}
+
+// Apply performs one primal topology change, expanding it into the
+// corresponding blown-up changes.
+func (m *Maintainer) Apply(c graph.Change) (core.Report, error) {
+	if err := c.Validate(m.g); err != nil {
+		return core.Report{}, err
+	}
+	var total core.Report
+	apply := func(gc graph.Change) error {
+		rep, err := m.tpl.Apply(gc)
+		if err != nil {
+			return err
+		}
+		total.Add(rep)
+		return nil
+	}
+
+	switch c.Kind {
+	case graph.NodeInsert, graph.NodeUnmute:
+		if c.Node < 0 {
+			return core.Report{}, fmt.Errorf("coloring: node IDs must be non-negative, got %d", c.Node)
+		}
+		if len(c.Edges) >= m.palette {
+			return core.Report{}, fmt.Errorf("%w: inserting %d with degree %d, palette %d",
+				ErrPaletteExceeded, c.Node, len(c.Edges), m.palette)
+		}
+		for _, u := range c.Edges {
+			if m.g.Degree(u)+1 >= m.palette {
+				return core.Report{}, fmt.Errorf("%w: neighbor %d", ErrPaletteExceeded, u)
+			}
+		}
+		if err := m.g.AddNode(c.Node); err != nil {
+			return core.Report{}, err
+		}
+		for col := 1; col <= m.palette; col++ {
+			// Each copy attaches to the earlier copies of the same
+			// node (clique) and to the same-color copies of the
+			// already-present neighbors (cross matching).
+			nbrs := make([]graph.NodeID, 0, col-1+len(c.Edges))
+			for prev := 1; prev < col; prev++ {
+				nbrs = append(nbrs, m.copyID(c.Node, prev))
+			}
+			for _, u := range c.Edges {
+				nbrs = append(nbrs, m.copyID(u, col))
+			}
+			if err := apply(graph.NodeChange(graph.NodeInsert, m.copyID(c.Node, col), nbrs...)); err != nil {
+				return total, err
+			}
+		}
+		for _, u := range c.Edges {
+			if err := m.g.AddEdge(c.Node, u); err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+
+	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
+		kind := graph.NodeDeleteGraceful
+		if c.Kind == graph.NodeDeleteAbrupt {
+			kind = graph.NodeDeleteAbrupt
+		}
+		for col := 1; col <= m.palette; col++ {
+			if err := apply(graph.NodeChange(kind, m.copyID(c.Node, col))); err != nil {
+				return total, err
+			}
+		}
+		if err := m.g.RemoveNode(c.Node); err != nil {
+			return total, err
+		}
+		return total, nil
+
+	case graph.EdgeInsert:
+		if m.g.Degree(c.U)+1 >= m.palette || m.g.Degree(c.V)+1 >= m.palette {
+			return core.Report{}, fmt.Errorf("%w: edge {%d,%d}", ErrPaletteExceeded, c.U, c.V)
+		}
+		if err := m.g.AddEdge(c.U, c.V); err != nil {
+			return core.Report{}, err
+		}
+		for col := 1; col <= m.palette; col++ {
+			if err := apply(graph.EdgeChange(graph.EdgeInsert, m.copyID(c.U, col), m.copyID(c.V, col))); err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		if err := m.g.RemoveEdge(c.U, c.V); err != nil {
+			return core.Report{}, err
+		}
+		for col := 1; col <= m.palette; col++ {
+			if err := apply(graph.EdgeChange(c.Kind, m.copyID(c.U, col), m.copyID(c.V, col))); err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	return core.Report{}, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports.
+func (m *Maintainer) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for i, c := range cs {
+		rep, err := m.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
+// ColorOf returns v's color in [1, P], or 0 if v is absent or (which the
+// reduction precludes while degrees stay below P) uncolored.
+func (m *Maintainer) ColorOf(v graph.NodeID) int {
+	if !m.g.HasNode(v) {
+		return 0
+	}
+	for col := 1; col <= m.palette; col++ {
+		if m.tpl.InMIS(m.copyID(v, col)) {
+			return col
+		}
+	}
+	return 0
+}
+
+// Colors returns the full coloring.
+func (m *Maintainer) Colors() map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, m.g.NodeCount())
+	for _, v := range m.g.Nodes() {
+		out[v] = m.ColorOf(v)
+	}
+	return out
+}
+
+// ColorsUsed returns the number of distinct colors currently in use.
+func (m *Maintainer) ColorsUsed() int {
+	used := make(map[int]bool)
+	for _, c := range m.Colors() {
+		used[c] = true
+	}
+	return len(used)
+}
+
+// Check verifies the reduction invariants: the blown-up MIS is valid,
+// every node has exactly one chosen copy, and the coloring is proper.
+func (m *Maintainer) Check() error {
+	if err := m.tpl.Check(); err != nil {
+		return err
+	}
+	colors := m.Colors()
+	for v, c := range colors {
+		if c == 0 {
+			return fmt.Errorf("coloring: node %d has no color", v)
+		}
+		count := 0
+		for col := 1; col <= m.palette; col++ {
+			if m.tpl.InMIS(m.copyID(v, col)) {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("coloring: node %d has %d chosen copies", v, count)
+		}
+	}
+	for _, e := range m.g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			return fmt.Errorf("coloring: edge {%d,%d} endpoints share color %d", e[0], e[1], colors[e[0]])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package coloring
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/workload"
+)
+
+func mustNew(t *testing.T, seed uint64, palette int) *Maintainer {
+	t.Helper()
+	m, err := New(seed, palette)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 1); err == nil {
+		t.Error("palette 1 accepted")
+	}
+	if _, err := New(1, 2); err != nil {
+		t.Errorf("palette 2 rejected: %v", err)
+	}
+}
+
+func TestProperColoringOnPath(t *testing.T) {
+	m := mustNew(t, 1, 3)
+	if _, err := m.ApplyAll(workload.Path(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if used := m.ColorsUsed(); used < 2 || used > 3 {
+		t.Errorf("path colors used = %d", used)
+	}
+}
+
+func TestProperColoringUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	const palette = 8
+	m := mustNew(t, 3, palette)
+	// Build a bounded-degree random graph and churn it, keeping every
+	// degree below the palette.
+	var nodes []graph.NodeID
+	for v := graph.NodeID(0); v < 25; v++ {
+		var nbrs []graph.NodeID
+		for _, u := range nodes {
+			if len(nbrs) >= palette-2 {
+				break
+			}
+			if m.Graph().Degree(u) < palette-2 && rng.Float64() < 0.15 {
+				nbrs = append(nbrs, u)
+			}
+		}
+		if _, err := m.Apply(graph.NodeChange(graph.NodeInsert, v, nbrs...)); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, v)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 120; step++ {
+		g := m.Graph()
+		if step%2 == 0 {
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.IntN(len(es))]
+			if _, err := m.Apply(graph.EdgeChange(graph.EdgeDeleteGraceful, e[0], e[1])); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			u := nodes[rng.IntN(len(nodes))]
+			v := nodes[rng.IntN(len(nodes))]
+			if u == v || g.HasEdge(u, v) || g.Degree(u) >= palette-2 || g.Degree(v) >= palette-2 {
+				continue
+			}
+			if _, err := m.Apply(graph.EdgeChange(graph.EdgeInsert, u, v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestPaletteGuard(t *testing.T) {
+	m := mustNew(t, 1, 3)
+	if _, err := m.ApplyAll(workload.Path(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 has degree 2 = palette-1; pushing it to 3 must fail.
+	if _, err := m.Apply(graph.NodeChange(graph.NodeInsert, 9, 1)); !errors.Is(err, ErrPaletteExceeded) {
+		t.Errorf("err = %v, want ErrPaletteExceeded", err)
+	}
+	// Inserting a node with degree ≥ palette must fail too.
+	if _, err := m.Apply(graph.NodeChange(graph.NodeInsert, 10, 0, 1, 2)); !errors.Is(err, ErrPaletteExceeded) {
+		t.Errorf("err = %v, want ErrPaletteExceeded", err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeDeleteUncolors(t *testing.T) {
+	m := mustNew(t, 2, 4)
+	if _, err := m.ApplyAll(workload.Cycle(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(graph.NodeChange(graph.NodeDeleteGraceful, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ColorOf(2) != 0 {
+		t.Error("deleted node still colored")
+	}
+	if m.ColorOf(0) == 0 {
+		t.Error("remaining node lost its color")
+	}
+}
+
+func TestNegativeIDRejected(t *testing.T) {
+	m := mustNew(t, 1, 3)
+	if _, err := m.Apply(graph.NodeChange(graph.NodeInsert, -5)); err == nil {
+		t.Error("negative ID accepted")
+	}
+}
+
+func TestBipartiteMinusMatchingExample(t *testing.T) {
+	// §5 Example 3 distinguishes two coloring algorithms. The sequential
+	// random greedy coloring 2-colors the complete bipartite graph
+	// minus a perfect matching with probability 1 - O(1/n); the
+	// clique-blowup reduction only guarantees properness within Δ+1
+	// colors (the paper notes it does not simulate greedy coloring).
+	const n = 10
+	g := workload.BuildGraph(workload.BipartiteMinusMatching(n))
+
+	// Part 1: random greedy (the paper's headline claim).
+	twoColorRuns := 0
+	const runs = 60
+	for r := 0; r < runs; r++ {
+		ord := order.New(uint64(1000 + r))
+		colors := core.GreedyColoring(g, ord)
+		used := map[int]bool{}
+		for _, c := range colors {
+			used[c] = true
+		}
+		if len(used) == 2 {
+			twoColorRuns++
+		}
+	}
+	if frac := float64(twoColorRuns) / runs; frac < 0.7 {
+		t.Errorf("greedy 2-colored only %.0f%% of runs, want ≈ 1 - O(1/n)", 100*frac)
+	}
+
+	// Part 2: the blow-up maintainer stays proper on the same graph.
+	m := mustNew(t, 5, n)
+	if _, err := m.ApplyAll(workload.BipartiteMinusMatching(n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if used := m.ColorsUsed(); used < 2 || used > n {
+		t.Errorf("blow-up colors used = %d, want within [2, Δ+1]", used)
+	}
+}
+
+func TestPaletteAccessorAndColors(t *testing.T) {
+	m := mustNew(t, 6, 5)
+	if m.Palette() != 5 {
+		t.Errorf("Palette = %d", m.Palette())
+	}
+	if _, err := m.ApplyAll(workload.Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	colors := m.Colors()
+	if len(colors) != 4 {
+		t.Fatalf("Colors = %v", colors)
+	}
+	for v, c := range colors {
+		if c != m.ColorOf(v) {
+			t.Errorf("Colors[%d] = %d != ColorOf %d", v, c, m.ColorOf(v))
+		}
+	}
+	if m.ColorOf(99) != 0 {
+		t.Error("absent node has a color")
+	}
+}
+
+func TestColoringEdgeDeleteAbsentRejected(t *testing.T) {
+	m := mustNew(t, 7, 4)
+	if _, err := m.ApplyAll(workload.Path(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(graph.EdgeChange(graph.EdgeDeleteGraceful, 0, 2)); err == nil {
+		t.Error("deleting an absent edge accepted")
+	}
+	if _, err := m.Apply(graph.Change{Kind: graph.ChangeKind(50)}); err == nil {
+		t.Error("unknown change kind accepted")
+	}
+}
+
+func TestColoringAbruptNodeDelete(t *testing.T) {
+	m := mustNew(t, 8, 4)
+	if _, err := m.ApplyAll(workload.Cycle(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Graph().HasNode(1) {
+		t.Error("node survived abrupt delete")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+// FuzzTemplateChurn interprets fuzz bytes as a change program over a
+// bounded node universe and asserts the engine's two safety properties
+// after every valid change: the MIS invariant holds, and the state equals
+// the greedy oracle. Invalid changes must be rejected without mutating
+// the engine. Run the seed corpus with `go test`; fuzz with
+// `go test -fuzz FuzzTemplateChurn ./internal/core`.
+func FuzzTemplateChurn(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 0, 2, 1, 0x12, 4, 1})
+	f.Add(uint64(2), []byte{0, 1, 0, 2, 0, 3, 1, 0x12, 1, 0x13, 1, 0x23, 3, 1, 5, 2})
+	f.Add(uint64(3), []byte{0, 5, 0, 6, 1, 0x56, 2, 0x56, 0, 5})
+
+	f.Fuzz(func(t *testing.T, seed uint64, program []byte) {
+		eng := NewTemplate(seed)
+		const universe = 16
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] % 6
+			arg := program[i+1]
+			var c graph.Change
+			switch op {
+			case 0: // insert isolated node
+				c = graph.NodeChange(graph.NodeInsert, graph.NodeID(arg%universe))
+			case 1: // insert edge (arg encodes both endpoints)
+				c = graph.EdgeChange(graph.EdgeInsert,
+					graph.NodeID(arg>>4), graph.NodeID(arg&0x0f))
+			case 2: // delete edge
+				c = graph.EdgeChange(graph.EdgeDeleteAbrupt,
+					graph.NodeID(arg>>4), graph.NodeID(arg&0x0f))
+			case 3: // delete node
+				c = graph.NodeChange(graph.NodeDeleteGraceful, graph.NodeID(arg%universe))
+			case 4: // insert node attached to one neighbor
+				c = graph.NodeChange(graph.NodeInsert,
+					graph.NodeID(arg>>4), graph.NodeID(arg&0x0f))
+			default: // abrupt node delete
+				c = graph.NodeChange(graph.NodeDeleteAbrupt, graph.NodeID(arg%universe))
+			}
+			before := eng.State()
+			if _, err := eng.Apply(c); err != nil {
+				if !EqualStates(before, eng.State()) {
+					t.Fatalf("rejected change %s mutated the engine", c)
+				}
+				continue
+			}
+			if err := eng.Check(); err != nil {
+				t.Fatalf("after %s: %v", c, err)
+			}
+		}
+		want := GreedyMIS(eng.Graph().Clone(), eng.Order())
+		if !EqualStates(eng.State(), want) {
+			t.Fatal("final state diverged from the greedy oracle")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+// GreedyMIS runs the sequential greedy MIS algorithm on g under the order
+// π defined by ord: nodes are inspected by increasing priority, and a node
+// joins the MIS iff none of its earlier neighbors did. This is the oracle
+// that every dynamic engine must reproduce (history independence, Def. 14).
+func GreedyMIS(g *graph.Graph, ord *order.Order) map[graph.NodeID]Membership {
+	nodes := g.Nodes()
+	for _, v := range nodes {
+		ord.Ensure(v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return ord.Less(nodes[i], nodes[j]) })
+
+	state := make(map[graph.NodeID]Membership, len(nodes))
+	for _, v := range nodes {
+		in := In
+		g.EachNeighbor(v, func(u graph.NodeID) {
+			if ord.Less(u, v) && state[u] == In {
+				in = Out
+			}
+		})
+		state[v] = in
+	}
+	return state
+}
+
+// GreedyClusters computes the random-greedy pivot clustering of Ailon,
+// Charikar and Newman used by the paper for 3-approximate correlation
+// clustering: every MIS node is a cluster center, and every non-MIS node
+// joins the cluster of its earliest (minimum-π) MIS neighbor.
+//
+// The state argument must satisfy the MIS invariant for ord on g; pass the
+// output of GreedyMIS or of any dynamic engine.
+func GreedyClusters(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Membership) map[graph.NodeID]graph.NodeID {
+	cluster := make(map[graph.NodeID]graph.NodeID, len(state))
+	for v, m := range state {
+		if m == In {
+			cluster[v] = v
+			continue
+		}
+		head := graph.None
+		g.EachNeighbor(v, func(u graph.NodeID) {
+			if state[u] != In {
+				return
+			}
+			if head == graph.None || ord.Less(u, head) {
+				head = u
+			}
+		})
+		// Under the MIS invariant a non-MIS node always has an MIS
+		// neighbor, so head is never None here; keep the fallback to
+		// self so that a corrupted state surfaces as a singleton
+		// cluster in tests rather than a panic.
+		if head == graph.None {
+			head = v
+		}
+		cluster[v] = head
+	}
+	return cluster
+}
+
+// GreedyColoring runs sequential greedy (first-fit) coloring by increasing
+// π: each node takes the smallest color unused by its earlier neighbors.
+// Colors are 1-based. It is the random-greedy coloring discussed in the
+// paper's Example 3 (§5).
+func GreedyColoring(g *graph.Graph, ord *order.Order) map[graph.NodeID]int {
+	nodes := g.Nodes()
+	for _, v := range nodes {
+		ord.Ensure(v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return ord.Less(nodes[i], nodes[j]) })
+
+	color := make(map[graph.NodeID]int, len(nodes))
+	for _, v := range nodes {
+		used := make(map[int]bool)
+		g.EachNeighbor(v, func(u graph.NodeID) {
+			if c, ok := color[u]; ok && ord.Less(u, v) {
+				used[c] = true
+			}
+		})
+		c := 1
+		for used[c] {
+			c++
+		}
+		color[v] = c
+	}
+	return color
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+// randomGraph builds a G(n,p) graph with nodes 0..n-1.
+func randomGraph(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New()
+	for v := graph.NodeID(0); v < graph.NodeID(n); v++ {
+		if err := g.AddNode(v); err != nil {
+			panic(err)
+		}
+	}
+	for u := graph.NodeID(0); u < graph.NodeID(n); u++ {
+		for v := u + 1; v < graph.NodeID(n); v++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestGreedyMISSatisfiesInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 60, 0.1)
+		ord := order.New(uint64(trial))
+		state := GreedyMIS(g, ord)
+		if err := CheckInvariant(g, ord, state); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := CheckMIS(g, state); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestGreedyMISEmptyAndSingleton(t *testing.T) {
+	g := graph.New()
+	ord := order.New(1)
+	if got := GreedyMIS(g, ord); len(got) != 0 {
+		t.Errorf("empty graph MIS = %v", got)
+	}
+	if err := g.AddNode(7); err != nil {
+		t.Fatal(err)
+	}
+	state := GreedyMIS(g, ord)
+	if state[7] != In {
+		t.Error("isolated node must be in the MIS")
+	}
+}
+
+func TestGreedyMISLowestNodeAlwaysIn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	g := randomGraph(rng, 40, 0.2)
+	ord := order.New(11)
+	state := GreedyMIS(g, ord)
+	lowest := graph.None
+	for _, v := range g.Nodes() {
+		if lowest == graph.None || ord.Less(v, lowest) {
+			lowest = v
+		}
+	}
+	if state[lowest] != In {
+		t.Errorf("globally earliest node %d not in MIS", lowest)
+	}
+}
+
+func TestGreedyMISDependsOnlyOnOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	g := randomGraph(rng, 50, 0.15)
+	ord := order.New(77)
+	a := GreedyMIS(g, ord)
+	b := GreedyMIS(g.Clone(), ord)
+	if !EqualStates(a, b) {
+		t.Error("greedy MIS differs across identical runs")
+	}
+}
+
+func TestGreedyClustersStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 1))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 50, 0.15)
+		ord := order.New(uint64(100 + trial))
+		state := GreedyMIS(g, ord)
+		cl := GreedyClusters(g, ord, state)
+		for v, head := range cl {
+			if state[head] != In {
+				t.Fatalf("cluster head %d of %d not in MIS", head, v)
+			}
+			if state[v] == In && head != v {
+				t.Fatalf("MIS node %d assigned to foreign head %d", v, head)
+			}
+			if state[v] == Out {
+				if !g.HasEdge(v, head) {
+					t.Fatalf("node %d not adjacent to its head %d", v, head)
+				}
+				// head must be the earliest MIS neighbor
+				g.EachNeighbor(v, func(u graph.NodeID) {
+					if state[u] == In && ord.Less(u, head) {
+						t.Fatalf("node %d head %d not minimal (nbr %d earlier)", v, head, u)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 50, 0.2)
+		ord := order.New(uint64(trial))
+		color := GreedyColoring(g, ord)
+		for _, e := range g.Edges() {
+			if color[e[0]] == color[e[1]] {
+				t.Fatalf("edge %v endpoints share color %d", e, color[e[0]])
+			}
+		}
+		maxDeg := g.MaxDegree()
+		for v, c := range color {
+			if c < 1 || c > maxDeg+1 {
+				t.Fatalf("node %d color %d outside [1, Δ+1]=%d", v, c, maxDeg+1)
+			}
+		}
+	}
+}
+
+// TestGreedyMISProperty: for arbitrary small graphs, greedy output is a
+// valid MIS regardless of seed.
+func TestGreedyMISProperty(t *testing.T) {
+	f := func(edges [][2]uint8, seed uint64) bool {
+		g := graph.New()
+		for v := graph.NodeID(0); v < 20; v++ {
+			if err := g.AddNode(v); err != nil {
+				return false
+			}
+		}
+		for _, e := range edges {
+			u, v := graph.NodeID(e[0]%20), graph.NodeID(e[1]%20)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		ord := order.New(seed)
+		state := GreedyMIS(g, ord)
+		return CheckMIS(g, state) == nil && CheckInvariant(g, ord, state) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+// ShouldBeIn evaluates the MIS invariant's right-hand side for v: true iff
+// no neighbor earlier in π is currently in the MIS. A node satisfies the
+// invariant iff state[v] == ShouldBeIn(v).
+func ShouldBeIn(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Membership, v graph.NodeID) Membership {
+	in := In
+	g.EachNeighbor(v, func(u graph.NodeID) {
+		if ord.Less(u, v) && state[u] == In {
+			in = Out
+		}
+	})
+	return in
+}
+
+// CheckInvariant verifies that state satisfies the MIS invariant on every
+// node of g (which implies that the In-set is a maximal independent set,
+// §3). It returns nil on success and a descriptive error naming the first
+// violated node otherwise.
+func CheckInvariant(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Membership) error {
+	for _, v := range g.Nodes() {
+		m, ok := state[v]
+		if !ok {
+			return fmt.Errorf("core: node %d has no state", v)
+		}
+		if want := ShouldBeIn(g, ord, state, v); m != want {
+			return fmt.Errorf("core: MIS invariant violated at node %d: state %v, want %v", v, m, want)
+		}
+	}
+	return nil
+}
+
+// CheckMIS verifies maximality and independence directly (without reference
+// to π): no two In-nodes are adjacent, and every Out-node has an In
+// neighbor. It is the model-level acceptance test used when an engine's
+// internal order is not observable.
+func CheckMIS(g *graph.Graph, state map[graph.NodeID]Membership) error {
+	for _, v := range g.Nodes() {
+		m, ok := state[v]
+		if !ok {
+			return fmt.Errorf("core: node %d has no state", v)
+		}
+		if m == In {
+			var bad graph.NodeID = graph.None
+			g.EachNeighbor(v, func(u graph.NodeID) {
+				if state[u] == In {
+					bad = u
+				}
+			})
+			if bad != graph.None {
+				return fmt.Errorf("core: independence violated: both %d and %d in MIS", v, bad)
+			}
+			continue
+		}
+		covered := false
+		g.EachNeighbor(v, func(u graph.NodeID) {
+			if state[u] == In {
+				covered = true
+			}
+		})
+		if !covered {
+			return fmt.Errorf("core: maximality violated: node %d and all its neighbors are out", v)
+		}
+	}
+	return nil
+}

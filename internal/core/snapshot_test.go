@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	orig := NewTemplate(44)
+	if _, err := orig.ApplyAll(workload.GNP(rng, 60, 0.08)); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := orig.Snapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTemplate(snap, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !orig.Graph().Equal(restored.Graph()) {
+		t.Fatal("restored graph differs")
+	}
+	if !EqualStates(orig.State(), restored.State()) {
+		t.Fatal("restored memberships differ")
+	}
+	// The restored engine keeps working and stays oracle-consistent:
+	// surviving nodes kept their priorities, so even continued churn
+	// that only touches existing nodes behaves identically.
+	for i, c := range workload.EdgeChurn(rng, restored.Graph(), 100) {
+		if _, err := restored.Apply(c); err != nil {
+			t.Fatalf("post-restore change %d: %v", i, err)
+		}
+	}
+	if err := restored.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := GreedyMIS(restored.Graph().Clone(), restored.Order())
+	if !EqualStates(restored.State(), want) {
+		t.Fatal("restored engine diverged from oracle under churn")
+	}
+}
+
+func TestSnapshotRejectsTampering(t *testing.T) {
+	orig := NewTemplate(45)
+	if _, err := orig.ApplyAll(workload.Path(5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := orig.Snapshot()
+	// Flip one membership: the restored configuration violates the MIS
+	// invariant and must be rejected.
+	snap.Nodes[2].InMIS = !snap.Nodes[2].InMIS
+	if _, err := RestoreTemplate(snap, 1); err == nil {
+		t.Fatal("tampered snapshot accepted")
+	}
+}
+
+func TestSnapshotRejectsBadTopology(t *testing.T) {
+	snap := &Snapshot{
+		Nodes: []SnapshotNode{{ID: 1, Priority: 10, InMIS: true}},
+		Edges: [][2]graph.NodeID{{1, 2}}, // endpoint 2 missing
+	}
+	if _, err := RestoreTemplate(snap, 1); err == nil {
+		t.Fatal("snapshot with dangling edge accepted")
+	}
+	dup := &Snapshot{
+		Nodes: []SnapshotNode{{ID: 1, Priority: 1, InMIS: true}, {ID: 1, Priority: 2, InMIS: false}},
+	}
+	if _, err := RestoreTemplate(dup, 1); err == nil {
+		t.Fatal("snapshot with duplicate node accepted")
+	}
+}
+
+func TestUnmarshalSnapshotErrors(t *testing.T) {
+	if _, err := UnmarshalSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestSnapshotEmptyEngine(t *testing.T) {
+	snap := NewTemplate(1).Snapshot()
+	restored, err := RestoreTemplate(snap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Graph().NodeCount() != 0 {
+		t.Fatal("empty snapshot restored non-empty engine")
+	}
+}

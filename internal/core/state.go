@@ -1,0 +1,88 @@
+// Package core implements the paper's primary contribution in its purest
+// form: the MIS invariant over a random order π (§3), the sequential greedy
+// oracle that defines history independence, and the template of Algorithm 1
+// — the influence-set cascade whose expected size is at most 1 (Theorem 1).
+//
+// The distributed implementations (internal/direct, internal/protocol) are
+// message-passing realizations of this template; every engine is tested to
+// produce exactly the output of GreedyMIS on the current graph with the
+// current priorities, which is the paper's history-independence property
+// (Definition 14).
+package core
+
+import (
+	"sort"
+
+	"dynmis/internal/graph"
+)
+
+// Membership is a node's output: in the MIS or not. The paper writes M and
+// M̄ for the two values.
+type Membership bool
+
+const (
+	// In is the MIS state M.
+	In Membership = true
+	// Out is the non-MIS state M̄.
+	Out Membership = false
+)
+
+// String returns "M" for In and "M̄" for Out.
+func (m Membership) String() string {
+	if m == In {
+		return "M"
+	}
+	return "M̄"
+}
+
+// MISOf extracts the sorted list of MIS members from a state map.
+func MISOf(state map[graph.NodeID]Membership) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(state))
+	for v, m := range state {
+		if m == In {
+			out = append(out, v)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// EqualStates reports whether two state maps agree on every node.
+func EqualStates(a, b map[graph.NodeID]Membership) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, m := range a {
+		if bm, ok := b[v]; !ok || bm != m {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffStates returns the nodes present in both maps whose membership
+// differs, plus nodes present in exactly one map with membership In in it.
+// It is the adjustment count between two stable configurations.
+func DiffStates(before, after map[graph.NodeID]Membership) []graph.NodeID {
+	var out []graph.NodeID
+	for v, m := range after {
+		if bm, ok := before[v]; ok {
+			if bm != m {
+				out = append(out, v)
+			}
+		} else if m == In {
+			out = append(out, v) // appeared directly in the MIS
+		}
+	}
+	for v, m := range before {
+		if _, ok := after[v]; !ok && m == In {
+			out = append(out, v) // left while in the MIS
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []graph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+// Template is the model-level engine of Algorithm 1 (§3): it maintains the
+// MIS invariant under topology changes by simulating the influence-set
+// cascade. It is not tied to a computation model; the distributed engines
+// realize the same cascade with messages. Its outputs define the ground
+// truth the distributed engines are differentially tested against.
+//
+// The cascade is the synchronous fixpoint reading of Eq. (1): starting from
+// the single node v* whose invariant the change may violate, repeatedly
+// flip — simultaneously — every node whose state disagrees with
+// ShouldBeIn under the current states. Violations propagate strictly
+// upward in π (a node's invariant depends only on earlier neighbors), so
+// the process terminates; the set of distinct flipped nodes is S and
+// E[|S|] ≤ 1 over the random order (Theorem 1).
+type Template struct {
+	g     *graph.Graph
+	ord   *order.Order
+	state map[graph.NodeID]Membership
+	steps int // safety counter for the last cascade
+}
+
+// NewTemplate returns an engine over an empty graph with a fresh random
+// order seeded by seed.
+func NewTemplate(seed uint64) *Template {
+	return NewTemplateWithOrder(order.New(seed))
+}
+
+// NewTemplateWithOrder returns an engine using a caller-supplied order,
+// allowing several engines (or an oracle) to share the same π.
+func NewTemplateWithOrder(ord *order.Order) *Template {
+	return &Template{
+		g:     graph.New(),
+		ord:   ord,
+		state: make(map[graph.NodeID]Membership),
+	}
+}
+
+// Graph exposes the engine's live graph. Callers must treat it as
+// read-only; mutate only through Apply.
+func (t *Template) Graph() *graph.Graph { return t.g }
+
+// Order exposes the engine's node order.
+func (t *Template) Order() *order.Order { return t.ord }
+
+// InMIS reports whether v is currently in the maintained MIS.
+func (t *Template) InMIS(v graph.NodeID) bool { return t.state[v] == In }
+
+// MIS returns the sorted current MIS.
+func (t *Template) MIS() []graph.NodeID { return MISOf(t.state) }
+
+// State returns a copy of the full membership map.
+func (t *Template) State() map[graph.NodeID]Membership {
+	out := make(map[graph.NodeID]Membership, len(t.state))
+	for v, m := range t.state {
+		out[v] = m
+	}
+	return out
+}
+
+// Check verifies the MIS invariant on the current configuration.
+func (t *Template) Check() error { return CheckInvariant(t.g, t.ord, t.state) }
+
+// Apply performs one topology change and runs the recovery cascade,
+// returning the cost report. On validation error the engine is unchanged.
+func (t *Template) Apply(c graph.Change) (Report, error) {
+	if err := c.Validate(t.g); err != nil {
+		return Report{}, err
+	}
+	before := t.State()
+
+	var rep Report
+	flipped := make(map[graph.NodeID]int) // node -> flip count
+	var frontier []graph.NodeID
+
+	switch c.Kind {
+	case graph.EdgeInsert, graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		if err := c.Apply(t.g); err != nil {
+			return Report{}, err
+		}
+		// v* is the endpoint ordered later in π; only its invariant can
+		// break (§3).
+		vstar := c.U
+		if t.ord.Less(c.V, c.U) == false {
+			vstar = c.V
+		}
+		frontier = []graph.NodeID{vstar}
+
+	case graph.NodeInsert, graph.NodeUnmute:
+		t.ord.Ensure(c.Node) // unmuting reuses the retained priority
+		if err := c.Apply(t.g); err != nil {
+			return Report{}, err
+		}
+		// The inserted node starts with the temporary state M̄ (§4.1);
+		// only it can be violated.
+		t.state[c.Node] = Out
+		frontier = []graph.NodeID{c.Node}
+
+	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
+		wasIn := t.state[c.Node] == In
+		nbrs := t.g.Neighbors(c.Node)
+		if err := c.Apply(t.g); err != nil {
+			return Report{}, err
+		}
+		delete(t.state, c.Node)
+		if c.Kind != graph.NodeMute {
+			t.ord.Drop(c.Node) // muted nodes keep their priority
+		}
+		if !wasIn {
+			// Deleting a non-MIS node violates no invariant: S = ∅.
+			rep.Adjustments = len(DiffStates(before, t.state))
+			return rep, nil
+		}
+		// The paper treats the deleted MIS node as the single violated
+		// node v* with S0 = {v*}: it "flips" to M̄ by leaving. Its
+		// former higher neighbors are the candidates of the next layer.
+		flipped[c.Node] = 1
+		frontier = nbrs
+
+	default:
+		return Report{}, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+	}
+
+	steps, err := t.cascade(frontier, flipped)
+	if err != nil {
+		return Report{}, err
+	}
+	t.steps = steps
+
+	rep.Rounds = steps
+	rep.SSize = len(flipped)
+	for _, n := range flipped {
+		rep.Flips += n
+	}
+	rep.Adjustments = len(DiffStates(before, t.state))
+	return rep, nil
+}
+
+// cascade runs the synchronous flip fixpoint starting from the given
+// candidate set, recording flips. It returns the number of synchronous
+// steps in which at least one node flipped.
+func (t *Template) cascade(candidates []graph.NodeID, flipped map[graph.NodeID]int) (int, error) {
+	steps := 0
+	limit := 2*t.g.NodeCount() + 10
+	for len(candidates) > 0 {
+		var violated []graph.NodeID
+		seen := make(map[graph.NodeID]struct{}, len(candidates))
+		for _, u := range candidates {
+			if _, dup := seen[u]; dup {
+				continue
+			}
+			seen[u] = struct{}{}
+			if !t.g.HasNode(u) {
+				continue
+			}
+			if t.state[u] != ShouldBeIn(t.g, t.ord, t.state, u) {
+				violated = append(violated, u)
+			}
+		}
+		if len(violated) == 0 {
+			return steps, nil
+		}
+		steps++
+		if steps > limit {
+			return steps, fmt.Errorf("core: cascade did not converge after %d steps", steps)
+		}
+		// Flip simultaneously: compute targets first, then commit.
+		targets := make([]Membership, len(violated))
+		for i, u := range violated {
+			targets[i] = ShouldBeIn(t.g, t.ord, t.state, u)
+		}
+		for i, u := range violated {
+			t.state[u] = targets[i]
+			flipped[u]++
+		}
+		// New violations can only appear at nodes ordered after a node
+		// that just flipped (the invariant looks only at earlier
+		// neighbors).
+		candidates = candidates[:0]
+		for _, u := range violated {
+			t.g.EachNeighbor(u, func(w graph.NodeID) {
+				if t.ord.Less(u, w) {
+					candidates = append(candidates, w)
+				}
+			})
+		}
+	}
+	return steps, nil
+}
+
+// LastCascadeSteps returns the step count of the most recent Apply; it is
+// exposed for tests exercising the §3 path example.
+func (t *Template) LastCascadeSteps() int { return t.steps }
+
+// ApplyAll applies a sequence of changes, accumulating reports. It stops at
+// the first error.
+func (t *Template) ApplyAll(cs []graph.Change) (Report, error) {
+	var total Report
+	for i, c := range cs {
+		rep, err := t.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d (%s): %w", i, c, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}

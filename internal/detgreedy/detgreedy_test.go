@@ -1,0 +1,96 @@
+package detgreedy
+
+import (
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestDeterministicByID(t *testing.T) {
+	e := New()
+	if _, err := e.ApplyAll(workload.Path(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy by ID on a path 0-1-2-3-4 picks {0, 2, 4}.
+	want := []graph.NodeID{0, 2, 4}
+	got := e.MIS()
+	if len(got) != len(want) {
+		t.Fatalf("MIS = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MIS = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLowerBoundCascade reproduces the §1.1 adversarial argument: on
+// K_{k,k} the deterministic algorithm picks side L (smaller IDs); deleting
+// L node by node forces a change that flips the entire side R — k
+// adjustments in a single topology change.
+func TestLowerBoundCascade(t *testing.T) {
+	const k = 12
+	e := New()
+	if _, err := e.ApplyAll(workload.CompleteBipartite(k)); err != nil {
+		t.Fatal(err)
+	}
+	// Side L = IDs 0..k-1 must be the MIS initially.
+	for v := graph.NodeID(0); v < k; v++ {
+		if !e.InMIS(v) {
+			t.Fatalf("node %d of side L not in MIS: %v", v, e.MIS())
+		}
+	}
+	maxAdjust := 0
+	for _, c := range workload.LowerBoundDeletions(k) {
+		rep, err := e.Apply(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Adjustments > maxAdjust {
+			maxAdjust = rep.Adjustments
+		}
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The final deletion flips all k nodes of R (plus removes the last
+	// L node): at least k adjustments in one change.
+	if maxAdjust < k {
+		t.Errorf("max adjustments per change = %d, want ≥ k = %d", maxAdjust, k)
+	}
+	// After all deletions, R is the MIS.
+	for v := graph.NodeID(k); v < 2*k; v++ {
+		if !e.InMIS(v) {
+			t.Errorf("node %d of side R not in MIS after deletions", v)
+		}
+	}
+}
+
+func TestReinsertionStaysDeterministic(t *testing.T) {
+	e := New()
+	if _, err := e.Apply(graph.NodeChange(graph.NodeInsert, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(graph.NodeChange(graph.NodeInsert, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.InMIS(3) || e.InMIS(5) {
+		t.Fatalf("MIS = %v, want [3] (ID order)", e.MIS())
+	}
+	if _, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(graph.NodeChange(graph.NodeInsert, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.InMIS(3) {
+		t.Error("re-inserted node 3 must win again under ID order")
+	}
+	if e.State()[5] != false {
+		t.Error("node 5 should be out")
+	}
+}

@@ -1,0 +1,303 @@
+package direct
+
+import (
+	"errors"
+	"fmt"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/simnet"
+)
+
+// asyncNode adapts view to simnet.AsyncProc: it reacts to each delivered
+// message immediately, emitting every due broadcast (the asynchronous
+// model has no one-broadcast-per-round limit).
+type asyncNode struct {
+	view
+}
+
+var _ simnet.AsyncProc = (*asyncNode)(nil)
+
+// Handle implements simnet.AsyncProc.
+func (n *asyncNode) Handle(m simnet.Message) []simnet.Payload {
+	evaluate := n.ingest(m)
+	return n.reactAll(evaluate)
+}
+
+// reactAll emits every action the view owes. It mirrors view.react but
+// without the one-payload restriction of the synchronous round model.
+func (v *view) reactAll(evaluate bool) []simnet.Payload {
+	if v.muted || v.gone {
+		return nil
+	}
+	var out []simnet.Payload
+	if v.pendingHello {
+		v.pendingHello = false
+		need := v.helloNeedInfo
+		v.helloNeedInfo = false
+		out = append(out, helloMsg{Prio: v.prio, In: v.in, NeedInfo: need})
+	}
+	if v.pendingReply {
+		v.pendingReply = false
+		out = append(out, helloMsg{Prio: v.prio, In: v.in, NeedInfo: false})
+	}
+	if v.retiring {
+		v.retiring = false
+		if v.in {
+			v.in = false
+			v.flips++
+		}
+		if v.mute {
+			v.muted = true
+			v.mute = false
+		} else {
+			v.gone = true
+		}
+		return append(out, retireMsg{})
+	}
+	if v.pendingEval {
+		if v.awaitInfo > 0 {
+			return out
+		}
+		v.pendingEval = false
+		evaluate = true
+	}
+	if evaluate {
+		if want := v.shouldBeIn(); want != v.in {
+			v.in = want
+			v.flips++
+			out = append(out, stateMsg{In: want})
+		}
+	}
+	return out
+}
+
+// AsyncEngine runs the direct algorithm over the asynchronous network.
+// Its round measure is the causal depth of the recovery (the longest chain
+// of dependent deliveries), which Corollary 6 bounds by |S| — hence 1 in
+// expectation.
+type AsyncEngine struct {
+	net     *simnet.AsyncNetwork
+	ord     *order.Order
+	visible *graph.Graph
+	procs   map[graph.NodeID]*asyncNode
+
+	// MaxDeliveries bounds each recovery; 0 selects an automatic bound.
+	MaxDeliveries int
+}
+
+// NewAsync returns an asynchronous engine; sched nil means FIFO delivery.
+func NewAsync(seed uint64, sched simnet.Scheduler) *AsyncEngine {
+	return NewAsyncWithOrder(order.New(seed), sched)
+}
+
+// NewAsyncWithOrder returns an asynchronous engine sharing an order.
+func NewAsyncWithOrder(ord *order.Order, sched simnet.Scheduler) *AsyncEngine {
+	return &AsyncEngine{
+		net:     simnet.NewAsyncNetwork(sched),
+		ord:     ord,
+		visible: graph.New(),
+		procs:   make(map[graph.NodeID]*asyncNode),
+	}
+}
+
+// Graph exposes the visible topology (read-only for callers).
+func (e *AsyncEngine) Graph() *graph.Graph { return e.visible }
+
+// Order exposes the node order.
+func (e *AsyncEngine) Order() *order.Order { return e.ord }
+
+// InMIS reports whether visible node v is in the MIS.
+func (e *AsyncEngine) InMIS(v graph.NodeID) bool {
+	p, ok := e.procs[v]
+	return ok && !p.muted && p.in
+}
+
+// MIS returns the sorted current MIS.
+func (e *AsyncEngine) MIS() []graph.NodeID { return core.MISOf(e.State()) }
+
+// State returns the membership map over visible nodes.
+func (e *AsyncEngine) State() map[graph.NodeID]core.Membership {
+	out := make(map[graph.NodeID]core.Membership, e.visible.NodeCount())
+	for _, v := range e.visible.Nodes() {
+		if p := e.procs[v]; p != nil && p.in {
+			out[v] = core.In
+		} else {
+			out[v] = core.Out
+		}
+	}
+	return out
+}
+
+func (e *AsyncEngine) maxDeliveries() int {
+	if e.MaxDeliveries > 0 {
+		return e.MaxDeliveries
+	}
+	n := e.visible.NodeCount()
+	m := e.visible.EdgeCount()
+	return 100*(n+m) + 1000
+}
+
+// ErrAsyncUnsupported is returned for change kinds the asynchronous engine
+// does not model.
+var ErrAsyncUnsupported = errors.New("direct: change kind unsupported in async engine")
+
+// Apply performs one topology change, drains the network and reports
+// costs. The asynchronous engine supports the full change repertoire
+// except muting (which is a synchronous-round notion in the paper).
+func (e *AsyncEngine) Apply(c graph.Change) (core.Report, error) {
+	if c.Kind == graph.NodeMute || c.Kind == graph.NodeUnmute {
+		return core.Report{}, fmt.Errorf("%w: %s", ErrAsyncUnsupported, c)
+	}
+	if err := c.Validate(e.visible); err != nil {
+		return core.Report{}, err
+	}
+	before := e.State()
+	e.net.Metrics.Reset()
+	for _, p := range e.procs {
+		p.flips = 0
+	}
+
+	var rep core.Report
+	cleanup, err := e.stage(c, &rep)
+	if err != nil {
+		return core.Report{}, err
+	}
+	if err := e.net.Run(e.maxDeliveries()); err != nil {
+		return core.Report{}, fmt.Errorf("direct: %s: %w", c, err)
+	}
+	for _, p := range e.procs {
+		if p.flips > 0 {
+			rep.SSize++
+			rep.Flips += p.flips
+		}
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	rep.Broadcasts = e.net.Metrics.Broadcasts
+	rep.Bits = e.net.Metrics.Bits
+	rep.CausalDepth = e.net.Metrics.CausalDepth
+	rep.Adjustments = len(core.DiffStates(before, e.State()))
+	return rep, nil
+}
+
+func (e *AsyncEngine) stage(c graph.Change, rep *core.Report) (func(), error) {
+	none := graph.None
+	switch c.Kind {
+	case graph.EdgeInsert:
+		if err := e.visible.AddEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		if err := e.net.AddEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		e.net.Inject(c.U, simnet.Message{From: none, Payload: evEdgeAttached{Peer: c.V}})
+		e.net.Inject(c.V, simnet.Message{From: none, Payload: evEdgeAttached{Peer: c.U}})
+		return nil, nil
+
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		if err := e.visible.RemoveEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		if err := e.net.RemoveEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		e.net.Inject(c.U, simnet.Message{From: none, Payload: evEdgeDown{Peer: c.V}})
+		e.net.Inject(c.V, simnet.Message{From: none, Payload: evEdgeDown{Peer: c.U}})
+		return nil, nil
+
+	case graph.NodeInsert:
+		prio := e.ord.Ensure(c.Node)
+		p := &asyncNode{view: *newView(c.Node, prio)}
+		if err := e.net.AddNode(c.Node, p); err != nil {
+			return nil, err
+		}
+		if err := e.visible.AddNode(c.Node); err != nil {
+			return nil, err
+		}
+		for _, u := range c.Edges {
+			if err := e.net.AddEdge(c.Node, u); err != nil {
+				return nil, err
+			}
+			if err := e.visible.AddEdge(c.Node, u); err != nil {
+				return nil, err
+			}
+		}
+		e.procs[c.Node] = p
+		e.net.Inject(c.Node, simnet.Message{From: none, Payload: evInserted{Expect: len(c.Edges)}})
+		return nil, nil
+
+	case graph.NodeDeleteAbrupt:
+		if e.procs[c.Node].in {
+			rep.SSize++
+			rep.Flips++
+		}
+		nbrs := e.net.Graph().Neighbors(c.Node)
+		if err := e.net.RemoveNode(c.Node); err != nil {
+			return nil, err
+		}
+		if err := e.visible.RemoveNode(c.Node); err != nil {
+			return nil, err
+		}
+		e.ord.Drop(c.Node)
+		delete(e.procs, c.Node)
+		for _, u := range nbrs {
+			e.net.Inject(u, simnet.Message{From: none, Payload: evNodeGone{Peer: c.Node}})
+		}
+		return nil, nil
+
+	case graph.NodeDeleteGraceful:
+		e.net.Inject(c.Node, simnet.Message{From: none, Payload: evRetire{}})
+		node := c.Node
+		return func() {
+			_ = e.visible.RemoveNode(node)
+			_ = e.net.RemoveNode(node)
+			e.ord.Drop(node)
+			delete(e.procs, node)
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports.
+func (e *AsyncEngine) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for i, c := range cs {
+		rep, err := e.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
+// Check verifies the MIS invariant and exact knowledge after quiescence.
+func (e *AsyncEngine) Check() error {
+	if err := core.CheckInvariant(e.visible, e.ord, e.State()); err != nil {
+		return err
+	}
+	for v, p := range e.procs {
+		count := 0
+		for _, u := range e.net.Graph().Neighbors(v) {
+			q := e.procs[u]
+			if q == nil {
+				continue
+			}
+			count++
+			info, ok := p.nbr[u]
+			if !ok {
+				return fmt.Errorf("direct/async: node %d missing knowledge of %d", v, u)
+			}
+			if info.in != q.in {
+				return fmt.Errorf("direct/async: node %d has stale state for %d", v, u)
+			}
+		}
+		if len(p.nbr) != count {
+			return fmt.Errorf("direct/async: node %d knows %d neighbors, want %d", v, len(p.nbr), count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package direct
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/simnet"
+)
+
+func apply(t *testing.T, e *Engine, c graph.Change) core.Report {
+	t.Helper()
+	rep, err := e.Apply(c)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", c, err)
+	}
+	return rep
+}
+
+func checkOracle(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+	if !core.EqualStates(e.State(), want) {
+		t.Fatalf("direct state diverged from greedy oracle:\n got %v\nwant %v",
+			core.MISOf(e.State()), core.MISOf(want))
+	}
+}
+
+func TestDirectBasics(t *testing.T) {
+	e := New(1)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	if !e.InMIS(1) {
+		t.Fatal("isolated node must join")
+	}
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 2))
+	checkOracle(t, e)
+	apply(t, e, graph.EdgeChange(graph.EdgeDeleteAbrupt, 1, 2))
+	checkOracle(t, e)
+	apply(t, e, graph.NodeChange(graph.NodeDeleteGraceful, 3))
+	checkOracle(t, e)
+}
+
+// TestDirectMatchesTemplate runs the same change sequence through the
+// model-level template and the message-passing direct engine under a
+// shared order: the influence sets, flip counts and adjustments must agree
+// exactly — the direct engine is the template, realized with messages.
+func TestDirectMatchesTemplate(t *testing.T) {
+	ord := order.New(50)
+	tpl := core.NewTemplateWithOrder(ord)
+	eng := NewWithOrder(ord)
+	rng := rand.New(rand.NewPCG(4, 5))
+
+	next := graph.NodeID(0)
+	present := map[graph.NodeID]bool{}
+	randPresent := func() graph.NodeID {
+		i := rng.IntN(len(present))
+		for v := range present {
+			if i == 0 {
+				return v
+			}
+			i--
+		}
+		panic("unreachable")
+	}
+
+	for step := 0; step < 400; step++ {
+		g := tpl.Graph()
+		var c graph.Change
+		switch op := rng.IntN(10); {
+		case op < 3:
+			var nbrs []graph.NodeID
+			for v := range present {
+				if rng.Float64() < 0.12 {
+					nbrs = append(nbrs, v)
+				}
+			}
+			c = graph.NodeChange(graph.NodeInsert, next, nbrs...)
+			present[next] = true
+			next++
+		case op < 5:
+			if len(present) == 0 {
+				continue
+			}
+			v := randPresent()
+			kind := graph.NodeDeleteGraceful
+			if rng.IntN(2) == 0 {
+				kind = graph.NodeDeleteAbrupt
+			}
+			c = graph.NodeChange(kind, v)
+			delete(present, v)
+		case op < 8:
+			if len(present) < 2 {
+				continue
+			}
+			u, v := randPresent(), randPresent()
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			c = graph.EdgeChange(graph.EdgeInsert, u, v)
+		default:
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.IntN(len(es))]
+			c = graph.EdgeChange(graph.EdgeDeleteAbrupt, e[0], e[1])
+		}
+
+		trep, err := tpl.Apply(c)
+		if err != nil {
+			t.Fatalf("step %d: template: %v", step, err)
+		}
+		drep, err := eng.Apply(c)
+		if err != nil {
+			t.Fatalf("step %d: direct: %v", step, err)
+		}
+		if trep.SSize != drep.SSize || trep.Flips != drep.Flips || trep.Adjustments != drep.Adjustments {
+			t.Fatalf("step %d (%s): template %v vs direct %v", step, c, trep, drep)
+		}
+		if !core.EqualStates(tpl.State(), eng.State()) {
+			t.Fatalf("step %d: states diverged", step)
+		}
+	}
+	checkOracle(t, eng)
+}
+
+func TestDirectMuteUnmute(t *testing.T) {
+	e := New(7)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 1, 2))
+	before := e.State()
+	apply(t, e, graph.NodeChange(graph.NodeMute, 3))
+	checkOracle(t, e)
+	apply(t, e, graph.NodeChange(graph.NodeUnmute, 3, 1, 2))
+	checkOracle(t, e)
+	if !core.EqualStates(before, e.State()) {
+		t.Error("mute/unmute round trip changed the MIS")
+	}
+}
+
+func TestDirectQuadraticBroadcastGadget(t *testing.T) {
+	// The §3 path example: the direct algorithm flips u2 twice (6 flips
+	// for |S| = 5), whereas Algorithm 2 would flip each node once. This
+	// is the seed of the |S|² broadcast blow-up motivating Algorithm 2.
+	e := New(0)
+	ord := e.Order()
+	for i, v := range []graph.NodeID{0, 1, 2, 3, 4, 5} {
+		ord.Set(v, order.Priority(i+1))
+	}
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 0))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 2))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 4, 3))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 5, 1, 4))
+	rep := apply(t, e, graph.EdgeChange(graph.EdgeInsert, 0, 1))
+	checkOracle(t, e)
+	if rep.SSize != 5 || rep.Flips != 6 {
+		t.Errorf("got |S|=%d flips=%d, want 5 and 6", rep.SSize, rep.Flips)
+	}
+}
+
+func asyncApply(t *testing.T, e *AsyncEngine, c graph.Change) core.Report {
+	t.Helper()
+	rep, err := e.Apply(c)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", c, err)
+	}
+	return rep
+}
+
+func checkAsyncOracle(t *testing.T, e *AsyncEngine) {
+	t.Helper()
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+	if !core.EqualStates(e.State(), want) {
+		t.Fatalf("async state diverged from greedy oracle:\n got %v\nwant %v",
+			core.MISOf(e.State()), core.MISOf(want))
+	}
+}
+
+// TestAsyncSchedulers drives the asynchronous engine under three
+// adversarial delivery orders; the final structure must always match the
+// greedy oracle (history independence does not depend on scheduling).
+func TestAsyncSchedulers(t *testing.T) {
+	scheds := map[string]simnet.Scheduler{
+		"fifo":   simnet.FIFOScheduler{},
+		"lifo":   simnet.LIFOScheduler{},
+		"random": &simnet.RandomScheduler{Rng: rand.New(rand.NewPCG(9, 9))},
+	}
+	for name, sched := range scheds {
+		t.Run(name, func(t *testing.T) {
+			e := NewAsync(33, sched)
+			rng := rand.New(rand.NewPCG(6, 7))
+			next := graph.NodeID(0)
+			present := map[graph.NodeID]bool{}
+			randPresent := func() graph.NodeID {
+				i := rng.IntN(len(present))
+				for v := range present {
+					if i == 0 {
+						return v
+					}
+					i--
+				}
+				panic("unreachable")
+			}
+			for step := 0; step < 250; step++ {
+				g := e.Graph()
+				var c graph.Change
+				switch op := rng.IntN(10); {
+				case op < 3:
+					var nbrs []graph.NodeID
+					for v := range present {
+						if rng.Float64() < 0.12 {
+							nbrs = append(nbrs, v)
+						}
+					}
+					c = graph.NodeChange(graph.NodeInsert, next, nbrs...)
+					present[next] = true
+					next++
+				case op < 5:
+					if len(present) == 0 {
+						continue
+					}
+					v := randPresent()
+					kind := graph.NodeDeleteGraceful
+					if rng.IntN(2) == 0 {
+						kind = graph.NodeDeleteAbrupt
+					}
+					c = graph.NodeChange(kind, v)
+					delete(present, v)
+				case op < 8:
+					if len(present) < 2 {
+						continue
+					}
+					u, v := randPresent(), randPresent()
+					if u == v || g.HasEdge(u, v) {
+						continue
+					}
+					c = graph.EdgeChange(graph.EdgeInsert, u, v)
+				default:
+					es := g.Edges()
+					if len(es) == 0 {
+						continue
+					}
+					edge := es[rng.IntN(len(es))]
+					c = graph.EdgeChange(graph.EdgeDeleteAbrupt, edge[0], edge[1])
+				}
+				asyncApply(t, e, c)
+				checkAsyncOracle(t, e)
+			}
+		})
+	}
+}
+
+func TestAsyncCausalDepthSmall(t *testing.T) {
+	// Corollary 6: the expected asynchronous round complexity (longest
+	// causal chain) is constant. Measure the mean over random edge
+	// changes.
+	e := NewAsync(11, simnet.FIFOScheduler{})
+	rng := rand.New(rand.NewPCG(14, 15))
+	var nodes []graph.NodeID
+	for v := graph.NodeID(0); v < 60; v++ {
+		var nbrs []graph.NodeID
+		for _, u := range nodes {
+			if rng.Float64() < 0.08 {
+				nbrs = append(nbrs, u)
+			}
+		}
+		asyncApply(t, e, graph.NodeChange(graph.NodeInsert, v, nbrs...))
+		nodes = append(nodes, v)
+	}
+	total, trials := 0, 0
+	for i := 0; i < 80; i++ {
+		g := e.Graph()
+		if i%2 == 0 {
+			es := g.Edges()
+			edge := es[rng.IntN(len(es))]
+			rep := asyncApply(t, e, graph.EdgeChange(graph.EdgeDeleteAbrupt, edge[0], edge[1]))
+			total += rep.CausalDepth
+		} else {
+			u, v := nodes[rng.IntN(len(nodes))], nodes[rng.IntN(len(nodes))]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			rep := asyncApply(t, e, graph.EdgeChange(graph.EdgeInsert, u, v))
+			total += rep.CausalDepth
+		}
+		trials++
+	}
+	mean := float64(total) / float64(trials)
+	if mean > 3.5 {
+		t.Errorf("mean causal depth = %.2f, want small constant", mean)
+	}
+	t.Logf("mean causal depth %.2f over %d changes", mean, trials)
+}
+
+func TestAsyncRejectsMute(t *testing.T) {
+	e := NewAsync(1, nil)
+	asyncApply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	if _, err := e.Apply(graph.NodeChange(graph.NodeMute, 1)); err == nil {
+		t.Fatal("mute should be unsupported in the async engine")
+	}
+}
+
+func TestDirectAccessorsAndApplyAll(t *testing.T) {
+	e := New(20)
+	if _, err := e.ApplyAll([]graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MIS(); len(got) != 1 {
+		t.Errorf("MIS = %v", got)
+	}
+	if e.InMIS(1) == e.InMIS(2) {
+		t.Error("exactly one endpoint should be in the MIS")
+	}
+	if _, err := e.ApplyAll([]graph.Change{graph.NodeChange(graph.NodeInsert, 1)}); err == nil {
+		t.Error("ApplyAll accepted a duplicate insert")
+	}
+}
+
+func TestAsyncAccessorsAndApplyAll(t *testing.T) {
+	e := NewAsync(21, nil)
+	if _, err := e.ApplyAll([]graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+		graph.NodeChange(graph.NodeInsert, 3, 2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MIS(); len(got) == 0 {
+		t.Errorf("MIS = %v", got)
+	}
+	if e.InMIS(99) {
+		t.Error("absent node reported in MIS")
+	}
+	if e.Order() == nil || e.Graph().NodeCount() != 3 {
+		t.Error("accessors inconsistent")
+	}
+	if _, err := e.ApplyAll([]graph.Change{graph.EdgeChange(graph.EdgeInsert, 1, 99)}); err == nil {
+		t.Error("ApplyAll accepted an invalid change")
+	}
+}
+
+// TestEventPayloadsAreFree documents the zero-bit cost of local detection
+// events: they model physical-layer observation, not communication.
+func TestEventPayloadsAreFree(t *testing.T) {
+	events := []interface{ Bits() int }{
+		evEdgeAttached{}, evEdgeDown{}, evNodeGone{}, evRetire{}, evInserted{}, evUnmute{},
+	}
+	for _, ev := range events {
+		if ev.Bits() != 0 {
+			t.Errorf("%T costs %d bits, want 0", ev, ev.Bits())
+		}
+	}
+	if (stateMsg{}).Bits() != 1 {
+		t.Error("direct state messages should cost exactly one bit")
+	}
+	if (helloMsg{}).Bits() <= 1 || (retireMsg{}).Bits() != 1 {
+		t.Error("payload sizes inconsistent")
+	}
+}

@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e1.Run = runE1; register(e1) }
+
+var e1 = Experiment{
+	ID:    "E1",
+	Name:  "Expected influence-set size and adjustments",
+	Claim: "Theorem 1: for every topology change, E[|S|] ≤ 1 over the random order; hence a single adjustment in expectation.",
+}
+
+func runE1(cfg Config) (*Result, error) {
+	res := result(e1)
+	table := stats.NewTable("mean |S| and adjustments per change, by graph family and change kind",
+		"family", "kind", "trials", "mean |S|", "max |S|", "mean adj", "max adj")
+
+	families := []struct {
+		name  string
+		build func(rng *rand.Rand) []graph.Change
+	}{
+		{"gnp-sparse(n=200,p=0.02)", func(rng *rand.Rand) []graph.Change { return workload.GNP(rng, 200, 0.02) }},
+		{"gnp-dense(n=120,p=0.2)", func(rng *rand.Rand) []graph.Change { return workload.GNP(rng, 120, 0.2) }},
+		{"star(n=200)", func(rng *rand.Rand) []graph.Change { return workload.Star(200) }},
+		{"grid(14x14)", func(rng *rand.Rand) []graph.Change { return workload.Grid(14, 14) }},
+	}
+	steps := cfg.scale(2000, 200)
+
+	for fi, fam := range families {
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(fi), 17))
+		eng := core.NewTemplate(cfg.Seed*1000 + uint64(fi))
+		if _, err := eng.ApplyAll(fam.build(rng)); err != nil {
+			return nil, err
+		}
+		churn := workload.RandomChurn(rng, eng.Graph(), workload.DefaultChurn(steps))
+
+		perKind := map[string]*[2]stats.Series{} // kind -> (|S|, adjustments)
+		for _, c := range churn {
+			rep, err := eng.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			key := kindBucket(c.Kind)
+			pair, ok := perKind[key]
+			if !ok {
+				pair = &[2]stats.Series{}
+				perKind[key] = pair
+			}
+			pair[0].ObserveInt(rep.SSize)
+			pair[1].ObserveInt(rep.Adjustments)
+		}
+		for _, kind := range []string{"edge-insert", "edge-delete", "node-insert", "node-delete"} {
+			pair, ok := perKind[kind]
+			if !ok {
+				continue
+			}
+			table.AddRow(fam.name, kind, pair[0].N(),
+				pair[0].Mean(), int(pair[0].Max()), pair[1].Mean(), int(pair[1].Max()))
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"Theorem 1 bounds the expectation only; individual changes can have large |S| (see max columns), which is why no high-probability bound is possible (§1.1).")
+	return res, nil
+}
+
+// kindBucket folds graceful/abrupt variants together for reporting.
+func kindBucket(k graph.ChangeKind) string {
+	switch k {
+	case graph.EdgeInsert:
+		return "edge-insert"
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		return "edge-delete"
+	case graph.NodeInsert, graph.NodeUnmute:
+		return "node-insert"
+	default:
+		return "node-delete"
+	}
+}

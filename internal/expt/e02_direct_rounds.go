@@ -1,0 +1,55 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/direct"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e2.Run = runE2; register(e2) }
+
+var e2 = Experiment{
+	ID:    "E2",
+	Name:  "Direct implementation: synchronous rounds and adjustments",
+	Claim: "Corollary 6: the direct distributed implementation needs a single adjustment and a single round, in expectation, independent of n.",
+}
+
+func runE2(cfg Config) (*Result, error) {
+	res := result(e2)
+	table := stats.NewTable("direct (synchronous) engine cost per edge change on G(n, 8/n)",
+		"n", "changes", "mean rounds", "max rounds", "mean adj", "mean |S|", "mean bcasts")
+
+	for _, n := range []int{100, 300, 1000} {
+		steps := cfg.scale(800, 80)
+		if n >= 1000 {
+			steps = cfg.scale(300, 40)
+		}
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(n), 23))
+		eng := direct.New(cfg.Seed + uint64(n))
+		if _, err := eng.ApplyAll(workload.GNP(rng, n, 8/float64(n))); err != nil {
+			return nil, err
+		}
+		var rounds, adj, ssize, bcasts stats.Series
+		for _, c := range workload.EdgeChurn(rng, eng.Graph(), steps) {
+			rep, err := eng.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			// The engine's round count includes the detection round
+			// and the trailing quiescence-confirmation round; the
+			// paper's "single round" counts only rounds in which an
+			// output changes, which is bounded by the flip rounds.
+			rounds.ObserveInt(rep.Rounds)
+			adj.ObserveInt(rep.Adjustments)
+			ssize.ObserveInt(rep.SSize)
+			bcasts.ObserveInt(rep.Broadcasts)
+		}
+		table.AddRow(n, rounds.N(), rounds.Mean(), int(rounds.Max()), adj.Mean(), ssize.Mean(), bcasts.Mean())
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"Mean rounds include one detection and one quiescence round of simulator overhead; the paper's single-round claim concerns the recovery cascade depth, visible as the n-independence of the column.")
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/direct"
+	"dynmis/internal/simnet"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e3.Run = runE3; register(e3) }
+
+var e3 = Experiment{
+	ID:    "E3",
+	Name:  "Asynchronous direct implementation: causal depth",
+	Claim: "Corollary 6 (async): a single round in expectation, where an asynchronous round is the longest path of communication (causal chain of deliveries), under any message scheduler.",
+}
+
+func runE3(cfg Config) (*Result, error) {
+	res := result(e3)
+	table := stats.NewTable("async engine causal depth per edge change on G(n, 8/n)",
+		"n", "scheduler", "changes", "mean depth", "max depth", "mean adj", "mean bcasts")
+
+	for _, n := range []int{100, 300} {
+		for _, sc := range []struct {
+			name  string
+			sched simnet.Scheduler
+		}{
+			{"fifo", simnet.FIFOScheduler{}},
+			{"lifo", simnet.LIFOScheduler{}},
+			{"random", &simnet.RandomScheduler{Rng: rand.New(rand.NewPCG(cfg.Seed, 31))}},
+		} {
+			steps := cfg.scale(500, 60)
+			rng := rand.New(rand.NewPCG(cfg.Seed+uint64(n), 29))
+			eng := direct.NewAsync(cfg.Seed+uint64(n), sc.sched)
+			if _, err := eng.ApplyAll(workload.GNP(rng, n, 8/float64(n))); err != nil {
+				return nil, err
+			}
+			var depth, adj, bcasts stats.Series
+			for _, c := range workload.EdgeChurn(rng, eng.Graph(), steps) {
+				rep, err := eng.Apply(c)
+				if err != nil {
+					return nil, err
+				}
+				depth.ObserveInt(rep.CausalDepth)
+				adj.ObserveInt(rep.Adjustments)
+				bcasts.ObserveInt(rep.Broadcasts)
+			}
+			table.AddRow(n, sc.name, depth.N(), depth.Mean(), int(depth.Max()), adj.Mean(), bcasts.Mean())
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"The causal depth counts the detection hop plus the recovery chain; its n- and scheduler-independence is the claim.")
+	return res, nil
+}

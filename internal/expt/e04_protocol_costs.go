@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/protocol"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e4.Run = runE4; register(e4) }
+
+var e4 = Experiment{
+	ID:    "E4",
+	Name:  "Algorithm 2 per-change-kind cost",
+	Claim: "Theorem 7 / Lemma 9: O(1) rounds for all changes; O(1) broadcasts for edge insertions/deletions, graceful node deletion and unmuting, in expectation.",
+}
+
+func runE4(cfg Config) (*Result, error) {
+	res := result(e4)
+	table := stats.NewTable("Algorithm 2 cost per change on evolving G(n=300, p=8/n)",
+		"kind", "trials", "mean rounds", "max rounds", "mean bcasts", "max bcasts", "mean bits", "mean adj")
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 41))
+	eng := protocol.New(cfg.Seed + 4)
+	n := 300
+	if _, err := eng.ApplyAll(workload.GNP(rng, n, 8/float64(n))); err != nil {
+		return nil, err
+	}
+
+	type agg struct{ rounds, bcasts, bits, adj stats.Series }
+	perKind := map[string]*agg{}
+	observe := func(kind string, rounds, bcasts, bits, adj int) {
+		a, ok := perKind[kind]
+		if !ok {
+			a = &agg{}
+			perKind[kind] = a
+		}
+		a.rounds.ObserveInt(rounds)
+		a.bcasts.ObserveInt(bcasts)
+		a.bits.ObserveInt(bits)
+		a.adj.ObserveInt(adj)
+	}
+
+	steps := cfg.scale(1500, 150)
+	muted := map[graph.NodeID][]graph.NodeID{}
+	for i := 0; i < steps; i++ {
+		g := eng.Graph()
+		nodes := g.Nodes()
+		var c graph.Change
+		var label string
+		switch op := rng.IntN(10); {
+		case op < 3: // edge insert
+			u := nodes[rng.IntN(len(nodes))]
+			v := nodes[rng.IntN(len(nodes))]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			c, label = graph.EdgeChange(graph.EdgeInsert, u, v), "edge-insert"
+		case op < 6: // edge delete
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.IntN(len(es))]
+			kind, lab := graph.EdgeDeleteGraceful, "edge-delete-graceful"
+			if rng.IntN(2) == 0 {
+				kind, lab = graph.EdgeDeleteAbrupt, "edge-delete-abrupt"
+			}
+			c, label = graph.EdgeChange(kind, e[0], e[1]), lab
+		case op < 8: // graceful node delete (re-inserted later to keep size)
+			if len(nodes) < n/2 {
+				continue
+			}
+			v := nodes[rng.IntN(len(nodes))]
+			c, label = graph.NodeChange(graph.NodeDeleteGraceful, v), "node-delete-graceful"
+		case op < 9: // mute (bookkeeping only; measured under unmute)
+			if len(muted) > 4 || len(nodes) < 10 {
+				continue
+			}
+			v := nodes[rng.IntN(len(nodes))]
+			muted[v] = g.Neighbors(v)
+			c, label = graph.NodeChange(graph.NodeMute, v), "node-mute"
+		default: // unmute
+			var v graph.NodeID = graph.None
+			for m := range muted {
+				v = m
+				break
+			}
+			if v == graph.None {
+				continue
+			}
+			var nbrs []graph.NodeID
+			for _, u := range muted[v] {
+				if g.HasNode(u) {
+					nbrs = append(nbrs, u)
+				}
+			}
+			delete(muted, v)
+			c, label = graph.NodeChange(graph.NodeUnmute, v, nbrs...), "node-unmute"
+		}
+		rep, err := eng.Apply(c)
+		if err != nil {
+			return nil, err
+		}
+		observe(label, rep.Rounds, rep.Broadcasts, rep.Bits, rep.Adjustments)
+	}
+
+	for _, kind := range []string{"edge-insert", "edge-delete-graceful", "edge-delete-abrupt",
+		"node-delete-graceful", "node-mute", "node-unmute"} {
+		a, ok := perKind[kind]
+		if !ok {
+			continue
+		}
+		table.AddRow(kind, a.rounds.N(), a.rounds.Mean(), int(a.rounds.Max()),
+			a.bcasts.Mean(), int(a.bcasts.Max()), a.bits.Mean(), a.adj.Mean())
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"Node insertion and abrupt node deletion have their own degree-dependent bounds; see E5 and E6.")
+	return res, nil
+}

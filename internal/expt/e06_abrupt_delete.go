@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/protocol"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e6.Run = runE6; register(e6) }
+
+var e6 = Experiment{
+	ID:    "E6",
+	Name:  "Abrupt node deletion cost",
+	Claim: "Lemma 13: abruptly deleting v* costs O(min(log n, d(v*))) broadcasts in expectation, with at most min(log₃|S|, d(v*)) re-entries to state C per node (Lemma 12).",
+}
+
+func runE6(cfg Config) (*Result, error) {
+	res := result(e6)
+	table := stats.NewTable("Algorithm 2 abrupt hub deletion from G(n=500, p=4/n), by hub degree",
+		"degree d", "trials", "hub in MIS", "mean bcasts", "bcasts | in MIS", "mean flips/node", "max flips/node", "bound log3|S|+1")
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 47))
+	eng := protocol.New(cfg.Seed + 6)
+	n := 500
+	if _, err := eng.ApplyAll(workload.GNP(rng, n, 4/float64(n))); err != nil {
+		return nil, err
+	}
+
+	nextID := graph.NodeID(10 * n)
+	for _, d := range []int{2, 4, 8, 16, 32, 64} {
+		// A hub of degree d is in the MIS with probability ≈ 1/(d+1);
+		// scale trials so the conditional columns stay populated.
+		trials := cfg.scale(40+12*d, 8+3*d)
+		var bcasts, condBcasts, ssize, flipsPerNode stats.Series
+		maxFlips, triggered := 0.0, 0
+		for trial := 0; trial < trials; trial++ {
+			nodes := eng.Graph().Nodes()
+			perm := rng.Perm(len(nodes))
+			nbrs := make([]graph.NodeID, 0, d)
+			for _, idx := range perm[:d] {
+				nbrs = append(nbrs, nodes[idx])
+			}
+			hub := nextID
+			nextID++
+			if _, err := eng.Apply(graph.NodeChange(graph.NodeInsert, hub, nbrs...)); err != nil {
+				return nil, err
+			}
+			wasIn := eng.InMIS(hub)
+			rep, err := eng.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, hub))
+			if err != nil {
+				return nil, err
+			}
+			bcasts.ObserveInt(rep.Broadcasts)
+			ssize.ObserveInt(rep.SSize)
+			if wasIn {
+				triggered++
+				condBcasts.ObserveInt(rep.Broadcasts)
+			}
+			if rep.SSize > 1 { // exclude the hub's own accounting entry
+				perNode := float64(rep.Flips-1) / float64(rep.SSize-1)
+				flipsPerNode.Observe(perNode)
+				if perNode > maxFlips {
+					maxFlips = perNode
+				}
+			}
+		}
+		bound := math.Log(math.Max(ssize.Max(), 3))/math.Log(3) + 1
+		table.AddRow(d, trials, triggered, bcasts.Mean(), condBcasts.Mean(), flipsPerNode.Mean(), maxFlips, bound)
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"The expectation over π stays O(1) because a high-degree hub is rarely in the MIS; the flips/node columns verify the per-node re-entry bound that caps the worst case.")
+	return res, nil
+}

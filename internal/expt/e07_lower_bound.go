@@ -1,0 +1,79 @@
+package expt
+
+import (
+	"dynmis/internal/core"
+	"dynmis/internal/detgreedy"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e7.Run = runE7; register(e7) }
+
+var e7 = Experiment{
+	ID:    "E7",
+	Name:  "Deterministic lower bound on K_{k,k}",
+	Claim: "§1.1: for any deterministic algorithm there is a topology change forcing n adjustments (deleting one side of K_{k,k}); the randomized algorithm averages ≈1 on the same adversarial sequence.",
+}
+
+func runE7(cfg Config) (*Result, error) {
+	res := result(e7)
+	table := stats.NewTable("adversarial deletion sequence on K_{k,k}: worst single-change adjustments",
+		"k", "det max adj", "det total adj", "rand mean adj", "rand max adj", "rand total adj")
+
+	ks := []int{4, 8, 16, 32, 64}
+	if cfg.Quick {
+		ks = []int{4, 8, 16}
+	}
+	for _, k := range ks {
+		// Deterministic victim.
+		det := detgreedy.New()
+		if _, err := det.ApplyAll(workload.CompleteBipartite(k)); err != nil {
+			return nil, err
+		}
+		detMax, detTotal := 0, 0
+		for _, c := range workload.LowerBoundDeletions(k) {
+			rep, err := det.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			detTotal += rep.Adjustments
+			if rep.Adjustments > detMax {
+				detMax = rep.Adjustments
+			}
+		}
+
+		// Randomized algorithm on the same sequence, averaged over
+		// seeds. The sequence deletes side L, which the adversary
+		// cannot correlate with the algorithm's coins (oblivious
+		// adversary), so the per-change expectation stays ≈ 1 until
+		// the forced final flip, whose cost the adversary cannot
+		// dodge either — but it pays on average once over k changes.
+		var mean, maxAdj, totals stats.Series
+		seeds := cfg.scale(40, 8)
+		for s := 0; s < seeds; s++ {
+			eng := core.NewTemplate(cfg.Seed + uint64(1000*k+s))
+			if _, err := eng.ApplyAll(workload.CompleteBipartite(k)); err != nil {
+				return nil, err
+			}
+			total, worst := 0, 0
+			for _, c := range workload.LowerBoundDeletions(k) {
+				rep, err := eng.Apply(c)
+				if err != nil {
+					return nil, err
+				}
+				total += rep.Adjustments
+				if rep.Adjustments > worst {
+					worst = rep.Adjustments
+				}
+			}
+			mean.Observe(float64(total) / float64(k))
+			maxAdj.ObserveInt(worst)
+			totals.ObserveInt(total)
+		}
+		table.AddRow(k, detMax, detTotal, mean.Mean(), int(maxAdj.Max()), totals.Mean())
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"det max adj ≥ k shows the deterministic blow-up; the randomized mean stays ≈ 1 per change, and even the randomized max is bounded by the one unavoidable side-flip (the sequence forces total ≥ k on any algorithm, matching the paper's claim that 1 expected adjustment is optimal).")
+	return res, nil
+}

@@ -1,0 +1,44 @@
+package expt
+
+import (
+	"dynmis/internal/core"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e10.Run = runE10; register(e10) }
+
+var e10 = Experiment{
+	ID:    "E10",
+	Name:  "History independence: MIS of an adversarially built star",
+	Claim: "§5 Example 1: on a star, the maintained MIS has expected size (1/n)·1 + (1-1/n)(n-1) ≈ n-2 — within a constant factor of maximum — versus the worst-case history-dependent MIS of size 1.",
+}
+
+func runE10(cfg Config) (*Result, error) {
+	res := result(e10)
+	table := stats.NewTable("E[|MIS|] on star(n), measured over seeds",
+		"n", "seeds", "measured E[|MIS|]", "predicted", "worst case")
+
+	ns := []int{8, 32, 128, 512}
+	if cfg.Quick {
+		ns = []int{8, 32}
+	}
+	for _, n := range ns {
+		seeds := cfg.scale(300, 40)
+		var size stats.Series
+		for s := 0; s < seeds; s++ {
+			eng := core.NewTemplate(cfg.Seed + uint64(n*10000+s))
+			if _, err := eng.ApplyAll(workload.Star(n)); err != nil {
+				return nil, err
+			}
+			size.ObserveInt(len(eng.MIS()))
+		}
+		fn := float64(n)
+		predicted := (1/fn)*1 + (1-1/fn)*(fn-1)
+		table.AddRow(n, seeds, size.Mean(), predicted, 1)
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"The adversary builds the star but cannot bias the output: the center is earliest in π with probability exactly 1/n regardless of insertion order.")
+	return res, nil
+}

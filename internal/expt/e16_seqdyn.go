@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/core"
+	"dynmis/internal/order"
+	"dynmis/internal/seqdyn"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e16.Run = runE16; register(e16) }
+
+var e16 = Experiment{
+	ID:   "E16",
+	Name: "Extension: sequential dynamic MIS (update work vs. recompute)",
+	Claim: "§6: the template carries over to the sequential dynamic setting at O(Δ) expected update cost. Measured: per-update work " +
+		"(adjacency entries touched) is a small constant on bounded-average-degree graphs and does not grow with n, versus Θ(n+m) for recomputation.",
+}
+
+func runE16(cfg Config) (*Result, error) {
+	res := result(e16)
+	table := stats.NewTable("sequential dynamic MIS: work per edge-change update on G(n, 8/n)",
+		"n", "m", "updates", "mean work", "max work", "mean processed", "recompute work (n+2m)")
+
+	ns := []int{200, 800, 3200, 12800}
+	if cfg.Quick {
+		ns = []int{200, 800}
+	}
+	for _, n := range ns {
+		steps := cfg.scale(1500, 150)
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(n), 73))
+		eng := seqdyn.New(cfg.Seed + uint64(n))
+		if _, err := eng.ApplyAll(workload.GNP(rng, n, 8/float64(n))); err != nil {
+			return nil, err
+		}
+		m := eng.Graph().EdgeCount()
+		var work, processed stats.Series
+		for _, c := range workload.EdgeChurn(rng, eng.Graph(), steps) {
+			rep, err := eng.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			work.ObserveInt(rep.Work)
+			processed.ObserveInt(rep.Processed)
+		}
+		if err := eng.Check(); err != nil {
+			return nil, err
+		}
+		table.AddRow(n, m, work.N(), work.Mean(), int(work.Max()), processed.Mean(), n+2*m)
+	}
+	res.Tables = append(res.Tables, table)
+
+	// Sanity cross-check: the sequential structure and the template agree
+	// on adjustments (each seqdyn node flips at most once, to its final
+	// value).
+	check := stats.NewTable("cross-check vs. template on shared order (n=120)",
+		"changes", "adj (seqdyn)", "adj (template)", "states equal")
+	rng := rand.New(rand.NewPCG(cfg.Seed, 79))
+	sEng := seqdyn.NewWithOrder(order.New(cfg.Seed + 16))
+	tEng := core.NewTemplateWithOrder(order.New(cfg.Seed + 16))
+	build := workload.GNP(rng, 120, 0.05)
+	if _, err := sEng.ApplyAll(build); err != nil {
+		return nil, err
+	}
+	if _, err := tEng.ApplyAll(build); err != nil {
+		return nil, err
+	}
+	churn := workload.EdgeChurn(rng, sEng.Graph(), cfg.scale(400, 60))
+	sAdj, tAdj := 0, 0
+	for _, c := range churn {
+		sr, err := sEng.Apply(c)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := tEng.Apply(c)
+		if err != nil {
+			return nil, err
+		}
+		sAdj += sr.Adjustments
+		tAdj += tr.Adjustments
+	}
+	check.AddRow(len(churn), sAdj, tAdj, core.EqualStates(sEng.State(), tEng.State()))
+	res.Tables = append(res.Tables, check)
+	res.Notes = append(res.Notes,
+		"'work' counts adjacency entries touched per update; the recompute column is what re-running greedy from scratch costs. The gap grows linearly in graph size.")
+	return res, nil
+}

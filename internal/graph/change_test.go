@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	mustAdd(t, g, 1, 2, 3)
+	mustEdge(t, g, [2]NodeID{1, 2}, [2]NodeID{2, 3}, [2]NodeID{1, 3})
+	return g
+}
+
+func TestChangeKindString(t *testing.T) {
+	cases := map[ChangeKind]string{
+		EdgeInsert:         "edge-insert",
+		EdgeDeleteGraceful: "edge-delete-graceful",
+		EdgeDeleteAbrupt:   "edge-delete-abrupt",
+		NodeInsert:         "node-insert",
+		NodeDeleteGraceful: "node-delete-graceful",
+		NodeDeleteAbrupt:   "node-delete-abrupt",
+		NodeMute:           "node-mute",
+		NodeUnmute:         "node-unmute",
+		ChangeKind(99):     "ChangeKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestChangeKindPredicates(t *testing.T) {
+	if !EdgeInsert.IsEdge() || !EdgeDeleteAbrupt.IsEdge() || NodeInsert.IsEdge() {
+		t.Error("IsEdge misclassifies")
+	}
+	for _, k := range []ChangeKind{EdgeDeleteGraceful, EdgeDeleteAbrupt, NodeDeleteGraceful, NodeDeleteAbrupt, NodeMute} {
+		if !k.IsDeletion() {
+			t.Errorf("%v.IsDeletion() = false", k)
+		}
+	}
+	for _, k := range []ChangeKind{EdgeInsert, NodeInsert, NodeUnmute} {
+		if k.IsDeletion() {
+			t.Errorf("%v.IsDeletion() = true", k)
+		}
+	}
+}
+
+func TestValidateEdgeChanges(t *testing.T) {
+	g := buildTriangle(t)
+	tests := []struct {
+		name string
+		c    Change
+		want error
+	}{
+		{"insert existing", EdgeChange(EdgeInsert, 1, 2), ErrEdgeExists},
+		{"insert self loop", EdgeChange(EdgeInsert, 1, 1), ErrSelfLoop},
+		{"insert absent endpoint", EdgeChange(EdgeInsert, 1, 9), ErrNoNode},
+		{"delete absent edge", EdgeChange(EdgeDeleteGraceful, 1, 9), ErrNoEdge},
+		{"abrupt delete absent edge", EdgeChange(EdgeDeleteAbrupt, 7, 8), ErrNoEdge},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate(g)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Validate = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrInvalidChange) {
+				t.Errorf("Validate error does not wrap ErrInvalidChange: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateNodeChanges(t *testing.T) {
+	g := buildTriangle(t)
+	tests := []struct {
+		name string
+		c    Change
+		want error
+	}{
+		{"insert existing node", NodeChange(NodeInsert, 2), ErrNodeExists},
+		{"unmute existing node", NodeChange(NodeUnmute, 2), ErrNodeExists},
+		{"insert with self edge", NodeChange(NodeInsert, 9, 9), ErrSelfLoop},
+		{"insert with absent neighbor", NodeChange(NodeInsert, 9, 42), ErrNoNode},
+		{"delete absent node", NodeChange(NodeDeleteAbrupt, 42), ErrNoNode},
+		{"mute absent node", NodeChange(NodeMute, 42), ErrNoNode},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.c.Validate(g); !errors.Is(err, tc.want) {
+				t.Errorf("Validate = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	dup := NodeChange(NodeInsert, 9, 1, 1)
+	if err := dup.Validate(g); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate neighbor: err = %v, want duplicate error", err)
+	}
+}
+
+func TestApplyEdgeChanges(t *testing.T) {
+	g := buildTriangle(t)
+	if err := EdgeChange(EdgeDeleteGraceful, 1, 2).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("edge {1,2} remains after graceful delete")
+	}
+	if err := EdgeChange(EdgeInsert, 1, 2).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("edge {1,2} missing after insert")
+	}
+	if err := EdgeChange(EdgeDeleteAbrupt, 1, 2).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("edge {1,2} remains after abrupt delete")
+	}
+}
+
+func TestApplyNodeChanges(t *testing.T) {
+	g := buildTriangle(t)
+	if err := NodeChange(NodeInsert, 9, 1, 2).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasNode(9) || !g.HasEdge(9, 1) || !g.HasEdge(9, 2) || g.HasEdge(9, 3) {
+		t.Error("node-insert applied incorrectly")
+	}
+	if err := NodeChange(NodeDeleteAbrupt, 9).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode(9) {
+		t.Error("node 9 remains after abrupt delete")
+	}
+	if err := NodeChange(NodeMute, 3).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode(3) {
+		t.Error("muted node still visible in topology")
+	}
+	if err := NodeChange(NodeUnmute, 3, 1, 2).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasNode(3) || !g.HasEdge(3, 1) {
+		t.Error("unmute did not restore node")
+	}
+}
+
+func TestApplyInvalidLeavesGraphUnchanged(t *testing.T) {
+	g := buildTriangle(t)
+	before := g.Clone()
+	bad := []Change{
+		EdgeChange(EdgeInsert, 1, 2),
+		EdgeChange(EdgeDeleteAbrupt, 1, 42),
+		NodeChange(NodeInsert, 2),
+		NodeChange(NodeDeleteGraceful, 42),
+		NodeChange(NodeInsert, 10, 42),
+		{Kind: ChangeKind(77)},
+	}
+	for _, c := range bad {
+		if err := c.Apply(g); err == nil {
+			t.Errorf("Apply(%v) succeeded, want error", c)
+		}
+		if !g.Equal(before) {
+			t.Fatalf("graph mutated by invalid change %v", c)
+		}
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	tests := []struct {
+		c    Change
+		want string
+	}{
+		{EdgeChange(EdgeInsert, 3, 7), "edge-insert{3,7}"},
+		{NodeChange(NodeDeleteAbrupt, 9), "node-delete-abrupt(9)"},
+		{NodeChange(NodeInsert, 9, 1, 2), "node-insert(9; [1 2])"},
+	}
+	for _, tc := range tests {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

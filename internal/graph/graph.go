@@ -1,0 +1,223 @@
+// Package graph provides the dynamic undirected graph that underlies the
+// dynamic distributed model of Censor-Hillel, Haramaty and Karnin (PODC
+// 2016): an evolving node/edge set subject to typed topology changes
+// (insertions and deletions of edges and nodes, graceful or abrupt, plus
+// muting/unmuting of nodes).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are chosen by the caller and are stable for
+// the lifetime of the node.
+type NodeID int64
+
+// None is the zero-like sentinel for "no node".
+const None NodeID = -1
+
+// Errors returned by graph mutations. They are sentinel values so callers
+// can match them with errors.Is.
+var (
+	ErrNodeExists = errors.New("graph: node already exists")
+	ErrNoNode     = errors.New("graph: node does not exist")
+	ErrEdgeExists = errors.New("graph: edge already exists")
+	ErrNoEdge     = errors.New("graph: edge does not exist")
+	ErrSelfLoop   = errors.New("graph: self loops are not allowed")
+)
+
+// Graph is a mutable undirected simple graph. The zero value is not ready to
+// use; call New.
+type Graph struct {
+	adj   map[NodeID]map[NodeID]struct{}
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]struct{})}
+}
+
+// HasNode reports whether v is present.
+func (g *Graph) HasNode(v NodeID) bool {
+	_, ok := g.adj[v]
+	return ok
+}
+
+// HasEdge reports whether the undirected edge {u,v} is present.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	nb, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	_, ok = nb[v]
+	return ok
+}
+
+// AddNode inserts an isolated node.
+func (g *Graph) AddNode(v NodeID) error {
+	if g.HasNode(v) {
+		return fmt.Errorf("add node %d: %w", v, ErrNodeExists)
+	}
+	g.adj[v] = make(map[NodeID]struct{})
+	return nil
+}
+
+// RemoveNode deletes v and all incident edges.
+func (g *Graph) RemoveNode(v NodeID) error {
+	nb, ok := g.adj[v]
+	if !ok {
+		return fmt.Errorf("remove node %d: %w", v, ErrNoNode)
+	}
+	for u := range nb {
+		delete(g.adj[u], v)
+		g.edges--
+	}
+	delete(g.adj, v)
+	return nil
+}
+
+// AddEdge inserts the undirected edge {u,v}. Both endpoints must exist.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrSelfLoop)
+	}
+	if !g.HasNode(u) {
+		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, u, ErrNoNode)
+	}
+	if !g.HasNode(v) {
+		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, v, ErrNoNode)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrEdgeExists)
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {u,v}.
+func (g *Graph) RemoveEdge(u, v NodeID) error {
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("remove edge {%d,%d}: %w", u, v, ErrNoEdge)
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+	return nil
+}
+
+// Neighbors returns the neighbors of v in ascending ID order. The returned
+// slice is a copy owned by the caller. Neighbors of an absent node are nil.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	nb, ok := g.adj[v]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, len(nb))
+	for u := range nb {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EachNeighbor calls fn for every neighbor of v in unspecified order. It
+// avoids the sort and allocation of Neighbors for hot paths.
+func (g *Graph) EachNeighbor(v NodeID, fn func(u NodeID)) {
+	for u := range g.adj[v] {
+		fn(u)
+	}
+}
+
+// Degree returns the degree of v, or 0 if absent.
+func (g *Graph) Degree(v NodeID) int {
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 for the empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.adj) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int { return g.edges }
+
+// Nodes returns all node IDs in ascending order. The slice is a copy.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted lexicographically.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.edges)
+	for u, nb := range g.adj {
+		for v := range nb {
+			if u < v {
+				out = append(out, [2]NodeID{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make(map[NodeID]map[NodeID]struct{}, len(g.adj)), edges: g.edges}
+	for v, nb := range g.adj {
+		cnb := make(map[NodeID]struct{}, len(nb))
+		for u := range nb {
+			cnb[u] = struct{}{}
+		}
+		c.adj[v] = cnb
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if len(g.adj) != len(h.adj) || g.edges != h.edges {
+		return false
+	}
+	for v, nb := range g.adj {
+		hnb, ok := h.adj[v]
+		if !ok || len(nb) != len(hnb) {
+			return false
+		}
+		for u := range nb {
+			if _, ok := hnb[u]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "Graph(n=3, m=2)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", len(g.adj), g.edges)
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, g *Graph, ids ...NodeID) {
+	t.Helper()
+	for _, id := range ids {
+		if err := g.AddNode(id); err != nil {
+			t.Fatalf("AddNode(%d): %v", id, err)
+		}
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, pairs ...[2]NodeID) {
+	t.Helper()
+	for _, p := range pairs {
+		if err := g.AddEdge(p[0], p[1]); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", p[0], p[1], err)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New()
+	if g.NodeCount() != 0 || g.EdgeCount() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NodeCount(), g.EdgeCount())
+	}
+	if g.HasNode(1) {
+		t.Error("HasNode(1) on empty graph")
+	}
+	if g.Neighbors(1) != nil {
+		t.Error("Neighbors of absent node should be nil")
+	}
+	if g.Degree(1) != 0 {
+		t.Error("Degree of absent node should be 0")
+	}
+	if g.MaxDegree() != 0 {
+		t.Error("MaxDegree of empty graph should be 0")
+	}
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2, 3)
+	if got := g.NodeCount(); got != 3 {
+		t.Fatalf("NodeCount = %d, want 3", got)
+	}
+	if err := g.AddNode(2); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate AddNode: err = %v, want ErrNodeExists", err)
+	}
+	if err := g.RemoveNode(9); !errors.Is(err, ErrNoNode) {
+		t.Errorf("RemoveNode(9): err = %v, want ErrNoNode", err)
+	}
+	if err := g.RemoveNode(2); err != nil {
+		t.Fatalf("RemoveNode(2): %v", err)
+	}
+	if g.HasNode(2) {
+		t.Error("node 2 still present after removal")
+	}
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2, 3)
+	mustEdge(t, g, [2]NodeID{1, 2})
+
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge {1,2} should be present in both directions")
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if err := g.AddEdge(1, 2); !errors.Is(err, ErrEdgeExists) {
+		t.Errorf("duplicate AddEdge: err = %v, want ErrEdgeExists", err)
+	}
+	if err := g.AddEdge(2, 1); !errors.Is(err, ErrEdgeExists) {
+		t.Errorf("reversed duplicate AddEdge: err = %v, want ErrEdgeExists", err)
+	}
+	if err := g.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: err = %v, want ErrSelfLoop", err)
+	}
+	if err := g.AddEdge(1, 9); !errors.Is(err, ErrNoNode) {
+		t.Errorf("edge to absent node: err = %v, want ErrNoNode", err)
+	}
+	if err := g.RemoveEdge(1, 3); !errors.Is(err, ErrNoEdge) {
+		t.Errorf("RemoveEdge absent: err = %v, want ErrNoEdge", err)
+	}
+	if err := g.RemoveEdge(2, 1); err != nil {
+		t.Fatalf("RemoveEdge(2,1): %v", err)
+	}
+	if g.HasEdge(1, 2) || g.EdgeCount() != 0 {
+		t.Error("edge {1,2} still present after removal")
+	}
+}
+
+func TestRemoveNodeRemovesIncidentEdges(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2, 3, 4)
+	mustEdge(t, g, [2]NodeID{1, 2}, [2]NodeID{1, 3}, [2]NodeID{2, 3}, [2]NodeID{3, 4})
+	if err := g.RemoveNode(3); err != nil {
+		t.Fatalf("RemoveNode(3): %v", err)
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount after removing hub = %d, want 1", g.EdgeCount())
+	}
+	if g.HasEdge(1, 3) || g.HasEdge(2, 3) || g.HasEdge(3, 4) {
+		t.Error("edges incident to removed node remain")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("unrelated edge {1,2} was removed")
+	}
+	if g.Degree(4) != 0 {
+		t.Errorf("Degree(4) = %d, want 0", g.Degree(4))
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 5, 1, 9, 3)
+	mustEdge(t, g, [2]NodeID{5, 9}, [2]NodeID{5, 1}, [2]NodeID{5, 3})
+	nb := g.Neighbors(5)
+	want := []NodeID{1, 3, 9}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(5) = %v, want %v", nb, want)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(5) = %v, want %v", nb, want)
+		}
+	}
+	nb[0] = 777 // mutating the copy must not affect the graph
+	if !g.HasEdge(5, 1) {
+		t.Error("mutating Neighbors result affected the graph")
+	}
+}
+
+func TestNodesAndEdgesSorted(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 4, 2, 7, 1)
+	mustEdge(t, g, [2]NodeID{7, 2}, [2]NodeID{4, 1}, [2]NodeID{4, 2})
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("Nodes not sorted: %v", nodes)
+		}
+	}
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("Edges = %v, want 3 entries", edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not normalized", e)
+		}
+	}
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("Edges not sorted: %v", edges)
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2, 3)
+	mustEdge(t, g, [2]NodeID{1, 2}, [2]NodeID{2, 3})
+	c := g.Clone()
+	if !g.Equal(c) || !c.Equal(g) {
+		t.Fatal("clone not equal to original")
+	}
+	if err := c.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Equal(c) {
+		t.Error("graphs equal after diverging")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("mutating clone affected original")
+	}
+	h := New()
+	mustAdd(t, h, 1, 2, 3)
+	mustEdge(t, h, [2]NodeID{1, 2}, [2]NodeID{1, 3})
+	if g.Equal(h) {
+		t.Error("graphs with same counts but different edges compare equal")
+	}
+}
+
+func TestEachNeighborVisitsAll(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2, 3, 4)
+	mustEdge(t, g, [2]NodeID{1, 2}, [2]NodeID{1, 3}, [2]NodeID{1, 4})
+	seen := map[NodeID]bool{}
+	g.EachNeighbor(1, func(u NodeID) { seen[u] = true })
+	if len(seen) != 3 || !seen[2] || !seen[3] || !seen[4] {
+		t.Errorf("EachNeighbor visited %v", seen)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2, 3, 4)
+	mustEdge(t, g, [2]NodeID{1, 2}, [2]NodeID{1, 3}, [2]NodeID{1, 4})
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+}
+
+// TestRandomMutationConsistency drives a random mutation sequence and
+// checks structural bookkeeping invariants throughout.
+func TestRandomMutationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := New()
+	present := map[NodeID]bool{}
+	next := NodeID(0)
+
+	for step := 0; step < 5000; step++ {
+		switch rng.IntN(4) {
+		case 0: // add node
+			if err := g.AddNode(next); err != nil {
+				t.Fatalf("step %d: AddNode: %v", step, err)
+			}
+			present[next] = true
+			next++
+		case 1: // remove random node
+			if len(present) == 0 {
+				continue
+			}
+			v := pick(rng, present)
+			if err := g.RemoveNode(v); err != nil {
+				t.Fatalf("step %d: RemoveNode: %v", step, err)
+			}
+			delete(present, v)
+		case 2: // add random edge
+			if len(present) < 2 {
+				continue
+			}
+			u, v := pick(rng, present), pick(rng, present)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatalf("step %d: AddEdge: %v", step, err)
+			}
+		case 3: // remove random edge
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.IntN(len(es))]
+			if err := g.RemoveEdge(e[0], e[1]); err != nil {
+				t.Fatalf("step %d: RemoveEdge: %v", step, err)
+			}
+		}
+		// Bookkeeping invariants.
+		if g.NodeCount() != len(present) {
+			t.Fatalf("step %d: NodeCount=%d, want %d", step, g.NodeCount(), len(present))
+		}
+		sum := 0
+		for v := range present {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.EdgeCount() {
+			t.Fatalf("step %d: handshake failed: sum deg=%d, 2m=%d", step, sum, 2*g.EdgeCount())
+		}
+	}
+}
+
+func pick(rng *rand.Rand, set map[NodeID]bool) NodeID {
+	i := rng.IntN(len(set))
+	for v := range set {
+		if i == 0 {
+			return v
+		}
+		i--
+	}
+	panic("unreachable")
+}
+
+// TestEdgeSymmetryProperty checks via testing/quick that after inserting an
+// arbitrary edge set over a fixed node universe, adjacency is symmetric.
+func TestEdgeSymmetryProperty(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := New()
+		for i := NodeID(0); i < 32; i++ {
+			if err := g.AddNode(i); err != nil {
+				return false
+			}
+		}
+		for _, p := range pairs {
+			u, v := NodeID(p[0]%32), NodeID(p[1]%32)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e[1], e[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

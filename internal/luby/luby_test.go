@@ -1,0 +1,86 @@
+package luby
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestRunProducesValidMIS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 15; trial++ {
+		g := workload.BuildGraph(workload.GNP(rng, 80, 0.08))
+		res := Run(g, rng)
+		if err := core.CheckMIS(g, res.State); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.State) != g.NodeCount() {
+			t.Fatalf("trial %d: %d states for %d nodes", trial, len(res.State), g.NodeCount())
+		}
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	res := Run(graph.New(), rand.New(rand.NewPCG(1, 1)))
+	if res.Rounds != 0 || res.Broadcasts != 0 || len(res.State) != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+}
+
+func TestRunLogarithmicRounds(t *testing.T) {
+	// Luby finishes in O(log n) phases w.h.p.; sanity-check the growth
+	// on G(n, 10/n) graphs.
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{100, 400, 1600} {
+		g := workload.BuildGraph(workload.GNP(rng, n, 10/float64(n)))
+		res := Run(g, rng)
+		bound := int(8*math.Log2(float64(n))) + 8
+		if res.Rounds > bound {
+			t.Errorf("n=%d: rounds = %d, want ≤ %d", n, res.Rounds, bound)
+		}
+		// Every node broadcasts at least once (its first phase value).
+		if res.Broadcasts < n {
+			t.Errorf("n=%d: broadcasts = %d, want ≥ n", n, res.Broadcasts)
+		}
+	}
+}
+
+func TestMaintainerRecomputes(t *testing.T) {
+	m := NewMaintainer(7)
+	rng := rand.New(rand.NewPCG(5, 6))
+	cs := workload.GNP(rng, 40, 0.1)
+	if _, err := m.ApplyAll(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Every change triggers a full static re-run: Θ(n) broadcasts each.
+	rep, err := m.Apply(graph.EdgeChange(graph.EdgeDeleteGraceful, m.Graph().Edges()[0][0], m.Graph().Edges()[0][1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Broadcasts < m.Graph().NodeCount() {
+		t.Errorf("broadcasts = %d, want ≥ n = %d (full recompute)", rep.Broadcasts, m.Graph().NodeCount())
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InMIS(graph.None) {
+		t.Error("InMIS(None) = true")
+	}
+	if len(m.MIS()) == 0 {
+		t.Error("empty MIS on non-empty graph")
+	}
+}
+
+func TestMaintainerInvalidChange(t *testing.T) {
+	m := NewMaintainer(1)
+	if _, err := m.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 2)); err == nil {
+		t.Fatal("expected error for edge between absent nodes")
+	}
+}

@@ -1,0 +1,224 @@
+// Package matching maintains a maximal matching under topology changes by
+// simulating the dynamic MIS on the line graph L(G), the standard
+// reduction the paper invokes for its composability claim (§5): because
+// the MIS algorithm is history independent, so is the derived matching.
+//
+// Topology changes in G translate to changes in L(G): a new G-edge is a
+// new L-node adjacent to all L-nodes sharing an endpoint; a deleted G-edge
+// is a deleted L-node; node insertions/deletions expand to their incident
+// edge set (the paper notes this translation is "only technical").
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// Edge is an undirected G-edge in canonical (U < V) form.
+type Edge struct {
+	U, V graph.NodeID
+}
+
+// NewEdge canonicalizes an edge.
+func NewEdge(u, v graph.NodeID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Maintainer keeps a maximal matching of a dynamic graph.
+type Maintainer struct {
+	g   *graph.Graph   // the primal graph G
+	tpl *core.Template // dynamic MIS over L(G)
+
+	ids    map[Edge]graph.NodeID // G-edge -> L-node
+	edges  map[graph.NodeID]Edge // L-node -> G-edge
+	nextID graph.NodeID
+}
+
+// New returns a maintainer over an empty graph.
+func New(seed uint64) *Maintainer {
+	return &Maintainer{
+		g:     graph.New(),
+		tpl:   core.NewTemplate(seed),
+		ids:   make(map[Edge]graph.NodeID),
+		edges: make(map[graph.NodeID]Edge),
+	}
+}
+
+// Graph exposes the primal topology (read-only for callers).
+func (m *Maintainer) Graph() *graph.Graph { return m.g }
+
+// lineNeighbors returns the L-node IDs of all current G-edges sharing an
+// endpoint with e (excluding e itself).
+func (m *Maintainer) lineNeighbors(e Edge) []graph.NodeID {
+	var out []graph.NodeID
+	add := func(end graph.NodeID) {
+		m.g.EachNeighbor(end, func(u graph.NodeID) {
+			other := NewEdge(end, u)
+			if other == e {
+				return
+			}
+			if id, ok := m.ids[other]; ok {
+				out = append(out, id)
+			}
+		})
+	}
+	add(e.U)
+	add(e.V)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// An edge can share both endpoints only with itself, so no
+	// duplicates arise, but triangles contribute each neighbor once per
+	// shared endpoint; dedupe defensively.
+	dedup := out[:0]
+	var prev graph.NodeID = graph.None
+	for _, id := range out {
+		if id != prev {
+			dedup = append(dedup, id)
+		}
+		prev = id
+	}
+	return dedup
+}
+
+// insertEdge adds a G-edge and its L-node.
+func (m *Maintainer) insertEdge(u, v graph.NodeID) (core.Report, error) {
+	e := NewEdge(u, v)
+	nbrs := m.lineNeighbors(e)
+	if err := m.g.AddEdge(u, v); err != nil {
+		return core.Report{}, err
+	}
+	id := m.nextID
+	m.nextID++
+	m.ids[e] = id
+	m.edges[id] = e
+	return m.tpl.Apply(graph.NodeChange(graph.NodeInsert, id, nbrs...))
+}
+
+// deleteEdge removes a G-edge and its L-node.
+func (m *Maintainer) deleteEdge(u, v graph.NodeID, abrupt bool) (core.Report, error) {
+	e := NewEdge(u, v)
+	id, ok := m.ids[e]
+	if !ok {
+		return core.Report{}, fmt.Errorf("matching: %w: {%d,%d}", graph.ErrNoEdge, u, v)
+	}
+	if err := m.g.RemoveEdge(u, v); err != nil {
+		return core.Report{}, err
+	}
+	delete(m.ids, e)
+	delete(m.edges, id)
+	kind := graph.NodeDeleteGraceful
+	if abrupt {
+		kind = graph.NodeDeleteAbrupt
+	}
+	return m.tpl.Apply(graph.NodeChange(kind, id))
+}
+
+// Apply performs one primal topology change, expanding it into the
+// corresponding line-graph changes.
+func (m *Maintainer) Apply(c graph.Change) (core.Report, error) {
+	if err := c.Validate(m.g); err != nil {
+		return core.Report{}, err
+	}
+	var total core.Report
+	switch c.Kind {
+	case graph.EdgeInsert:
+		return m.insertEdge(c.U, c.V)
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		return m.deleteEdge(c.U, c.V, c.Kind == graph.EdgeDeleteAbrupt)
+	case graph.NodeInsert, graph.NodeUnmute:
+		if err := m.g.AddNode(c.Node); err != nil {
+			return core.Report{}, err
+		}
+		for _, u := range c.Edges {
+			rep, err := m.insertEdge(c.Node, u)
+			if err != nil {
+				return total, err
+			}
+			total.Add(rep)
+		}
+		return total, nil
+	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
+		abrupt := c.Kind == graph.NodeDeleteAbrupt
+		for _, u := range m.g.Neighbors(c.Node) {
+			rep, err := m.deleteEdge(c.Node, u, abrupt)
+			if err != nil {
+				return total, err
+			}
+			total.Add(rep)
+		}
+		if err := m.g.RemoveNode(c.Node); err != nil {
+			return total, err
+		}
+		return total, nil
+	}
+	return core.Report{}, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports.
+func (m *Maintainer) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for i, c := range cs {
+		rep, err := m.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
+// Matching returns the current maximal matching as canonical edges, sorted.
+func (m *Maintainer) Matching() []Edge {
+	var out []Edge
+	for _, id := range m.tpl.MIS() {
+		out = append(out, m.edges[id])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Matched reports whether node v is covered by the current matching.
+func (m *Maintainer) Matched(v graph.NodeID) bool {
+	for _, e := range m.Matching() {
+		if e.U == v || e.V == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Check verifies that the maintained edge set is a maximal matching: no
+// two matched edges share an endpoint, and every unmatched edge touches a
+// matched one. It also checks the line-graph MIS invariant.
+func (m *Maintainer) Check() error {
+	if err := m.tpl.Check(); err != nil {
+		return err
+	}
+	matched := make(map[graph.NodeID]Edge)
+	for _, e := range m.Matching() {
+		for _, end := range []graph.NodeID{e.U, e.V} {
+			if prev, ok := matched[end]; ok {
+				return fmt.Errorf("matching: edges %v and %v share endpoint %d", prev, e, end)
+			}
+			matched[end] = e
+		}
+	}
+	for _, ge := range m.g.Edges() {
+		_, uOK := matched[ge[0]]
+		_, vOK := matched[ge[1]]
+		if !uOK && !vOK {
+			return fmt.Errorf("matching: edge {%d,%d} uncovered (not maximal)", ge[0], ge[1])
+		}
+	}
+	return nil
+}

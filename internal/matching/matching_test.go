@@ -1,0 +1,179 @@
+package matching
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	if NewEdge(5, 2) != (Edge{U: 2, V: 5}) {
+		t.Error("NewEdge did not canonicalize")
+	}
+	if NewEdge(2, 5) != NewEdge(5, 2) {
+		t.Error("NewEdge not symmetric")
+	}
+}
+
+func TestMatchingOnTriangle(t *testing.T) {
+	m := New(1)
+	if _, err := m.ApplyAll(workload.Cycle(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// A triangle's maximal matching has exactly one edge.
+	if got := len(m.Matching()); got != 1 {
+		t.Errorf("matching size = %d, want 1", got)
+	}
+}
+
+func TestMatchingDynamicChurn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m := New(7)
+	if _, err := m.ApplyAll(workload.GNP(rng, 30, 0.12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range workload.RandomChurn(rng, m.Graph(), workload.DefaultChurn(200)) {
+		if _, err := m.Apply(c); err != nil {
+			t.Fatalf("change %d (%s): %v", i, c, err)
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("after change %d (%s): %v", i, c, err)
+		}
+	}
+}
+
+func TestMatchedReflectsMatching(t *testing.T) {
+	m := New(2)
+	if _, err := m.ApplyAll(workload.Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for v := graph.NodeID(0); v < 4; v++ {
+		if m.Matched(v) {
+			covered++
+		}
+	}
+	if covered != 2*len(m.Matching()) {
+		t.Errorf("covered %d nodes for %d matched edges", covered, len(m.Matching()))
+	}
+}
+
+func TestNodeDeleteRemovesIncidentEdges(t *testing.T) {
+	m := New(5)
+	if _, err := m.ApplyAll(workload.Star(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Star matching has exactly 1 edge (all share the center).
+	if got := len(m.Matching()); got != 1 {
+		t.Fatalf("star matching = %d, want 1", got)
+	}
+	if _, err := m.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Matching()) != 0 {
+		t.Errorf("matching after center deletion = %v, want empty", m.Matching())
+	}
+	if m.Graph().EdgeCount() != 0 {
+		t.Error("edges remain after hub deletion")
+	}
+}
+
+func TestThreePathsExpectation(t *testing.T) {
+	// §5 Example 2: on a 3-edge path, random greedy matches 2 edges with
+	// probability 2/3 and 1 edge with probability 1/3: E = 5/3 per path.
+	var total float64
+	const runs = 600
+	for r := 0; r < runs; r++ {
+		m := New(uint64(r))
+		if _, err := m.ApplyAll(workload.ThreePaths(1)); err != nil {
+			t.Fatal(err)
+		}
+		total += float64(len(m.Matching()))
+	}
+	mean := total / runs
+	if mean < 1.55 || mean > 1.78 {
+		t.Errorf("mean matching size = %.3f, want ≈ 5/3 ≈ 1.667", mean)
+	}
+}
+
+func TestMatchingInvalidChanges(t *testing.T) {
+	m := New(1)
+	if _, err := m.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 2)); err == nil {
+		t.Error("edge between absent nodes accepted")
+	}
+	if _, err := m.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 7)); err == nil {
+		t.Error("deleting absent node accepted")
+	}
+}
+
+// TestLineGraphStructureProperty: the internal line graph always has one
+// node per primal edge, and the L-degree of an edge {u,v} equals
+// deg(u) + deg(v) - 2.
+func TestLineGraphStructureProperty(t *testing.T) {
+	f := func(pairs [][2]uint8, seed uint64) bool {
+		m := New(seed)
+		for v := graph.NodeID(0); v < 16; v++ {
+			if _, err := m.Apply(graph.NodeChange(graph.NodeInsert, v)); err != nil {
+				return false
+			}
+		}
+		for _, p := range pairs {
+			u, v := graph.NodeID(p[0]%16), graph.NodeID(p[1]%16)
+			if u == v || m.Graph().HasEdge(u, v) {
+				continue
+			}
+			if _, err := m.Apply(graph.EdgeChange(graph.EdgeInsert, u, v)); err != nil {
+				return false
+			}
+		}
+		g := m.Graph()
+		L := m.tpl.Graph()
+		if L.NodeCount() != g.EdgeCount() {
+			return false
+		}
+		for _, ge := range g.Edges() {
+			id, ok := m.ids[NewEdge(ge[0], ge[1])]
+			if !ok {
+				return false
+			}
+			want := g.Degree(ge[0]) + g.Degree(ge[1]) - 2
+			if L.Degree(id) != want {
+				return false
+			}
+		}
+		return m.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchingMuteExpandsToEdgeDeletes: muting a node removes its edges
+// from the matching's view.
+func TestMatchingMuteExpandsToEdgeDeletes(t *testing.T) {
+	m := New(9)
+	if _, err := m.ApplyAll(workload.Cycle(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(graph.NodeChange(graph.NodeMute, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Graph().HasNode(2) {
+		t.Error("muted node still in primal graph")
+	}
+}

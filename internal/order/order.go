@@ -1,0 +1,90 @@
+// Package order implements the uniformly random node order π of the paper
+// (§3): every node v draws an independent uniform priority ℓ_v on
+// insertion, and π orders nodes by increasing priority. Ties — which occur
+// with negligible probability for 64-bit priorities — are broken by node ID
+// so that the order is always total and deterministic given the seed.
+package order
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// Priority is the random label ℓ_v of a node; smaller means earlier in π,
+// i.e. stronger (a node joins the MIS iff no earlier neighbor is in it).
+type Priority uint64
+
+// Order assigns and remembers priorities. The zero value is not usable;
+// call New.
+type Order struct {
+	rng  *rand.Rand
+	prio map[graph.NodeID]Priority
+}
+
+// New returns an Order drawing priorities from a PCG stream seeded with
+// seed. Two Orders with the same seed and the same Ensure call sequence
+// assign identical priorities.
+func New(seed uint64) *Order {
+	return &Order{
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		prio: make(map[graph.NodeID]Priority),
+	}
+}
+
+// Ensure returns v's priority, drawing a fresh one if v has none yet.
+func (o *Order) Ensure(v graph.NodeID) Priority {
+	if p, ok := o.prio[v]; ok {
+		return p
+	}
+	p := Priority(o.rng.Uint64())
+	o.prio[v] = p
+	return p
+}
+
+// Set forces v's priority. It is intended for tests and for adversarial
+// constructions that need a specific order.
+func (o *Order) Set(v graph.NodeID, p Priority) { o.prio[v] = p }
+
+// Priority returns v's priority if assigned.
+func (o *Order) Priority(v graph.NodeID) (Priority, bool) {
+	p, ok := o.prio[v]
+	return p, ok
+}
+
+// Drop forgets v's priority (used when a node is deleted for good; a muted
+// node keeps its priority).
+func (o *Order) Drop(v graph.NodeID) { delete(o.prio, v) }
+
+// Less reports whether π(u) < π(v). Both nodes must have priorities; absent
+// nodes compare by ID only, which keeps Less total for defensive callers.
+func (o *Order) Less(u, v graph.NodeID) bool {
+	pu, pv := o.prio[u], o.prio[v]
+	if pu != pv {
+		return pu < pv
+	}
+	return u < v
+}
+
+// Len returns the number of assigned priorities.
+func (o *Order) Len() int { return len(o.prio) }
+
+// Snapshot returns a copy of the priority table (for oracles and engines
+// that must evaluate the same π on a different graph).
+func (o *Order) Snapshot() map[graph.NodeID]Priority {
+	out := make(map[graph.NodeID]Priority, len(o.prio))
+	for v, p := range o.prio {
+		out[v] = p
+	}
+	return out
+}
+
+// Less compares (p, u) against (q, v) with ID tie-break; it is the pure
+// function underlying Order.Less so that snapshots can be compared without
+// an Order instance.
+func Less(p Priority, u graph.NodeID, q Priority, v graph.NodeID) bool {
+	if p != q {
+		return p < q
+	}
+	return u < v
+}

@@ -1,0 +1,57 @@
+package protocol
+
+import (
+	"fmt"
+
+	"dynmis/internal/graph"
+)
+
+// Head returns v's correlation-clustering pivot computed purely from v's
+// local knowledge, the way the paper describes the distributed clustering
+// (§1.1): an MIS node is its own head; any other node picks its earliest
+// (minimum-π) MIS neighbor. It requires a stable configuration and only
+// reads state the node already has — no extra communication.
+func (e *Engine) Head(v graph.NodeID) (graph.NodeID, error) {
+	p, ok := e.procs[v]
+	if !ok || p.muted {
+		return graph.None, fmt.Errorf("protocol: node %d is not visible", v)
+	}
+	switch p.st {
+	case StateIn:
+		return v, nil
+	case StateOut:
+		head := graph.None
+		var headPrio uint64
+		for u, info := range p.nbr {
+			if info.st != StateIn {
+				continue
+			}
+			if head == graph.None || uint64(info.prio) < headPrio ||
+				(uint64(info.prio) == headPrio && u < head) {
+				head = u
+				headPrio = uint64(info.prio)
+			}
+		}
+		if head == graph.None {
+			return graph.None, fmt.Errorf("protocol: node %d sees no MIS neighbor (unstable or corrupt)", v)
+		}
+		return head, nil
+	default:
+		return graph.None, fmt.Errorf("protocol: node %d is mid-recovery (%v)", v, p.st)
+	}
+}
+
+// Clusters assembles the full pivot clustering from the node-local views.
+// In a stable configuration it equals the model-level clustering derived
+// from the greedy MIS (tested against core.GreedyClusters).
+func (e *Engine) Clusters() (map[graph.NodeID]graph.NodeID, error) {
+	out := make(map[graph.NodeID]graph.NodeID, e.visible.NodeCount())
+	for _, v := range e.visible.Nodes() {
+		h, err := e.Head(v)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = h
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package protocol
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+// TestLocalClustersMatchModel: the clustering assembled from node-local
+// knowledge must equal the model-level pivot clustering after every
+// change — the paper's "directly translates to our model" claim.
+func TestLocalClustersMatchModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 33))
+	e := New(500)
+	if _, err := e.ApplyAll(workload.GNP(rng, 50, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range workload.RandomChurn(rng, e.Graph(), workload.DefaultChurn(150)) {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("change %d: %v", i, err)
+		}
+		got, err := e.Clusters()
+		if err != nil {
+			t.Fatalf("change %d: Clusters: %v", i, err)
+		}
+		want := core.GreedyClusters(e.Graph(), e.Order(), e.State())
+		if len(got) != len(want) {
+			t.Fatalf("change %d: %d assignments, want %d", i, len(got), len(want))
+		}
+		for v, h := range want {
+			if got[v] != h {
+				t.Fatalf("change %d: node %d head %d, want %d", i, v, got[v], h)
+			}
+		}
+	}
+}
+
+func TestHeadErrors(t *testing.T) {
+	e := New(1)
+	if _, err := e.Head(42); err == nil {
+		t.Error("Head of absent node succeeded")
+	}
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeMute, 2))
+	if _, err := e.Head(2); err == nil {
+		t.Error("Head of muted node succeeded")
+	}
+	h, err := e.Head(1)
+	if err != nil || h != 1 {
+		t.Errorf("Head(1) = %d, %v; want 1 (it is in the MIS)", h, err)
+	}
+}

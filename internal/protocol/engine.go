@@ -1,0 +1,332 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/simnet"
+)
+
+// ErrUnmuteUnknownNeighbor is returned when a node is unmuted with an edge
+// to a neighbor it was not listening to while muted; such attachments must
+// use NodeInsert semantics instead (the muted node has no knowledge to
+// reuse, so the O(1)-broadcast unmute guarantee cannot hold).
+var ErrUnmuteUnknownNeighbor = errors.New("protocol: unmute attaches unknown neighbor")
+
+// Engine runs Algorithm 2 over a synchronous broadcast network. It owns
+// the network, the visible topology (the MIS-relevant graph, which
+// excludes muted listeners), and the random order.
+type Engine struct {
+	net     *simnet.Network
+	ord     *order.Order
+	visible *graph.Graph
+	procs   map[graph.NodeID]*node
+
+	// MaxRounds bounds each recovery; 0 selects an automatic bound of
+	// O(n) rounds, far above the paper's 3|S|+2 worst case.
+	MaxRounds int
+}
+
+// New returns an engine over an empty graph with a fresh order.
+func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
+
+// NewWithOrder returns an engine sharing a caller-supplied order, so that
+// differential tests can run several engines under the same π.
+func NewWithOrder(ord *order.Order) *Engine {
+	return &Engine{
+		net:     simnet.NewNetwork(),
+		ord:     ord,
+		visible: graph.New(),
+		procs:   make(map[graph.NodeID]*node),
+	}
+}
+
+// SetParallel enables goroutine-parallel round execution.
+func (e *Engine) SetParallel(workers int) { e.net.SetParallel(workers) }
+
+// Graph exposes the visible topology (read-only for callers).
+func (e *Engine) Graph() *graph.Graph { return e.visible }
+
+// Order exposes the node order.
+func (e *Engine) Order() *order.Order { return e.ord }
+
+// InMIS reports whether visible node v is currently in the MIS.
+func (e *Engine) InMIS(v graph.NodeID) bool {
+	p, ok := e.procs[v]
+	return ok && !p.muted && p.st == StateIn
+}
+
+// MIS returns the sorted current MIS.
+func (e *Engine) MIS() []graph.NodeID { return core.MISOf(e.State()) }
+
+// State returns the membership map over visible nodes.
+func (e *Engine) State() map[graph.NodeID]core.Membership {
+	out := make(map[graph.NodeID]core.Membership, e.visible.NodeCount())
+	for _, v := range e.visible.Nodes() {
+		if p := e.procs[v]; p != nil && p.st == StateIn {
+			out[v] = core.In
+		} else {
+			out[v] = core.Out
+		}
+	}
+	return out
+}
+
+func (e *Engine) maxRounds() int {
+	if e.MaxRounds > 0 {
+		return e.MaxRounds
+	}
+	n := e.visible.NodeCount()
+	return 10*n + 60
+}
+
+// Apply performs one topology change, runs the protocol to quiescence and
+// returns the cost report. On error the engine may be mid-recovery and
+// must not be reused (tests treat any error as fatal).
+func (e *Engine) Apply(c graph.Change) (core.Report, error) {
+	if err := e.validate(c); err != nil {
+		return core.Report{}, err
+	}
+	before := e.State()
+	e.net.Metrics.Reset()
+	for _, p := range e.procs {
+		p.cEntries = 0
+		p.resolved = 0
+	}
+
+	var rep core.Report
+	cleanup, err := e.stage(c, &rep)
+	if err != nil {
+		return core.Report{}, err
+	}
+
+	rounds, err := e.net.RunUntilQuiet(e.maxRounds())
+	if err != nil {
+		return core.Report{}, fmt.Errorf("protocol: %s: %w", c, err)
+	}
+	// Collect S statistics before cleanup removes departed procs.
+	for _, p := range e.procs {
+		if p.cEntries > 0 {
+			rep.SSize++
+			rep.Flips += p.cEntries
+		}
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	rep.Rounds = rounds
+	rep.Broadcasts = e.net.Metrics.Broadcasts
+	rep.Bits = e.net.Metrics.Bits
+	rep.Adjustments = len(core.DiffStates(before, e.State()))
+	return rep, nil
+}
+
+// validate extends Change.Validate with protocol-specific checks for
+// unmuting.
+func (e *Engine) validate(c graph.Change) error {
+	if c.Kind == graph.NodeUnmute {
+		p, ok := e.procs[c.Node]
+		if !ok || !p.muted {
+			return fmt.Errorf("%w: %s: node is not muted", graph.ErrInvalidChange, c)
+		}
+		for _, u := range c.Edges {
+			if !e.visible.HasNode(u) {
+				return fmt.Errorf("%w: %s: neighbor %d: %w", graph.ErrInvalidChange, c, u, graph.ErrNoNode)
+			}
+			if !e.net.Graph().HasEdge(c.Node, u) {
+				return fmt.Errorf("%w: %s: neighbor %d: %w", graph.ErrInvalidChange, c, u, ErrUnmuteUnknownNeighbor)
+			}
+		}
+		return nil
+	}
+	return c.Validate(e.visible)
+}
+
+// stage mutates the topology and injects the change's detection events.
+// It returns an optional cleanup to run after quiescence (for graceful
+// departures) and pre-fills report fields that must be captured before the
+// run (abruptly deleted nodes lose their procs).
+func (e *Engine) stage(c graph.Change, rep *core.Report) (func(), error) {
+	none := graph.None
+	switch c.Kind {
+	case graph.EdgeInsert:
+		if err := e.visible.AddEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		if err := e.net.AddEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		e.net.Inject(c.U, simnet.Message{From: none, Payload: evEdgeAttached{Peer: c.V}})
+		e.net.Inject(c.V, simnet.Message{From: none, Payload: evEdgeAttached{Peer: c.U}})
+		return nil, nil
+
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		// The protocol never needs to send over the departing edge, so
+		// graceful and abrupt edge deletions behave identically (§4).
+		if err := e.visible.RemoveEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		if err := e.net.RemoveEdge(c.U, c.V); err != nil {
+			return nil, err
+		}
+		e.net.Inject(c.U, simnet.Message{From: none, Payload: evEdgeDown{Peer: c.V}})
+		e.net.Inject(c.V, simnet.Message{From: none, Payload: evEdgeDown{Peer: c.U}})
+		return nil, nil
+
+	case graph.NodeInsert:
+		prio := e.ord.Ensure(c.Node)
+		p := newNode(c.Node, prio, StateOut)
+		if err := e.net.AddNode(c.Node, p); err != nil {
+			return nil, err
+		}
+		if err := e.visible.AddNode(c.Node); err != nil {
+			return nil, err
+		}
+		for _, u := range c.Edges {
+			if err := e.net.AddEdge(c.Node, u); err != nil {
+				return nil, err
+			}
+			if err := e.visible.AddEdge(c.Node, u); err != nil {
+				return nil, err
+			}
+		}
+		e.procs[c.Node] = p
+		e.net.Inject(c.Node, simnet.Message{From: none, Payload: evInserted{Expect: len(c.Edges)}})
+		return nil, nil
+
+	case graph.NodeDeleteAbrupt:
+		p := e.procs[c.Node]
+		if p.st == StateIn {
+			// The departed MIS node is the template's v* with
+			// S0 = {v*}; its proc is gone, so account for it here.
+			rep.SSize++
+			rep.Flips++
+		}
+		nbrs := e.net.Graph().Neighbors(c.Node)
+		if err := e.net.RemoveNode(c.Node); err != nil {
+			return nil, err
+		}
+		if err := e.visible.RemoveNode(c.Node); err != nil {
+			return nil, err
+		}
+		e.ord.Drop(c.Node)
+		delete(e.procs, c.Node)
+		for _, u := range nbrs {
+			e.net.Inject(u, simnet.Message{From: none, Payload: evNodeGone{Peer: c.Node}})
+		}
+		return nil, nil
+
+	case graph.NodeDeleteGraceful, graph.NodeMute:
+		mute := c.Kind == graph.NodeMute
+		e.net.Inject(c.Node, simnet.Message{From: none, Payload: evRetire{Mute: mute}})
+		node := c.Node
+		return func() {
+			// The retiree relayed until quiescence; now it leaves the
+			// visible topology. A muted node keeps its comm edges and
+			// priority so it can listen and later unmute for O(1)
+			// broadcasts.
+			_ = e.visible.RemoveNode(node)
+			if !mute {
+				_ = e.net.RemoveNode(node)
+				e.ord.Drop(node)
+				delete(e.procs, node)
+			}
+		}, nil
+
+	case graph.NodeUnmute:
+		// Detach comm edges that are not part of the new neighborhood,
+		// letting the listener forget those peers.
+		want := make(map[graph.NodeID]bool, len(c.Edges))
+		for _, u := range c.Edges {
+			want[u] = true
+		}
+		for _, u := range e.net.Graph().Neighbors(c.Node) {
+			if want[u] {
+				continue
+			}
+			if q := e.procs[u]; q != nil && q.muted {
+				// Keep latent links between listeners: a muted peer
+				// must still hear this node so that either side can
+				// later unmute with fresh knowledge.
+				continue
+			}
+			if err := e.net.RemoveEdge(c.Node, u); err != nil {
+				return nil, err
+			}
+			e.net.Inject(c.Node, simnet.Message{From: graph.None, Payload: evEdgeDown{Peer: u}})
+		}
+		if err := e.visible.AddNode(c.Node); err != nil {
+			return nil, err
+		}
+		for _, u := range c.Edges {
+			if err := e.visible.AddEdge(c.Node, u); err != nil {
+				return nil, err
+			}
+		}
+		e.net.Inject(c.Node, simnet.Message{From: graph.None, Payload: evUnmute{}})
+		return nil, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports; it stops
+// at the first error.
+func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for i, c := range cs {
+		rep, err := e.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
+// Check verifies the engine's steady-state invariants: every visible node
+// is settled, the configuration satisfies the MIS invariant, and every
+// node's knowledge of its neighbors (priority and state) is exact — for
+// muted listeners too.
+func (e *Engine) Check() error {
+	state := e.State()
+	for _, v := range e.visible.Nodes() {
+		p := e.procs[v]
+		if p == nil {
+			return fmt.Errorf("protocol: visible node %d has no proc", v)
+		}
+		if p.st != StateIn && p.st != StateOut {
+			return fmt.Errorf("protocol: node %d not settled: state %v", v, p.st)
+		}
+	}
+	if err := core.CheckInvariant(e.visible, e.ord, state); err != nil {
+		return err
+	}
+	for v, p := range e.procs {
+		commNbrs := e.net.Graph().Neighbors(v)
+		visibleCount := 0
+		for _, u := range commNbrs {
+			q := e.procs[u]
+			if q == nil || q.muted {
+				continue // listeners are invisible to everyone
+			}
+			visibleCount++
+			info, ok := p.nbr[u]
+			if !ok {
+				return fmt.Errorf("protocol: node %d missing knowledge of neighbor %d", v, u)
+			}
+			if info.st != q.st {
+				return fmt.Errorf("protocol: node %d thinks %d is %v, actually %v", v, u, info.st, q.st)
+			}
+			if wantPrio, _ := e.ord.Priority(u); info.prio != wantPrio {
+				return fmt.Errorf("protocol: node %d has stale priority for %d", v, u)
+			}
+		}
+		if len(p.nbr) != visibleCount {
+			return fmt.Errorf("protocol: node %d knows %d neighbors, want %d", v, len(p.nbr), visibleCount)
+		}
+	}
+	return nil
+}

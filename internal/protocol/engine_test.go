@@ -1,0 +1,477 @@
+package protocol
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+func apply(t *testing.T, e *Engine, c graph.Change) core.Report {
+	t.Helper()
+	rep, err := e.Apply(c)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", c, err)
+	}
+	return rep
+}
+
+// checkOracle asserts history independence: after quiescence the protocol
+// state must equal the sequential greedy MIS on the visible graph under the
+// same order, and all knowledge must be exact.
+func checkOracle(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+	if !core.EqualStates(e.State(), want) {
+		t.Fatalf("protocol state diverged from greedy oracle:\n got %v\nwant %v",
+			core.MISOf(e.State()), core.MISOf(want))
+	}
+}
+
+func TestSingleNodeJoins(t *testing.T) {
+	e := New(1)
+	rep := apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	if !e.InMIS(1) {
+		t.Fatal("isolated node must join the MIS")
+	}
+	if rep.Adjustments != 1 {
+		t.Errorf("adjustments = %d, want 1", rep.Adjustments)
+	}
+	if rep.Rounds == 0 || rep.Rounds > 8 {
+		t.Errorf("rounds = %d, want small constant", rep.Rounds)
+	}
+	checkOracle(t, e)
+}
+
+func TestEdgeInsertEvictsLaterEndpoint(t *testing.T) {
+	e := New(2)
+	ord := e.Order()
+	ord.Set(1, 10)
+	ord.Set(2, 20)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2))
+	if !e.InMIS(1) || !e.InMIS(2) {
+		t.Fatal("both isolated nodes should be in the MIS")
+	}
+	rep := apply(t, e, graph.EdgeChange(graph.EdgeInsert, 1, 2))
+	checkOracle(t, e)
+	if !e.InMIS(1) || e.InMIS(2) {
+		t.Errorf("MIS = %v, want [1]", e.MIS())
+	}
+	if rep.Adjustments != 1 {
+		t.Errorf("adjustments = %d, want 1 (only node 2 leaves)", rep.Adjustments)
+	}
+	if rep.SSize != 1 {
+		t.Errorf("|S| = %d, want 1", rep.SSize)
+	}
+}
+
+func TestEdgeDeletePromotesLaterEndpoint(t *testing.T) {
+	e := New(3)
+	ord := e.Order()
+	ord.Set(1, 10)
+	ord.Set(2, 20)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	for _, kind := range []graph.ChangeKind{graph.EdgeDeleteGraceful} {
+		rep := apply(t, e, graph.EdgeChange(kind, 1, 2))
+		checkOracle(t, e)
+		if !e.InMIS(2) {
+			t.Fatalf("%v: node 2 should join after losing its blocker", kind)
+		}
+		if rep.Adjustments != 1 {
+			t.Errorf("%v: adjustments = %d, want 1", kind, rep.Adjustments)
+		}
+	}
+}
+
+func TestPathExampleCascade(t *testing.T) {
+	// The §3 worked example, driven through the full protocol.
+	e := New(0)
+	ord := e.Order()
+	ids := []graph.NodeID{0, 1, 2, 3, 4, 5} // x, v*, u1, w1, w2, u2
+	for i, v := range ids {
+		ord.Set(v, order.Priority(i+1))
+	}
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 0))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 2))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 4, 3))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 5, 1, 4))
+	checkOracle(t, e)
+
+	rep := apply(t, e, graph.EdgeChange(graph.EdgeInsert, 0, 1))
+	checkOracle(t, e)
+	if rep.SSize != 5 {
+		t.Errorf("|S| = %d, want 5", rep.SSize)
+	}
+	if rep.Adjustments != 4 {
+		t.Errorf("adjustments = %d, want 4", rep.Adjustments)
+	}
+	// Algorithm 2 guarantees each node changes output at most once: the
+	// C-entry count per node must be 1 for a single-source change
+	// (Lemma 8), so flips equals |S|.
+	if rep.Flips != rep.SSize {
+		t.Errorf("flips = %d, want %d (single C entry per node)", rep.Flips, rep.SSize)
+	}
+}
+
+func TestGracefulNodeDeleteCascades(t *testing.T) {
+	e := New(4)
+	ord := e.Order()
+	ord.Set(1, 10)
+	ord.Set(2, 20)
+	ord.Set(3, 30)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 2))
+	rep := apply(t, e, graph.NodeChange(graph.NodeDeleteGraceful, 1))
+	checkOracle(t, e)
+	if e.Graph().HasNode(1) {
+		t.Fatal("deleted node still visible")
+	}
+	if !e.InMIS(2) || e.InMIS(3) {
+		t.Errorf("MIS = %v, want [2]", e.MIS())
+	}
+	if rep.SSize != 3 || rep.Adjustments != 3 {
+		t.Errorf("got |S|=%d adj=%d, want 3 and 3", rep.SSize, rep.Adjustments)
+	}
+}
+
+func TestAbruptNodeDeleteMultiSource(t *testing.T) {
+	// A star whose center is in the MIS: abrupt deletion makes every
+	// leaf a seed of the cascade (S1 = all leaves).
+	e := New(5)
+	ord := e.Order()
+	ord.Set(0, 1) // center, earliest
+	for leaf := graph.NodeID(1); leaf <= 6; leaf++ {
+		ord.Set(leaf, order.Priority(10*leaf))
+	}
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 0))
+	for leaf := graph.NodeID(1); leaf <= 6; leaf++ {
+		apply(t, e, graph.NodeChange(graph.NodeInsert, leaf, 0))
+	}
+	if !e.InMIS(0) {
+		t.Fatal("center should be in MIS")
+	}
+	rep := apply(t, e, graph.NodeChange(graph.NodeDeleteAbrupt, 0))
+	checkOracle(t, e)
+	for leaf := graph.NodeID(1); leaf <= 6; leaf++ {
+		if !e.InMIS(leaf) {
+			t.Errorf("leaf %d should join after center vanishes", leaf)
+		}
+	}
+	// S = {center} ∪ all 6 leaves.
+	if rep.SSize != 7 {
+		t.Errorf("|S| = %d, want 7", rep.SSize)
+	}
+	if rep.Adjustments != 7 {
+		t.Errorf("adjustments = %d, want 7", rep.Adjustments)
+	}
+}
+
+func TestMuteUnmuteRoundTripO1Broadcasts(t *testing.T) {
+	e := New(6)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 1, 2))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 4, 3))
+	before := e.State()
+
+	apply(t, e, graph.NodeChange(graph.NodeMute, 2))
+	checkOracle(t, e)
+	if e.Graph().HasNode(2) {
+		t.Fatal("muted node still visible")
+	}
+
+	// While node 2 listens, change the rest of the world: it must keep
+	// its knowledge fresh.
+	apply(t, e, graph.EdgeChange(graph.EdgeDeleteGraceful, 1, 3))
+	checkOracle(t, e)
+	apply(t, e, graph.EdgeChange(graph.EdgeInsert, 1, 3))
+	checkOracle(t, e)
+
+	rep := apply(t, e, graph.NodeChange(graph.NodeUnmute, 2, 1, 3))
+	checkOracle(t, e)
+	if !core.EqualStates(before, e.State()) {
+		t.Errorf("mute/unmute round trip changed the MIS: %v -> %v",
+			core.MISOf(before), core.MISOf(e.State()))
+	}
+	// Unmuting costs one Hello plus at most three state announcements
+	// per influenced node (Lemma 8); O(1) holds in expectation because
+	// E[|S|] ≤ 1.
+	if rep.Broadcasts > 3*rep.SSize+2 {
+		t.Errorf("unmute broadcasts = %d, want ≤ 3|S|+2 = %d", rep.Broadcasts, 3*rep.SSize+2)
+	}
+}
+
+func TestUnmuteWithUnknownNeighborRejected(t *testing.T) {
+	e := New(7)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeMute, 2))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 1))
+	if _, err := e.Apply(graph.NodeChange(graph.NodeUnmute, 2, 1, 3)); !errors.Is(err, ErrUnmuteUnknownNeighbor) {
+		t.Fatalf("err = %v, want ErrUnmuteUnknownNeighbor", err)
+	}
+}
+
+func TestUnmuteNotMutedRejected(t *testing.T) {
+	e := New(8)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	if _, err := e.Apply(graph.NodeChange(graph.NodeUnmute, 9)); !errors.Is(err, graph.ErrInvalidChange) {
+		t.Fatalf("err = %v, want ErrInvalidChange", err)
+	}
+}
+
+func TestNodeInsertBroadcastsScaleWithDegree(t *testing.T) {
+	// Lemma 10: node insertion costs O(d(v*)) broadcasts — the degree-d
+	// introduction replies dominate.
+	e := New(9)
+	var hub []graph.NodeID
+	for v := graph.NodeID(0); v < 20; v++ {
+		apply(t, e, graph.NodeChange(graph.NodeInsert, v))
+		hub = append(hub, v)
+	}
+	rep := apply(t, e, graph.NodeChange(graph.NodeInsert, 100, hub...))
+	checkOracle(t, e)
+	if rep.Broadcasts < 20 {
+		t.Errorf("broadcasts = %d, want ≥ degree 20 (introduction replies)", rep.Broadcasts)
+	}
+	if rep.Broadcasts > 20+10 {
+		t.Errorf("broadcasts = %d, want ≈ d + O(1)", rep.Broadcasts)
+	}
+}
+
+func TestConstantBroadcastsForEdgeChanges(t *testing.T) {
+	// Lemma 9: edge changes cost O(1) broadcasts regardless of scale;
+	// with |S| small the protocol sends at most ~3|S|+2 broadcasts.
+	e := New(10)
+	rng := rand.New(rand.NewPCG(1, 1))
+	var nodes []graph.NodeID
+	for v := graph.NodeID(0); v < 60; v++ {
+		var nbrs []graph.NodeID
+		for _, u := range nodes {
+			if rng.Float64() < 0.08 {
+				nbrs = append(nbrs, u)
+			}
+		}
+		apply(t, e, graph.NodeChange(graph.NodeInsert, v, nbrs...))
+		nodes = append(nodes, v)
+	}
+	checkOracle(t, e)
+
+	total, trials := 0, 0
+	for i := 0; i < 60; i++ {
+		g := e.Graph()
+		if i%2 == 0 {
+			es := g.Edges()
+			edge := es[rng.IntN(len(es))]
+			rep := apply(t, e, graph.EdgeChange(graph.EdgeDeleteAbrupt, edge[0], edge[1]))
+			total += rep.Broadcasts
+		} else {
+			u := nodes[rng.IntN(len(nodes))]
+			v := nodes[rng.IntN(len(nodes))]
+			if u == v || g.HasEdge(u, v) || !g.HasNode(u) || !g.HasNode(v) {
+				continue
+			}
+			rep := apply(t, e, graph.EdgeChange(graph.EdgeInsert, u, v))
+			total += rep.Broadcasts
+		}
+		trials++
+	}
+	checkOracle(t, e)
+	mean := float64(total) / float64(trials)
+	if mean > 6 {
+		t.Errorf("mean broadcasts per edge change = %.2f, want small constant", mean)
+	}
+}
+
+// TestRandomChurnDifferential is the central correctness test: a long
+// random sequence over all eight change kinds, checking after every change
+// that the protocol's stable state equals the greedy oracle and that all
+// neighbor knowledge is exact.
+func TestRandomChurnDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	e := New(1000)
+	next := graph.NodeID(0)
+	present := map[graph.NodeID]bool{}
+	muted := map[graph.NodeID][]graph.NodeID{} // muted node -> comm nbrs at mute
+
+	randPresent := func() graph.NodeID {
+		i := rng.IntN(len(present))
+		for v := range present {
+			if i == 0 {
+				return v
+			}
+			i--
+		}
+		panic("unreachable")
+	}
+
+	steps := 600
+	if testing.Short() {
+		steps = 150
+	}
+	for step := 0; step < steps; step++ {
+		g := e.Graph()
+		var c graph.Change
+		op := rng.IntN(100)
+		switch {
+		case op < 22: // node insert
+			var nbrs []graph.NodeID
+			for v := range present {
+				if rng.Float64() < 0.12 {
+					nbrs = append(nbrs, v)
+				}
+			}
+			c = graph.NodeChange(graph.NodeInsert, next, nbrs...)
+			present[next] = true
+			next++
+		case op < 32: // node delete
+			if len(present) == 0 {
+				continue
+			}
+			v := randPresent()
+			kind := graph.NodeDeleteGraceful
+			if rng.IntN(2) == 0 {
+				kind = graph.NodeDeleteAbrupt
+			}
+			c = graph.NodeChange(kind, v)
+			delete(present, v)
+		case op < 40: // mute
+			if len(present) < 2 || len(muted) > 3 {
+				continue
+			}
+			v := randPresent()
+			c = graph.NodeChange(graph.NodeMute, v)
+			muted[v] = g.Neighbors(v)
+			delete(present, v)
+		case op < 48: // unmute with surviving known neighbors
+			if len(muted) == 0 {
+				continue
+			}
+			var v graph.NodeID
+			for m := range muted {
+				v = m
+				break
+			}
+			var nbrs []graph.NodeID
+			for _, u := range muted[v] {
+				if present[u] {
+					nbrs = append(nbrs, u)
+				}
+			}
+			c = graph.NodeChange(graph.NodeUnmute, v, nbrs...)
+			delete(muted, v)
+			present[v] = true
+		case op < 78: // edge insert
+			if len(present) < 2 {
+				continue
+			}
+			u, v := randPresent(), randPresent()
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			c = graph.EdgeChange(graph.EdgeInsert, u, v)
+		default: // edge delete
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			edge := es[rng.IntN(len(es))]
+			kind := graph.EdgeDeleteGraceful
+			if rng.IntN(2) == 0 {
+				kind = graph.EdgeDeleteAbrupt
+			}
+			c = graph.EdgeChange(kind, edge[0], edge[1])
+		}
+
+		rep, err := e.Apply(c)
+		if err != nil {
+			t.Fatalf("step %d: Apply(%s): %v", step, c, err)
+		}
+		if rep.SSize < rep.Adjustments {
+			t.Fatalf("step %d: |S|=%d < adjustments=%d", step, rep.SSize, rep.Adjustments)
+		}
+		checkOracle(t, e)
+	}
+}
+
+// TestParallelExecutionIdentical verifies that goroutine-parallel round
+// execution produces exactly the sequential result.
+func TestParallelExecutionIdentical(t *testing.T) {
+	run := func(workers int) ([]graph.NodeID, core.Report) {
+		e := New(77)
+		if workers > 1 {
+			e.SetParallel(workers)
+		}
+		rng := rand.New(rand.NewPCG(7, 8))
+		var total core.Report
+		var nodes []graph.NodeID
+		for v := graph.NodeID(0); v < 50; v++ {
+			var nbrs []graph.NodeID
+			for _, u := range nodes {
+				if rng.Float64() < 0.1 {
+					nbrs = append(nbrs, u)
+				}
+			}
+			rep, err := e.Apply(graph.NodeChange(graph.NodeInsert, v, nbrs...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total.Add(rep)
+			nodes = append(nodes, v)
+		}
+		for i := 0; i < 30; i++ {
+			es := e.Graph().Edges()
+			if len(es) == 0 {
+				break
+			}
+			edge := es[rng.IntN(len(es))]
+			rep, err := e.Apply(graph.EdgeChange(graph.EdgeDeleteAbrupt, edge[0], edge[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total.Add(rep)
+		}
+		return e.MIS(), total
+	}
+	misSeq, repSeq := run(1)
+	misPar, repPar := run(4)
+	if len(misSeq) != len(misPar) {
+		t.Fatalf("parallel MIS differs: %v vs %v", misSeq, misPar)
+	}
+	for i := range misSeq {
+		if misSeq[i] != misPar[i] {
+			t.Fatalf("parallel MIS differs at %d: %v vs %v", i, misSeq, misPar)
+		}
+	}
+	if repSeq != repPar {
+		t.Fatalf("parallel reports differ: %+v vs %+v", repSeq, repPar)
+	}
+}
+
+func TestInvalidChangesRejected(t *testing.T) {
+	e := New(11)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	bad := []graph.Change{
+		graph.EdgeChange(graph.EdgeInsert, 1, 9),
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeDeleteAbrupt, 9),
+		graph.EdgeChange(graph.EdgeDeleteGraceful, 1, 2),
+	}
+	for _, c := range bad {
+		if _, err := e.Apply(c); err == nil {
+			t.Errorf("Apply(%s) succeeded, want error", c)
+		}
+	}
+	checkOracle(t, e)
+}

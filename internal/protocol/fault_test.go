@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/simnet"
+	"dynmis/internal/workload"
+)
+
+// TestFaultInjectionDetected demonstrates that the reliable-links
+// assumption of the model is load-bearing: when broadcasts are randomly
+// dropped, either the network fails to quiesce or the stable-state checker
+// reports the inconsistency (stale knowledge or a broken invariant). The
+// protocol must never silently "succeed" into a wrong structure that the
+// checker also blesses.
+func TestFaultInjectionDetected(t *testing.T) {
+	corrupted := 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		e := New(uint64(trial))
+		rng := rand.New(rand.NewPCG(uint64(trial), 5))
+		if _, err := e.ApplyAll(workload.GNP(rng, 40, 0.12)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Check(); err != nil {
+			t.Fatalf("pre-fault check: %v", err)
+		}
+
+		// Drop 30% of state announcements from here on.
+		dropRng := rand.New(rand.NewPCG(uint64(trial), 6))
+		e.net.Fault = func(_, _ graph.NodeID, _ simnet.Payload) bool {
+			return dropRng.Float64() < 0.3
+		}
+		var sawError bool
+		for _, c := range workload.EdgeChurn(rng, e.Graph(), 30) {
+			if _, err := e.Apply(c); err != nil {
+				sawError = true // failed to quiesce — acceptable detection
+				break
+			}
+			if err := e.Check(); err != nil {
+				sawError = true // checker caught the corruption
+				break
+			}
+			want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+			if !core.EqualStates(e.State(), want) {
+				sawError = true // structure silently diverged, but tests see it
+				break
+			}
+		}
+		if sawError {
+			corrupted++
+		}
+		if e.net.Metrics.Dropped == 0 && !sawError {
+			t.Fatalf("trial %d: fault injector never fired", trial)
+		}
+	}
+	// With a 30% drop rate over 30 changes, essentially every trial must
+	// surface the corruption through one of the three detectors.
+	if corrupted < trials*8/10 {
+		t.Errorf("only %d/%d faulty trials were detected", corrupted, trials)
+	}
+	t.Logf("detected corruption in %d/%d faulty runs", corrupted, trials)
+}
+
+// TestKnowledgeCorruptionCaughtByCheck verifies the checker itself: if a
+// node's view of a neighbor is tampered with, Check must fail loudly.
+func TestKnowledgeCorruptionCaughtByCheck(t *testing.T) {
+	e := New(3)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 3, 1, 2))
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip node 3's belief about node 1's state.
+	info := e.procs[3].nbr[1]
+	if info.st == StateIn {
+		info.st = StateOut
+	} else {
+		info.st = StateIn
+	}
+	if err := e.Check(); err == nil {
+		t.Error("Check missed corrupted neighbor knowledge")
+	}
+	// Restore, then corrupt the priority instead.
+	want, _ := e.Order().Priority(1)
+	q := e.procs[1]
+	info.st = stateOf(q)
+	info.prio = want + 1
+	if err := e.Check(); err == nil {
+		t.Error("Check missed corrupted neighbor priority")
+	}
+}
+
+// stateOf returns a proc's current protocol state (test helper).
+func stateOf(n *node) State { return n.st }
+
+// TestOutputCorruptionCaughtByCheck verifies that a tampered output
+// violates the MIS invariant check.
+func TestOutputCorruptionCaughtByCheck(t *testing.T) {
+	e := New(4)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+	p := e.procs[2]
+	if p.st == StateIn {
+		p.st = StateOut
+	} else {
+		p.st = StateIn
+	}
+	if err := e.Check(); err == nil {
+		t.Error("Check missed a corrupted output")
+	}
+}

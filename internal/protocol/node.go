@@ -1,0 +1,292 @@
+package protocol
+
+import (
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/simnet"
+)
+
+// nbrInfo is a node's knowledge about one neighbor: its priority and the
+// last state it announced. In a stable configuration this knowledge is
+// exact, which is the protocol's steady-state invariant.
+type nbrInfo struct {
+	prio order.Priority
+	st   State
+}
+
+// node is the Algorithm 2 state machine. It only ever reads its own fields
+// and the messages delivered to it, so procs can be stepped in parallel.
+type node struct {
+	id   graph.NodeID
+	prio order.Priority
+	st   State
+
+	nbr map[graph.NodeID]*nbrInfo
+
+	// enteredC is the round of the most recent transition into C.
+	enteredC int
+	// retiring is set by evRetire: on resolution the node broadcasts
+	// retireMsg instead of a state, and mute keeps it listening.
+	retiring bool
+	mute     bool
+	// muted marks a retired-but-listening node.
+	muted bool
+
+	// pendingHello, helloNeedInfo: a Hello broadcast is due.
+	pendingHello  bool
+	helloNeedInfo bool
+	// pendingReply: a Hello reply (NeedInfo=false) is due to introduce
+	// this node to a newcomer.
+	pendingReply bool
+	// awaitInfo is the number of neighbor Hellos a fresh node still
+	// expects before it may evaluate its invariant.
+	awaitInfo int
+	// pendingEval requests an invariant evaluation once awaitInfo is 0.
+	pendingEval bool
+
+	// cEntries counts transitions into C during the current recovery
+	// (the engine resets it per change); it drives |S| and flip
+	// accounting.
+	cEntries int
+	// resolved counts R -> {M, M̄} transitions during the current
+	// recovery.
+	resolved int
+}
+
+var _ simnet.Proc = (*node)(nil)
+
+func newNode(id graph.NodeID, prio order.Priority, st State) *node {
+	return &node{
+		id:       id,
+		prio:     prio,
+		st:       st,
+		nbr:      make(map[graph.NodeID]*nbrInfo),
+		enteredC: -1,
+	}
+}
+
+// lower reports whether neighbor u (with priority p) precedes this node in
+// π.
+func (n *node) lower(u graph.NodeID, p order.Priority) bool {
+	return order.Less(p, u, n.prio, n.id)
+}
+
+// lowerInMIS reports whether any known earlier neighbor is in state M.
+func (n *node) lowerInMIS() bool {
+	for u, info := range n.nbr {
+		if n.lower(u, info.prio) && info.st == StateIn {
+			return true
+		}
+	}
+	return false
+}
+
+// higherInC reports whether any known later neighbor is in state C.
+func (n *node) higherInC() bool {
+	for u, info := range n.nbr {
+		if !n.lower(u, info.prio) && info.st == StateC {
+			return true
+		}
+	}
+	return false
+}
+
+// lowersSettled reports whether every known earlier neighbor is in M or M̄.
+func (n *node) lowersSettled() bool {
+	for u, info := range n.nbr {
+		if n.lower(u, info.prio) && info.st != StateIn && info.st != StateOut {
+			return false
+		}
+	}
+	return true
+}
+
+// enterC transitions into C and returns the announcement payload.
+func (n *node) enterC(round int) simnet.Payload {
+	n.st = StateC
+	n.enteredC = round
+	n.cEntries++
+	return stateMsg{St: StateC}
+}
+
+// Step implements simnet.Proc. It ingests this round's messages, applies
+// at most one state transition, and returns the corresponding broadcast.
+func (n *node) Step(round int, inbox []simnet.Message) simnet.Payload {
+	// Phase 1: ingest all messages, updating knowledge and collecting
+	// triggers.
+	lowerNewlyC := false   // some earlier neighbor announced C this round
+	topoViolation := false // a topology event may have broken my invariant
+	retireNow := false
+
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case stateMsg:
+			info, ok := n.nbr[m.From]
+			if !ok {
+				continue // unknown sender (e.g. heard while being introduced)
+			}
+			if p.St == StateC && info.st != StateC && n.lower(m.From, info.prio) {
+				lowerNewlyC = true
+			}
+			info.st = p.St
+		case helloMsg:
+			if info, ok := n.nbr[m.From]; ok {
+				info.prio = p.Prio
+				info.st = p.St
+			} else {
+				n.nbr[m.From] = &nbrInfo{prio: p.Prio, st: p.St}
+				if p.NeedInfo {
+					n.pendingReply = true
+				}
+			}
+			if n.awaitInfo > 0 {
+				n.awaitInfo--
+			}
+			// A new or refreshed earlier M-neighbor can violate an
+			// M-node (edge insertion, §4.1).
+			topoViolation = true
+		case retireMsg:
+			delete(n.nbr, m.From)
+			topoViolation = true
+		case evEdgeAttached:
+			n.pendingHello = true
+			// The peer's Hello will arrive and trigger evaluation.
+		case evEdgeDown:
+			delete(n.nbr, p.Peer)
+			topoViolation = true
+		case evNodeGone:
+			delete(n.nbr, p.Peer)
+			topoViolation = true
+		case evRetire:
+			n.retiring = true
+			n.mute = p.Mute
+			retireNow = true
+		case evInserted:
+			n.awaitInfo = p.Expect
+			n.pendingHello = true
+			n.helloNeedInfo = true
+			n.pendingEval = true
+		case evUnmute:
+			n.muted = false
+			n.retiring = false
+			n.mute = false
+			n.st = StateOut
+			n.pendingHello = true
+			n.pendingEval = true
+		}
+	}
+
+	// A muted node only listens.
+	if n.muted {
+		return nil
+	}
+	if n.st == StateGone {
+		return nil
+	}
+
+	// Phase 2: at most one broadcast per round, in priority order:
+	// introductions first (they carry information others are waiting
+	// for), then state transitions.
+	if n.pendingHello {
+		n.pendingHello = false
+		need := n.helloNeedInfo
+		n.helloNeedInfo = false
+		return helloMsg{Prio: n.prio, St: n.st, NeedInfo: need}
+	}
+	if n.pendingReply {
+		n.pendingReply = false
+		return helloMsg{Prio: n.prio, St: n.st, NeedInfo: false}
+	}
+
+	switch n.st {
+	case StateIn:
+		if retireNow {
+			// A retiring MIS node must leave: its invariant is
+			// violated by definition, so it enters C (template's
+			// S0 = {v*}).
+			return n.enterC(round)
+		}
+		// Rule 1.
+		if lowerNewlyC {
+			return n.enterC(round)
+		}
+		// Topology-induced violation (edge insertion joining two
+		// M-nodes; the later endpoint reacts).
+		if topoViolation && n.lowerInMIS() {
+			return n.enterC(round)
+		}
+	case StateOut:
+		if retireNow {
+			// A retiring non-MIS node constrains nobody: it can
+			// depart immediately (S = ∅).
+			return n.finishRetirement()
+		}
+		if n.pendingEval {
+			if n.awaitInfo > 0 {
+				return nil // still gathering introductions
+			}
+			n.pendingEval = false
+			if !n.lowerInMIS() {
+				return n.enterC(round)
+			}
+			return nil
+		}
+		// Rule 2.
+		if lowerNewlyC && !n.lowerInMIS() {
+			return n.enterC(round)
+		}
+		// Topology-induced violation (lost the only earlier
+		// M-neighbor).
+		if topoViolation && !n.lowerInMIS() {
+			return n.enterC(round)
+		}
+	case StateC:
+		// Rule 3: leave C for R once no later neighbor is in C and at
+		// least two rounds passed since entering C.
+		if round >= n.enteredC+2 && !n.higherInC() {
+			n.st = StateR
+			return stateMsg{St: StateR}
+		}
+	case StateR:
+		// Rule 4: resolve once every earlier neighbor has settled.
+		if n.lowersSettled() {
+			n.resolved++
+			if n.retiring {
+				return n.finishRetirement()
+			}
+			if n.lowerInMIS() {
+				n.st = StateOut
+			} else {
+				n.st = StateIn
+			}
+			return stateMsg{St: n.st}
+		}
+	}
+	return nil
+}
+
+// finishRetirement completes a graceful departure: the node leaves with
+// output M̄ and tells its neighbors to forget it. A muting node stays as a
+// listener.
+func (n *node) finishRetirement() simnet.Payload {
+	n.retiring = false
+	if n.mute {
+		n.muted = true
+		n.st = StateOut
+	} else {
+		n.st = StateGone
+	}
+	return retireMsg{}
+}
+
+// Quiescent implements simnet.Proc: the node is passive iff it is settled
+// and owes no broadcast.
+func (n *node) Quiescent() bool {
+	if n.muted || n.st == StateGone {
+		return true
+	}
+	if n.pendingHello || n.pendingReply || n.pendingEval || n.retiring {
+		return false
+	}
+	return n.st == StateIn || n.st == StateOut
+}

@@ -1,0 +1,219 @@
+package protocol
+
+import (
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/simnet"
+)
+
+// mkNode builds a node with the given state and known neighbors
+// (id -> prio, st).
+func mkNode(id graph.NodeID, prio order.Priority, st State, nbrs map[graph.NodeID]nbrInfo) *node {
+	n := newNode(id, prio, st)
+	for u, info := range nbrs {
+		cp := info
+		n.nbr[u] = &cp
+	}
+	return n
+}
+
+func stateChange(from graph.NodeID, st State) simnet.Message {
+	return simnet.Message{From: from, Payload: stateMsg{St: st}}
+}
+
+func TestRule1InNodeFollowsLowerC(t *testing.T) {
+	n := mkNode(10, 100, StateIn, map[graph.NodeID]nbrInfo{
+		1: {prio: 10, st: StateOut},
+		2: {prio: 200, st: StateOut}, // later neighbor: must not trigger
+	})
+	// A later neighbor entering C is not a rule-1 trigger.
+	if out := n.Step(1, []simnet.Message{stateChange(2, StateC)}); out != nil {
+		t.Fatalf("later neighbor's C triggered a transition: %v", out)
+	}
+	if n.st != StateIn {
+		t.Fatalf("state = %v, want M", n.st)
+	}
+	// An earlier neighbor entering C is.
+	out := n.Step(2, []simnet.Message{stateChange(1, StateC)})
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateC {
+		t.Fatalf("expected C announcement, got %v", out)
+	}
+	if n.st != StateC || n.enteredC != 2 || n.cEntries != 1 {
+		t.Fatalf("node after rule 1: st=%v enteredC=%d entries=%d", n.st, n.enteredC, n.cEntries)
+	}
+}
+
+func TestRule2OutNodeGuardedByOtherMIS(t *testing.T) {
+	n := mkNode(10, 100, StateOut, map[graph.NodeID]nbrInfo{
+		1: {prio: 10, st: StateIn},
+		2: {prio: 20, st: StateIn},
+	})
+	// Neighbor 1 enters C, but neighbor 2 still pins the node out: no
+	// transition (rule 2's guard).
+	if out := n.Step(1, []simnet.Message{stateChange(1, StateC)}); out != nil {
+		t.Fatalf("guarded rule 2 fired: %v", out)
+	}
+	// Now neighbor 2 enters C too: all earlier MIS neighbors are in C.
+	out := n.Step(2, []simnet.Message{stateChange(2, StateC)})
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateC {
+		t.Fatalf("expected C announcement, got %v", out)
+	}
+}
+
+func TestRule3TwoRoundWaitAndHigherC(t *testing.T) {
+	n := mkNode(10, 100, StateIn, map[graph.NodeID]nbrInfo{
+		1: {prio: 10, st: StateOut},
+		2: {prio: 200, st: StateOut},
+	})
+	if out := n.Step(5, []simnet.Message{stateChange(1, StateC)}); out == nil {
+		t.Fatal("rule 1 should fire")
+	}
+	// Round 6: only one round since entering C — must wait.
+	if out := n.Step(6, nil); out != nil {
+		t.Fatalf("left C before the two-round wait: %v", out)
+	}
+	// Round 7, but a later neighbor is now in C — must keep waiting.
+	if out := n.Step(7, []simnet.Message{stateChange(2, StateC)}); out != nil {
+		t.Fatalf("left C with a later neighbor in C: %v", out)
+	}
+	// Later neighbor leaves C: now the node may move to R.
+	out := n.Step(8, []simnet.Message{stateChange(2, StateR)})
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateR {
+		t.Fatalf("expected R announcement, got %v", out)
+	}
+	if n.st != StateR {
+		t.Fatalf("state = %v, want R", n.st)
+	}
+}
+
+func TestRule4ResolvesByEarlierStates(t *testing.T) {
+	// In R, with one earlier neighbor still in R: blocked.
+	n := mkNode(10, 100, StateR, map[graph.NodeID]nbrInfo{
+		1: {prio: 10, st: StateR},
+	})
+	if out := n.Step(1, nil); out != nil {
+		t.Fatalf("resolved with an unsettled earlier neighbor: %v", out)
+	}
+	// The earlier neighbor resolves to M: this node must become M̄.
+	out := n.Step(2, []simnet.Message{stateChange(1, StateIn)})
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateOut {
+		t.Fatalf("expected M̄ resolution, got %v", out)
+	}
+	// Symmetric case: earlier neighbor out -> node joins.
+	m := mkNode(10, 100, StateR, map[graph.NodeID]nbrInfo{
+		1: {prio: 10, st: StateOut},
+	})
+	out = m.Step(1, nil)
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateIn {
+		t.Fatalf("expected M resolution, got %v", out)
+	}
+	if m.resolved != 1 {
+		t.Fatalf("resolved counter = %d", m.resolved)
+	}
+}
+
+func TestHelloIntroductionAndReply(t *testing.T) {
+	n := mkNode(10, 100, StateIn, nil)
+	// Hello from an unknown peer asking for info: record it and reply in
+	// the same round (the reply is broadcast at this round's end and
+	// delivered next round).
+	out := n.Step(1, []simnet.Message{{From: 7, Payload: helloMsg{Prio: 5, St: StateOut, NeedInfo: true}}})
+	if h, ok := out.(helloMsg); !ok || h.Prio != 100 || h.NeedInfo {
+		t.Fatalf("expected Hello reply with own priority, got %v", out)
+	}
+	if info, ok := n.nbr[7]; !ok || info.prio != 5 || info.st != StateOut {
+		t.Fatal("peer knowledge not recorded")
+	}
+	// A second Hello from the now-known peer must not trigger a reply.
+	if out := n.Step(3, []simnet.Message{{From: 7, Payload: helloMsg{Prio: 5, St: StateOut, NeedInfo: true}}}); out != nil {
+		t.Fatalf("replied to known peer: %v", out)
+	}
+}
+
+func TestRetireOutNodeImmediate(t *testing.T) {
+	n := mkNode(10, 100, StateOut, map[graph.NodeID]nbrInfo{1: {prio: 10, st: StateIn}})
+	out := n.Step(1, []simnet.Message{{From: graph.None, Payload: evRetire{}}})
+	if _, ok := out.(retireMsg); !ok {
+		t.Fatalf("expected immediate retirement, got %v", out)
+	}
+	if n.st != StateGone || !n.Quiescent() {
+		t.Fatalf("retired node st=%v quiescent=%v", n.st, n.Quiescent())
+	}
+	// A gone node ignores everything.
+	if out := n.Step(2, []simnet.Message{stateChange(1, StateC)}); out != nil {
+		t.Fatalf("gone node acted: %v", out)
+	}
+}
+
+func TestRetireInNodeEntersC(t *testing.T) {
+	n := mkNode(10, 100, StateIn, map[graph.NodeID]nbrInfo{1: {prio: 10, st: StateOut}})
+	out := n.Step(1, []simnet.Message{{From: graph.None, Payload: evRetire{}}})
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateC {
+		t.Fatalf("retiring MIS node must enter C, got %v", out)
+	}
+	if !n.retiring {
+		t.Fatal("retiring flag lost")
+	}
+	// Walk it through C -> R -> retirement.
+	if out := n.Step(3, nil); out == nil {
+		t.Fatal("rule 3 should fire at round enteredC+2")
+	}
+	out = n.Step(4, nil)
+	if _, ok := out.(retireMsg); !ok {
+		t.Fatalf("expected retirement at resolution, got %v", out)
+	}
+	if n.st != StateGone {
+		t.Fatalf("state = %v, want gone", n.st)
+	}
+}
+
+func TestMutedNodeListensSilently(t *testing.T) {
+	n := mkNode(10, 100, StateOut, map[graph.NodeID]nbrInfo{1: {prio: 10, st: StateIn}})
+	n.muted = true
+	if out := n.Step(1, []simnet.Message{stateChange(1, StateOut)}); out != nil {
+		t.Fatalf("muted node broadcast: %v", out)
+	}
+	if n.nbr[1].st != StateOut {
+		t.Fatal("muted node failed to update knowledge")
+	}
+	if !n.Quiescent() {
+		t.Fatal("muted node not quiescent")
+	}
+	// Unmute: it announces itself and then evaluates.
+	out := n.Step(2, []simnet.Message{{From: graph.None, Payload: evUnmute{}}})
+	if h, ok := out.(helloMsg); !ok || h.NeedInfo {
+		t.Fatalf("expected warm Hello, got %v", out)
+	}
+	// With an earlier Out neighbor only, the invariant demands M: enter C.
+	out = n.Step(3, nil)
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateC {
+		t.Fatalf("expected C after unmute evaluation, got %v", out)
+	}
+}
+
+func TestEventEdgeDownTriggersEvaluation(t *testing.T) {
+	// Out node whose only earlier MIS neighbor disappears with the edge.
+	n := mkNode(10, 100, StateOut, map[graph.NodeID]nbrInfo{
+		1: {prio: 10, st: StateIn},
+		2: {prio: 200, st: StateOut},
+	})
+	out := n.Step(1, []simnet.Message{{From: graph.None, Payload: evEdgeDown{Peer: 1}}})
+	if msg, ok := out.(stateMsg); !ok || msg.St != StateC {
+		t.Fatalf("expected C after losing the blocker, got %v", out)
+	}
+	if _, ok := n.nbr[1]; ok {
+		t.Fatal("knowledge of removed edge survives")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		StateIn: "M", StateOut: "M̄", StateC: "C", StateR: "R", StateGone: "gone", State(9): "?",
+	} {
+		if st.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

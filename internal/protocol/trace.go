@@ -1,0 +1,56 @@
+package protocol
+
+import (
+	"sort"
+	"strconv"
+
+	"dynmis/internal/graph"
+)
+
+// TraceRound is one round's snapshot of the protocol's visible states.
+type TraceRound struct {
+	Round  int
+	States map[graph.NodeID]State
+}
+
+// Tracer receives a snapshot after every executed round; install it with
+// Engine.SetTracer to watch a recovery unfold (see cmd/trace).
+type Tracer func(TraceRound)
+
+// SetTracer installs (or, with nil, removes) a per-round observer. The
+// snapshot contains every visible node's current protocol state; muted
+// listeners are omitted.
+func (e *Engine) SetTracer(fn Tracer) {
+	if fn == nil {
+		e.net.OnRound = nil
+		return
+	}
+	e.net.OnRound = func(round int) {
+		snap := TraceRound{Round: round, States: make(map[graph.NodeID]State, len(e.procs))}
+		for v, p := range e.procs {
+			if p.muted {
+				continue
+			}
+			snap.States[v] = p.st
+		}
+		fn(snap)
+	}
+}
+
+// StatesLine renders a snapshot as a fixed-order single line, e.g.
+// "1:M 2:M̄ 3:C 4:R" — the format used by cmd/trace.
+func (tr TraceRound) StatesLine() string {
+	ids := make([]graph.NodeID, 0, len(tr.States))
+	for v := range tr.States {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ""
+	for i, v := range ids {
+		if i > 0 {
+			out += " "
+		}
+		out += strconv.FormatInt(int64(v), 10) + ":" + tr.States[v].String()
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/workload"
+)
+
+func TestTracerObservesRecovery(t *testing.T) {
+	e := New(1)
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 1))
+	apply(t, e, graph.NodeChange(graph.NodeInsert, 2, 1))
+
+	var rounds []TraceRound
+	e.SetTracer(func(tr TraceRound) { rounds = append(rounds, tr) })
+	apply(t, e, graph.EdgeChange(graph.EdgeDeleteGraceful, 1, 2))
+	e.SetTracer(nil)
+
+	if len(rounds) == 0 {
+		t.Fatal("tracer saw no rounds")
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].Round <= rounds[i-1].Round {
+			t.Fatal("trace rounds not increasing")
+		}
+	}
+	last := rounds[len(rounds)-1]
+	for v, st := range last.States {
+		if st != StateIn && st != StateOut {
+			t.Errorf("node %d unsettled in final snapshot: %v", v, st)
+		}
+	}
+	if last.StatesLine() == "" {
+		t.Error("empty StatesLine")
+	}
+
+	// Removing the tracer must stop observations.
+	n := len(rounds)
+	apply(t, e, graph.EdgeChange(graph.EdgeInsert, 1, 2))
+	if len(rounds) != n {
+		t.Error("tracer fired after removal")
+	}
+}
+
+// TestProtocolScale is a larger soak: a 2000-node network under churn,
+// verifying O(1)-shaped costs and oracle equality at checkpoints.
+func TestProtocolScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large soak")
+	}
+	const n = 2000
+	rng := rand.New(rand.NewPCG(100, 200))
+	e := New(77)
+	if _, err := e.ApplyAll(workload.GNP(rng, n, 6/float64(n))); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+
+	totalBcasts, steps := 0, 0
+	for _, c := range workload.EdgeChurn(rng, e.Graph(), 300) {
+		rep, err := e.Apply(c)
+		if err != nil {
+			t.Fatalf("Apply(%s): %v", c, err)
+		}
+		totalBcasts += rep.Broadcasts
+		steps++
+	}
+	checkOracle(t, e)
+	mean := float64(totalBcasts) / float64(steps)
+	if mean > 8 {
+		t.Errorf("mean broadcasts per change = %.2f at n=%d, want small constant", mean, n)
+	}
+	t.Logf("n=%d: %.2f broadcasts per change over %d changes", n, mean, steps)
+}
+
+// TestProtocolHeavyTailHubs exercises Barabási graphs, whose hubs stress
+// the degree-dependent paths (insertion replies, abrupt hub deletions).
+func TestProtocolHeavyTailHubs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(300, 400))
+	e := New(55)
+	if _, err := e.ApplyAll(workload.Barabasi(rng, 300, 2)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+
+	// Abruptly delete the five highest-degree hubs, one at a time.
+	for i := 0; i < 5; i++ {
+		g := e.Graph()
+		var hub graph.NodeID = graph.None
+		best := -1
+		for _, v := range g.Nodes() {
+			if d := g.Degree(v); d > best {
+				best, hub = d, v
+			}
+		}
+		rep, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, hub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, e)
+		if rep.SSize > 0 && rep.Flips > 2*best {
+			t.Errorf("hub %d (deg %d): flips %d exceed Lemma 12's seed-count bound", hub, best, rep.Flips)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package seqdyn is the sequential (single-machine) dynamic MIS data
+// structure the paper sketches in §6: the template carried over to the
+// classic dynamic-graph-algorithms setting, where the cost measure is
+// update time rather than communication. It maintains, for every node,
+// the count of its earlier MIS neighbors ("blockers"); a node is in the
+// MIS iff its count is zero. A topology change dirties O(1) nodes, and
+// recovery processes dirty nodes in increasing π order — so every node
+// flips at most once per update (unlike the distributed cascade, which
+// may flip a node several times), and the work is O(Σ_{flipped} deg),
+// i.e. O(Δ) in expectation by Theorem 1.
+package seqdyn
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+)
+
+// Report is the sequential cost account for one update.
+type Report struct {
+	// Adjustments is the number of nodes whose membership changed.
+	Adjustments int
+	// Processed is the number of dirty nodes examined.
+	Processed int
+	// Work counts adjacency entries touched — the sequential update
+	// time up to logarithmic heap factors.
+	Work int
+}
+
+// Engine is the sequential dynamic MIS structure. The zero value is not
+// usable; call New.
+type Engine struct {
+	g        *graph.Graph
+	ord      *order.Order
+	in       map[graph.NodeID]bool
+	blockers map[graph.NodeID]int // count of earlier In-neighbors
+
+	queue  nodeHeap
+	queued map[graph.NodeID]bool
+}
+
+// New returns an engine over an empty graph.
+func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
+
+// NewWithOrder returns an engine sharing a caller-supplied order.
+func NewWithOrder(ord *order.Order) *Engine {
+	return &Engine{
+		g:        graph.New(),
+		ord:      ord,
+		in:       make(map[graph.NodeID]bool),
+		blockers: make(map[graph.NodeID]int),
+		queued:   make(map[graph.NodeID]bool),
+	}
+}
+
+// Graph exposes the maintained topology (read-only for callers).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Order exposes the node order.
+func (e *Engine) Order() *order.Order { return e.ord }
+
+// InMIS reports whether v is in the MIS.
+func (e *Engine) InMIS(v graph.NodeID) bool { return e.in[v] }
+
+// MIS returns the sorted current MIS.
+func (e *Engine) MIS() []graph.NodeID { return core.MISOf(e.State()) }
+
+// State returns the membership map.
+func (e *Engine) State() map[graph.NodeID]core.Membership {
+	out := make(map[graph.NodeID]core.Membership, len(e.in))
+	for v, in := range e.in {
+		if in {
+			out[v] = core.In
+		} else {
+			out[v] = core.Out
+		}
+	}
+	return out
+}
+
+// Apply performs one topology change and restores the MIS invariant,
+// reporting the sequential work done.
+func (e *Engine) Apply(c graph.Change) (Report, error) {
+	if err := c.Validate(e.g); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	switch c.Kind {
+	case graph.EdgeInsert:
+		if err := e.g.AddEdge(c.U, c.V); err != nil {
+			return Report{}, err
+		}
+		rep.Work++
+		lo, hi := e.orient(c.U, c.V)
+		if e.in[lo] {
+			e.blockers[hi]++
+			e.dirty(hi)
+		}
+
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		if err := e.g.RemoveEdge(c.U, c.V); err != nil {
+			return Report{}, err
+		}
+		rep.Work++
+		lo, hi := e.orient(c.U, c.V)
+		if e.in[lo] {
+			e.blockers[hi]--
+			e.dirty(hi)
+		}
+
+	case graph.NodeInsert, graph.NodeUnmute:
+		e.ord.Ensure(c.Node)
+		if err := c.Apply(e.g); err != nil {
+			return Report{}, err
+		}
+		count := 0
+		e.g.EachNeighbor(c.Node, func(u graph.NodeID) {
+			rep.Work++
+			if e.ord.Less(u, c.Node) && e.in[u] {
+				count++
+			}
+		})
+		e.in[c.Node] = false
+		e.blockers[c.Node] = count
+		e.dirty(c.Node)
+
+	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
+		wasIn := e.in[c.Node]
+		nbrs := e.g.Neighbors(c.Node)
+		if err := c.Apply(e.g); err != nil {
+			return Report{}, err
+		}
+		if wasIn {
+			rep.Adjustments++ // the departing MIS node itself
+			for _, u := range nbrs {
+				rep.Work++
+				if !e.ord.Less(u, c.Node) {
+					e.blockers[u]--
+					e.dirty(u)
+				}
+			}
+		}
+		delete(e.in, c.Node)
+		delete(e.blockers, c.Node)
+		delete(e.queued, c.Node)
+		if c.Kind != graph.NodeMute {
+			e.ord.Drop(c.Node)
+		}
+
+	default:
+		return Report{}, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+	}
+
+	e.settle(&rep)
+	return rep, nil
+}
+
+// orient returns the pair (earlier, later) by π.
+func (e *Engine) orient(u, v graph.NodeID) (lo, hi graph.NodeID) {
+	if e.ord.Less(u, v) {
+		return u, v
+	}
+	return v, u
+}
+
+// dirty marks v for re-examination.
+func (e *Engine) dirty(v graph.NodeID) {
+	if e.queued[v] {
+		return
+	}
+	e.queued[v] = true
+	prio, _ := e.ord.Priority(v)
+	heap.Push(&e.queue, nodeItem{id: v, prio: prio})
+}
+
+// settle processes dirty nodes in increasing π order. Because a node's
+// membership depends only on earlier nodes, by the time a node is popped
+// every earlier node is final — so each node flips at most once.
+func (e *Engine) settle(rep *Report) {
+	for e.queue.Len() > 0 {
+		item := heap.Pop(&e.queue).(nodeItem)
+		v := item.id
+		if !e.queued[v] {
+			continue // removed while queued
+		}
+		e.queued[v] = false
+		if !e.g.HasNode(v) {
+			continue
+		}
+		rep.Processed++
+		want := e.blockers[v] == 0
+		if e.in[v] == want {
+			continue
+		}
+		e.in[v] = want
+		rep.Adjustments++
+		delta := -1
+		if want {
+			delta = 1
+		}
+		e.g.EachNeighbor(v, func(u graph.NodeID) {
+			rep.Work++
+			if e.ord.Less(v, u) {
+				e.blockers[u] += delta
+				e.dirty(u)
+			}
+		})
+	}
+}
+
+// ApplyAll applies a sequence of changes, accumulating reports.
+func (e *Engine) ApplyAll(cs []graph.Change) (Report, error) {
+	var total Report
+	for i, c := range cs {
+		rep, err := e.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d: %w", i, err)
+		}
+		total.Adjustments += rep.Adjustments
+		total.Processed += rep.Processed
+		total.Work += rep.Work
+	}
+	return total, nil
+}
+
+// Check verifies the MIS invariant and the blocker counts.
+func (e *Engine) Check() error {
+	state := e.State()
+	if err := core.CheckInvariant(e.g, e.ord, state); err != nil {
+		return err
+	}
+	for _, v := range e.g.Nodes() {
+		count := 0
+		e.g.EachNeighbor(v, func(u graph.NodeID) {
+			if e.ord.Less(u, v) && e.in[u] {
+				count++
+			}
+		})
+		if count != e.blockers[v] {
+			return fmt.Errorf("seqdyn: node %d blocker count %d, want %d", v, e.blockers[v], count)
+		}
+	}
+	return nil
+}
+
+// nodeItem and nodeHeap implement the π-ordered dirty queue.
+type nodeItem struct {
+	id   graph.NodeID
+	prio order.Priority
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	return order.Less(h[i].prio, h[i].id, h[j].prio, h[j].id)
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

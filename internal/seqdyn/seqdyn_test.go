@@ -1,0 +1,163 @@
+package seqdyn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/workload"
+)
+
+func checkOracle(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+	if !core.EqualStates(e.State(), want) {
+		t.Fatalf("seqdyn diverged from greedy oracle:\n got %v\nwant %v",
+			core.MISOf(e.State()), core.MISOf(want))
+	}
+}
+
+func TestSeqdynBasics(t *testing.T) {
+	e := New(1)
+	if _, err := e.ApplyAll(workload.Path(6)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+	if _, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 0)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+	if _, err := e.Apply(graph.EdgeChange(graph.EdgeDeleteGraceful, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+	if _, err := e.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+}
+
+func TestSeqdynRandomChurnDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	e := New(300)
+	if _, err := e.ApplyAll(workload.GNP(rng, 60, 0.08)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+	for i, c := range workload.RandomChurn(rng, e.Graph(), workload.DefaultChurn(500)) {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("change %d (%s): %v", i, c, err)
+		}
+		if i%20 == 0 {
+			checkOracle(t, e)
+		}
+	}
+	checkOracle(t, e)
+}
+
+// TestSeqdynMatchesTemplateAdjustments: the sequential structure flips
+// each node at most once per update, so its adjustment count must equal
+// the template's (both count nodes whose final output changed).
+func TestSeqdynMatchesTemplateAdjustments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	// Separate but identically seeded orders: both engines Ensure nodes
+	// in the same sequence, so they see the same π. (They cannot share
+	// one live Order because each engine Drops priorities on deletion.)
+	tpl := core.NewTemplateWithOrder(order.New(88))
+	seq := NewWithOrder(order.New(88))
+
+	build := workload.GNP(rng, 50, 0.1)
+	if _, err := tpl.ApplyAll(build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.ApplyAll(build); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range workload.RandomChurn(rng, tpl.Graph(), workload.DefaultChurn(300)) {
+		tr, err := tpl.Apply(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := seq.Apply(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Adjustments != sr.Adjustments {
+			t.Fatalf("change %d (%s): template adj %d, seqdyn adj %d", i, c, tr.Adjustments, sr.Adjustments)
+		}
+		// The sequential structure never flips a node twice, so its
+		// adjustment count is also its flip count — at most the
+		// distributed |S|.
+		if sr.Adjustments > tr.SSize {
+			t.Fatalf("change %d: seqdyn flipped %d nodes, more than |S| = %d", i, sr.Adjustments, tr.SSize)
+		}
+		if !core.EqualStates(tpl.State(), seq.State()) {
+			t.Fatalf("change %d: states diverged", i)
+		}
+	}
+}
+
+// TestSeqdynWorkScalesWithDegreeNotSize: the per-update work is
+// O(deg(v*) + Σ_{flipped} deg), independent of n.
+func TestSeqdynWorkScalesWithDegreeNotSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical")
+	}
+	meanWork := func(n int) float64 {
+		rng := rand.New(rand.NewPCG(uint64(n), 3))
+		e := New(uint64(n))
+		if _, err := e.ApplyAll(workload.GNP(rng, n, 8/float64(n))); err != nil {
+			t.Fatal(err)
+		}
+		total, count := 0, 0
+		for _, c := range workload.EdgeChurn(rng, e.Graph(), 400) {
+			rep, err := e.Apply(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += rep.Work
+			count++
+		}
+		return float64(total) / float64(count)
+	}
+	small, large := meanWork(200), meanWork(2000)
+	// Constant average degree: work per update must not grow with n.
+	if large > 4*small+8 {
+		t.Errorf("mean work grew from %.1f (n=200) to %.1f (n=2000); expected n-independence", small, large)
+	}
+	t.Logf("mean work/update: %.2f at n=200, %.2f at n=2000", small, large)
+}
+
+func TestSeqdynInvalidChange(t *testing.T) {
+	e := New(1)
+	if _, err := e.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 2)); err == nil {
+		t.Fatal("edge between absent nodes accepted")
+	}
+	if _, err := e.Apply(graph.Change{Kind: graph.ChangeKind(42), Node: 1}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSeqdynMuteKeepsPriority(t *testing.T) {
+	e := New(4)
+	if _, err := e.ApplyAll(workload.Cycle(5)); err != nil {
+		t.Fatal(err)
+	}
+	before := e.State()
+	if _, err := e.Apply(graph.NodeChange(graph.NodeMute, 2)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+	if _, err := e.Apply(graph.NodeChange(graph.NodeUnmute, 2, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, e)
+	if !core.EqualStates(before, e.State()) {
+		t.Error("mute/unmute round trip changed the MIS")
+	}
+}

@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// AsyncProc is an asynchronous protocol node: it reacts to one delivered
+// message at a time and may respond with broadcasts to all its neighbors.
+// Unlike the synchronous model there is no one-broadcast-per-round limit,
+// so a handler may emit several payloads.
+type AsyncProc interface {
+	// Handle processes one delivered message and returns the payloads to
+	// broadcast (nil for silence).
+	Handle(m Message) []Payload
+}
+
+// Scheduler chooses which in-flight message is delivered next; it is the
+// asynchronous adversary. Pick receives the number of in-flight messages
+// and returns an index into [0, n).
+type Scheduler interface {
+	Pick(n int) int
+}
+
+// FIFOScheduler delivers messages in send order (the "nicest" adversary).
+type FIFOScheduler struct{}
+
+// Pick implements Scheduler.
+func (FIFOScheduler) Pick(int) int { return 0 }
+
+// LIFOScheduler delivers the most recently sent message first, maximizing
+// reordering between branches of the cascade.
+type LIFOScheduler struct{}
+
+// Pick implements Scheduler.
+func (LIFOScheduler) Pick(n int) int { return n - 1 }
+
+// RandomScheduler delivers a uniformly random in-flight message.
+type RandomScheduler struct {
+	Rng *rand.Rand
+}
+
+// Pick implements Scheduler.
+func (s *RandomScheduler) Pick(n int) int { return s.Rng.IntN(n) }
+
+type inflight struct {
+	to    graph.NodeID
+	msg   Message
+	depth int
+}
+
+// ErrAsyncBudget is returned when Run exceeds its delivery budget.
+var ErrAsyncBudget = errors.New("simnet: async network exceeded delivery budget")
+
+// AsyncNetwork is the event-driven asynchronous network. Time is measured
+// by causal depth: a broadcast triggered by handling a depth-d message
+// creates depth-(d+1) messages, and Metrics.CausalDepth records the longest
+// chain — the paper's asynchronous round measure.
+type AsyncNetwork struct {
+	g     *graph.Graph
+	procs map[graph.NodeID]AsyncProc
+	queue []inflight
+	sched Scheduler
+
+	// Metrics accumulates costs; callers reset it per topology change.
+	Metrics Metrics
+}
+
+// NewAsyncNetwork returns an empty asynchronous network driven by sched
+// (FIFO if nil).
+func NewAsyncNetwork(sched Scheduler) *AsyncNetwork {
+	if sched == nil {
+		sched = FIFOScheduler{}
+	}
+	return &AsyncNetwork{
+		g:     graph.New(),
+		procs: make(map[graph.NodeID]AsyncProc),
+		sched: sched,
+	}
+}
+
+// Graph exposes the live communication topology (read-only for callers).
+func (n *AsyncNetwork) Graph() *graph.Graph { return n.g }
+
+// Proc returns the proc registered at v, or nil.
+func (n *AsyncNetwork) Proc(v graph.NodeID) AsyncProc { return n.procs[v] }
+
+// AddNode attaches a proc at a fresh node.
+func (n *AsyncNetwork) AddNode(v graph.NodeID, p AsyncProc) error {
+	if err := n.g.AddNode(v); err != nil {
+		return err
+	}
+	n.procs[v] = p
+	return nil
+}
+
+// RemoveNode detaches v; in-flight messages to it are dropped at delivery
+// time (the node is gone).
+func (n *AsyncNetwork) RemoveNode(v graph.NodeID) error {
+	if err := n.g.RemoveNode(v); err != nil {
+		return err
+	}
+	delete(n.procs, v)
+	return nil
+}
+
+// AddEdge and RemoveEdge mutate the communication topology.
+func (n *AsyncNetwork) AddEdge(u, v graph.NodeID) error    { return n.g.AddEdge(u, v) }
+func (n *AsyncNetwork) RemoveEdge(u, v graph.NodeID) error { return n.g.RemoveEdge(u, v) }
+
+// Inject schedules a control event (depth 0, no communication cost).
+func (n *AsyncNetwork) Inject(to graph.NodeID, m Message) {
+	n.queue = append(n.queue, inflight{to: to, msg: m, depth: 0})
+}
+
+// Broadcast sends p from v to all current neighbors with the given causal
+// depth, charging one broadcast.
+func (n *AsyncNetwork) Broadcast(from graph.NodeID, p Payload, depth int) {
+	n.Metrics.Broadcasts++
+	n.Metrics.Bits += p.Bits()
+	n.g.EachNeighbor(from, func(u graph.NodeID) {
+		n.queue = append(n.queue, inflight{to: u, msg: Message{From: from, Payload: p}, depth: depth})
+		n.Metrics.Messages++
+	})
+}
+
+// Pending returns the number of in-flight messages.
+func (n *AsyncNetwork) Pending() int { return len(n.queue) }
+
+// Run delivers messages per the scheduler until the network drains,
+// failing after maxDeliveries. Handlers run atomically per delivery, as in
+// the standard asynchronous model.
+func (n *AsyncNetwork) Run(maxDeliveries int) error {
+	delivered := 0
+	for len(n.queue) > 0 {
+		if delivered >= maxDeliveries {
+			return fmt.Errorf("%w (%d deliveries)", ErrAsyncBudget, delivered)
+		}
+		i := n.sched.Pick(len(n.queue))
+		// Channels are FIFO per (sender, receiver) link, as in the
+		// standard asynchronous model: if an older message on the same
+		// link is still in flight, it is delivered instead.
+		for j := 0; j < i; j++ {
+			if n.queue[j].to == n.queue[i].to && n.queue[j].msg.From == n.queue[i].msg.From {
+				i = j
+				break
+			}
+		}
+		f := n.queue[i]
+		n.queue = append(n.queue[:i], n.queue[i+1:]...)
+		delivered++
+
+		proc, ok := n.procs[f.to]
+		if !ok {
+			continue // recipient departed while the message was in flight
+		}
+		// A delivery at depth d extends the causal chain to d+1 hops of
+		// communication when the message was an actual broadcast;
+		// injected events sit at depth 0.
+		depth := f.depth
+		if f.msg.Payload != nil && f.msg.From != graph.None {
+			depth++
+		}
+		if depth > n.Metrics.CausalDepth {
+			n.Metrics.CausalDepth = depth
+		}
+		for _, out := range proc.Handle(f.msg) {
+			if out != nil {
+				n.Broadcast(f.to, out, depth)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+// counterProc relays a hop-limited counter: on receiving intPayload(k>0)
+// it broadcasts k-1. It is pure state, so it is safe under the parallel
+// executor.
+type counterProc struct {
+	received []int
+}
+
+func (p *counterProc) Step(_ int, inbox []Message) Payload {
+	for _, m := range inbox {
+		if v, ok := m.Payload.(intPayload); ok {
+			p.received = append(p.received, int(v))
+			if v > 0 {
+				return intPayload(v - 1)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *counterProc) Quiescent() bool { return true }
+
+// buildRing wires n counter procs in a ring and pokes node 0.
+func buildRing(t *testing.T, workers int, n int) (*Network, []*counterProc) {
+	t.Helper()
+	net := NewNetwork()
+	if workers > 1 {
+		net.SetParallel(workers)
+	}
+	procs := make([]*counterProc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &counterProc{}
+		if err := net.AddNode(graph.NodeID(i), procs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := net.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Inject(0, Message{From: graph.None, Payload: intPayload(12)})
+	return net, procs
+}
+
+// TestParallelRoundsMatchSequential runs the same deterministic protocol
+// under the sequential and goroutine-parallel executors: every proc must
+// see the exact same message history.
+func TestParallelRoundsMatchSequential(t *testing.T) {
+	const n = 32
+	seqNet, seqProcs := buildRing(t, 1, n)
+	parNet, parProcs := buildRing(t, 4, n)
+
+	for round := 0; round < 20; round++ {
+		seqNet.StepRound()
+		parNet.StepRound()
+	}
+	if seqNet.Round() != parNet.Round() {
+		t.Fatalf("round counters differ: %d vs %d", seqNet.Round(), parNet.Round())
+	}
+	if seqNet.Metrics != parNet.Metrics {
+		t.Fatalf("metrics differ: %v vs %v", seqNet.Metrics, parNet.Metrics)
+	}
+	for i := range seqProcs {
+		a, b := seqProcs[i].received, parProcs[i].received
+		if len(a) != len(b) {
+			t.Fatalf("proc %d histories differ: %v vs %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("proc %d histories differ at %d: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	net := NewNetwork()
+	if err := net.AddNode(1, &counterProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(2, &counterProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Graph().HasEdge(1, 2) {
+		t.Error("Graph accessor inconsistent")
+	}
+	if err := net.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph().HasEdge(1, 2) {
+		t.Error("edge survives RemoveEdge")
+	}
+	if net.Round() != 0 {
+		t.Error("fresh network round != 0")
+	}
+	net.StepRound()
+	if net.Round() != 1 {
+		t.Error("Round not advancing")
+	}
+}
+
+func TestAsyncNetworkAccessors(t *testing.T) {
+	net := NewAsyncNetwork(nil)
+	a := &asyncEcho{hops: 1}
+	if err := net.AddNode(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(2, &asyncEcho{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if net.Proc(1) != a {
+		t.Error("Proc accessor inconsistent")
+	}
+	if !net.Graph().HasEdge(1, 2) {
+		t.Error("Graph accessor inconsistent")
+	}
+	net.Inject(1, Message{From: graph.None, Payload: intPayload(0)})
+	if net.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", net.Pending())
+	}
+	if err := net.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if net.Proc(2) != nil {
+		t.Error("proc survives RemoveNode")
+	}
+	if err := net.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if net.Pending() != 0 {
+		t.Error("queue not drained")
+	}
+}

@@ -1,0 +1,272 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+// intPayload is a trivial payload for tests.
+type intPayload int
+
+func (intPayload) Bits() int { return 8 }
+
+// echoProc broadcasts a counter once when poked, then stays quiet. If
+// chain > 0 it re-broadcasts on every received non-event message,
+// decrementing chain — building a causal chain of known length.
+type echoProc struct {
+	poked bool
+	chain int
+	seen  []Message
+}
+
+func (p *echoProc) Step(_ int, inbox []Message) Payload {
+	p.seen = append(p.seen, inbox...)
+	for _, m := range inbox {
+		if m.From == graph.None {
+			p.poked = true
+		} else if p.chain > 0 {
+			p.chain--
+			return intPayload(p.chain)
+		}
+	}
+	if p.poked {
+		p.poked = false
+		return intPayload(100)
+	}
+	return nil
+}
+
+func (p *echoProc) Quiescent() bool { return !p.poked }
+
+func TestNetworkBroadcastDelivery(t *testing.T) {
+	n := NewNetwork()
+	a, b, c := &echoProc{}, &echoProc{}, &echoProc{}
+	for id, p := range map[graph.NodeID]Proc{1: a, 2: b, 3: c} {
+		if err := n.AddNode(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Quiet() {
+		t.Fatal("fresh network should be quiet")
+	}
+	n.Inject(1, Message{From: graph.None, Payload: intPayload(0)})
+	rounds, err := n.RunUntilQuiet(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 {
+		t.Fatal("expected at least one round")
+	}
+	// Node 1 broadcast once; 2 and 3 each received it.
+	if n.Metrics.Broadcasts != 1 {
+		t.Errorf("broadcasts = %d, want 1", n.Metrics.Broadcasts)
+	}
+	if n.Metrics.Messages != 2 {
+		t.Errorf("messages = %d, want 2", n.Metrics.Messages)
+	}
+	if n.Metrics.Bits != 8 {
+		t.Errorf("bits = %d, want 8", n.Metrics.Bits)
+	}
+	if len(b.seen) != 1 || b.seen[0].From != 1 {
+		t.Errorf("node 2 saw %v", b.seen)
+	}
+	if len(c.seen) != 1 {
+		t.Errorf("node 3 saw %v", c.seen)
+	}
+}
+
+func TestNetworkTopologyErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddNode(1, &echoProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(1, &echoProc{}); !errors.Is(err, graph.ErrNodeExists) {
+		t.Errorf("dup AddNode err = %v", err)
+	}
+	if err := n.RemoveNode(9); !errors.Is(err, graph.ErrNoNode) {
+		t.Errorf("RemoveNode err = %v", err)
+	}
+	if err := n.AddEdge(1, 9); !errors.Is(err, graph.ErrNoNode) {
+		t.Errorf("AddEdge err = %v", err)
+	}
+	if err := n.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if n.Proc(1) != nil {
+		t.Error("proc survives node removal")
+	}
+}
+
+// stuckProc never quiesces — RunUntilQuiet must fail cleanly.
+type stuckProc struct{}
+
+func (stuckProc) Step(int, []Message) Payload { return nil }
+func (stuckProc) Quiescent() bool             { return false }
+
+func TestRunUntilQuietBudget(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddNode(1, stuckProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunUntilQuiet(5); !errors.Is(err, ErrNotQuiet) {
+		t.Errorf("err = %v, want ErrNotQuiet", err)
+	}
+}
+
+func TestRemovedNodeDropsPendingInbox(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddNode(1, &echoProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(1, Message{From: graph.None, Payload: intPayload(0)})
+	if err := n.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Quiet() {
+		t.Error("network should be quiet after removing the only busy node")
+	}
+}
+
+// asyncEcho chains: on each delivery it re-broadcasts until hops runs out.
+type asyncEcho struct {
+	hops int
+}
+
+func (p *asyncEcho) Handle(m Message) []Payload {
+	if p.hops <= 0 {
+		return nil
+	}
+	p.hops--
+	return []Payload{intPayload(p.hops)}
+}
+
+func TestAsyncCausalDepth(t *testing.T) {
+	n := NewAsyncNetwork(FIFOScheduler{})
+	// Path 1-2-3-4; injection at 1 ripples right with depth 3.
+	procs := map[graph.NodeID]*asyncEcho{1: {hops: 1}, 2: {hops: 1}, 3: {hops: 1}, 4: {hops: 0}}
+	for id, p := range procs {
+		if err := n.AddNode(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]graph.NodeID{{1, 2}, {2, 3}, {3, 4}} {
+		if err := n.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Inject(1, Message{From: graph.None, Payload: intPayload(0)})
+	if err := n.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// 1 broadcasts (depth 1 on delivery), 2 re-broadcasts (depth 2),
+	// 3 re-broadcasts (depth 3), 4 consumes.
+	if n.Metrics.CausalDepth != 3 {
+		t.Errorf("causal depth = %d, want 3", n.Metrics.CausalDepth)
+	}
+	if n.Metrics.Broadcasts != 3 {
+		t.Errorf("broadcasts = %d, want 3", n.Metrics.Broadcasts)
+	}
+}
+
+func TestAsyncBudget(t *testing.T) {
+	n := NewAsyncNetwork(nil)
+	a, b := &asyncEcho{hops: 1 << 30}, &asyncEcho{hops: 1 << 30}
+	if err := n.AddNode(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(1, Message{From: graph.None, Payload: intPayload(0)})
+	if err := n.Run(50); !errors.Is(err, ErrAsyncBudget) {
+		t.Errorf("err = %v, want ErrAsyncBudget", err)
+	}
+}
+
+// fifoRecorder records the payload order it receives from each sender.
+type fifoRecorder struct {
+	got []int
+}
+
+func (p *fifoRecorder) Handle(m Message) []Payload {
+	if v, ok := m.Payload.(intPayload); ok && m.From != graph.None {
+		p.got = append(p.got, int(v))
+	}
+	return nil
+}
+
+// burstProc sends three numbered broadcasts when poked.
+type burstProc struct{}
+
+func (burstProc) Handle(m Message) []Payload {
+	if m.From == graph.None {
+		return []Payload{intPayload(1), intPayload(2), intPayload(3)}
+	}
+	return nil
+}
+
+func TestAsyncPerLinkFIFO(t *testing.T) {
+	// Even under LIFO scheduling, messages on one link must arrive in
+	// send order.
+	n := NewAsyncNetwork(LIFOScheduler{})
+	rec := &fifoRecorder{}
+	if err := n.AddNode(1, burstProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(2, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(1, Message{From: graph.None, Payload: intPayload(0)})
+	if err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.got) != 3 || rec.got[0] != 1 || rec.got[1] != 2 || rec.got[2] != 3 {
+		t.Errorf("delivery order %v, want [1 2 3]", rec.got)
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	if (FIFOScheduler{}).Pick(5) != 0 {
+		t.Error("FIFO should pick 0")
+	}
+	if (LIFOScheduler{}).Pick(5) != 4 {
+		t.Error("LIFO should pick n-1")
+	}
+	rs := &RandomScheduler{Rng: rand.New(rand.NewPCG(1, 1))}
+	for i := 0; i < 100; i++ {
+		if p := rs.Pick(7); p < 0 || p >= 7 {
+			t.Fatalf("random pick %d out of range", p)
+		}
+	}
+}
+
+func TestMetricsAddAndString(t *testing.T) {
+	a := Metrics{Broadcasts: 1, Messages: 2, Bits: 3, CausalDepth: 4}
+	b := Metrics{Broadcasts: 10, Messages: 20, Bits: 30, CausalDepth: 2}
+	a.Add(b)
+	if a.Broadcasts != 11 || a.Messages != 22 || a.Bits != 33 || a.CausalDepth != 4 {
+		t.Errorf("Add result %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+	a.Reset()
+	if a != (Metrics{}) {
+		t.Error("Reset incomplete")
+	}
+}

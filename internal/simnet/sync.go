@@ -1,0 +1,217 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynmis/internal/graph"
+)
+
+// Proc is a synchronous protocol node. The network drives it once per
+// round; it must touch only its own state and the delivered messages, which
+// is what makes the optional goroutine-parallel round execution safe and
+// deterministic.
+type Proc interface {
+	// Step consumes the messages delivered in this round (broadcast by
+	// neighbors in the previous round, or injected) and returns the
+	// payload to broadcast to all current neighbors, or nil for silence.
+	Step(round int, inbox []Message) Payload
+	// Quiescent reports whether the node is passive: it will not act in
+	// a future round unless a new message arrives.
+	Quiescent() bool
+}
+
+// ErrNotQuiet is returned when RunUntilQuiet exceeds its round budget,
+// which indicates a protocol bug (the paper's recovery always terminates).
+var ErrNotQuiet = errors.New("simnet: network did not quiesce")
+
+// Network is the synchronous broadcast network. The zero value is not
+// usable; call NewNetwork.
+type Network struct {
+	g     *graph.Graph
+	procs map[graph.NodeID]Proc
+	inbox map[graph.NodeID][]Message
+	round int
+
+	// Metrics accumulates costs; callers reset it per topology change.
+	Metrics Metrics
+
+	// Fault, if non-nil, is consulted for every point-to-point delivery
+	// of a broadcast; returning true drops that copy. The paper's model
+	// assumes reliable links — the fault hook exists to let tests
+	// demonstrate that the protocol's correctness genuinely depends on
+	// that assumption (dropped messages are counted in Metrics.Dropped).
+	Fault func(from, to graph.NodeID, p Payload) bool
+
+	// OnRound, if non-nil, is invoked after every executed round with
+	// the global round number — the hook behind execution tracing.
+	OnRound func(round int)
+
+	workers int
+}
+
+// NewNetwork returns an empty synchronous network.
+func NewNetwork() *Network {
+	return &Network{
+		g:     graph.New(),
+		procs: make(map[graph.NodeID]Proc),
+		inbox: make(map[graph.NodeID][]Message),
+	}
+}
+
+// SetParallel enables goroutine-parallel round execution with the given
+// worker count (values below 2 select the sequential path). Parallel and
+// sequential execution are bit-for-bit identical because rounds are
+// barrier-synchronized and procs are isolated.
+func (n *Network) SetParallel(workers int) { n.workers = workers }
+
+// Graph exposes the live communication topology (read-only for callers).
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Round returns the number of rounds executed since construction.
+func (n *Network) Round() int { return n.round }
+
+// Proc returns the proc registered at v, or nil.
+func (n *Network) Proc(v graph.NodeID) Proc { return n.procs[v] }
+
+// AddNode attaches a proc at a fresh node.
+func (n *Network) AddNode(v graph.NodeID, p Proc) error {
+	if err := n.g.AddNode(v); err != nil {
+		return err
+	}
+	n.procs[v] = p
+	return nil
+}
+
+// RemoveNode detaches v abruptly: pending deliveries to it are dropped.
+func (n *Network) RemoveNode(v graph.NodeID) error {
+	if err := n.g.RemoveNode(v); err != nil {
+		return err
+	}
+	delete(n.procs, v)
+	delete(n.inbox, v)
+	return nil
+}
+
+// AddEdge and RemoveEdge mutate the communication topology.
+func (n *Network) AddEdge(u, v graph.NodeID) error    { return n.g.AddEdge(u, v) }
+func (n *Network) RemoveEdge(u, v graph.NodeID) error { return n.g.RemoveEdge(u, v) }
+
+// Inject delivers a control event to v in the next round. It models local
+// physical-layer detection (e.g. "the edge to u vanished") and costs no
+// communication.
+func (n *Network) Inject(to graph.NodeID, m Message) {
+	n.inbox[to] = append(n.inbox[to], m)
+}
+
+// Broadcast queues p from v to all of v's current neighbors for delivery
+// in the next round, charging one broadcast and p.Bits() bits.
+func (n *Network) Broadcast(from graph.NodeID, p Payload) {
+	n.Metrics.Broadcasts++
+	n.Metrics.Bits += p.Bits()
+	n.g.EachNeighbor(from, func(u graph.NodeID) {
+		if n.Fault != nil && n.Fault(from, u, p) {
+			n.Metrics.Dropped++
+			return
+		}
+		n.inbox[u] = append(n.inbox[u], Message{From: from, Payload: p})
+		n.Metrics.Messages++
+	})
+}
+
+// pendingDeliveries reports whether any inbox is non-empty.
+func (n *Network) pendingDeliveries() bool {
+	for _, msgs := range n.inbox {
+		if len(msgs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiet reports whether the network is stable: no pending deliveries and
+// every proc quiescent.
+func (n *Network) Quiet() bool {
+	if n.pendingDeliveries() {
+		return false
+	}
+	for _, p := range n.procs {
+		if !p.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// StepRound executes one synchronous round: deliver all pending messages,
+// step every proc, and queue the returned broadcasts for the next round.
+func (n *Network) StepRound() {
+	n.round++
+	delivered := n.inbox
+	n.inbox = make(map[graph.NodeID][]Message)
+
+	ids := make([]graph.NodeID, 0, len(n.procs))
+	for v := range n.procs {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	outs := make([]Payload, len(ids))
+	if n.workers >= 2 && len(ids) >= 2*n.workers {
+		var wg sync.WaitGroup
+		chunk := (len(ids) + n.workers - 1) / n.workers
+		for w := 0; w < n.workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(ids))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					v := ids[i]
+					// Sort inbox for determinism regardless of
+					// enqueue order within the previous round.
+					outs[i] = n.procs[v].Step(n.round, sortedInbox(delivered[v]))
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i, v := range ids {
+			outs[i] = n.procs[v].Step(n.round, sortedInbox(delivered[v]))
+		}
+	}
+
+	for i, v := range ids {
+		if outs[i] != nil {
+			n.Broadcast(v, outs[i])
+		}
+	}
+	if n.OnRound != nil {
+		n.OnRound(n.round)
+	}
+}
+
+// sortedInbox orders messages by sender for deterministic processing.
+func sortedInbox(msgs []Message) []Message {
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	return msgs
+}
+
+// RunUntilQuiet steps rounds until the network is stable, returning the
+// number of rounds executed. It fails with ErrNotQuiet after maxRounds.
+func (n *Network) RunUntilQuiet(maxRounds int) (int, error) {
+	rounds := 0
+	for !n.Quiet() {
+		if rounds >= maxRounds {
+			return rounds, fmt.Errorf("%w after %d rounds", ErrNotQuiet, rounds)
+		}
+		n.StepRound()
+		rounds++
+	}
+	return rounds, nil
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestSeriesMoments(t *testing.T) {
+	var s Series
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Sum()-40) > 1e-12 {
+		t.Errorf("sum = %v", s.Sum())
+	}
+}
+
+func TestSeriesEmptyAndSingle(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Error("empty series should be all zeros")
+	}
+	s.ObserveInt(7)
+	if s.Mean() != 7 || s.Var() != 0 {
+		t.Errorf("single observation: mean=%v var=%v", s.Mean(), s.Var())
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSeriesCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var small, large Series
+	for i := 0; i < 100; i++ {
+		small.Observe(rng.Float64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Observe(rng.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+	if math.Abs(large.Mean()-0.5) > 0.02 {
+		t.Errorf("uniform mean = %v", large.Mean())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E0: demo", "n", "mean adj", "note")
+	tb.AddRow(100, 1.0325, "ok")
+	tb.AddRow(2000, 0.98, "also ok")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"E0: demo", "mean adj", "1.032", "2000", "also ok", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,67 @@
+// Package viz renders maintained structures to Graphviz DOT, the
+// debugging companion of cmd/trace: MIS members are filled, protocol
+// states are color-coded, cluster assignments become node groups.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// MISDot writes a DOT rendering of g with MIS members filled.
+func MISDot(w io.Writer, g *graph.Graph, state map[graph.NodeID]core.Membership, title string) {
+	fmt.Fprintf(w, "graph mis {\n")
+	if title != "" {
+		fmt.Fprintf(w, "  label=%q;\n", title)
+	}
+	fmt.Fprintf(w, "  node [shape=circle];\n")
+	for _, v := range g.Nodes() {
+		if state[v] == core.In {
+			fmt.Fprintf(w, "  n%d [label=\"%d\", style=filled, fillcolor=black, fontcolor=white];\n", v, v)
+		} else {
+			fmt.Fprintf(w, "  n%d [label=\"%d\"];\n", v, v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(w, "  n%d -- n%d;\n", e[0], e[1])
+	}
+	fmt.Fprintf(w, "}\n")
+}
+
+// ClustersDot writes a DOT rendering with one subgraph cluster per pivot.
+func ClustersDot(w io.Writer, g *graph.Graph, assign map[graph.NodeID]graph.NodeID, title string) {
+	fmt.Fprintf(w, "graph clusters {\n")
+	if title != "" {
+		fmt.Fprintf(w, "  label=%q;\n", title)
+	}
+	byHead := map[graph.NodeID][]graph.NodeID{}
+	for v, h := range assign {
+		byHead[h] = append(byHead[h], v)
+	}
+	heads := make([]graph.NodeID, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, h := range heads {
+		members := byHead[h]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=\"pivot %d\";\n", h, h)
+		for _, v := range members {
+			if v == h {
+				fmt.Fprintf(w, "    n%d [label=\"%d\", style=filled];\n", v, v)
+			} else {
+				fmt.Fprintf(w, "    n%d [label=\"%d\"];\n", v, v)
+			}
+		}
+		fmt.Fprintf(w, "  }\n")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(w, "  n%d -- n%d;\n", e[0], e[1])
+	}
+	fmt.Fprintf(w, "}\n")
+}

@@ -1,0 +1,49 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/workload"
+)
+
+func TestMISDot(t *testing.T) {
+	eng := core.NewTemplate(1)
+	if _, err := eng.ApplyAll(workload.Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	MISDot(&sb, eng.Graph(), eng.State(), "demo")
+	out := sb.String()
+	for _, want := range []string{"graph mis {", `label="demo"`, "n0 -- n1", "fillcolor=black", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Every node appears, filled count equals the MIS size.
+	if got := strings.Count(out, "fillcolor=black"); got != len(eng.MIS()) {
+		t.Errorf("filled nodes %d != |MIS| %d", got, len(eng.MIS()))
+	}
+}
+
+func TestClustersDot(t *testing.T) {
+	eng := core.NewTemplate(2)
+	if _, err := eng.ApplyAll(workload.Star(5)); err != nil {
+		t.Fatal(err)
+	}
+	assign := core.GreedyClusters(eng.Graph(), eng.Order(), eng.State())
+	var sb strings.Builder
+	ClustersDot(&sb, eng.Graph(), assign, "clusters")
+	out := sb.String()
+	if !strings.Contains(out, "subgraph cluster_") {
+		t.Errorf("no cluster subgraphs:\n%s", out)
+	}
+	heads := map[any]bool{}
+	for _, h := range assign {
+		heads[h] = true
+	}
+	if got := strings.Count(out, "subgraph cluster_"); got != len(heads) {
+		t.Errorf("cluster count %d != pivot count %d", got, len(heads))
+	}
+}

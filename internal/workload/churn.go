@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// ChurnOptions tunes RandomChurn. Weights need not sum to 1; they are
+// normalized. The oblivious-adversary assumption of the paper is honored
+// by construction: the sequence is generated without any knowledge of the
+// algorithm's randomness.
+type ChurnOptions struct {
+	// Steps is the number of changes to generate.
+	Steps int
+	// NodeInsertWeight .. EdgeDeleteWeight set the change mix.
+	NodeInsertWeight float64
+	NodeDeleteWeight float64
+	EdgeInsertWeight float64
+	EdgeDeleteWeight float64
+	// AbruptFraction is the probability that a deletion is abrupt
+	// rather than graceful.
+	AbruptFraction float64
+	// AttachProb is the probability that a fresh node attaches to each
+	// existing node (so mean attach degree ≈ AttachProb·n).
+	AttachProb float64
+	// MaxAttach caps a fresh node's attachments (0 = unlimited).
+	MaxAttach int
+}
+
+// DefaultChurn is a balanced mix that keeps the graph size roughly stable.
+func DefaultChurn(steps int) ChurnOptions {
+	return ChurnOptions{
+		Steps:            steps,
+		NodeInsertWeight: 2,
+		NodeDeleteWeight: 2,
+		EdgeInsertWeight: 3,
+		EdgeDeleteWeight: 3,
+		AbruptFraction:   0.5,
+		AttachProb:       0.1,
+		MaxAttach:        16,
+	}
+}
+
+// RandomChurn generates a valid random change sequence starting from the
+// given graph (which is only read — a scratch copy tracks validity). The
+// returned changes can be fed to any engine in order.
+func RandomChurn(rng *rand.Rand, start *graph.Graph, opts ChurnOptions) []graph.Change {
+	g := start.Clone()
+	next := graph.NodeID(0)
+	for _, v := range g.Nodes() {
+		if v >= next {
+			next = v + 1
+		}
+	}
+
+	weights := []float64{
+		opts.NodeInsertWeight,
+		opts.NodeDeleteWeight,
+		opts.EdgeInsertWeight,
+		opts.EdgeDeleteWeight,
+	}
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	if totalW == 0 {
+		return nil
+	}
+
+	pickOp := func() int {
+		x := rng.Float64() * totalW
+		for i, w := range weights {
+			if x < w {
+				return i
+			}
+			x -= w
+		}
+		return len(weights) - 1
+	}
+
+	var cs []graph.Change
+	for len(cs) < opts.Steps {
+		nodes := g.Nodes()
+		var c graph.Change
+		switch pickOp() {
+		case 0: // node insert
+			var nbrs []graph.NodeID
+			for _, v := range nodes {
+				if rng.Float64() < opts.AttachProb {
+					nbrs = append(nbrs, v)
+					if opts.MaxAttach > 0 && len(nbrs) >= opts.MaxAttach {
+						break
+					}
+				}
+			}
+			c = graph.NodeChange(graph.NodeInsert, next, nbrs...)
+			next++
+		case 1: // node delete
+			if len(nodes) == 0 {
+				continue
+			}
+			kind := graph.NodeDeleteGraceful
+			if rng.Float64() < opts.AbruptFraction {
+				kind = graph.NodeDeleteAbrupt
+			}
+			c = graph.NodeChange(kind, nodes[rng.IntN(len(nodes))])
+		case 2: // edge insert
+			if len(nodes) < 2 {
+				continue
+			}
+			u := nodes[rng.IntN(len(nodes))]
+			v := nodes[rng.IntN(len(nodes))]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			c = graph.EdgeChange(graph.EdgeInsert, u, v)
+		default: // edge delete
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.IntN(len(es))]
+			kind := graph.EdgeDeleteGraceful
+			if rng.Float64() < opts.AbruptFraction {
+				kind = graph.EdgeDeleteAbrupt
+			}
+			c = graph.EdgeChange(kind, e[0], e[1])
+		}
+		if err := c.Apply(g); err != nil {
+			panic("workload: generated invalid change: " + err.Error())
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// EdgeChurn generates a sequence of single-edge changes (insert or delete
+// with equal probability) that keeps the graph connected to its starting
+// density; it is the workload for the per-change-type cost experiments.
+func EdgeChurn(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change {
+	g := start.Clone()
+	nodes := g.Nodes()
+	var cs []graph.Change
+	for len(cs) < steps && len(nodes) >= 2 {
+		if rng.IntN(2) == 0 {
+			u := nodes[rng.IntN(len(nodes))]
+			v := nodes[rng.IntN(len(nodes))]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			c := graph.EdgeChange(graph.EdgeInsert, u, v)
+			mustApply(c, g)
+			cs = append(cs, c)
+		} else {
+			es := g.Edges()
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.IntN(len(es))]
+			c := graph.EdgeChange(graph.EdgeDeleteGraceful, e[0], e[1])
+			mustApply(c, g)
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+func mustApply(c graph.Change, g *graph.Graph) {
+	if err := c.Apply(g); err != nil {
+		panic("workload: generated invalid change: " + err.Error())
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// UnitDisk generates a random geometric graph: n points uniform in the
+// unit square, an edge between every pair at distance ≤ radius. It is the
+// standard model for wireless sensor fields and ad-hoc radio networks —
+// the deployment setting the paper's mute/unmute change type is designed
+// for. Node v's ID is its index; Positions returns the layout for callers
+// that want to drive geometry-aware churn.
+func UnitDisk(rng *rand.Rand, n int, radius float64) []graph.Change {
+	g, _ := unitDisk(rng, n, radius)
+	return InsertionSequence(g)
+}
+
+// UnitDiskWithPositions is UnitDisk but also returns the point layout,
+// indexed by node ID.
+func UnitDiskWithPositions(rng *rand.Rand, n int, radius float64) ([]graph.Change, [][2]float64) {
+	g, pos := unitDisk(rng, n, radius)
+	return InsertionSequence(g), pos
+}
+
+func unitDisk(rng *rand.Rand, n int, radius float64) (*graph.Graph, [][2]float64) {
+	pos := make([][2]float64, n)
+	g := graph.New()
+	for v := 0; v < n; v++ {
+		pos[v] = [2]float64{rng.Float64(), rng.Float64()}
+		mustAddNode(g, graph.NodeID(v))
+	}
+	r2 := radius * radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := pos[u][0] - pos[v][0]
+			dy := pos[u][1] - pos[v][1]
+			if dx*dx+dy*dy <= r2 {
+				mustAddEdge(g, graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return g, pos
+}
+
+// Barabasi generates a preferential-attachment graph: nodes arrive one at
+// a time and attach m edges to existing nodes chosen proportionally to
+// their degree (plus one). It yields the heavy-tailed degree
+// distributions typical of real overlay and social networks, stressing
+// the hub-deletion paths of the algorithm.
+func Barabasi(rng *rand.Rand, n, m int) []graph.Change {
+	if m < 1 {
+		m = 1
+	}
+	g := graph.New()
+	// Degree-proportional sampling via a repeated-endpoints urn.
+	var urn []graph.NodeID
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		mustAddNode(g, id)
+		attach := make(map[graph.NodeID]bool)
+		for len(attach) < m && len(attach) < v {
+			var target graph.NodeID
+			if len(urn) == 0 {
+				target = graph.NodeID(rng.IntN(v))
+			} else {
+				target = urn[rng.IntN(len(urn))]
+			}
+			if target != id {
+				attach[target] = true
+			}
+		}
+		for u := range attach {
+			mustAddEdge(g, id, u)
+			urn = append(urn, id, u)
+		}
+		urn = append(urn, id)
+	}
+	return InsertionSequence(g)
+}
+
+// ExpectedUnitDiskDegree returns the expected degree n·π·r² (ignoring
+// border effects), a helper for choosing radii in experiments.
+func ExpectedUnitDiskDegree(n int, radius float64) float64 {
+	return float64(n) * math.Pi * radius * radius
+}

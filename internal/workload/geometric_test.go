@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestUnitDiskShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	cs, pos := UnitDiskWithPositions(rng, 200, 0.12)
+	g := BuildGraph(cs)
+	if g.NodeCount() != 200 || len(pos) != 200 {
+		t.Fatalf("n=%d positions=%d", g.NodeCount(), len(pos))
+	}
+	// Every edge must respect the radius; every non-edge must exceed it.
+	r2 := 0.12 * 0.12
+	for _, e := range g.Edges() {
+		dx := pos[e[0]][0] - pos[e[1]][0]
+		dy := pos[e[0]][1] - pos[e[1]][1]
+		if dx*dx+dy*dy > r2+1e-12 {
+			t.Fatalf("edge %v exceeds radius", e)
+		}
+	}
+	// Mean degree should be near n·π·r² (border effects shrink it a bit).
+	want := ExpectedUnitDiskDegree(200, 0.12)
+	got := 2 * float64(g.EdgeCount()) / 200
+	if got > want || got < want*0.5 {
+		t.Errorf("mean degree %.2f, expected a bit under %.2f", got, want)
+	}
+}
+
+func TestUnitDiskExtremes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	if g := BuildGraph(UnitDisk(rng, 30, 0)); g.EdgeCount() != 0 {
+		t.Error("radius 0 should give no edges")
+	}
+	if g := BuildGraph(UnitDisk(rng, 30, math.Sqrt2)); g.EdgeCount() != 30*29/2 {
+		t.Errorf("radius √2 should give the complete graph, got m=%d", g.EdgeCount())
+	}
+}
+
+func TestBarabasiShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	g := BuildGraph(Barabasi(rng, 300, 2))
+	if g.NodeCount() != 300 {
+		t.Fatalf("n=%d", g.NodeCount())
+	}
+	// Roughly m edges per arriving node (after the first few).
+	if m := g.EdgeCount(); m < 500 || m > 600 {
+		t.Errorf("m=%d, want ≈ 2·(n-1)", m)
+	}
+	// Preferential attachment must produce a hub noticeably above the
+	// mean degree.
+	mean := 2 * float64(g.EdgeCount()) / 300
+	if float64(g.MaxDegree()) < 3*mean {
+		t.Errorf("max degree %d not hub-like (mean %.1f)", g.MaxDegree(), mean)
+	}
+}
+
+func TestBarabasiMinimumM(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := BuildGraph(Barabasi(rng, 50, 0)) // clamped to 1
+	if g.EdgeCount() < 45 {
+		t.Errorf("m clamped to 1 should give ≈ n-1 edges, got %d", g.EdgeCount())
+	}
+}

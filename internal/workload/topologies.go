@@ -1,0 +1,192 @@
+// Package workload builds the topologies and dynamic change sequences used
+// by the paper's examples and by the experiment harness: G(n,p) graphs,
+// stars (§5 Example 1), disjoint 3-edge paths (Example 2), complete
+// bipartite graphs minus a perfect matching (Example 3), the K_{k,k}
+// lower-bound gadget (§1.1), and randomized churn sequences for the
+// fully dynamic setting.
+//
+// All builders return change sequences (not graphs) so they can drive any
+// engine; BuildGraph materializes a sequence when a static graph is
+// needed.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// BuildGraph applies a change sequence to an empty graph and returns the
+// result. It panics on invalid sequences: builders in this package are
+// expected to produce valid ones.
+func BuildGraph(cs []graph.Change) *graph.Graph {
+	g := graph.New()
+	for _, c := range cs {
+		if err := c.Apply(g); err != nil {
+			panic(fmt.Sprintf("workload: invalid generated sequence: %v", err))
+		}
+	}
+	return g
+}
+
+// InsertionSequence turns an existing graph into the change sequence that
+// constructs it: one node insertion per node (in ascending ID order)
+// carrying its edges to already-inserted neighbors.
+func InsertionSequence(g *graph.Graph) []graph.Change {
+	var cs []graph.Change
+	seen := make(map[graph.NodeID]bool, g.NodeCount())
+	for _, v := range g.Nodes() {
+		var nbrs []graph.NodeID
+		for _, u := range g.Neighbors(v) {
+			if seen[u] {
+				nbrs = append(nbrs, u)
+			}
+		}
+		cs = append(cs, graph.NodeChange(graph.NodeInsert, v, nbrs...))
+		seen[v] = true
+	}
+	return cs
+}
+
+// GNP generates an Erdős–Rényi G(n,p) graph with nodes 0..n-1 as an
+// insertion sequence.
+func GNP(rng *rand.Rand, n int, p float64) []graph.Change {
+	g := graph.New()
+	for v := 0; v < n; v++ {
+		mustAddNode(g, graph.NodeID(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				mustAddEdge(g, graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return InsertionSequence(g)
+}
+
+// Star generates a star with center 0 and n-1 leaves (§5 Example 1).
+func Star(n int) []graph.Change {
+	cs := []graph.Change{graph.NodeChange(graph.NodeInsert, 0)}
+	for v := 1; v < n; v++ {
+		cs = append(cs, graph.NodeChange(graph.NodeInsert, graph.NodeID(v), 0))
+	}
+	return cs
+}
+
+// Path generates a simple path on n nodes 0-1-…-(n-1).
+func Path(n int) []graph.Change {
+	var cs []graph.Change
+	for v := 0; v < n; v++ {
+		if v == 0 {
+			cs = append(cs, graph.NodeChange(graph.NodeInsert, 0))
+		} else {
+			cs = append(cs, graph.NodeChange(graph.NodeInsert, graph.NodeID(v), graph.NodeID(v-1)))
+		}
+	}
+	return cs
+}
+
+// Cycle generates a cycle on n ≥ 3 nodes.
+func Cycle(n int) []graph.Change {
+	cs := Path(n)
+	cs = append(cs, graph.EdgeChange(graph.EdgeInsert, 0, graph.NodeID(n-1)))
+	return cs
+}
+
+// Grid generates a w×h grid graph; node (x,y) has ID y*w+x.
+func Grid(w, h int) []graph.Change {
+	g := graph.New()
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			mustAddNode(g, id(x, y))
+			if x > 0 {
+				mustAddEdge(g, id(x-1, y), id(x, y))
+			}
+			if y > 0 {
+				mustAddEdge(g, id(x, y-1), id(x, y))
+			}
+		}
+	}
+	return InsertionSequence(g)
+}
+
+// ThreePaths generates paths/4 disjoint 3-edge paths (4 nodes each), the
+// G_{3paths} family of §5 Example 2. IDs are consecutive per path.
+func ThreePaths(paths int) []graph.Change {
+	var cs []graph.Change
+	for p := 0; p < paths; p++ {
+		base := graph.NodeID(4 * p)
+		cs = append(cs,
+			graph.NodeChange(graph.NodeInsert, base),
+			graph.NodeChange(graph.NodeInsert, base+1, base),
+			graph.NodeChange(graph.NodeInsert, base+2, base+1),
+			graph.NodeChange(graph.NodeInsert, base+3, base+2),
+		)
+	}
+	return cs
+}
+
+// CompleteBipartite generates K_{k,k}: side L is IDs 0..k-1, side R is IDs
+// k..2k-1 (the §1.1 lower-bound gadget).
+func CompleteBipartite(k int) []graph.Change {
+	g := graph.New()
+	for v := 0; v < 2*k; v++ {
+		mustAddNode(g, graph.NodeID(v))
+	}
+	for l := 0; l < k; l++ {
+		for r := k; r < 2*k; r++ {
+			mustAddEdge(g, graph.NodeID(l), graph.NodeID(r))
+		}
+	}
+	return InsertionSequence(g)
+}
+
+// BipartiteMinusMatching generates the §5 Example 3 graph: a complete
+// bipartite graph on sides {0..n/2-1} and {n/2..n-1} minus the perfect
+// matching pairing u_i with v_i. n must be even.
+func BipartiteMinusMatching(n int) []graph.Change {
+	if n%2 != 0 {
+		panic("workload: BipartiteMinusMatching needs even n")
+	}
+	half := n / 2
+	g := graph.New()
+	for v := 0; v < n; v++ {
+		mustAddNode(g, graph.NodeID(v))
+	}
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			if i == j {
+				continue // the removed perfect matching
+			}
+			mustAddEdge(g, graph.NodeID(i), graph.NodeID(half+j))
+		}
+	}
+	return InsertionSequence(g)
+}
+
+// LowerBoundDeletions returns the adversarial deletion sequence of §1.1
+// for K_{k,k}: delete the nodes of side L (IDs 0..k-1) one by one. Against
+// the deterministic ID-greedy algorithm, the deletion of the last L node
+// flips the entire R side.
+func LowerBoundDeletions(k int) []graph.Change {
+	var cs []graph.Change
+	for l := 0; l < k; l++ {
+		cs = append(cs, graph.NodeChange(graph.NodeDeleteGraceful, graph.NodeID(l)))
+	}
+	return cs
+}
+
+func mustAddNode(g *graph.Graph, v graph.NodeID) {
+	if err := g.AddNode(v); err != nil {
+		panic(err)
+	}
+}
+
+func mustAddEdge(g *graph.Graph, u, v graph.NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+func TestGNPShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := BuildGraph(GNP(rng, 100, 0.1))
+	if g.NodeCount() != 100 {
+		t.Fatalf("n = %d, want 100", g.NodeCount())
+	}
+	// Expected edges = p * C(100,2) = 495; allow wide slack.
+	if m := g.EdgeCount(); m < 300 || m > 700 {
+		t.Errorf("m = %d, far from expectation 495", m)
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	if g := BuildGraph(GNP(rng, 20, 0)); g.EdgeCount() != 0 {
+		t.Error("p=0 should give no edges")
+	}
+	if g := BuildGraph(GNP(rng, 20, 1)); g.EdgeCount() != 20*19/2 {
+		t.Errorf("p=1 should give complete graph, got m=%d", g.EdgeCount())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := BuildGraph(Star(10))
+	if g.NodeCount() != 10 || g.EdgeCount() != 9 {
+		t.Fatalf("star(10) = %v", g)
+	}
+	if g.Degree(0) != 9 {
+		t.Errorf("center degree = %d, want 9", g.Degree(0))
+	}
+	for v := graph.NodeID(1); v < 10; v++ {
+		if g.Degree(v) != 1 {
+			t.Errorf("leaf %d degree = %d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	p := BuildGraph(Path(6))
+	if p.NodeCount() != 6 || p.EdgeCount() != 5 {
+		t.Fatalf("path(6) = %v", p)
+	}
+	c := BuildGraph(Cycle(6))
+	if c.NodeCount() != 6 || c.EdgeCount() != 6 {
+		t.Fatalf("cycle(6) = %v", c)
+	}
+	for _, v := range c.Nodes() {
+		if c.Degree(v) != 2 {
+			t.Errorf("cycle node %d degree = %d", v, c.Degree(v))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := BuildGraph(Grid(4, 3))
+	if g.NodeCount() != 12 {
+		t.Fatalf("grid(4,3) n = %d", g.NodeCount())
+	}
+	// Edges: 3 rows × 3 horizontal + 4 cols × 2 vertical = 9 + 8 = 17.
+	if g.EdgeCount() != 17 {
+		t.Errorf("grid(4,3) m = %d, want 17", g.EdgeCount())
+	}
+}
+
+func TestThreePaths(t *testing.T) {
+	g := BuildGraph(ThreePaths(5))
+	if g.NodeCount() != 20 || g.EdgeCount() != 15 {
+		t.Fatalf("3paths(5) = %v", g)
+	}
+	// Each component is a path of 4 nodes: degrees 1,2,2,1.
+	for p := 0; p < 5; p++ {
+		base := graph.NodeID(4 * p)
+		if g.Degree(base) != 1 || g.Degree(base+1) != 2 || g.Degree(base+2) != 2 || g.Degree(base+3) != 1 {
+			t.Errorf("path %d degree profile wrong", p)
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := BuildGraph(CompleteBipartite(4))
+	if g.NodeCount() != 8 || g.EdgeCount() != 16 {
+		t.Fatalf("K44 = %v", g)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(4, 5) {
+		t.Error("intra-side edges present")
+	}
+	if !g.HasEdge(0, 4) {
+		t.Error("cross edge missing")
+	}
+}
+
+func TestBipartiteMinusMatching(t *testing.T) {
+	g := BuildGraph(BipartiteMinusMatching(8))
+	if g.NodeCount() != 8 {
+		t.Fatalf("n = %d", g.NodeCount())
+	}
+	// 4×4 bipartite (16) minus perfect matching (4) = 12 edges.
+	if g.EdgeCount() != 12 {
+		t.Errorf("m = %d, want 12", g.EdgeCount())
+	}
+	if g.HasEdge(0, 4) {
+		t.Error("matched pair (0,4) should have no edge")
+	}
+	if !g.HasEdge(0, 5) {
+		t.Error("cross edge (0,5) missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd n should panic")
+		}
+	}()
+	BipartiteMinusMatching(7)
+}
+
+func TestLowerBoundDeletions(t *testing.T) {
+	g := BuildGraph(CompleteBipartite(3))
+	for _, c := range LowerBoundDeletions(3) {
+		if err := c.Apply(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NodeCount() != 3 || g.EdgeCount() != 0 {
+		t.Errorf("after deletions: %v", g)
+	}
+}
+
+func TestRandomChurnValidAndSized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	start := BuildGraph(GNP(rng, 30, 0.1))
+	cs := RandomChurn(rng, start, DefaultChurn(500))
+	if len(cs) != 500 {
+		t.Fatalf("generated %d changes, want 500", len(cs))
+	}
+	// Replay on a fresh copy: every change must be valid in order.
+	g := start.Clone()
+	for i, c := range cs {
+		if err := c.Apply(g); err != nil {
+			t.Fatalf("change %d (%s): %v", i, c, err)
+		}
+	}
+	// The default mix keeps the graph non-degenerate.
+	if g.NodeCount() == 0 {
+		t.Error("graph died under default churn")
+	}
+}
+
+func TestRandomChurnZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	if cs := RandomChurn(rng, graph.New(), ChurnOptions{Steps: 10}); cs != nil {
+		t.Errorf("zero weights should generate nothing, got %d", len(cs))
+	}
+}
+
+func TestEdgeChurnValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	start := BuildGraph(GNP(rng, 25, 0.15))
+	cs := EdgeChurn(rng, start, 200)
+	if len(cs) != 200 {
+		t.Fatalf("generated %d changes", len(cs))
+	}
+	g := start.Clone()
+	for i, c := range cs {
+		if !c.Kind.IsEdge() {
+			t.Fatalf("change %d is not an edge change: %s", i, c)
+		}
+		if err := c.Apply(g); err != nil {
+			t.Fatalf("change %d: %v", i, c)
+		}
+	}
+	if g.NodeCount() != 25 {
+		t.Error("edge churn must not change the node set")
+	}
+}
+
+func TestInsertionSequenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	g := BuildGraph(GNP(rng, 40, 0.12))
+	h := BuildGraph(InsertionSequence(g))
+	if !g.Equal(h) {
+		t.Error("InsertionSequence does not reconstruct the graph")
+	}
+}
