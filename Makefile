@@ -1,0 +1,34 @@
+# CI entry points for the dynmis reproduction. `make ci` is the gate a
+# commit must pass: static checks, the full test suite under the race
+# detector, and a benchmark smoke run that re-verifies every scenario's
+# final structure against the MIS invariant.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-smoke clean
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-size benchmark: fast, but still exercises all scenarios and both
+# engines and rewrites BENCH_dynmis.json only on success.
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_dynmis_smoke.json
+
+# Full benchmark: regenerates the checked-in BENCH_dynmis.json.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_dynmis.json
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,310 @@
+// Command bench is the unified benchmark harness: it drives every
+// workload scenario (churn, sliding-window, power-law, adversarial
+// deletions) against the sequential and sharded update engines, verifies
+// each final structure as maximal and independent, and emits
+// machine-readable results to BENCH_dynmis.json so the performance
+// trajectory is comparable across commits.
+//
+// Usage:
+//
+//	bench [-n 2000] [-steps 20000] [-shards 1,4,8] [-window 512]
+//	      [-scenarios churn,sliding-window] [-seed 42] [-quick]
+//	      [-out BENCH_dynmis.json]
+//
+// Engines:
+//
+//   - sequential:      core.Template, one recovery cascade per change —
+//     the paper's per-update path.
+//   - sequential-batch: core.Template.ApplyBatch over windows — batched
+//     staging, still a single-threaded cascade.
+//   - sharded-P:       internal/shard with P worker shards, windowed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/shard"
+	"dynmis/internal/workload"
+)
+
+// engineRun is one (scenario, engine) measurement in the emitted JSON.
+type engineRun struct {
+	Engine        string  `json:"engine"`
+	Shards        int     `json:"shards,omitempty"`
+	Window        int     `json:"window,omitempty"`
+	Updates       int     `json:"updates"`
+	Seconds       float64 `json:"seconds"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Adjustments   int     `json:"adjustments"`
+	SSize         int     `json:"s_size"`
+	CrossShard    int     `json:"cross_shard,omitempty"`
+	Verified      bool    `json:"verified"`
+}
+
+type scenarioResult struct {
+	Scenario    string      `json:"scenario"`
+	Description string      `json:"description"`
+	Nodes       int         `json:"initial_nodes"`
+	Engines     []engineRun `json:"engines"`
+}
+
+type benchOutput struct {
+	Schema     string           `json:"schema"`
+	Go         string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Seed       uint64           `json:"seed"`
+	Steps      int              `json:"steps"`
+	Scenarios  []scenarioResult `json:"scenarios"`
+	Headline   headline         `json:"headline"`
+}
+
+// headline is the number the ROADMAP tracks: sharded updates/sec on the
+// churn scenario, against both baselines. speedup (vs the per-update
+// sequential path) mixes the windowed-staging gain with the parallel
+// cascade; speedup_vs_batch (vs the single-threaded batched template)
+// isolates what sharding itself buys, so both are recorded.
+type headline struct {
+	Scenario         string  `json:"scenario"`
+	SequentialPerSec float64 `json:"sequential_updates_per_sec"`
+	BatchPerSec      float64 `json:"sequential_batch_updates_per_sec"`
+	ShardedPerSec    float64 `json:"sharded_updates_per_sec"`
+	ShardedShards    int     `json:"sharded_shards"`
+	Speedup          float64 `json:"speedup"`
+	SpeedupVsBatch   float64 `json:"speedup_vs_batch"`
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 2000, "initial node count (adversarial-deletion is capped at 200)")
+		steps     = flag.Int("steps", 20000, "timed update steps per engine")
+		shardsCSV = flag.String("shards", defaultShards(), "comma-separated shard counts to benchmark")
+		window    = flag.Int("window", shard.DefaultWindow, "batch window for the batched/sharded engines")
+		scenCSV   = flag.String("scenarios", "", "comma-separated scenario names (default: all)")
+		seed      = flag.Uint64("seed", 42, "random seed (engines and workload generation)")
+		quick     = flag.Bool("quick", false, "smoke-test sizes (n=300, steps=3000)")
+		out       = flag.String("out", "BENCH_dynmis.json", "output JSON path")
+	)
+	flag.Parse()
+	if *quick {
+		*n, *steps = 300, 3000
+	}
+
+	scenarios := workload.Scenarios()
+	if *scenCSV != "" {
+		scenarios = scenarios[:0]
+		for _, name := range strings.Split(*scenCSV, ",") {
+			sc, ok := workload.ScenarioByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown scenario %q\n", name)
+				os.Exit(2)
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	shardCounts, err := parseShards(*shardsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	output := benchOutput{
+		Schema:     "dynmis-bench/v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Steps:      *steps,
+	}
+
+	for _, sc := range scenarios {
+		size := *n
+		if sc.Name == "adversarial-deletion" && size > 200 {
+			size = 200 // K_{k,k} warm-up is quadratic in k
+		}
+		rng := rand.New(rand.NewPCG(*seed, 0xbe7c4))
+		build := sc.Build(rng, size)
+		drive := sc.Drive(rng, workload.BuildGraph(build), *steps)
+
+		res := scenarioResult{Scenario: sc.Name, Description: sc.Description, Nodes: size}
+		fmt.Printf("== %s (n=%d, %d updates)\n", sc.Name, size, len(drive))
+
+		res.Engines = append(res.Engines,
+			runSequential(*seed, build, drive),
+			runSequentialBatch(*seed, build, drive, *window))
+		for _, p := range shardCounts {
+			res.Engines = append(res.Engines, runSharded(*seed, build, drive, p, *window))
+		}
+		for _, er := range res.Engines {
+			fmt.Printf("   %-18s %12.0f updates/s  adj=%-6d |S|=%-6d xshard=%-6d verified=%v\n",
+				label(er), er.UpdatesPerSec, er.Adjustments, er.SSize, er.CrossShard, er.Verified)
+			if !er.Verified {
+				fmt.Fprintf(os.Stderr, "FATAL: %s/%s failed MIS verification\n", sc.Name, label(er))
+				os.Exit(1)
+			}
+		}
+		output.Scenarios = append(output.Scenarios, res)
+
+		if sc.Name == "churn" {
+			output.Headline = churnHeadline(res)
+		}
+	}
+
+	if output.Headline.Scenario != "" {
+		h := output.Headline
+		fmt.Printf("\nheadline: churn %0.f updates/s sequential -> %0.f updates/s sharded-%d (%.2fx; %.2fx vs single-threaded batch)\n",
+			h.SequentialPerSec, h.ShardedPerSec, h.ShardedShards, h.Speedup, h.SpeedupVsBatch)
+	}
+
+	data, err := json.MarshalIndent(output, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func defaultShards() string {
+	p := runtime.GOMAXPROCS(0)
+	if p < 4 {
+		p = 4
+	}
+	set := map[int]bool{1: true, 4: true, p: true}
+	var ps []int
+	for q := range set {
+		ps = append(ps, q)
+	}
+	sort.Ints(ps)
+	strs := make([]string, len(ps))
+	for i, q := range ps {
+		strs[i] = strconv.Itoa(q)
+	}
+	return strings.Join(strs, ",")
+}
+
+func parseShards(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func label(er engineRun) string {
+	if er.Shards > 0 {
+		return fmt.Sprintf("%s-%d", er.Engine, er.Shards)
+	}
+	return er.Engine
+}
+
+// verify checks maximality+independence directly and the π-invariant —
+// the acceptance gate every benchmarked engine must pass on every
+// scenario.
+type verifiable interface {
+	Graph() *graph.Graph
+	State() map[graph.NodeID]core.Membership
+	Check() error
+}
+
+func verify(e verifiable) bool {
+	return core.CheckMIS(e.Graph(), e.State()) == nil && e.Check() == nil
+}
+
+func runSequential(seed uint64, build, drive []graph.Change) engineRun {
+	eng := core.NewTemplate(seed)
+	mustApply(eng.ApplyAll(build))
+	start := time.Now()
+	rep, err := eng.ApplyAll(drive)
+	elapsed := time.Since(start)
+	mustApply(rep, err)
+	return result("sequential", 0, 0, len(drive), elapsed, rep, verify(eng))
+}
+
+func runSequentialBatch(seed uint64, build, drive []graph.Change, window int) engineRun {
+	eng := core.NewTemplate(seed)
+	mustApply(eng.ApplyAll(build))
+	var total core.Report
+	start := time.Now()
+	for lo := 0; lo < len(drive); lo += window {
+		hi := min(lo+window, len(drive))
+		rep, err := eng.ApplyBatch(drive[lo:hi])
+		mustApply(rep, err)
+		total.Add(rep)
+	}
+	elapsed := time.Since(start)
+	return result("sequential-batch", 0, window, len(drive), elapsed, total, verify(eng))
+}
+
+func runSharded(seed uint64, build, drive []graph.Change, shards, window int) engineRun {
+	eng := shard.New(seed, shards)
+	eng.SetWindow(window)
+	mustApply(eng.ApplyAll(build))
+	start := time.Now()
+	rep, err := eng.ApplyAll(drive)
+	elapsed := time.Since(start)
+	mustApply(rep, err)
+	return result("sharded", shards, window, len(drive), elapsed, rep, verify(eng))
+}
+
+func result(name string, shards, window, updates int, elapsed time.Duration, rep core.Report, verified bool) engineRun {
+	return engineRun{
+		Engine:        name,
+		Shards:        shards,
+		Window:        window,
+		Updates:       updates,
+		Seconds:       elapsed.Seconds(),
+		UpdatesPerSec: float64(updates) / elapsed.Seconds(),
+		Adjustments:   rep.Adjustments,
+		SSize:         rep.SSize,
+		CrossShard:    rep.CrossShard,
+		Verified:      verified,
+	}
+}
+
+func churnHeadline(res scenarioResult) headline {
+	h := headline{Scenario: res.Scenario}
+	for _, er := range res.Engines {
+		if er.Engine == "sequential" {
+			h.SequentialPerSec = er.UpdatesPerSec
+		}
+		if er.Engine == "sequential-batch" {
+			h.BatchPerSec = er.UpdatesPerSec
+		}
+		if er.Engine == "sharded" && er.Shards >= 4 && er.UpdatesPerSec > h.ShardedPerSec {
+			h.ShardedPerSec = er.UpdatesPerSec
+			h.ShardedShards = er.Shards
+		}
+	}
+	if h.SequentialPerSec > 0 {
+		h.Speedup = h.ShardedPerSec / h.SequentialPerSec
+	}
+	if h.BatchPerSec > 0 {
+		h.SpeedupVsBatch = h.ShardedPerSec / h.BatchPerSec
+	}
+	return h
+}
+
+func mustApply(_ core.Report, err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,10 @@
 //     with the M/M̄/C/R state machine — O(1) rounds and broadcasts.
 //   - EngineAsyncDirect: the direct implementation over an asynchronous
 //     event network with an adversarial scheduler — expected causal depth 1.
+//   - EngineSharded: the sharded concurrent engine — the template cascade
+//     executed by P worker goroutines over a partitioned vertex space,
+//     built for sustained update throughput (see internal/shard and
+//     docs/ARCHITECTURE.md).
 //
 // All engines are history independent (Definition 14): the distribution of
 // the maintained MIS depends only on the current graph, never on the
@@ -42,6 +46,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
 	"dynmis/internal/protocol"
+	"dynmis/internal/shard"
 	"dynmis/internal/simnet"
 )
 
@@ -97,6 +102,11 @@ const (
 	EngineProtocol
 	// EngineAsyncDirect is the asynchronous direct implementation.
 	EngineAsyncDirect
+	// EngineSharded is the sharded concurrent engine: windows of updates
+	// are staged serially and recovered by a parallel cascade across P
+	// vertex shards. Same structure as every other engine for equal
+	// seeds, highest sustained update throughput.
+	EngineSharded
 )
 
 // String names the engine.
@@ -110,6 +120,8 @@ func (e Engine) String() string {
 		return "protocol"
 	case EngineAsyncDirect:
 		return "async-direct"
+	case EngineSharded:
+		return "sharded"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -133,6 +145,7 @@ var (
 	_ engineImpl = (*direct.Engine)(nil)
 	_ engineImpl = (*protocol.Engine)(nil)
 	_ engineImpl = (*direct.AsyncEngine)(nil)
+	_ engineImpl = (*shard.Engine)(nil)
 )
 
 type config struct {
@@ -140,6 +153,8 @@ type config struct {
 	engine   Engine
 	sched    simnet.Scheduler
 	parallel int
+	shards   int
+	window   int
 }
 
 // Option configures New.
@@ -163,6 +178,16 @@ func WithLIFOScheduler() Option {
 // sequential execution.
 func WithParallel(workers int) Option { return func(c *config) { c.parallel = workers } }
 
+// WithShards sets the shard count P of EngineSharded (default GOMAXPROCS).
+// The maintained structure is identical for every P; only throughput and
+// the cross-shard hand-off account change.
+func WithShards(p int) Option { return func(c *config) { c.shards = p } }
+
+// WithWindow sets how many changes EngineSharded's ApplyAll groups into
+// one parallel recovery window (default shard.DefaultWindow). Larger
+// windows amortize worker startup over more updates.
+func WithWindow(n int) Option { return func(c *config) { c.window = n } }
+
 // Maintainer maintains an MIS over a fully dynamic graph.
 type Maintainer struct {
 	impl   engineImpl
@@ -183,6 +208,12 @@ func New(opts ...Option) *Maintainer {
 		impl = direct.New(cfg.seed)
 	case EngineAsyncDirect:
 		impl = direct.NewAsync(cfg.seed, cfg.sched)
+	case EngineSharded:
+		e := shard.New(cfg.seed, cfg.shards)
+		if cfg.window > 0 {
+			e.SetWindow(cfg.window)
+		}
+		impl = e
 	default:
 		e := protocol.New(cfg.seed)
 		if cfg.parallel > 1 {
@@ -205,14 +236,22 @@ func (m *Maintainer) ApplyAll(cs []Change) (Report, error) { return m.impl.Apply
 
 // ApplyBatch applies several changes and recovers once (the §6 "multiple
 // failures at a time" extension). On EngineTemplate the recovery cascade
-// runs a single time over the combined damage; other engines fall back to
+// runs a single time over the combined damage; on EngineSharded it runs
+// as one parallel window; on EngineAsyncDirect all changes are staged
+// before the network drains once. The remaining engines fall back to
 // sequential application, which reaches the same final structure by
 // history independence.
 func (m *Maintainer) ApplyBatch(cs []Change) (Report, error) {
-	if tpl, ok := m.impl.(*core.Template); ok {
-		return tpl.ApplyBatch(cs)
+	switch impl := m.impl.(type) {
+	case *core.Template:
+		return impl.ApplyBatch(cs)
+	case *shard.Engine:
+		return impl.ApplyBatch(cs)
+	case *direct.AsyncEngine:
+		return impl.ApplyBatch(cs)
+	default:
+		return m.impl.ApplyAll(cs)
 	}
-	return m.impl.ApplyAll(cs)
 }
 
 // InsertNode adds a node with edges to the listed existing neighbors.

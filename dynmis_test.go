@@ -6,7 +6,7 @@ import (
 )
 
 func TestFacadeEngines(t *testing.T) {
-	engines := []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect}
+	engines := []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded}
 	for _, eng := range engines {
 		t.Run(eng.String(), func(t *testing.T) {
 			m := New(WithSeed(7), WithEngine(eng))
@@ -71,7 +71,7 @@ func TestFacadeSameSeedSameOutput(t *testing.T) {
 	// structures — the engines are interchangeable realizations of one
 	// algorithm.
 	ref := build(EngineTemplate)
-	for _, eng := range []Engine{EngineDirect, EngineProtocol, EngineAsyncDirect} {
+	for _, eng := range []Engine{EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded} {
 		got := build(eng)
 		if len(got) != len(ref) {
 			t.Fatalf("%v MIS = %v, want %v", eng, got, ref)

@@ -1,0 +1,3 @@
+module dynmis
+
+go 1.22

@@ -10,11 +10,11 @@ import (
 )
 
 // TestCrossEngineSoak is the repository's end-to-end differential test:
-// the same long random change sequence is driven through all four
-// distributed engines and the sequential data structure, all seeded
-// identically. After every change the five structures must agree exactly
-// (they are realizations of one algorithm), and all must match the greedy
-// oracle at the end.
+// the same long random change sequence is driven through every engine
+// (the four of the paper plus the sharded concurrent one) and the
+// sequential data structure, all seeded identically. After every change
+// the structures must agree exactly (they are realizations of one
+// algorithm), and all must match the greedy oracle at the end.
 func TestCrossEngineSoak(t *testing.T) {
 	const seed = 2025
 	engines := map[string]*Maintainer{
@@ -22,6 +22,7 @@ func TestCrossEngineSoak(t *testing.T) {
 		"direct":   New(WithSeed(seed), WithEngine(EngineDirect)),
 		"protocol": New(WithSeed(seed), WithEngine(EngineProtocol)),
 		"async":    New(WithSeed(seed), WithEngine(EngineAsyncDirect)),
+		"sharded":  New(WithSeed(seed), WithEngine(EngineSharded), WithShards(4)),
 	}
 	seq := NewSequential(seed)
 
@@ -80,7 +81,8 @@ func TestCrossEngineSoak(t *testing.T) {
 }
 
 // TestFacadeApplyBatch exercises the batched path through the facade on
-// both the optimized (template) and fallback (protocol) engines.
+// the combined-recovery engines (template, sharded, async-direct) and the
+// sequential fallback (protocol).
 func TestFacadeApplyBatch(t *testing.T) {
 	batch := []Change{
 		NodeChange(NodeInsert, 1),
@@ -95,15 +97,17 @@ func TestFacadeApplyBatch(t *testing.T) {
 	if err := tm.Verify(); err != nil {
 		t.Fatal(err)
 	}
-	pm := New(WithSeed(5), WithEngine(EngineProtocol))
-	if _, err := pm.ApplyBatch(batch); err != nil {
-		t.Fatal(err)
-	}
-	if err := pm.Verify(); err != nil {
-		t.Fatal(err)
-	}
-	if len(tm.MIS()) != len(pm.MIS()) {
-		t.Errorf("batched template MIS %v != protocol MIS %v", tm.MIS(), pm.MIS())
+	for _, eng := range []Engine{EngineProtocol, EngineSharded, EngineAsyncDirect} {
+		m := New(WithSeed(5), WithEngine(eng))
+		if _, err := m.ApplyBatch(batch); err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if len(tm.MIS()) != len(m.MIS()) {
+			t.Errorf("batched template MIS %v != %v MIS %v", tm.MIS(), eng, m.MIS())
+		}
 	}
 }
 

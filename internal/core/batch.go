@@ -27,46 +27,14 @@ func (t *Template) ApplyBatch(cs []graph.Change) (Report, error) {
 	var frontier []graph.NodeID
 
 	for i, c := range cs {
-		if err := c.Validate(t.g); err != nil {
+		staged, err := StageChange(t.g, t.ord, MapState(t.state), c)
+		if err != nil {
 			return Report{}, fmt.Errorf("batch change %d: %w", i, err)
 		}
-		switch c.Kind {
-		case graph.EdgeInsert, graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
-			if err := c.Apply(t.g); err != nil {
-				return Report{}, err
-			}
-			vstar := c.U
-			if !t.ord.Less(c.V, c.U) {
-				vstar = c.V
-			}
-			frontier = append(frontier, vstar)
-
-		case graph.NodeInsert, graph.NodeUnmute:
-			t.ord.Ensure(c.Node)
-			if err := c.Apply(t.g); err != nil {
-				return Report{}, err
-			}
-			t.state[c.Node] = Out
-			frontier = append(frontier, c.Node)
-
-		case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
-			wasIn := t.state[c.Node] == In
-			nbrs := t.g.Neighbors(c.Node)
-			if err := c.Apply(t.g); err != nil {
-				return Report{}, err
-			}
-			delete(t.state, c.Node)
-			if c.Kind != graph.NodeMute {
-				t.ord.Drop(c.Node)
-			}
-			if wasIn {
-				flipped[c.Node] = 1
-				frontier = append(frontier, nbrs...)
-			}
-
-		default:
-			return Report{}, fmt.Errorf("batch change %d: %w: unknown kind %v", i, graph.ErrInvalidChange, c.Kind)
+		if staged.PreFlipped != graph.None {
+			flipped[staged.PreFlipped] = 1
 		}
+		frontier = append(frontier, staged.Frontier...)
 	}
 
 	steps, err := t.cascade(frontier, flipped)

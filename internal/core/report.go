@@ -29,6 +29,11 @@ type Report struct {
 	// CausalDepth is the asynchronous "round" measure: the longest chain
 	// of causally dependent message deliveries.
 	CausalDepth int
+	// CrossShard counts cascade hand-offs that crossed a shard boundary
+	// in the sharded concurrent engine — the serialization points of a
+	// parallel window. Theorem 1's E[|S|] ≤ 1 bounds its expectation by
+	// O(1) per change regardless of the shard count.
+	CrossShard int
 }
 
 // Add accumulates o into r (for sequence-level totals).
@@ -42,10 +47,11 @@ func (r *Report) Add(o Report) {
 	if o.CausalDepth > r.CausalDepth {
 		r.CausalDepth = o.CausalDepth
 	}
+	r.CrossShard += o.CrossShard
 }
 
 // String renders the non-zero fields compactly.
 func (r Report) String() string {
-	return fmt.Sprintf("Report(adj=%d |S|=%d flips=%d rounds=%d bcasts=%d bits=%d depth=%d)",
-		r.Adjustments, r.SSize, r.Flips, r.Rounds, r.Broadcasts, r.Bits, r.CausalDepth)
+	return fmt.Sprintf("Report(adj=%d |S|=%d flips=%d rounds=%d bcasts=%d bits=%d depth=%d xshard=%d)",
+		r.Adjustments, r.SSize, r.Flips, r.Rounds, r.Broadcasts, r.Bits, r.CausalDepth, r.CrossShard)
 }

@@ -71,6 +71,8 @@ func (t *Template) Check() error { return CheckInvariant(t.g, t.ord, t.state) }
 // Apply performs one topology change and runs the recovery cascade,
 // returning the cost report. On validation error the engine is unchanged.
 func (t *Template) Apply(c graph.Change) (Report, error) {
+	// Validate before the O(n) state snapshot so rejected changes stay
+	// cheap; StageChange re-validates, which is redundant but harmless.
 	if err := c.Validate(t.g); err != nil {
 		return Report{}, err
 	}
@@ -78,57 +80,16 @@ func (t *Template) Apply(c graph.Change) (Report, error) {
 
 	var rep Report
 	flipped := make(map[graph.NodeID]int) // node -> flip count
-	var frontier []graph.NodeID
 
-	switch c.Kind {
-	case graph.EdgeInsert, graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
-		if err := c.Apply(t.g); err != nil {
-			return Report{}, err
-		}
-		// v* is the endpoint ordered later in π; only its invariant can
-		// break (§3).
-		vstar := c.U
-		if t.ord.Less(c.V, c.U) == false {
-			vstar = c.V
-		}
-		frontier = []graph.NodeID{vstar}
-
-	case graph.NodeInsert, graph.NodeUnmute:
-		t.ord.Ensure(c.Node) // unmuting reuses the retained priority
-		if err := c.Apply(t.g); err != nil {
-			return Report{}, err
-		}
-		// The inserted node starts with the temporary state M̄ (§4.1);
-		// only it can be violated.
-		t.state[c.Node] = Out
-		frontier = []graph.NodeID{c.Node}
-
-	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
-		wasIn := t.state[c.Node] == In
-		nbrs := t.g.Neighbors(c.Node)
-		if err := c.Apply(t.g); err != nil {
-			return Report{}, err
-		}
-		delete(t.state, c.Node)
-		if c.Kind != graph.NodeMute {
-			t.ord.Drop(c.Node) // muted nodes keep their priority
-		}
-		if !wasIn {
-			// Deleting a non-MIS node violates no invariant: S = ∅.
-			rep.Adjustments = len(DiffStates(before, t.state))
-			return rep, nil
-		}
-		// The paper treats the deleted MIS node as the single violated
-		// node v* with S0 = {v*}: it "flips" to M̄ by leaving. Its
-		// former higher neighbors are the candidates of the next layer.
-		flipped[c.Node] = 1
-		frontier = nbrs
-
-	default:
-		return Report{}, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+	staged, err := StageChange(t.g, t.ord, MapState(t.state), c)
+	if err != nil {
+		return Report{}, err
+	}
+	if staged.PreFlipped != graph.None {
+		flipped[staged.PreFlipped] = 1
 	}
 
-	steps, err := t.cascade(frontier, flipped)
+	steps, err := t.cascade(staged.Frontier, flipped)
 	if err != nil {
 		return Report{}, err
 	}

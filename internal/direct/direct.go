@@ -9,6 +9,22 @@
 // model — but a node may flip several times during one recovery, so the
 // broadcast complexity can reach |S|² (§4's motivation for Algorithm 2,
 // measured by experiment E13).
+//
+// Two engines realize the algorithm:
+//
+//   - Engine runs over the synchronous broadcast network (simnet.Network):
+//     one potential broadcast per node per round, recovery measured in
+//     rounds.
+//   - AsyncEngine runs over the event network (simnet.AsyncNetwork) under
+//     an adversarial scheduler; its round measure is causal depth. Its
+//     ApplyBatch stages several changes before the network drains once —
+//     the asynchronous reading of the paper's §6 multiple-failures
+//     extension, in which concurrent recoveries interleave arbitrarily
+//     and still quiesce at the greedy fixpoint.
+//
+// Both are differentially tested against the model-level template
+// (internal/core) and the greedy oracle: equal seeds must give equal
+// structures after every change.
 package direct
 
 import (

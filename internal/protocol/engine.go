@@ -286,6 +286,17 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 	return total, nil
 }
 
+// ApplyBatch applies several changes with per-change recovery. Algorithm 2
+// is round-synchronous and its C/R hand-shake assumes a single recovery in
+// flight, so the protocol engine realizes the batch sequentially; history
+// independence (Definition 14) guarantees the final structure equals a
+// genuinely combined recovery, which the template and sharded engines
+// perform. It exists so that batch-driving harnesses can treat every
+// engine uniformly.
+func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
+	return e.ApplyAll(cs)
+}
+
 // Check verifies the engine's steady-state invariants: every visible node
 // is settled, the configuration satisfies the MIS invariant, and every
 // node's knowledge of its neighbors (priority and state) is exact — for

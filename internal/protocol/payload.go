@@ -15,6 +15,17 @@
 // how the protocol achieves O(1) broadcasts in expectation (Theorem 7):
 // each node in the influence set S changes state at most three times
 // (Lemma 8), and E[|S|] ≤ 1 (Theorem 1).
+//
+// Engine drives the state machines over a synchronous simnet.Network and
+// owns the topology bookkeeping for the full change repertoire, including
+// muting (a node that disappears from the MIS-relevant graph but keeps
+// listening, so it can rejoin with O(1) broadcasts). Rounds can be
+// executed goroutine-parallel (SetParallel) with bit-identical results.
+// Batches are applied change-by-change (ApplyBatch = ApplyAll): the
+// C/R hand-shake assumes one recovery in flight; combined single-cascade
+// recovery is the domain of the template (internal/core) and sharded
+// (internal/shard) engines, which reach the same structures by history
+// independence.
 package protocol
 
 import (

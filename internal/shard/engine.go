@@ -1,0 +1,437 @@
+// Package shard implements the sharded concurrent update engine: the
+// template cascade of Algorithm 1 (internal/core) executed in parallel by
+// P worker goroutines, each owning a partition of the vertex space.
+//
+// A window of topology changes is applied in two phases:
+//
+//  1. Staging (serial): every change is validated and its graph/order/
+//     membership bookkeeping applied through core.StageChange — the same
+//     staging path the sequential Template uses, so π evolves
+//     identically and equal seeds yield bit-identical structures.
+//     Staging collects the cascade seed set (the union of the per-change
+//     candidate sets S0).
+//  2. Recovery (parallel): the flip fixpoint runs as a distributed
+//     worklist. Each shard worker pops candidate nodes it owns from its
+//     mailbox, re-evaluates the MIS invariant against current neighbor
+//     states, flips its own nodes under the shard lock, and forwards the
+//     later-in-π neighbors of every flipped node to their owner shards.
+//     Updates whose cascades stay inside one shard proceed with no
+//     coordination at all; only hand-offs that cross a shard boundary
+//     serialize, through the receiving shard's mailbox.
+//
+// Correctness does not depend on scheduling: the membership assignment
+// satisfying the invariant "v ∈ MIS iff no earlier-in-π neighbor is in the
+// MIS" is unique for a fixed graph and order (it is the sequential greedy
+// MIS), flips propagate strictly upward in π, and every flip re-enqueues
+// exactly the nodes whose invariant it can affect — so the fixpoint the
+// workers quiesce at is that unique assignment, regardless of shard count
+// or interleaving. This is the same history-independence argument
+// (Definition 14) that makes the paper's distributed engines agree with
+// the sequential oracle. The paper's Theorem 1 (E[|S|] ≤ 1) is what makes
+// the design scale: the expected number of cascade hand-offs — and hence
+// of cross-shard serializations — is O(1) per change, independent of both
+// the graph size and P.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/internal/simnet"
+)
+
+// DefaultWindow is the number of changes applied per parallel window by
+// ApplyAll when SetWindow has not been called.
+const DefaultWindow = 512
+
+// Stats is the engine's cumulative concurrency account.
+type Stats struct {
+	// Windows is the number of parallel windows executed.
+	Windows int
+	// Updates is the total number of changes applied.
+	Updates int
+	// Seeds is the total number of cascade seed evaluations enqueued by
+	// staging.
+	Seeds int
+	// LocalHandoffs counts cascade hand-offs that stayed on the
+	// flipping node's own shard.
+	LocalHandoffs int
+	// CrossShard counts cascade hand-offs that crossed a shard boundary
+	// (the serialization points).
+	CrossShard int
+}
+
+// shardPart is one vertex partition: its membership table plus the
+// per-window scratch the owning worker records flips into.
+type shardPart struct {
+	mu    sync.RWMutex
+	state map[graph.NodeID]core.Membership
+
+	// Owner-worker-only window scratch (reset by beginWindow, read by
+	// the coordinator after the workers have joined).
+	flips      map[graph.NodeID]int
+	before     map[graph.NodeID]core.Membership
+	crossShard int
+	localHops  int
+}
+
+// Engine is the sharded concurrent MIS maintainer. It implements the same
+// engine surface as core.Template and the message-passing engines; the
+// concurrency is confined to ApplyBatch windows, so between calls the
+// engine is quiescent and all accessors are plain reads.
+//
+// An Engine must not be used from multiple goroutines simultaneously: the
+// parallelism is inside a window, not across callers.
+type Engine struct {
+	g      *graph.Graph
+	ord    *order.Order
+	shards []*shardPart
+	window int
+	stats  Stats
+}
+
+// New returns an engine over the empty graph with the given shard count
+// (values below 1 select GOMAXPROCS) and a fresh order seeded by seed.
+func New(seed uint64, shards int) *Engine {
+	return NewWithOrder(order.New(seed), shards)
+}
+
+// NewWithOrder returns an engine sharing a caller-supplied order, so that
+// differential tests can run several engines under the same π.
+func NewWithOrder(ord *order.Order, shards int) *Engine {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		g:      graph.New(),
+		ord:    ord,
+		shards: make([]*shardPart, shards),
+		window: DefaultWindow,
+	}
+	for i := range e.shards {
+		e.shards[i] = &shardPart{state: make(map[graph.NodeID]core.Membership)}
+	}
+	return e
+}
+
+// Shards returns the shard count P.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// SetWindow sets the number of changes ApplyAll groups into one parallel
+// window (values below 1 restore DefaultWindow).
+func (e *Engine) SetWindow(n int) {
+	if n < 1 {
+		n = DefaultWindow
+	}
+	e.window = n
+}
+
+// Stats returns the cumulative concurrency account.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// owner maps a node to its shard by a mixed hash, so that adjacent caller
+// IDs spread across shards.
+func (e *Engine) owner(v graph.NodeID) int {
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return int(x % uint64(len(e.shards)))
+}
+
+// Graph exposes the engine's live graph. Callers must treat it as
+// read-only; mutate only through Apply.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Order exposes the engine's node order.
+func (e *Engine) Order() *order.Order { return e.ord }
+
+// InMIS reports whether v is currently in the maintained MIS.
+func (e *Engine) InMIS(v graph.NodeID) bool {
+	s := e.shards[e.owner(v)]
+	return s.state[v] == core.In
+}
+
+// MIS returns the sorted current MIS.
+func (e *Engine) MIS() []graph.NodeID { return core.MISOf(e.State()) }
+
+// State returns the full membership map, assembled across shards.
+func (e *Engine) State() map[graph.NodeID]core.Membership {
+	out := make(map[graph.NodeID]core.Membership, e.g.NodeCount())
+	for _, s := range e.shards {
+		for v, m := range s.state {
+			out[v] = m
+		}
+	}
+	return out
+}
+
+// Check verifies the MIS invariant on the current configuration.
+func (e *Engine) Check() error { return core.CheckInvariant(e.g, e.ord, e.State()) }
+
+// stateStore adapts the sharded tables to core.StateStore for staging,
+// which runs single-threaded between windows.
+type stateStore struct{ e *Engine }
+
+func (s stateStore) Get(v graph.NodeID) core.Membership {
+	return s.e.shards[s.e.owner(v)].state[v]
+}
+func (s stateStore) Set(v graph.NodeID, m core.Membership) {
+	s.e.shards[s.e.owner(v)].state[v] = m
+}
+func (s stateStore) Delete(v graph.NodeID) {
+	delete(s.e.shards[s.e.owner(v)].state, v)
+}
+
+// Apply performs one topology change (a window of one) and returns its
+// cost report. On validation error the engine is unchanged.
+func (e *Engine) Apply(c graph.Change) (core.Report, error) {
+	return e.ApplyBatch([]graph.Change{c})
+}
+
+// ApplyAll applies a change sequence in windows of the configured size,
+// accumulating reports; it stops at the first error.
+func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for lo := 0; lo < len(cs); lo += e.window {
+		hi := min(lo+e.window, len(cs))
+		rep, err := e.ApplyBatch(cs[lo:hi])
+		if err != nil {
+			return total, fmt.Errorf("window at change %d: %w", lo, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
+// beforeInfo is a touched node's pre-window configuration.
+type beforeInfo struct {
+	present bool
+	m       core.Membership
+}
+
+// ApplyBatch applies one window: all changes are staged serially (which
+// fixes π deterministically), then a single parallel recovery cascade
+// brings the structure back to the greedy fixpoint. The final state is
+// identical to applying the changes one at a time on the sequential
+// engine, by history independence; only the cost differs.
+//
+// On a staging error the already-staged prefix's mutations remain applied
+// but no cascade has run, mirroring Template.ApplyBatch.
+func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
+	var (
+		seeds      []graph.NodeID
+		preFlipped []graph.NodeID
+		before     = make(map[graph.NodeID]beforeInfo)
+	)
+	store := stateStore{e}
+	for i, c := range cs {
+		// Capture the pre-window configuration of the node a node-change
+		// touches before staging mutates it (first touch wins). Edge
+		// changes mutate no membership during staging, so they need no
+		// capture.
+		if !c.Kind.IsEdge() {
+			if _, seen := before[c.Node]; !seen {
+				present := e.g.HasNode(c.Node)
+				before[c.Node] = beforeInfo{present: present, m: store.Get(c.Node)}
+			}
+		}
+		staged, err := core.StageChange(e.g, e.ord, store, c)
+		if err != nil {
+			return core.Report{}, fmt.Errorf("batch change %d: %w", i, err)
+		}
+		if staged.PreFlipped != graph.None {
+			preFlipped = append(preFlipped, staged.PreFlipped)
+		}
+		seeds = append(seeds, staged.Frontier...)
+	}
+
+	e.runCascade(seeds)
+
+	e.stats.Windows++
+	e.stats.Updates += len(cs)
+	e.stats.Seeds += len(seeds)
+
+	return e.account(before, preFlipped), nil
+}
+
+// runCascade executes the parallel flip fixpoint from the given seeds.
+// During the cascade the graph and order are read-only; memberships are
+// read under shard RLocks and written only by the owning worker under the
+// shard write lock, so the run is race-free and -race-clean.
+func (e *Engine) runCascade(seeds []graph.NodeID) {
+	for _, s := range e.shards {
+		s.flips = make(map[graph.NodeID]int)
+		s.before = make(map[graph.NodeID]core.Membership)
+		s.crossShard = 0
+		s.localHops = 0
+	}
+	if len(seeds) == 0 {
+		return
+	}
+
+	boxes := make([]*simnet.Mailbox, len(e.shards))
+	for i := range boxes {
+		boxes[i] = simnet.NewMailbox()
+	}
+	var (
+		pending int64
+		finish  sync.Once
+	)
+	shutdown := func() {
+		finish.Do(func() {
+			for _, b := range boxes {
+				b.Close()
+			}
+		})
+	}
+	enqueue := func(v graph.NodeID) {
+		// Increment before Push so a concurrent worker draining the
+		// entry cannot observe pending == 0 early; a deduplicated push
+		// gives the credit back.
+		atomic.AddInt64(&pending, 1)
+		if !boxes[e.owner(v)].Push(v) {
+			if atomic.AddInt64(&pending, -1) == 0 {
+				shutdown()
+			}
+		}
+	}
+
+	for _, v := range seeds {
+		enqueue(v)
+	}
+	if atomic.LoadInt64(&pending) == 0 {
+		// Every seed deduplicated away (duplicate frontier entries only;
+		// nothing to do).
+		shutdown()
+		return
+	}
+
+	var wg sync.WaitGroup
+	for w := range e.shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				v, ok := boxes[w].Pop()
+				if !ok {
+					return
+				}
+				e.step(w, v, enqueue)
+				if atomic.AddInt64(&pending, -1) == 0 {
+					shutdown()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// step evaluates the MIS invariant at v (owned by shard w) and flips it if
+// violated, forwarding the nodes whose invariant the flip can affect.
+func (e *Engine) step(w int, v graph.NodeID, enqueue func(graph.NodeID)) {
+	if !e.g.HasNode(v) {
+		// The node was staged away later in the same window; its former
+		// neighbors were seeded separately.
+		return
+	}
+	own := e.shards[w]
+	own.mu.RLock()
+	cur := own.state[v]
+	own.mu.RUnlock()
+
+	// ShouldBeIn under current states, with per-read shard locking. Reads
+	// may be momentarily stale; any later flip of an earlier neighbor
+	// re-enqueues v, so staleness delays convergence but cannot corrupt
+	// the fixpoint.
+	want := core.In
+	e.g.EachNeighbor(v, func(u graph.NodeID) {
+		if want == core.Out || !e.ord.Less(u, v) {
+			return
+		}
+		su := e.shards[e.owner(u)]
+		su.mu.RLock()
+		uin := su.state[u] == core.In
+		su.mu.RUnlock()
+		if uin {
+			want = core.Out
+		}
+	})
+	if want == cur {
+		return
+	}
+
+	own.mu.Lock()
+	if _, seen := own.flips[v]; !seen {
+		own.before[v] = cur
+	}
+	own.flips[v]++
+	own.state[v] = want
+	own.mu.Unlock()
+
+	// Only nodes later in π can have been violated by this flip.
+	e.g.EachNeighbor(v, func(u graph.NodeID) {
+		if !e.ord.Less(v, u) {
+			return
+		}
+		if e.owner(u) == w {
+			own.localHops++
+		} else {
+			own.crossShard++
+		}
+		enqueue(u)
+	})
+}
+
+// account assembles the window's cost report from the staging touch map
+// and the per-shard flip records, in O(touched) rather than O(n).
+func (e *Engine) account(before map[graph.NodeID]beforeInfo, preFlipped []graph.NodeID) core.Report {
+	var rep core.Report
+
+	inS := make(map[graph.NodeID]struct{})
+	for _, v := range preFlipped {
+		inS[v] = struct{}{}
+		rep.Flips++
+	}
+	for _, s := range e.shards {
+		for v, n := range s.flips {
+			inS[v] = struct{}{}
+			rep.Flips += n
+		}
+		// Cascade-flipped nodes that staging did not touch entered the
+		// window present, with the recorded pre-flip membership.
+		for v, m := range s.before {
+			if _, seen := before[v]; !seen {
+				before[v] = beforeInfo{present: true, m: m}
+			}
+		}
+		rep.CrossShard += s.crossShard
+		e.stats.CrossShard += s.crossShard
+		e.stats.LocalHandoffs += s.localHops
+	}
+	rep.SSize = len(inS)
+
+	// Adjustment accounting matches core.DiffStates restricted to touched
+	// nodes — untouched nodes cannot have changed.
+	for v, b := range before {
+		presentNow := e.g.HasNode(v)
+		switch {
+		case b.present && presentNow:
+			if e.shards[e.owner(v)].state[v] != b.m {
+				rep.Adjustments++
+			}
+		case b.present && !presentNow:
+			if b.m == core.In {
+				rep.Adjustments++
+			}
+		case !b.present && presentNow:
+			if e.shards[e.owner(v)].state[v] == core.In {
+				rep.Adjustments++
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,92 @@
+package simnet
+
+import (
+	"sync"
+
+	"dynmis/internal/graph"
+)
+
+// Mailbox is an unbounded, deduplicating, multi-producer single-consumer
+// queue of node IDs. It is the routing primitive of the sharded concurrent
+// engine: each shard worker owns one mailbox, and cascade hand-offs are
+// pushed into the owner shard's mailbox from any worker.
+//
+// Deduplication merges pushes of a node that is already enqueued but not
+// yet popped. The mark is cleared at Pop time, not after processing, so a
+// push that races with an in-flight evaluation of the same node enqueues a
+// fresh entry — exactly the re-evaluation the cascade's convergence
+// argument requires (a node must be looked at again after any earlier
+// neighbor flips).
+//
+// Being unbounded matters: shard workers push into each other's mailboxes
+// while popping from their own, and a bounded channel mesh could deadlock
+// with every worker blocked on a full peer. Pushes never block.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []graph.NodeID
+	queued map[graph.NodeID]struct{}
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{queued: make(map[graph.NodeID]struct{})}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push enqueues v. It reports whether a new entry was created: false means
+// the push was merged into an already-pending entry (or the mailbox is
+// closed) and the caller must not account for an extra pending item.
+func (m *Mailbox) Push(v graph.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	if _, dup := m.queued[v]; dup {
+		return false
+	}
+	m.queued[v] = struct{}{}
+	m.queue = append(m.queue, v)
+	m.cond.Signal()
+	return true
+}
+
+// Pop blocks until an entry is available or the mailbox is closed. The
+// second result is false only when the mailbox is closed and fully
+// drained.
+func (m *Mailbox) Pop() (graph.NodeID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return graph.None, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	delete(m.queued, v)
+	return v, true
+}
+
+// Close wakes all blocked Pops; subsequent Pushes are rejected. Closing an
+// already-closed mailbox is a no-op.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Len returns the number of pending entries.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

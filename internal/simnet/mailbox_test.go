@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+func TestMailboxDedupAndOrder(t *testing.T) {
+	m := NewMailbox()
+	if !m.Push(1) || !m.Push(2) {
+		t.Fatal("fresh pushes must create entries")
+	}
+	if m.Push(1) {
+		t.Fatal("duplicate pending push must merge")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	v, ok := m.Pop()
+	if !ok || v != 1 {
+		t.Fatalf("pop = %d,%v, want 1,true", v, ok)
+	}
+	// The mark clears at Pop, so a re-push of 1 enqueues again.
+	if !m.Push(1) {
+		t.Fatal("push after pop must create a fresh entry")
+	}
+	m.Close()
+	if m.Push(3) {
+		t.Fatal("push after close must be rejected")
+	}
+	// Close drains remaining entries before reporting closed.
+	if v, ok := m.Pop(); !ok || v != 2 {
+		t.Fatalf("pop = %d,%v, want 2,true", v, ok)
+	}
+	if v, ok := m.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = %d,%v, want 1,true", v, ok)
+	}
+	if _, ok := m.Pop(); ok {
+		t.Fatal("drained closed mailbox must report closed")
+	}
+}
+
+// Many producers, one consumer, with dedup racing pops; -race exercises
+// the locking.
+func TestMailboxConcurrent(t *testing.T) {
+	m := NewMailbox()
+	const producers, perProducer = 8, 500
+
+	var wg sync.WaitGroup
+	var created int64
+	var mu sync.Mutex
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if m.Push(graph.NodeID(i % 97)) {
+					mu.Lock()
+					created++
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan int64)
+	go func() {
+		var popped int64
+		for {
+			if _, ok := m.Pop(); !ok {
+				done <- popped
+				return
+			}
+			popped++
+		}
+	}()
+
+	wg.Wait()
+	// Drain whatever remains, then close.
+	for m.Len() > 0 {
+	}
+	m.Close()
+	popped := <-done
+	if popped != created {
+		t.Fatalf("popped %d, created %d — entries lost or duplicated", popped, created)
+	}
+}

@@ -9,6 +9,18 @@
 // The simulator is the reproduction's substitute for a physical network; it
 // preserves exactly the quantities the paper accounts for (rounds,
 // broadcasts, bits, causal depth) and nothing else.
+//
+// Three execution substrates share this package:
+//
+//   - Network: the synchronous round model. Rounds can optionally be
+//     stepped goroutine-parallel (SetParallel) with bit-identical results,
+//     because procs are isolated and rounds are barrier-synchronized.
+//   - AsyncNetwork: the event-driven asynchronous model, with the message
+//     scheduler as the explicit adversary (FIFO, LIFO, random).
+//   - Mailbox: the unbounded deduplicating worklist queue underlying the
+//     sharded concurrent engine (internal/shard), where "messages" are
+//     invariant re-evaluation requests routed between shard workers
+//     rather than simulated network packets.
 package simnet
 
 import (

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// Scenario is a named dynamic workload for the benchmark harness: a
+// warm-up phase that constructs the initial graph and a drive phase that
+// produces the timed update stream. Both phases are generated from the
+// caller's rng only — the oblivious-adversary assumption of the paper —
+// so every engine can be driven with an identical stream.
+type Scenario struct {
+	// Name is the stable identifier used in BENCH_dynmis.json.
+	Name string
+	// Description says what the workload stresses.
+	Description string
+	// Build returns the warm-up sequence constructing the initial graph
+	// of roughly n nodes.
+	Build func(rng *rand.Rand, n int) []graph.Change
+	// Drive returns exactly steps timed changes, valid when applied
+	// after the warm-up. g is the warmed-up graph (read-only).
+	Drive func(rng *rand.Rand, g *graph.Graph, steps int) []graph.Change
+}
+
+// Scenarios returns the benchmark suite: mixed churn, a sliding window
+// over a node stream, preferential-attachment (power-law) growth with
+// random decay, and the adversarial deletion pattern of the paper's §1.1
+// lower-bound gadget.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "churn",
+			Description: "balanced node/edge insert+delete mix on G(n,p), graph size roughly stable",
+			Build: func(rng *rand.Rand, n int) []graph.Change {
+				return GNP(rng, n, 8/float64(n))
+			},
+			Drive: func(rng *rand.Rand, g *graph.Graph, steps int) []graph.Change {
+				return RandomChurn(rng, g, DefaultChurn(steps))
+			},
+		},
+		{
+			Name:        "sliding-window",
+			Description: "streaming graph: arrivals attach to recent nodes, oldest nodes expire",
+			Build: func(rng *rand.Rand, n int) []graph.Change {
+				return GNP(rng, n, 6/float64(n))
+			},
+			Drive: SlidingWindow,
+		},
+		{
+			Name:        "power-law",
+			Description: "preferential attachment growth with uniform decay — hubs accumulate high degree",
+			Build: func(rng *rand.Rand, n int) []graph.Change {
+				return GNP(rng, n, 4/float64(n))
+			},
+			Drive: PowerLawChurn,
+		},
+		{
+			Name:        "adversarial-deletion",
+			Description: "K_{k,k} lower-bound gadget (§1.1): repeatedly strip one side and rebuild it",
+			Build: func(rng *rand.Rand, n int) []graph.Change {
+				return CompleteBipartite(n / 2)
+			},
+			Drive: AdversarialDeletions,
+		},
+	}
+}
+
+// ScenarioByName returns the named scenario, or false.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// SlidingWindow generates a streaming workload: each step either inserts a
+// fresh node attached to up to 4 uniformly chosen members of the current
+// window or deletes the oldest node, keeping the window near its starting
+// size. It models time-decaying graphs (connection tables, session
+// overlays) where membership is dominated by arrival order.
+func SlidingWindow(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change {
+	window := start.Nodes() // ascending IDs = arrival order
+	next := graph.NodeID(0)
+	if len(window) > 0 {
+		next = window[len(window)-1] + 1
+	}
+	target := len(window)
+
+	var cs []graph.Change
+	for len(cs) < steps {
+		insert := len(window) <= 1 || (len(window) < 2*target && rng.IntN(2) == 0)
+		if insert {
+			var nbrs []graph.NodeID
+			for _, i := range rng.Perm(len(window)) {
+				nbrs = append(nbrs, window[i])
+				if len(nbrs) == 4 {
+					break
+				}
+			}
+			cs = append(cs, graph.NodeChange(graph.NodeInsert, next, nbrs...))
+			window = append(window, next)
+			next++
+		} else {
+			oldest := window[0]
+			window = window[1:]
+			kind := graph.NodeDeleteGraceful
+			if rng.IntN(2) == 0 {
+				kind = graph.NodeDeleteAbrupt
+			}
+			cs = append(cs, graph.NodeChange(kind, oldest))
+		}
+	}
+	return cs
+}
+
+// PowerLawChurn generates preferential-attachment growth with uniform
+// decay: most steps insert a node whose ~3 attachments are sampled with
+// probability proportional to degree+1 (the Barabási–Albert rule), and the
+// rest delete a uniform node. Hubs emerge quickly, so updates concentrate
+// on a few high-degree vertices — the hardest case for a vertex-sharded
+// engine because hub neighborhoods span every shard.
+func PowerLawChurn(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change {
+	g := start.Clone()
+	// endpoint list with one entry per half-edge plus one per node:
+	// sampling uniformly from it is degree+1-proportional sampling.
+	var endpoints []graph.NodeID
+	for _, v := range g.Nodes() {
+		endpoints = append(endpoints, v)
+		for range g.Neighbors(v) {
+			endpoints = append(endpoints, v)
+		}
+	}
+	next := graph.NodeID(0)
+	if ns := g.Nodes(); len(ns) > 0 {
+		next = ns[len(ns)-1] + 1
+	}
+
+	var cs []graph.Change
+	for len(cs) < steps {
+		if g.NodeCount() > 1 && rng.IntN(4) == 0 {
+			nodes := g.Nodes()
+			victim := nodes[rng.IntN(len(nodes))]
+			c := graph.NodeChange(graph.NodeDeleteAbrupt, victim)
+			mustApply(c, g)
+			cs = append(cs, c)
+			// Lazily repair the endpoint list: drop stale entries when
+			// sampled (below) instead of rebuilding it per deletion.
+			continue
+		}
+		seen := make(map[graph.NodeID]bool, 3)
+		var nbrs []graph.NodeID
+		for tries := 0; len(nbrs) < 3 && tries < 32 && len(endpoints) > 0; tries++ {
+			i := rng.IntN(len(endpoints))
+			u := endpoints[i]
+			if !g.HasNode(u) {
+				endpoints[i] = endpoints[len(endpoints)-1]
+				endpoints = endpoints[:len(endpoints)-1]
+				continue
+			}
+			if !seen[u] {
+				seen[u] = true
+				nbrs = append(nbrs, u)
+			}
+		}
+		c := graph.NodeChange(graph.NodeInsert, next, nbrs...)
+		mustApply(c, g)
+		cs = append(cs, c)
+		endpoints = append(endpoints, next)
+		for range nbrs {
+			endpoints = append(endpoints, next)
+		}
+		endpoints = append(endpoints, nbrs...)
+		next++
+	}
+	return cs
+}
+
+// AdversarialDeletions drives the §1.1 lower-bound pattern on a warmed-up
+// K_{k,k} (sides L = first half of the node IDs, R = second half):
+// repeatedly delete all of L node by node — the pattern that forces a
+// deterministic greedy algorithm into Ω(k) adjustments on the last
+// deletion — then rebuild L with its full bipartite attachment. The
+// random order π keeps the expected adjustment cost O(1) per change
+// (Theorem 1); this scenario is what demonstrates it.
+func AdversarialDeletions(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change {
+	nodes := start.Nodes()
+	half := len(nodes) / 2
+	left, right := nodes[:half], nodes[half:]
+
+	var cs []graph.Change
+	for len(cs) < steps {
+		for _, v := range left {
+			if len(cs) >= steps {
+				break
+			}
+			cs = append(cs, graph.NodeChange(graph.NodeDeleteGraceful, v))
+		}
+		for _, v := range left {
+			if len(cs) >= steps {
+				break
+			}
+			cs = append(cs, graph.NodeChange(graph.NodeInsert, v, right...))
+		}
+	}
+	return cs
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// Every scenario must generate a valid warm-up + drive sequence, and any
+// engine applying it must end at a verifiable MIS.
+func TestScenariosValidAndMaintainable(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(17, 19))
+			build := sc.Build(rng, 60)
+			g := graph.New()
+			for i, c := range build {
+				if err := c.Apply(g); err != nil {
+					t.Fatalf("build change %d (%s): %v", i, c, err)
+				}
+			}
+			drive := sc.Drive(rng, g, 400)
+			if len(drive) != 400 {
+				t.Fatalf("drive produced %d changes, want 400", len(drive))
+			}
+			for i, c := range drive {
+				if err := c.Apply(g); err != nil {
+					t.Fatalf("drive change %d (%s): %v", i, c, err)
+				}
+			}
+
+			tpl := core.NewTemplate(23)
+			if _, err := tpl.ApplyAll(append(append([]graph.Change{}, build...), drive...)); err != nil {
+				t.Fatal(err)
+			}
+			if err := core.CheckMIS(tpl.Graph(), tpl.State()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The drive stream must be reproducible for a fixed rng seed so that every
+// engine in a benchmark run sees an identical stream.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		gen := func() []graph.Change {
+			rng := rand.New(rand.NewPCG(3, 5))
+			build := sc.Build(rng, 40)
+			return sc.Drive(rng, BuildGraph(build), 200)
+		}
+		a, b := gen(), gen()
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic length", sc.Name)
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Fatalf("%s: change %d differs: %s vs %s", sc.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	if _, ok := ScenarioByName("churn"); !ok {
+		t.Fatal("churn scenario missing")
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Fatal("unknown scenario resolved")
+	}
+}
