@@ -5,9 +5,17 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke clean
+.PHONY: ci fmt vet build test race bench bench-smoke clean
 
-ci: vet build race bench-smoke
+ci: fmt vet build race bench-smoke
+
+# gofmt enforcement: fail with the offending file list if any file is not
+# gofmt-clean.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

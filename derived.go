@@ -16,6 +16,16 @@ func NodeChange(kind ChangeKind, node NodeID, edges ...NodeID) Change {
 	return graph.NodeChange(kind, node, edges...)
 }
 
+// The derived-structure constructors take the same Option set as New,
+// engine choice included: each reduction runs its internal dynamic MIS on
+// whichever engine the options select (default EngineTemplate, the
+// fastest). Because every engine maintains the identical structure for
+// equal seeds, the derived outputs are engine-independent too; only cost
+// accounting and throughput differ. EngineAsyncDirect's lack of
+// mute/unmute support surfaces through the clustering maintainer (which
+// forwards changes verbatim); matching and coloring translate mutes into
+// deletions and so work on every engine.
+
 // ClusteringMaintainer keeps a correlation clustering (3-approximate in
 // expectation) over a dynamic graph. See internal/clustering for the full
 // method set: Apply, Clusters, Cost, Check.
@@ -23,7 +33,13 @@ type ClusteringMaintainer = clustering.Maintainer
 
 // NewClustering returns a correlation clustering maintainer over the
 // empty graph.
-func NewClustering(seed uint64) *ClusteringMaintainer { return clustering.New(seed) }
+func NewClustering(opts ...Option) (*ClusteringMaintainer, error) {
+	cfg, err := resolve(EngineTemplate, opts)
+	if err != nil {
+		return nil, err
+	}
+	return clustering.NewWithEngine(cfg.build()), nil
+}
 
 // MatchingEdge is an undirected edge of the maintained matching.
 type MatchingEdge = matching.Edge
@@ -33,16 +49,27 @@ type MatchingEdge = matching.Edge
 type MatchingMaintainer = matching.Maintainer
 
 // NewMatching returns a maximal matching maintainer over the empty graph.
-func NewMatching(seed uint64) *MatchingMaintainer { return matching.New(seed) }
+func NewMatching(opts ...Option) (*MatchingMaintainer, error) {
+	cfg, err := resolve(EngineTemplate, opts)
+	if err != nil {
+		return nil, err
+	}
+	return matching.NewWithEngine(cfg.build()), nil
+}
 
 // ColoringMaintainer keeps a proper coloring with a fixed palette via the
 // clique-blowup reduction (§5); every node degree must stay below the
 // palette size. See internal/coloring for the full method set.
 type ColoringMaintainer = coloring.Maintainer
 
-// NewColoring returns a coloring maintainer with the given palette size.
-func NewColoring(seed uint64, palette int) (*ColoringMaintainer, error) {
-	return coloring.New(seed, palette)
+// NewColoring returns a coloring maintainer with the given palette size
+// (≥ 2).
+func NewColoring(palette int, opts ...Option) (*ColoringMaintainer, error) {
+	cfg, err := resolve(EngineTemplate, opts)
+	if err != nil {
+		return nil, err
+	}
+	return coloring.NewWithEngine(cfg.build(), palette)
 }
 
 // SequentialMaintainer is the single-machine dynamic MIS data structure of
@@ -56,4 +83,6 @@ type SequentialMaintainer = seqdyn.Engine
 type SequentialReport = seqdyn.Report
 
 // NewSequential returns a sequential dynamic MIS over the empty graph.
+// (It is a different data structure with its own report type, not one of
+// the five engines, so it keeps a plain seed parameter.)
 func NewSequential(seed uint64) *SequentialMaintainer { return seqdyn.New(seed) }

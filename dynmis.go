@@ -5,7 +5,7 @@
 // with, in expectation, a single adjustment, O(1) rounds and O(1)
 // broadcasts per topology change.
 //
-// The library exposes four engines implementing the same abstract
+// The library exposes five engines implementing the same abstract
 // algorithm (simulated sequential random greedy):
 //
 //   - EngineTemplate: the model-level cascade of the paper's Algorithm 1 —
@@ -22,6 +22,14 @@
 //     built for sustained update throughput (see internal/shard and
 //     docs/ARCHITECTURE.md).
 //
+// Every engine implements one uniform surface (Apply, ApplyAll,
+// ApplyBatch, queries, Subscribe); optional abilities such as persistence
+// are expressed as capability interfaces (Snapshotter) rather than by
+// engine identity, so new backends are drop-ins. Because the paper's
+// guarantee is a single adjustment per change in expectation, consumers
+// should not re-poll MIS after every update: Subscribe delivers the
+// (usually single) membership change as a typed Event instead.
+//
 // All engines are history independent (Definition 14): the distribution of
 // the maintained MIS depends only on the current graph, never on the
 // change history, and for a fixed seed the output equals the sequential
@@ -31,7 +39,8 @@
 //
 // # Quick start
 //
-//	m := dynmis.New(dynmis.WithSeed(42))
+//	m := dynmis.MustNew(dynmis.WithSeed(42))
+//	m.Subscribe(func(ev dynmis.Event) { fmt.Println(ev) })
 //	m.InsertNode(1)
 //	m.InsertNode(2, 1)
 //	rep, _ := m.RemoveNodeAbrupt(1)
@@ -44,7 +53,6 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/direct"
 	"dynmis/internal/graph"
-	"dynmis/internal/order"
 	"dynmis/internal/protocol"
 	"dynmis/internal/shard"
 	"dynmis/internal/simnet"
@@ -89,6 +97,26 @@ const (
 	Out = core.Out
 )
 
+// Event is one record of the membership change feed; see
+// Maintainer.Subscribe.
+type Event = core.Event
+
+// EventCause classifies a membership event.
+type EventCause = core.EventCause
+
+// Event causes: a node joining the visible topology, leaving it, or
+// flipping its membership while staying present.
+const (
+	CauseJoin  = core.CauseJoin
+	CauseLeave = core.CauseLeave
+	CauseFlip  = core.CauseFlip
+)
+
+// ReplayEvents folds an event stream into the membership configuration it
+// describes; replaying everything a maintainer has published reproduces
+// its State() exactly.
+func ReplayEvents(evs []Event) map[NodeID]Membership { return core.Replay(evs) }
+
 // Engine selects the maintenance implementation.
 type Engine int
 
@@ -127,44 +155,40 @@ func (e Engine) String() string {
 	}
 }
 
-// engineImpl is the common surface of all four engines.
-type engineImpl interface {
-	Apply(graph.Change) (core.Report, error)
-	ApplyAll([]graph.Change) (core.Report, error)
-	Graph() *graph.Graph
-	Order() *order.Order
-	InMIS(graph.NodeID) bool
-	MIS() []graph.NodeID
-	State() map[graph.NodeID]core.Membership
-	Check() error
-}
-
-// Interface compliance for every engine.
+// Interface compliance: every engine implements the uniform surface of
+// core.Engine, and the persistable ones additionally core.Snapshotter.
 var (
-	_ engineImpl = (*core.Template)(nil)
-	_ engineImpl = (*direct.Engine)(nil)
-	_ engineImpl = (*protocol.Engine)(nil)
-	_ engineImpl = (*direct.AsyncEngine)(nil)
-	_ engineImpl = (*shard.Engine)(nil)
+	_ core.Engine = (*core.Template)(nil)
+	_ core.Engine = (*direct.Engine)(nil)
+	_ core.Engine = (*protocol.Engine)(nil)
+	_ core.Engine = (*direct.AsyncEngine)(nil)
+	_ core.Engine = (*shard.Engine)(nil)
+
+	_ core.Snapshotter = (*core.Template)(nil)
+	_ core.Snapshotter = (*shard.Engine)(nil)
 )
 
 type config struct {
-	seed     uint64
-	engine   Engine
-	sched    simnet.Scheduler
-	parallel int
-	shards   int
-	window   int
+	seed        uint64
+	engine      Engine
+	sched       simnet.Scheduler
+	parallel    int
+	parallelSet bool
+	shards      int
+	shardsSet   bool
+	window      int
+	windowSet   bool
 }
 
-// Option configures New.
+// Option configures New, Restore and the derived-structure constructors.
 type Option func(*config)
 
 // WithSeed fixes the random seed (default 1). Engines with equal seeds and
 // equal change sequences produce identical structures.
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
-// WithEngine selects the implementation (default EngineProtocol).
+// WithEngine selects the implementation (default EngineProtocol for New,
+// EngineTemplate for Restore and the derived structures).
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithLIFOScheduler makes the asynchronous engine deliver newest-first
@@ -174,58 +198,142 @@ func WithLIFOScheduler() Option {
 }
 
 // WithParallel runs synchronous protocol rounds on the given number of
-// goroutines (EngineProtocol only); results are bit-identical to
-// sequential execution.
-func WithParallel(workers int) Option { return func(c *config) { c.parallel = workers } }
-
-// WithShards sets the shard count P of EngineSharded (default GOMAXPROCS).
-// The maintained structure is identical for every P; only throughput and
-// the cross-shard hand-off account change.
-func WithShards(p int) Option { return func(c *config) { c.shards = p } }
-
-// WithWindow sets how many changes EngineSharded's ApplyAll groups into
-// one parallel recovery window (default shard.DefaultWindow). Larger
-// windows amortize worker startup over more updates.
-func WithWindow(n int) Option { return func(c *config) { c.window = n } }
-
-// Maintainer maintains an MIS over a fully dynamic graph.
-type Maintainer struct {
-	impl   engineImpl
-	engine Engine
+// goroutines (EngineProtocol only; selecting it with any other engine is
+// an ErrInvalidOption); results are bit-identical to sequential execution.
+func WithParallel(workers int) Option {
+	return func(c *config) { c.parallel = workers; c.parallelSet = true }
 }
 
-// New returns a Maintainer over the empty graph.
-func New(opts ...Option) *Maintainer {
-	cfg := config{seed: 1, engine: EngineProtocol}
+// WithShards sets the shard count P of EngineSharded (0 selects
+// GOMAXPROCS; negative values, or selecting it with any other engine, are
+// an ErrInvalidOption). The maintained structure is identical for every
+// P; only throughput and the cross-shard hand-off account change.
+func WithShards(p int) Option {
+	return func(c *config) { c.shards = p; c.shardsSet = true }
+}
+
+// WithWindow sets how many changes EngineSharded's ApplyAll groups into
+// one parallel recovery window (0 selects shard.DefaultWindow; negative
+// values, or selecting it with any other engine, are an
+// ErrInvalidOption). Larger windows amortize worker startup over more
+// updates. Window boundaries are also the granularity of the change
+// feed: each window publishes one net membership delta.
+func WithWindow(n int) Option {
+	return func(c *config) { c.window = n; c.windowSet = true }
+}
+
+// validate rejects option combinations no engine can honor.
+func (c *config) validate() error {
+	switch c.engine {
+	case EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded:
+	default:
+		return fmt.Errorf("%w: unknown engine %v", ErrInvalidOption, c.engine)
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("%w: WithShards(%d): shard count must be non-negative (0 selects GOMAXPROCS)", ErrInvalidOption, c.shards)
+	}
+	if c.window < 0 {
+		return fmt.Errorf("%w: WithWindow(%d): window must be non-negative (0 selects the default)", ErrInvalidOption, c.window)
+	}
+	if c.shardsSet && c.engine != EngineSharded {
+		return fmt.Errorf("%w: WithShards requires EngineSharded, have %v", ErrInvalidOption, c.engine)
+	}
+	if c.windowSet && c.engine != EngineSharded {
+		return fmt.Errorf("%w: WithWindow requires EngineSharded, have %v", ErrInvalidOption, c.engine)
+	}
+	if c.parallelSet && c.engine != EngineProtocol {
+		return fmt.Errorf("%w: WithParallel requires EngineProtocol, have %v", ErrInvalidOption, c.engine)
+	}
+	return nil
+}
+
+// build constructs the configured engine. The config must have been
+// validated.
+func (c *config) build() core.Engine {
+	switch c.engine {
+	case EngineTemplate:
+		return core.NewTemplate(c.seed)
+	case EngineDirect:
+		return direct.New(c.seed)
+	case EngineAsyncDirect:
+		return direct.NewAsync(c.seed, c.sched)
+	case EngineSharded:
+		e := shard.New(c.seed, c.shards)
+		if c.window > 0 {
+			e.SetWindow(c.window)
+		}
+		return e
+	default:
+		e := protocol.New(c.seed)
+		if c.parallel > 1 {
+			e.SetParallel(c.parallel)
+		}
+		return e
+	}
+}
+
+// resolve applies opts over a default configuration and validates the
+// result; it is the single option path shared by New, Restore and the
+// derived-structure constructors.
+func resolve(defaultEngine Engine, opts []Option) (config, error) {
+	cfg := config{seed: 1, engine: defaultEngine}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var impl engineImpl
-	switch cfg.engine {
-	case EngineTemplate:
-		impl = core.NewTemplate(cfg.seed)
-	case EngineDirect:
-		impl = direct.New(cfg.seed)
-	case EngineAsyncDirect:
-		impl = direct.NewAsync(cfg.seed, cfg.sched)
-	case EngineSharded:
-		e := shard.New(cfg.seed, cfg.shards)
-		if cfg.window > 0 {
-			e.SetWindow(cfg.window)
-		}
-		impl = e
-	default:
-		e := protocol.New(cfg.seed)
-		if cfg.parallel > 1 {
-			e.SetParallel(cfg.parallel)
-		}
-		impl = e
+	if err := cfg.validate(); err != nil {
+		return config{}, err
 	}
-	return &Maintainer{impl: impl, engine: cfg.engine}
+	return cfg, nil
+}
+
+// Maintainer maintains an MIS over a fully dynamic graph.
+type Maintainer struct {
+	impl   core.Engine
+	engine Engine
+}
+
+// New returns a Maintainer over the empty graph, or an ErrInvalidOption
+// error for option values no engine can honor.
+func New(opts ...Option) (*Maintainer, error) {
+	cfg, err := resolve(EngineProtocol, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{impl: cfg.build(), engine: cfg.engine}, nil
+}
+
+// MustNew is New for static option sets; it panics on invalid options.
+func MustNew(opts ...Option) *Maintainer {
+	m, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Engine reports which implementation backs this maintainer.
 func (m *Maintainer) Engine() Engine { return m.engine }
+
+// Subscribe registers fn on the membership change feed. After every
+// Apply, ApplyBatch or ApplyAll window the engine publishes the net
+// membership delta between the stable configuration before the update and
+// the one after it, as Events in ascending node order with a
+// monotonically increasing Seq. Callbacks run synchronously on the
+// goroutine that applied the change, after recovery has settled, so they
+// always observe the maintainer in a consistent state.
+//
+// The feed is engine-independent: for equal seeds, equal change
+// sequences and equal update granularity — the same Apply calls, or
+// ApplyBatch calls with the same batch boundaries — every engine
+// publishes the identical event stream (history independence fixes the
+// stable configurations; the feed reports nothing else). Granularity
+// matters because events are net deltas: a node that flips and flips
+// back within one batch window produces no event, so EngineSharded's
+// ApplyAll, which groups changes into WithWindow-sized windows, publishes
+// per window where the other engines' ApplyAll publishes per change.
+// Replaying all events reproduces State() exactly regardless of
+// granularity; see ReplayEvents.
+func (m *Maintainer) Subscribe(fn func(Event)) { m.impl.Subscribe(fn) }
 
 // Apply performs one topology change and returns its cost report.
 func (m *Maintainer) Apply(c Change) (Report, error) { return m.impl.Apply(c) }
@@ -235,24 +343,13 @@ func (m *Maintainer) Apply(c Change) (Report, error) { return m.impl.Apply(c) }
 func (m *Maintainer) ApplyAll(cs []Change) (Report, error) { return m.impl.ApplyAll(cs) }
 
 // ApplyBatch applies several changes and recovers once (the §6 "multiple
-// failures at a time" extension). On EngineTemplate the recovery cascade
-// runs a single time over the combined damage; on EngineSharded it runs
-// as one parallel window; on EngineAsyncDirect all changes are staged
-// before the network drains once. The remaining engines fall back to
-// sequential application, which reaches the same final structure by
-// history independence.
-func (m *Maintainer) ApplyBatch(cs []Change) (Report, error) {
-	switch impl := m.impl.(type) {
-	case *core.Template:
-		return impl.ApplyBatch(cs)
-	case *shard.Engine:
-		return impl.ApplyBatch(cs)
-	case *direct.AsyncEngine:
-		return impl.ApplyBatch(cs)
-	default:
-		return m.impl.ApplyAll(cs)
-	}
-}
+// failures at a time" extension). Every engine exposes the batch surface:
+// EngineTemplate runs a single cascade over the combined damage,
+// EngineSharded one parallel window, EngineAsyncDirect stages all changes
+// before the network drains once, and the synchronous message-passing
+// engines realize the batch sequentially — reaching the same final
+// structure by history independence.
+func (m *Maintainer) ApplyBatch(cs []Change) (Report, error) { return m.impl.ApplyBatch(cs) }
 
 // InsertNode adds a node with edges to the listed existing neighbors.
 func (m *Maintainer) InsertNode(v NodeID, nbrs ...NodeID) (Report, error) {
@@ -285,14 +382,18 @@ func (m *Maintainer) RemoveEdgeAbrupt(u, v NodeID) (Report, error) {
 	return m.impl.Apply(graph.EdgeChange(graph.EdgeDeleteAbrupt, u, v))
 }
 
-// Mute hides a node from its neighbors while it keeps listening
-// (EngineTemplate, EngineDirect and EngineProtocol).
+// Mute hides a node from its neighbors while it keeps listening. It is
+// supported by EngineTemplate, EngineDirect, EngineProtocol and
+// EngineSharded; EngineAsyncDirect does not model muting (it is a
+// synchronous-round notion) and returns an error matching
+// ErrMutedUnsupported.
 func (m *Maintainer) Mute(v NodeID) (Report, error) {
 	return m.impl.Apply(graph.NodeChange(graph.NodeMute, v))
 }
 
 // Unmute re-activates a muted node with the given (previously known)
 // neighbors; it costs O(1) broadcasts because the node kept listening.
+// Engine support matches Mute.
 func (m *Maintainer) Unmute(v NodeID, nbrs ...NodeID) (Report, error) {
 	return m.impl.Apply(graph.NodeChange(graph.NodeUnmute, v, nbrs...))
 }
@@ -336,26 +437,58 @@ func (m *Maintainer) Check() error { return m.impl.Check() }
 // priorities, memberships); see Maintainer.Snapshot and Restore.
 type Snapshot = core.Snapshot
 
-// Snapshot captures the current state for persistence. It is supported by
-// EngineTemplate; the message-passing engines carry per-node network
+// Snapshotter is the persistence capability: engines that can serialize
+// their maintained structure implement it. EngineTemplate and
+// EngineSharded do (they share the same core state — graph, priorities,
+// memberships); the message-passing engines carry per-node network
 // knowledge that is not meaningfully persistable.
+type Snapshotter = core.Snapshotter
+
+// Snapshot captures the current state for persistence. It succeeds iff
+// the backing engine implements the Snapshotter capability; otherwise it
+// returns an error matching ErrSnapshotUnsupported.
 func (m *Maintainer) Snapshot() (*Snapshot, error) {
-	tpl, ok := m.impl.(*core.Template)
+	s, ok := m.impl.(Snapshotter)
 	if !ok {
-		return nil, fmt.Errorf("dynmis: Snapshot requires EngineTemplate, have %v", m.engine)
+		return nil, fmt.Errorf("%w: engine %v", ErrSnapshotUnsupported, m.engine)
 	}
-	return tpl.Snapshot(), nil
+	return s.Snapshot(), nil
 }
 
-// Restore rebuilds a template-backed Maintainer from a snapshot; fresh
-// nodes inserted afterwards draw priorities from a stream seeded by seed.
-// Tampered snapshots (violating the MIS invariant) are rejected.
-func Restore(s *Snapshot, seed uint64) (*Maintainer, error) {
-	tpl, err := core.RestoreTemplate(s, seed)
+// Restore rebuilds a Maintainer from a snapshot; fresh nodes inserted
+// afterwards draw priorities from a stream seeded by seed. Tampered
+// snapshots (violating the MIS invariant) are rejected.
+//
+// By default the restored maintainer is template-backed; pass
+// WithEngine(EngineSharded) (plus WithShards/WithWindow) to restore into
+// the sharded engine — a snapshot taken on either Snapshotter engine
+// restores into either, because they persist the same structure. Other
+// engines return an error matching ErrSnapshotUnsupported. A WithSeed
+// option is ignored: the seed parameter wins.
+func Restore(s *Snapshot, seed uint64, opts ...Option) (*Maintainer, error) {
+	cfg, err := resolve(EngineTemplate, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Maintainer{impl: tpl, engine: EngineTemplate}, nil
+	switch cfg.engine {
+	case EngineTemplate:
+		tpl, err := core.RestoreTemplate(s, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Maintainer{impl: tpl, engine: EngineTemplate}, nil
+	case EngineSharded:
+		e, err := shard.Restore(s, seed, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.window > 0 {
+			e.SetWindow(cfg.window)
+		}
+		return &Maintainer{impl: e, engine: EngineSharded}, nil
+	default:
+		return nil, fmt.Errorf("%w: engine %v cannot restore a snapshot", ErrSnapshotUnsupported, cfg.engine)
+	}
 }
 
 // Verify additionally asserts history independence: the current structure

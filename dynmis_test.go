@@ -5,11 +5,21 @@ import (
 	"testing"
 )
 
+// mustNew builds a maintainer, failing the test on invalid options.
+func mustNew(t *testing.T, opts ...Option) *Maintainer {
+	t.Helper()
+	m, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestFacadeEngines(t *testing.T) {
 	engines := []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded}
 	for _, eng := range engines {
 		t.Run(eng.String(), func(t *testing.T) {
-			m := New(WithSeed(7), WithEngine(eng))
+			m := mustNew(t, WithSeed(7), WithEngine(eng))
 			if m.Engine() != eng {
 				t.Fatalf("Engine() = %v", m.Engine())
 			}
@@ -49,7 +59,7 @@ func TestFacadeEngines(t *testing.T) {
 
 func TestFacadeSameSeedSameOutput(t *testing.T) {
 	build := func(eng Engine) []NodeID {
-		m := New(WithSeed(99), WithEngine(eng))
+		m := mustNew(t, WithSeed(99), WithEngine(eng))
 		rng := rand.New(rand.NewPCG(1, 2))
 		var nodes []NodeID
 		for v := NodeID(0); v < 40; v++ {
@@ -85,7 +95,7 @@ func TestFacadeSameSeedSameOutput(t *testing.T) {
 }
 
 func TestFacadeMuteUnmute(t *testing.T) {
-	m := New(WithSeed(3), WithEngine(EngineProtocol))
+	m := mustNew(t, WithSeed(3), WithEngine(EngineProtocol))
 	if _, err := m.InsertNode(1); err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +117,7 @@ func TestFacadeMuteUnmute(t *testing.T) {
 }
 
 func TestFacadeClusters(t *testing.T) {
-	m := New(WithSeed(5))
+	m := mustNew(t, WithSeed(5))
 	if _, err := m.InsertNode(1); err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +134,10 @@ func TestFacadeClusters(t *testing.T) {
 }
 
 func TestFacadeDerivedStructures(t *testing.T) {
-	cm := NewClustering(1)
+	cm, err := NewClustering(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := cm.Apply(NodeChange(NodeInsert, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +145,10 @@ func TestFacadeDerivedStructures(t *testing.T) {
 		t.Error("single node clustering cost should be 0")
 	}
 
-	mm := NewMatching(1)
+	mm, err := NewMatching(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := mm.Apply(NodeChange(NodeInsert, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +159,7 @@ func TestFacadeDerivedStructures(t *testing.T) {
 		t.Errorf("matching = %v", got)
 	}
 
-	col, err := NewColoring(1, 4)
+	col, err := NewColoring(4, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,13 +172,13 @@ func TestFacadeDerivedStructures(t *testing.T) {
 	if col.ColorOf(0) == col.ColorOf(1) {
 		t.Error("adjacent nodes share a color")
 	}
-	if _, err := NewColoring(1, 0); err == nil {
+	if _, err := NewColoring(0); err == nil {
 		t.Error("palette 0 accepted")
 	}
 }
 
 func TestFacadeParallelOption(t *testing.T) {
-	m := New(WithSeed(11), WithEngine(EngineProtocol), WithParallel(4))
+	m := mustNew(t, WithSeed(11), WithEngine(EngineProtocol), WithParallel(4))
 	for v := NodeID(0); v < 30; v++ {
 		var nbrs []NodeID
 		if v > 0 {
@@ -178,7 +194,7 @@ func TestFacadeParallelOption(t *testing.T) {
 }
 
 func TestFacadeLIFOScheduler(t *testing.T) {
-	m := New(WithSeed(13), WithEngine(EngineAsyncDirect), WithLIFOScheduler())
+	m := mustNew(t, WithSeed(13), WithEngine(EngineAsyncDirect), WithLIFOScheduler())
 	for v := NodeID(0); v < 20; v++ {
 		var nbrs []NodeID
 		if v > 0 {
@@ -194,7 +210,7 @@ func TestFacadeLIFOScheduler(t *testing.T) {
 }
 
 func TestFacadeInvalidChange(t *testing.T) {
-	m := New()
+	m := mustNew(t)
 	if _, err := m.InsertEdge(1, 2); err == nil {
 		t.Error("edge between absent nodes accepted")
 	}

@@ -9,7 +9,7 @@ import (
 // The basic lifecycle: build a small graph, watch the MIS adapt, and
 // verify history independence.
 func Example() {
-	m := dynmis.New(dynmis.WithSeed(42))
+	m := dynmis.MustNew(dynmis.WithSeed(42))
 
 	m.InsertNode(1)
 	m.InsertNode(2, 1)
@@ -30,7 +30,7 @@ func Example() {
 
 // Reports carry the paper's complexity measures for every change.
 func ExampleMaintainer_InsertNode() {
-	m := dynmis.New(dynmis.WithSeed(7), dynmis.WithEngine(dynmis.EngineTemplate))
+	m := dynmis.MustNew(dynmis.WithSeed(7), dynmis.WithEngine(dynmis.EngineTemplate))
 	m.InsertNode(1)
 	rep, _ := m.InsertNode(2, 1)
 	// With this seed node 2 draws the earlier priority: it joins the MIS
@@ -44,7 +44,7 @@ func ExampleMaintainer_InsertNode() {
 // Engines are interchangeable: same seed, same structure.
 func ExampleMaintainer_Engine() {
 	build := func(e dynmis.Engine) []dynmis.NodeID {
-		m := dynmis.New(dynmis.WithSeed(99), dynmis.WithEngine(e))
+		m := dynmis.MustNew(dynmis.WithSeed(99), dynmis.WithEngine(e))
 		m.InsertNode(10)
 		m.InsertNode(20, 10)
 		m.InsertNode(30, 10, 20)
@@ -60,7 +60,7 @@ func ExampleMaintainer_Engine() {
 
 // Correlation clustering is derived from the MIS pivots for free.
 func ExampleMaintainer_Clusters() {
-	m := dynmis.New(dynmis.WithSeed(1))
+	m := dynmis.MustNew(dynmis.WithSeed(1))
 	m.InsertNode(1)
 	m.InsertNode(2, 1)
 	clusters := m.Clusters()
@@ -73,7 +73,7 @@ func ExampleMaintainer_Clusters() {
 
 // A muted node keeps listening, so it rejoins with O(1) broadcasts.
 func ExampleMaintainer_Mute() {
-	m := dynmis.New(dynmis.WithSeed(3))
+	m := dynmis.MustNew(dynmis.WithSeed(3))
 	m.InsertNode(1)
 	m.InsertNode(2, 1)
 	m.InsertNode(3, 1, 2)
@@ -92,7 +92,7 @@ func ExampleMaintainer_Mute() {
 // identical to every other engine's for the same seed — only the
 // throughput and the cross-shard hand-off account differ.
 func ExampleMaintainer_sharded() {
-	m := dynmis.New(
+	m := dynmis.MustNew(
 		dynmis.WithSeed(42),
 		dynmis.WithEngine(dynmis.EngineSharded),
 		dynmis.WithShards(4),
@@ -113,7 +113,7 @@ func ExampleMaintainer_sharded() {
 
 	// The same seed on the model-level template engine yields the same
 	// structure: sharding is invisible in the output.
-	ref := dynmis.New(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineTemplate))
+	ref := dynmis.MustNew(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineTemplate))
 	ref.ApplyBatch([]dynmis.Change{
 		dynmis.NodeChange(dynmis.NodeInsert, 1),
 		dynmis.NodeChange(dynmis.NodeInsert, 2, 1),
@@ -129,6 +129,36 @@ func ExampleMaintainer_sharded() {
 	// MIS size: 2
 	// matches template engine: true
 	// verified: true adjustments: 2
+}
+
+// Consumers should not re-poll MIS after every update: the change feed
+// pushes exactly which nodes flipped. Events carry the net membership
+// delta per update — in expectation a single record per topology change
+// (Theorem 1) — and the stream is identical on every engine for equal
+// seeds.
+func ExampleMaintainer_subscribe() {
+	m := dynmis.MustNew(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineTemplate))
+
+	var events []dynmis.Event
+	m.Subscribe(func(ev dynmis.Event) { events = append(events, ev) })
+
+	m.InsertNode(1)
+	m.InsertNode(2, 1)
+	m.InsertNode(3, 1, 2)
+	m.RemoveNodeAbrupt(1)
+
+	for _, ev := range events {
+		fmt.Printf("seq=%d node=%d cause=%s inMIS=%v\n", ev.Seq, ev.Node, ev.Cause, ev.To == dynmis.In)
+	}
+	// Replaying the feed reproduces the maintainer's state exactly.
+	fmt.Println("replay matches:", len(dynmis.ReplayEvents(events)) == m.NodeCount())
+	// Output:
+	// seq=1 node=1 cause=join inMIS=true
+	// seq=2 node=2 cause=join inMIS=false
+	// seq=3 node=3 cause=join inMIS=false
+	// seq=4 node=1 cause=leave inMIS=false
+	// seq=5 node=3 cause=flip inMIS=true
+	// replay matches: true
 }
 
 // The sequential variant maintains the same structure without any

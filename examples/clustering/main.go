@@ -25,7 +25,10 @@ const (
 )
 
 func main() {
-	cm := dynmis.NewClustering(11)
+	cm, err := dynmis.NewClustering(dynmis.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewPCG(2, 3))
 
 	// A planted-partition "social network": dense groups, sparse links

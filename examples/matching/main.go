@@ -29,7 +29,10 @@ const (
 func taskID(t int) dynmis.NodeID { return dynmis.NodeID(1000 + t) }
 
 func main() {
-	mm := dynmis.NewMatching(17)
+	mm, err := dynmis.NewMatching(dynmis.WithSeed(17))
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewPCG(4, 5))
 
 	for w := 0; w < workers; w++ {

@@ -26,7 +26,7 @@ const (
 )
 
 func main() {
-	m := dynmis.New(dynmis.WithSeed(7), dynmis.WithEngine(dynmis.EngineProtocol))
+	m := dynmis.MustNew(dynmis.WithSeed(7), dynmis.WithEngine(dynmis.EngineProtocol))
 	rng := rand.New(rand.NewPCG(1, 7))
 
 	// Bootstrap: peers join one by one, each connecting to a few random

@@ -13,7 +13,7 @@ import (
 
 func main() {
 	// A maintainer backed by Algorithm 2 (the O(1)-broadcast protocol).
-	m := dynmis.New(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineProtocol))
+	m := dynmis.MustNew(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineProtocol))
 
 	// Build a small network: a triangle with a pendant node.
 	steps := []struct {

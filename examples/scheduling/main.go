@@ -26,7 +26,7 @@ const (
 )
 
 func main() {
-	col, err := dynmis.NewColoring(31, slots)
+	col, err := dynmis.NewColoring(slots, dynmis.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,7 +26,7 @@ const (
 )
 
 func main() {
-	m := dynmis.New(dynmis.WithSeed(21), dynmis.WithEngine(dynmis.EngineProtocol))
+	m := dynmis.MustNew(dynmis.WithSeed(21), dynmis.WithEngine(dynmis.EngineProtocol))
 	rng := rand.New(rand.NewPCG(8, 9))
 
 	// Deploy the field: a grid mesh (each sensor hears its 4 neighbors).

@@ -1,6 +1,7 @@
 package dynmis
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -18,11 +19,11 @@ import (
 func TestCrossEngineSoak(t *testing.T) {
 	const seed = 2025
 	engines := map[string]*Maintainer{
-		"template": New(WithSeed(seed), WithEngine(EngineTemplate)),
-		"direct":   New(WithSeed(seed), WithEngine(EngineDirect)),
-		"protocol": New(WithSeed(seed), WithEngine(EngineProtocol)),
-		"async":    New(WithSeed(seed), WithEngine(EngineAsyncDirect)),
-		"sharded":  New(WithSeed(seed), WithEngine(EngineSharded), WithShards(4)),
+		"template": mustNew(t, WithSeed(seed), WithEngine(EngineTemplate)),
+		"direct":   mustNew(t, WithSeed(seed), WithEngine(EngineDirect)),
+		"protocol": mustNew(t, WithSeed(seed), WithEngine(EngineProtocol)),
+		"async":    mustNew(t, WithSeed(seed), WithEngine(EngineAsyncDirect)),
+		"sharded":  mustNew(t, WithSeed(seed), WithEngine(EngineSharded), WithShards(4)),
 	}
 	seq := NewSequential(seed)
 
@@ -90,7 +91,7 @@ func TestFacadeApplyBatch(t *testing.T) {
 		NodeChange(NodeInsert, 3, 1, 2),
 		EdgeChange(EdgeDeleteGraceful, 1, 2),
 	}
-	tm := New(WithSeed(5), WithEngine(EngineTemplate))
+	tm := mustNew(t, WithSeed(5), WithEngine(EngineTemplate))
 	if _, err := tm.ApplyBatch(batch); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFacadeApplyBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, eng := range []Engine{EngineProtocol, EngineSharded, EngineAsyncDirect} {
-		m := New(WithSeed(5), WithEngine(eng))
+		m := mustNew(t, WithSeed(5), WithEngine(eng))
 		if _, err := m.ApplyBatch(batch); err != nil {
 			t.Fatalf("%v: %v", eng, err)
 		}
@@ -133,7 +134,7 @@ func TestSequentialFacade(t *testing.T) {
 
 // TestSnapshotThroughFacade persists a maintainer and restores it.
 func TestSnapshotThroughFacade(t *testing.T) {
-	m := New(WithSeed(31), WithEngine(EngineTemplate))
+	m := mustNew(t, WithSeed(31), WithEngine(EngineTemplate))
 	if _, err := m.InsertNode(1); err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +164,8 @@ func TestSnapshotThroughFacade(t *testing.T) {
 	if len(a) != len(b) || a[0] != b[0] {
 		t.Fatalf("restored MIS %v != original %v", b, a)
 	}
-	// Non-template engines refuse to snapshot.
-	if _, err := New(WithEngine(EngineProtocol)).Snapshot(); err == nil {
-		t.Error("protocol engine produced a snapshot")
+	// Engines without the Snapshotter capability refuse to snapshot.
+	if _, err := mustNew(t, WithEngine(EngineProtocol)).Snapshot(); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Errorf("protocol snapshot err = %v, want ErrSnapshotUnsupported", err)
 	}
 }

@@ -40,26 +40,35 @@ func Cost(g *graph.Graph, cluster map[graph.NodeID]graph.NodeID) int {
 }
 
 // Maintainer keeps a correlation clustering under topology changes by
-// maintaining the random-greedy MIS and deriving pivots from it.
+// maintaining the random-greedy MIS and deriving pivots from it. It is
+// generic over the MIS backend: any core.Engine works, because the pivot
+// rule reads only the maintained graph, order and memberships.
 type Maintainer struct {
-	tpl *core.Template
+	eng core.Engine
 }
 
-// New returns a maintainer over an empty graph.
+// New returns a template-backed maintainer over an empty graph.
 func New(seed uint64) *Maintainer {
-	return &Maintainer{tpl: core.NewTemplate(seed)}
+	return NewWithEngine(core.NewTemplate(seed))
 }
 
-// NewWithOrder returns a maintainer sharing a caller-supplied order.
+// NewWithOrder returns a template-backed maintainer sharing a
+// caller-supplied order.
 func NewWithOrder(ord *order.Order) *Maintainer {
-	return &Maintainer{tpl: core.NewTemplateWithOrder(ord)}
+	return NewWithEngine(core.NewTemplateWithOrder(ord))
+}
+
+// NewWithEngine returns a maintainer deriving its clustering from the
+// given MIS engine, which must be empty.
+func NewWithEngine(e core.Engine) *Maintainer {
+	return &Maintainer{eng: e}
 }
 
 // Graph exposes the maintained topology (read-only for callers).
-func (m *Maintainer) Graph() *graph.Graph { return m.tpl.Graph() }
+func (m *Maintainer) Graph() *graph.Graph { return m.eng.Graph() }
 
 // Order exposes the node order.
-func (m *Maintainer) Order() *order.Order { return m.tpl.Order() }
+func (m *Maintainer) Order() *order.Order { return m.eng.Order() }
 
 // Report extends the MIS cost report with the clustering-level adjustment
 // count: the number of nodes whose cluster head changed.
@@ -74,7 +83,7 @@ type Report struct {
 // Apply performs one topology change and returns the combined report.
 func (m *Maintainer) Apply(c graph.Change) (Report, error) {
 	before := m.Clusters()
-	rep, err := m.tpl.Apply(c)
+	rep, err := m.eng.Apply(c)
 	if err != nil {
 		return Report{}, err
 	}
@@ -110,19 +119,19 @@ func (m *Maintainer) ApplyAll(cs []graph.Change) (Report, error) {
 // Clusters returns the current assignment: node -> cluster head (an MIS
 // node; heads map to themselves).
 func (m *Maintainer) Clusters() map[graph.NodeID]graph.NodeID {
-	return core.GreedyClusters(m.tpl.Graph(), m.tpl.Order(), m.tpl.State())
+	return core.GreedyClusters(m.eng.Graph(), m.eng.Order(), m.eng.State())
 }
 
 // Cost returns the current correlation clustering objective value.
-func (m *Maintainer) Cost() int { return Cost(m.tpl.Graph(), m.Clusters()) }
+func (m *Maintainer) Cost() int { return Cost(m.eng.Graph(), m.Clusters()) }
 
 // Check verifies the underlying MIS invariant and the pivot structure.
 func (m *Maintainer) Check() error {
-	if err := m.tpl.Check(); err != nil {
+	if err := m.eng.Check(); err != nil {
 		return err
 	}
-	state := m.tpl.State()
-	g := m.tpl.Graph()
+	state := m.eng.State()
+	g := m.eng.Graph()
 	for v, head := range m.Clusters() {
 		if state[head] != core.In {
 			return fmt.Errorf("clustering: head %d of node %d not in MIS", head, v)

@@ -22,21 +22,29 @@ import (
 // to the palette size, voiding the reduction's guarantee.
 var ErrPaletteExceeded = errors.New("coloring: node degree would reach palette size")
 
-// Maintainer keeps a proper P-coloring of a dynamic graph.
+// Maintainer keeps a proper P-coloring of a dynamic graph. The blown-up
+// MIS may be backed by any core.Engine.
 type Maintainer struct {
 	g       *graph.Graph
-	tpl     *core.Template
+	eng     core.Engine
 	palette int
 }
 
-// New returns a maintainer with the given palette size (≥ 2).
+// New returns a template-backed maintainer with the given palette size
+// (≥ 2).
 func New(seed uint64, palette int) (*Maintainer, error) {
+	return NewWithEngine(core.NewTemplate(seed), palette)
+}
+
+// NewWithEngine returns a maintainer running the blown-up MIS on the
+// given engine (which must be empty) with the given palette size (≥ 2).
+func NewWithEngine(e core.Engine, palette int) (*Maintainer, error) {
 	if palette < 2 {
 		return nil, fmt.Errorf("coloring: palette must be at least 2, got %d", palette)
 	}
 	return &Maintainer{
 		g:       graph.New(),
-		tpl:     core.NewTemplate(seed),
+		eng:     e,
 		palette: palette,
 	}, nil
 }
@@ -61,7 +69,7 @@ func (m *Maintainer) Apply(c graph.Change) (core.Report, error) {
 	}
 	var total core.Report
 	apply := func(gc graph.Change) error {
-		rep, err := m.tpl.Apply(gc)
+		rep, err := m.eng.Apply(gc)
 		if err != nil {
 			return err
 		}
@@ -171,7 +179,7 @@ func (m *Maintainer) ColorOf(v graph.NodeID) int {
 		return 0
 	}
 	for col := 1; col <= m.palette; col++ {
-		if m.tpl.InMIS(m.copyID(v, col)) {
+		if m.eng.InMIS(m.copyID(v, col)) {
 			return col
 		}
 	}
@@ -199,7 +207,7 @@ func (m *Maintainer) ColorsUsed() int {
 // Check verifies the reduction invariants: the blown-up MIS is valid,
 // every node has exactly one chosen copy, and the coloring is proper.
 func (m *Maintainer) Check() error {
-	if err := m.tpl.Check(); err != nil {
+	if err := m.eng.Check(); err != nil {
 		return err
 	}
 	colors := m.Colors()
@@ -209,7 +217,7 @@ func (m *Maintainer) Check() error {
 		}
 		count := 0
 		for col := 1; col <= m.palette; col++ {
-			if m.tpl.InMIS(m.copyID(v, col)) {
+			if m.eng.InMIS(m.copyID(v, col)) {
 				count++
 			}
 		}

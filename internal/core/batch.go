@@ -17,8 +17,10 @@ import (
 // (experiment E15 measures how E[|S|] scales with the batch size).
 //
 // The changes are validated and applied in order; on a validation error
-// the engine is left with the previously applied prefix's topology but an
-// already-consistent state (the cascade runs only after all mutations).
+// the engine keeps the already-staged prefix's topology, and a recovery
+// cascade over the prefix's damage restores the MIS invariant (and
+// publishes the prefix's feed delta) before the error returns — the
+// engine stays consistent and usable.
 func (t *Template) ApplyBatch(cs []graph.Change) (Report, error) {
 	before := t.State()
 
@@ -29,7 +31,12 @@ func (t *Template) ApplyBatch(cs []graph.Change) (Report, error) {
 	for i, c := range cs {
 		staged, err := StageChange(t.g, t.ord, MapState(t.state), c)
 		if err != nil {
-			return Report{}, fmt.Errorf("batch change %d: %w", i, err)
+			err = fmt.Errorf("batch change %d: %w", i, err)
+			if _, cerr := t.cascade(frontier, flipped); cerr != nil {
+				return Report{}, fmt.Errorf("%w (and prefix recovery failed: %v)", err, cerr)
+			}
+			t.feed.EmitDiff(before, t.state)
+			return Report{}, err
 		}
 		if staged.PreFlipped != graph.None {
 			flipped[staged.PreFlipped] = 1
@@ -49,5 +56,6 @@ func (t *Template) ApplyBatch(cs []graph.Change) (Report, error) {
 		rep.Flips += n
 	}
 	rep.Adjustments = len(DiffStates(before, t.state))
+	t.feed.EmitDiff(before, t.state)
 	return rep, nil
 }

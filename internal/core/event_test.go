@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+func TestFeedPublishSeq(t *testing.T) {
+	var f Feed
+	var got []Event
+	f.Subscribe(func(ev Event) { got = append(got, ev) })
+	if !f.Active() {
+		t.Fatal("feed with a subscriber is not active")
+	}
+	f.Publish(3, Out, In, CauseJoin)
+	f.Publish(1, In, Out, CauseFlip)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("events = %v, want Seq 1,2", got)
+	}
+	if f.Seq() != 2 {
+		t.Fatalf("Seq() = %d, want 2", f.Seq())
+	}
+}
+
+func TestFeedInactiveEmitDiffCheap(t *testing.T) {
+	var f Feed
+	// No subscriber: EmitDiff must not advance the sequence counter
+	// (publishing nothing keeps later subscribers' numbering dense).
+	f.EmitDiff(map[graph.NodeID]Membership{1: In}, map[graph.NodeID]Membership{1: Out})
+	if f.Seq() != 0 {
+		t.Fatalf("inactive feed advanced to seq %d", f.Seq())
+	}
+}
+
+func TestFeedEmitDiffCanonical(t *testing.T) {
+	var f Feed
+	var got []Event
+	f.Subscribe(func(ev Event) { got = append(got, ev) })
+
+	before := map[graph.NodeID]Membership{1: In, 2: Out, 3: Out, 5: In}
+	after := map[graph.NodeID]Membership{2: Out, 3: In, 5: In, 9: Out}
+	// 1 left (was In), 3 flipped Out→In, 9 joined as Out; 2 and 5
+	// unchanged.
+	f.EmitDiff(before, after)
+
+	want := []Event{
+		{Seq: 1, Node: 1, From: In, To: Out, Cause: CauseLeave},
+		{Seq: 2, Node: 3, From: Out, To: In, Cause: CauseFlip},
+		{Seq: 3, Node: 9, From: Out, To: Out, Cause: CauseJoin},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplayReproducesState(t *testing.T) {
+	var got []Event
+	tpl := NewTemplate(7)
+	tpl.Subscribe(func(ev Event) { got = append(got, ev) })
+	cs := []graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+		graph.NodeChange(graph.NodeInsert, 3, 1, 2),
+		graph.EdgeChange(graph.EdgeDeleteGraceful, 1, 2),
+		graph.NodeChange(graph.NodeDeleteAbrupt, 3),
+	}
+	for _, c := range cs {
+		if _, err := tpl.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if state := Replay(got); !EqualStates(state, tpl.State()) {
+		t.Fatalf("replayed state %v != engine state %v", state, tpl.State())
+	}
+}
+
+func TestEventAndCauseStrings(t *testing.T) {
+	ev := Event{Seq: 3, Node: 7, From: Out, To: In, Cause: CauseFlip}
+	if ev.String() == "" || CauseJoin.String() != "join" || CauseLeave.String() != "leave" ||
+		CauseFlip.String() != "flip" || EventCause(99).String() == "" {
+		t.Error("event string rendering broken")
+	}
+}
+
+func TestTemplateBatchFeed(t *testing.T) {
+	tpl := NewTemplate(42)
+	var got []Event
+	tpl.Subscribe(func(ev Event) { got = append(got, ev) })
+	batch := []graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+		graph.NodeChange(graph.NodeInsert, 3, 2),
+		graph.NodeChange(graph.NodeDeleteAbrupt, 1),
+	}
+	if _, err := tpl.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// One batch, one delta: node 1 never appears (inserted and deleted in
+	// the same window), and the events replay to the final state.
+	for _, ev := range got {
+		if ev.Node == 1 {
+			t.Fatalf("transient node 1 leaked into the feed: %v", ev)
+		}
+	}
+	if state := Replay(got); !EqualStates(state, tpl.State()) {
+		t.Fatalf("replayed state %v != engine state %v", state, tpl.State())
+	}
+}

@@ -25,7 +25,15 @@ type Template struct {
 	ord   *order.Order
 	state map[graph.NodeID]Membership
 	steps int // safety counter for the last cascade
+	feed  Feed
 }
+
+// Template implements the full engine surface plus the persistence
+// capability.
+var (
+	_ Engine      = (*Template)(nil)
+	_ Snapshotter = (*Template)(nil)
+)
 
 // NewTemplate returns an engine over an empty graph with a fresh random
 // order seeded by seed.
@@ -68,6 +76,9 @@ func (t *Template) State() map[graph.NodeID]Membership {
 // Check verifies the MIS invariant on the current configuration.
 func (t *Template) Check() error { return CheckInvariant(t.g, t.ord, t.state) }
 
+// Subscribe registers a change-feed callback; see Feed.
+func (t *Template) Subscribe(fn func(Event)) { t.feed.Subscribe(fn) }
+
 // Apply performs one topology change and runs the recovery cascade,
 // returning the cost report. On validation error the engine is unchanged.
 func (t *Template) Apply(c graph.Change) (Report, error) {
@@ -101,6 +112,7 @@ func (t *Template) Apply(c graph.Change) (Report, error) {
 		rep.Flips += n
 	}
 	rep.Adjustments = len(DiffStates(before, t.state))
+	t.feed.EmitDiff(before, t.state)
 	return rep, nil
 }
 

@@ -1,7 +1,6 @@
 package direct
 
 import (
-	"errors"
 	"fmt"
 
 	"dynmis/internal/core"
@@ -82,10 +81,13 @@ type AsyncEngine struct {
 	ord     *order.Order
 	visible *graph.Graph
 	procs   map[graph.NodeID]*asyncNode
+	feed    core.Feed
 
 	// MaxDeliveries bounds each recovery; 0 selects an automatic bound.
 	MaxDeliveries int
 }
+
+var _ core.Engine = (*AsyncEngine)(nil)
 
 // NewAsync returns an asynchronous engine; sched nil means FIFO delivery.
 func NewAsync(seed uint64, sched simnet.Scheduler) *AsyncEngine {
@@ -140,8 +142,12 @@ func (e *AsyncEngine) maxDeliveries() int {
 }
 
 // ErrAsyncUnsupported is returned for change kinds the asynchronous engine
-// does not model.
-var ErrAsyncUnsupported = errors.New("direct: change kind unsupported in async engine")
+// does not model. It wraps core.ErrMuteUnsupported, so callers can match
+// either sentinel with errors.Is.
+var ErrAsyncUnsupported = fmt.Errorf("direct: async engine: %w", core.ErrMuteUnsupported)
+
+// Subscribe registers a change-feed callback; see core.Feed.
+func (e *AsyncEngine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
 
 // Apply performs one topology change, drains the network and reports
 // costs. The asynchronous engine supports the full change repertoire
@@ -179,7 +185,9 @@ func (e *AsyncEngine) Apply(c graph.Change) (core.Report, error) {
 	rep.Broadcasts = e.net.Metrics.Broadcasts
 	rep.Bits = e.net.Metrics.Bits
 	rep.CausalDepth = e.net.Metrics.CausalDepth
-	rep.Adjustments = len(core.DiffStates(before, e.State()))
+	after := e.State()
+	rep.Adjustments = len(core.DiffStates(before, after))
+	e.feed.EmitDiff(before, after)
 	return rep, nil
 }
 
@@ -275,6 +283,11 @@ func (e *AsyncEngine) stage(c graph.Change, rep *core.Report) (func(), error) {
 // (delete-then-reinsert of one node needs two batches); such changes are
 // rejected with ErrInvalidChange rather than staged against a retiring
 // proc. Muting is unsupported, as in Apply.
+//
+// On a mid-batch validation error the already-staged prefix is recovered
+// (the network drains and graceful departures complete) before the error
+// returns, mirroring the other engines: the engine keeps the prefix's
+// topology and stays consistent and usable.
 func (e *AsyncEngine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	before := e.State()
 	e.net.Metrics.Reset()
@@ -284,47 +297,79 @@ func (e *AsyncEngine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 
 	var rep core.Report
 	var cleanups []func()
+	drain := func() error {
+		if err := e.net.Run(e.maxDeliveries() * max(len(cs), 1)); err != nil {
+			return fmt.Errorf("direct: batch of %d: %w", len(cs), err)
+		}
+		return nil
+	}
+	runCleanups := func() {
+		for _, cleanup := range cleanups {
+			cleanup()
+		}
+	}
+	// fail recovers the already-staged prefix (drain, then complete the
+	// graceful departures) before returning the error, so an error return
+	// never strands a retiring proc in the visible topology — the
+	// cleanups run even when the drain itself fails.
+	fail := func(err error) (core.Report, error) {
+		rerr := drain()
+		runCleanups()
+		if e.feed.Active() {
+			e.feed.EmitDiff(before, e.State())
+		}
+		if rerr != nil {
+			return core.Report{}, fmt.Errorf("%w (and prefix recovery failed: %v)", err, rerr)
+		}
+		return core.Report{}, err
+	}
+
 	retiring := make(map[graph.NodeID]bool)
 	for i, c := range cs {
 		if c.Kind == graph.NodeMute || c.Kind == graph.NodeUnmute {
-			return core.Report{}, fmt.Errorf("batch change %d: %w: %s", i, ErrAsyncUnsupported, c)
+			return fail(fmt.Errorf("batch change %d: %w: %s", i, ErrAsyncUnsupported, c))
 		}
 		if err := c.Validate(e.visible); err != nil {
-			return core.Report{}, fmt.Errorf("batch change %d: %w", i, err)
+			return fail(fmt.Errorf("batch change %d: %w", i, err))
 		}
 		if len(retiring) > 0 {
 			if v, refs := referencesAny(c, retiring); refs {
-				return core.Report{}, fmt.Errorf("batch change %d: %w: %s references node %d gracefully deleted earlier in the batch",
-					i, graph.ErrInvalidChange, c, v)
+				return fail(fmt.Errorf("batch change %d: %w: %s references node %d gracefully deleted earlier in the batch",
+					i, graph.ErrInvalidChange, c, v))
 			}
 		}
 		if c.Kind == graph.NodeDeleteGraceful {
 			retiring[c.Node] = true
 		}
 		cleanup, err := e.stage(c, &rep)
-		if err != nil {
-			return core.Report{}, fmt.Errorf("batch change %d: %w", i, err)
-		}
 		if cleanup != nil {
 			cleanups = append(cleanups, cleanup)
 		}
+		if err != nil {
+			return fail(fmt.Errorf("batch change %d: %w", i, err))
+		}
 	}
-	if err := e.net.Run(e.maxDeliveries() * max(len(cs), 1)); err != nil {
-		return core.Report{}, fmt.Errorf("direct: batch of %d: %w", len(cs), err)
+	if err := drain(); err != nil {
+		runCleanups()
+		if e.feed.Active() {
+			e.feed.EmitDiff(before, e.State())
+		}
+		return core.Report{}, err
 	}
+	// Collect S statistics before the cleanups remove departed procs.
 	for _, p := range e.procs {
 		if p.flips > 0 {
 			rep.SSize++
 			rep.Flips += p.flips
 		}
 	}
-	for _, cleanup := range cleanups {
-		cleanup()
-	}
+	runCleanups()
 	rep.Broadcasts = e.net.Metrics.Broadcasts
 	rep.Bits = e.net.Metrics.Bits
 	rep.CausalDepth = e.net.Metrics.CausalDepth
-	rep.Adjustments = len(core.DiffStates(before, e.State()))
+	after := e.State()
+	rep.Adjustments = len(core.DiffStates(before, after))
+	e.feed.EmitDiff(before, after)
 	return rep, nil
 }
 

@@ -99,3 +99,38 @@ func TestAsyncApplyBatchRejectsMute(t *testing.T) {
 		t.Fatalf("err = %v, want ErrAsyncUnsupported", err)
 	}
 }
+
+// TestAsyncApplyBatchErrorRecoversPrefix: a mid-batch validation error
+// must not strand the already-staged prefix — in particular a graceful
+// deletion staged before the failing change completes its departure, and
+// the engine stays consistent and usable.
+func TestAsyncApplyBatchErrorRecoversPrefix(t *testing.T) {
+	e := NewAsync(5, nil)
+	if _, err := e.ApplyBatch([]graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := e.ApplyBatch([]graph.Change{
+		graph.NodeChange(graph.NodeDeleteGraceful, 1),
+		graph.EdgeChange(graph.EdgeInsert, 2, 99), // invalid: 99 absent
+	})
+	if !errors.Is(err, graph.ErrInvalidChange) {
+		t.Fatalf("err = %v, want ErrInvalidChange", err)
+	}
+	if e.Graph().HasNode(1) {
+		t.Fatal("gracefully deleted node 1 still visible after failed batch")
+	}
+	if err := e.Check(); err != nil {
+		t.Fatalf("engine inconsistent after failed batch: %v", err)
+	}
+	// The engine keeps maintaining normally.
+	if _, err := e.Apply(graph.NodeChange(graph.NodeInsert, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -267,10 +267,13 @@ type Engine struct {
 	ord     *order.Order
 	visible *graph.Graph
 	procs   map[graph.NodeID]*syncNode
+	feed    core.Feed
 
 	// MaxRounds bounds each recovery; 0 selects an automatic O(n) bound.
 	MaxRounds int
 }
+
+var _ core.Engine = (*Engine)(nil)
 
 // New returns an engine over an empty graph with a fresh order.
 func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
@@ -353,9 +356,14 @@ func (e *Engine) Apply(c graph.Change) (core.Report, error) {
 	rep.Rounds = rounds
 	rep.Broadcasts = e.net.Metrics.Broadcasts
 	rep.Bits = e.net.Metrics.Bits
-	rep.Adjustments = len(core.DiffStates(before, e.State()))
+	after := e.State()
+	rep.Adjustments = len(core.DiffStates(before, after))
+	e.feed.EmitDiff(before, after)
 	return rep, nil
 }
+
+// Subscribe registers a change-feed callback; see core.Feed.
+func (e *Engine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
 
 // ErrUnmuteUnknownNeighbor mirrors protocol.ErrUnmuteUnknownNeighbor.
 var ErrUnmuteUnknownNeighbor = errors.New("direct: unmute attaches unknown neighbor")
@@ -499,6 +507,25 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 		total.Add(rep)
 	}
 	return total, nil
+}
+
+// ApplyBatch applies several changes with per-change recovery. The
+// synchronous direct algorithm reacts to each detection event as it runs,
+// so it realizes the batch sequentially; history independence guarantees
+// the final structure equals a genuinely combined recovery. The change
+// feed still publishes one net delta for the whole batch (even on a
+// mid-batch error, for the applied prefix), matching the genuinely
+// batching engines event for event.
+func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
+	if !e.feed.Active() {
+		return e.ApplyAll(cs)
+	}
+	before := e.State()
+	resume := e.feed.Suspend()
+	rep, err := e.ApplyAll(cs)
+	resume()
+	e.feed.EmitDiff(before, e.State())
+	return rep, err
 }
 
 // Check verifies the steady-state invariants: MIS invariant on the visible

@@ -30,21 +30,29 @@ func NewEdge(u, v graph.NodeID) Edge {
 	return Edge{U: u, V: v}
 }
 
-// Maintainer keeps a maximal matching of a dynamic graph.
+// Maintainer keeps a maximal matching of a dynamic graph. The dynamic
+// MIS over the line graph may be backed by any core.Engine; the
+// reduction only translates primal changes into line-graph node changes.
 type Maintainer struct {
-	g   *graph.Graph   // the primal graph G
-	tpl *core.Template // dynamic MIS over L(G)
+	g   *graph.Graph // the primal graph G
+	eng core.Engine  // dynamic MIS over L(G)
 
 	ids    map[Edge]graph.NodeID // G-edge -> L-node
 	edges  map[graph.NodeID]Edge // L-node -> G-edge
 	nextID graph.NodeID
 }
 
-// New returns a maintainer over an empty graph.
+// New returns a template-backed maintainer over an empty graph.
 func New(seed uint64) *Maintainer {
+	return NewWithEngine(core.NewTemplate(seed))
+}
+
+// NewWithEngine returns a maintainer running the line-graph MIS on the
+// given engine, which must be empty.
+func NewWithEngine(e core.Engine) *Maintainer {
 	return &Maintainer{
 		g:     graph.New(),
-		tpl:   core.NewTemplate(seed),
+		eng:   e,
 		ids:   make(map[Edge]graph.NodeID),
 		edges: make(map[graph.NodeID]Edge),
 	}
@@ -96,7 +104,7 @@ func (m *Maintainer) insertEdge(u, v graph.NodeID) (core.Report, error) {
 	m.nextID++
 	m.ids[e] = id
 	m.edges[id] = e
-	return m.tpl.Apply(graph.NodeChange(graph.NodeInsert, id, nbrs...))
+	return m.eng.Apply(graph.NodeChange(graph.NodeInsert, id, nbrs...))
 }
 
 // deleteEdge removes a G-edge and its L-node.
@@ -115,7 +123,7 @@ func (m *Maintainer) deleteEdge(u, v graph.NodeID, abrupt bool) (core.Report, er
 	if abrupt {
 		kind = graph.NodeDeleteAbrupt
 	}
-	return m.tpl.Apply(graph.NodeChange(kind, id))
+	return m.eng.Apply(graph.NodeChange(kind, id))
 }
 
 // Apply performs one primal topology change, expanding it into the
@@ -175,7 +183,7 @@ func (m *Maintainer) ApplyAll(cs []graph.Change) (core.Report, error) {
 // Matching returns the current maximal matching as canonical edges, sorted.
 func (m *Maintainer) Matching() []Edge {
 	var out []Edge
-	for _, id := range m.tpl.MIS() {
+	for _, id := range m.eng.MIS() {
 		out = append(out, m.edges[id])
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -201,7 +209,7 @@ func (m *Maintainer) Matched(v graph.NodeID) bool {
 // two matched edges share an endpoint, and every unmatched edge touches a
 // matched one. It also checks the line-graph MIS invariant.
 func (m *Maintainer) Check() error {
-	if err := m.tpl.Check(); err != nil {
+	if err := m.eng.Check(); err != nil {
 		return err
 	}
 	matched := make(map[graph.NodeID]Edge)

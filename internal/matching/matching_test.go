@@ -139,7 +139,7 @@ func TestLineGraphStructureProperty(t *testing.T) {
 			}
 		}
 		g := m.Graph()
-		L := m.tpl.Graph()
+		L := m.eng.Graph()
 		if L.NodeCount() != g.EdgeCount() {
 			return false
 		}

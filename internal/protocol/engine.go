@@ -24,11 +24,14 @@ type Engine struct {
 	ord     *order.Order
 	visible *graph.Graph
 	procs   map[graph.NodeID]*node
+	feed    core.Feed
 
 	// MaxRounds bounds each recovery; 0 selects an automatic bound of
 	// O(n) rounds, far above the paper's 3|S|+2 worst case.
 	MaxRounds int
 }
+
+var _ core.Engine = (*Engine)(nil)
 
 // New returns an engine over an empty graph with a fresh order.
 func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
@@ -120,9 +123,14 @@ func (e *Engine) Apply(c graph.Change) (core.Report, error) {
 	rep.Rounds = rounds
 	rep.Broadcasts = e.net.Metrics.Broadcasts
 	rep.Bits = e.net.Metrics.Bits
-	rep.Adjustments = len(core.DiffStates(before, e.State()))
+	after := e.State()
+	rep.Adjustments = len(core.DiffStates(before, after))
+	e.feed.EmitDiff(before, after)
 	return rep, nil
 }
+
+// Subscribe registers a change-feed callback; see core.Feed.
+func (e *Engine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
 
 // validate extends Change.Validate with protocol-specific checks for
 // unmuting.
@@ -292,9 +300,19 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 // independence (Definition 14) guarantees the final structure equals a
 // genuinely combined recovery, which the template and sharded engines
 // perform. It exists so that batch-driving harnesses can treat every
-// engine uniformly.
+// engine uniformly. The change feed still publishes one net delta for the
+// whole batch (even on a mid-batch error, for the applied prefix),
+// matching the genuinely batching engines event for event.
 func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
-	return e.ApplyAll(cs)
+	if !e.feed.Active() {
+		return e.ApplyAll(cs)
+	}
+	before := e.State()
+	resume := e.feed.Suspend()
+	rep, err := e.ApplyAll(cs)
+	resume()
+	e.feed.EmitDiff(before, e.State())
+	return rep, err
 }
 
 // Check verifies the engine's steady-state invariants: every visible node

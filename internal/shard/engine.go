@@ -93,7 +93,16 @@ type Engine struct {
 	shards []*shardPart
 	window int
 	stats  Stats
+	feed   core.Feed
 }
+
+// Engine implements the full engine surface plus the persistence
+// capability (its core state — graph, order, memberships — is the same
+// data the template engine persists, merely partitioned).
+var (
+	_ core.Engine      = (*Engine)(nil)
+	_ core.Snapshotter = (*Engine)(nil)
+)
 
 // New returns an engine over the empty graph with the given shard count
 // (values below 1 select GOMAXPROCS) and a fresh order seeded by seed.
@@ -172,6 +181,12 @@ func (e *Engine) State() map[graph.NodeID]core.Membership {
 // Check verifies the MIS invariant on the current configuration.
 func (e *Engine) Check() error { return core.CheckInvariant(e.g, e.ord, e.State()) }
 
+// Subscribe registers a change-feed callback. Events are published by the
+// coordinator goroutine after each window's cascade has quiesced — never
+// by the shard workers — in ascending node order, so subscribing adds no
+// synchronization to the parallel phase.
+func (e *Engine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
+
 // stateStore adapts the sharded tables to core.StateStore for staging,
 // which runs single-threaded between windows.
 type stateStore struct{ e *Engine }
@@ -219,8 +234,10 @@ type beforeInfo struct {
 // identical to applying the changes one at a time on the sequential
 // engine, by history independence; only the cost differs.
 //
-// On a staging error the already-staged prefix's mutations remain applied
-// but no cascade has run, mirroring Template.ApplyBatch.
+// On a staging error the already-staged prefix's mutations remain
+// applied, and the recovery cascade runs over the prefix's damage (also
+// publishing its feed delta) before the error returns, mirroring
+// Template.ApplyBatch: the engine stays consistent and usable.
 func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	var (
 		seeds      []graph.NodeID
@@ -241,6 +258,8 @@ func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 		}
 		staged, err := core.StageChange(e.g, e.ord, store, c)
 		if err != nil {
+			e.runCascade(seeds)
+			e.account(before, preFlipped)
 			return core.Report{}, fmt.Errorf("batch change %d: %w", i, err)
 		}
 		if staged.PreFlipped != graph.None {
@@ -415,23 +434,41 @@ func (e *Engine) account(before map[graph.NodeID]beforeInfo, preFlipped []graph.
 	rep.SSize = len(inS)
 
 	// Adjustment accounting matches core.DiffStates restricted to touched
-	// nodes — untouched nodes cannot have changed.
+	// nodes — untouched nodes cannot have changed. The same touched set
+	// yields the window's change-feed delta, so a subscribed feed costs
+	// O(touched · log touched) (for the canonical node ordering), not
+	// O(n).
+	emit := e.feed.Active()
+	var evs []core.Event
 	for v, b := range before {
 		presentNow := e.g.HasNode(v)
 		switch {
 		case b.present && presentNow:
-			if e.shards[e.owner(v)].state[v] != b.m {
+			if cur := e.shards[e.owner(v)].state[v]; cur != b.m {
 				rep.Adjustments++
+				if emit {
+					evs = append(evs, core.Event{Node: v, From: b.m, To: cur, Cause: core.CauseFlip})
+				}
 			}
 		case b.present && !presentNow:
 			if b.m == core.In {
 				rep.Adjustments++
 			}
+			if emit {
+				evs = append(evs, core.Event{Node: v, From: b.m, To: core.Out, Cause: core.CauseLeave})
+			}
 		case !b.present && presentNow:
-			if e.shards[e.owner(v)].state[v] == core.In {
+			cur := e.shards[e.owner(v)].state[v]
+			if cur == core.In {
 				rep.Adjustments++
 			}
+			if emit {
+				evs = append(evs, core.Event{Node: v, From: core.Out, To: cur, Cause: core.CauseJoin})
+			}
 		}
+	}
+	if emit {
+		e.feed.PublishSorted(evs)
 	}
 	return rep
 }

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"dynmis/internal/core"
+	"dynmis/internal/order"
+)
+
+// Snapshot captures the engine's current stable state. The sharded
+// engine persists exactly what the template engine does — graph,
+// priorities, memberships — because its core state is the same data,
+// merely partitioned across shards; the partitioning itself is a runtime
+// tuning knob, not part of the structure, so a snapshot taken at one
+// shard count restores at any other.
+func (e *Engine) Snapshot() *core.Snapshot {
+	s := &core.Snapshot{}
+	for _, v := range e.g.Nodes() {
+		prio, _ := e.ord.Priority(v)
+		s.Nodes = append(s.Nodes, core.SnapshotNode{
+			ID:       v,
+			Priority: prio,
+			InMIS:    e.shards[e.owner(v)].state[v] == core.In,
+		})
+	}
+	s.Edges = e.g.Edges()
+	return s
+}
+
+// Restore rebuilds a sharded engine from a snapshot with the given shard
+// count (values below 1 select GOMAXPROCS). Fresh nodes inserted after
+// the restore draw priorities from a new stream seeded with seed, as in
+// core.RestoreTemplate. The snapshot is validated: a configuration
+// violating the MIS invariant is rejected.
+func Restore(s *core.Snapshot, seed uint64, shards int) (*Engine, error) {
+	e := NewWithOrder(order.New(seed), shards)
+	sorted := make([]core.SnapshotNode, len(s.Nodes))
+	copy(sorted, s.Nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, n := range sorted {
+		if err := e.g.AddNode(n.ID); err != nil {
+			return nil, fmt.Errorf("shard: restore: %w", err)
+		}
+		e.ord.Set(n.ID, n.Priority)
+		m := core.Out
+		if n.InMIS {
+			m = core.In
+		}
+		e.shards[e.owner(n.ID)].state[n.ID] = m
+	}
+	for _, edge := range s.Edges {
+		if err := e.g.AddEdge(edge[0], edge[1]); err != nil {
+			return nil, fmt.Errorf("shard: restore: %w", err)
+		}
+	}
+	if err := e.Check(); err != nil {
+		return nil, fmt.Errorf("shard: restore: snapshot inconsistent: %w", err)
+	}
+	return e, nil
+}

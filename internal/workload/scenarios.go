@@ -190,6 +190,11 @@ func AdversarialDeletions(rng *rand.Rand, start *graph.Graph, steps int) []graph
 	nodes := start.Nodes()
 	half := len(nodes) / 2
 	left, right := nodes[:half], nodes[half:]
+	if len(left) == 0 {
+		// A warm-up of fewer than two nodes has no L side; the loop
+		// below would never make progress.
+		return nil
+	}
 
 	var cs []graph.Change
 	for len(cs) < steps {
