@@ -30,9 +30,15 @@ race:
 	$(GO) test -race ./...
 
 # Smoke-size benchmark: fast, but still exercises all scenarios and both
-# engines and rewrites BENCH_dynmis.json only on success.
+# engines through the streaming ingestion path, plus a trace
+# record/replay round trip, so the harness can't silently rot. Writes
+# only under /tmp; the checked-in BENCH_dynmis.json is untouched.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_dynmis_smoke.json
+	$(GO) run ./cmd/bench -n 200 -steps 1000 -shards 2 -scenarios churn \
+		-record /tmp/dynmis_smoke_trace.jsonl -out /tmp/BENCH_dynmis_smoke_record.json
+	$(GO) run ./cmd/bench -shards 2 -replay /tmp/dynmis_smoke_trace.jsonl \
+		-out /tmp/BENCH_dynmis_smoke_replay.json
 
 # Full benchmark: regenerates the checked-in BENCH_dynmis.json.
 bench:

@@ -15,7 +15,7 @@ import (
 	"dynmis/internal/order"
 	"dynmis/internal/protocol"
 	"dynmis/internal/seqdyn"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // ---------------------------------------------------------------------

@@ -1,41 +1,49 @@
 // Command bench is the unified benchmark harness: it drives every
 // workload scenario (churn, sliding-window, power-law, adversarial
-// deletions) against the sequential and sharded update engines, verifies
-// each final structure as maximal and independent, and emits
-// machine-readable results to BENCH_dynmis.json so the performance
-// trajectory is comparable across commits.
+// deletions) through the streaming ingestion API (Maintainer.Drive)
+// against the sequential and sharded update engines, verifies each final
+// structure against the greedy oracle, and emits machine-readable
+// results to BENCH_dynmis.json so the performance trajectory is
+// comparable across commits.
 //
 // Usage:
 //
 //	bench [-n 2000] [-steps 20000] [-shards 1,4,8] [-window 512]
 //	      [-scenarios churn,sliding-window] [-seed 42] [-quick]
+//	      [-record trace.jsonl] [-replay trace.jsonl]
 //	      [-out BENCH_dynmis.json]
 //
 // Engines:
 //
-//   - sequential:      core.Template, one recovery cascade per change —
-//     the paper's per-update path.
-//   - sequential-batch: core.Template.ApplyBatch over windows — batched
-//     staging, still a single-threaded cascade.
-//   - sharded-P:       internal/shard with P worker shards, windowed.
+//   - sequential:      EngineTemplate driven change by change — the
+//     paper's per-update path.
+//   - sequential-batch: EngineTemplate driven through DriveWindow —
+//     batched staging, still a single-threaded cascade.
+//   - sharded-P:       EngineSharded with P worker shards, windowed.
+//
+// -record captures the full ingested stream (warm-up + drive) of the
+// selected scenario as a dynmis/trace JSONL file; -replay benchmarks a
+// previously recorded trace instead of generating a workload, timing the
+// whole trace from the empty graph — the same bytes drive every engine,
+// bit for bit.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
-	"dynmis/internal/core"
-	"dynmis/internal/graph"
-	"dynmis/internal/shard"
-	"dynmis/internal/workload"
+	"dynmis"
+	"dynmis/trace"
+	"dynmis/workload"
 )
 
 // engineRun is one (scenario, engine) measurement in the emitted JSON.
@@ -84,38 +92,53 @@ type headline struct {
 	SpeedupVsBatch   float64 `json:"speedup_vs_batch"`
 }
 
+// job is one benchmarkable workload: an untimed warm-up and a timed
+// drive stream, replayable across engines.
+type job struct {
+	name        string
+	description string
+	nodes       int
+	build       []dynmis.Change
+	drive       []dynmis.Change
+}
+
 func main() {
 	var (
-		n         = flag.Int("n", 2000, "initial node count (adversarial-deletion is capped at 200)")
+		n         = flag.Int("n", 2000, "initial node count (scenarios may cap it)")
 		steps     = flag.Int("steps", 20000, "timed update steps per engine")
 		shardsCSV = flag.String("shards", defaultShards(), "comma-separated shard counts to benchmark")
-		window    = flag.Int("window", shard.DefaultWindow, "batch window for the batched/sharded engines")
+		window    = flag.Int("window", 512, "batch window for the batched/sharded engines")
 		scenCSV   = flag.String("scenarios", "", "comma-separated scenario names (default: all)")
 		seed      = flag.Uint64("seed", 42, "random seed (engines and workload generation)")
 		quick     = flag.Bool("quick", false, "smoke-test sizes (n=300, steps=3000)")
+		record    = flag.String("record", "", "record the ingested stream (warm-up + drive) to this trace file; requires exactly one scenario")
+		replay    = flag.String("replay", "", "benchmark a recorded trace instead of generating workloads")
 		out       = flag.String("out", "BENCH_dynmis.json", "output JSON path")
 	)
 	flag.Parse()
 	if *quick {
 		*n, *steps = 300, 3000
 	}
+	if *record != "" && *replay != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
+	}
 
-	scenarios := workload.Scenarios()
-	if *scenCSV != "" {
-		scenarios = scenarios[:0]
-		for _, name := range strings.Split(*scenCSV, ",") {
-			sc, ok := workload.ScenarioByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown scenario %q\n", name)
-				os.Exit(2)
-			}
-			scenarios = append(scenarios, sc)
+	jobs, err := buildJobs(*scenCSV, *replay, *seed, *n, *steps)
+	if err != nil {
+		fatal(err)
+	}
+	if *record != "" {
+		if len(jobs) != 1 {
+			fatal(fmt.Errorf("-record needs exactly one scenario (have %d); pass -scenarios", len(jobs)))
 		}
+		if err := recordJob(*record, jobs[0]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d changes to %s\n", len(jobs[0].build)+len(jobs[0].drive), *record)
 	}
 	shardCounts, err := parseShards(*shardsCSV)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	output := benchOutput{
@@ -126,40 +149,32 @@ func main() {
 		Steps:      *steps,
 	}
 
-	for _, sc := range scenarios {
-		size := *n
-		if sc.Name == "adversarial-deletion" && size > 200 {
-			size = 200 // K_{k,k} warm-up is quadratic in k
-		}
-		rng := rand.New(rand.NewPCG(*seed, 0xbe7c4))
-		build := sc.Build(rng, size)
-		drive := sc.Drive(rng, workload.BuildGraph(build), *steps)
-
-		res := scenarioResult{Scenario: sc.Name, Description: sc.Description, Nodes: size}
-		fmt.Printf("== %s (n=%d, %d updates)\n", sc.Name, size, len(drive))
+	for _, jb := range jobs {
+		res := scenarioResult{Scenario: jb.name, Description: jb.description, Nodes: jb.nodes}
+		fmt.Printf("== %s (n=%d, %d updates)\n", jb.name, jb.nodes, len(jb.drive))
 
 		res.Engines = append(res.Engines,
-			runSequential(*seed, build, drive),
-			runSequentialBatch(*seed, build, drive, *window))
+			run(jb, *seed, "sequential", 0, 0, dynmis.WithEngine(dynmis.EngineTemplate)),
+			run(jb, *seed, "sequential-batch", 0, *window, dynmis.WithEngine(dynmis.EngineTemplate)))
 		for _, p := range shardCounts {
-			res.Engines = append(res.Engines, runSharded(*seed, build, drive, p, *window))
+			res.Engines = append(res.Engines, run(jb, *seed, "sharded", p, *window,
+				dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(p)))
 		}
 		for _, er := range res.Engines {
 			fmt.Printf("   %-18s %12.0f updates/s  adj=%-6d |S|=%-6d xshard=%-6d verified=%v\n",
 				label(er), er.UpdatesPerSec, er.Adjustments, er.SSize, er.CrossShard, er.Verified)
 			if !er.Verified {
-				fmt.Fprintf(os.Stderr, "FATAL: %s/%s failed MIS verification\n", sc.Name, label(er))
-				os.Exit(1)
+				fatal(fmt.Errorf("FATAL: %s/%s failed MIS verification", jb.name, label(er)))
 			}
 		}
 		output.Scenarios = append(output.Scenarios, res)
 
-		if sc.Name == "churn" {
+		if jb.name == "churn" {
 			output.Headline = churnHeadline(res)
 		}
 	}
 
-	if output.Headline.Scenario != "" {
+	if output.Headline.Scenario != "" && output.Headline.ShardedPerSec > 0 {
 		h := output.Headline
 		fmt.Printf("\nheadline: churn %0.f updates/s sequential -> %0.f updates/s sharded-%d (%.2fx; %.2fx vs single-threaded batch)\n",
 			h.SequentialPerSec, h.ShardedPerSec, h.ShardedShards, h.Speedup, h.SpeedupVsBatch)
@@ -167,15 +182,111 @@ func main() {
 
 	data, err := json.MarshalIndent(output, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// buildJobs resolves the workload set: recorded-trace replay, or the
+// selected scenarios instantiated at the canonical workload rng.
+func buildJobs(scenCSV, replay string, seed uint64, n, steps int) ([]job, error) {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cs, err := trace.ReadAll(f)
+		if err != nil {
+			return nil, fmt.Errorf("replay %s: %w", replay, err)
+		}
+		return []job{{
+			name:        "replay",
+			description: fmt.Sprintf("recorded trace %s, timed from the empty graph", replay),
+			drive:       cs,
+		}}, nil
+	}
+
+	scenarios := workload.Scenarios()
+	if scenCSV != "" {
+		scenarios = scenarios[:0]
+		for _, name := range strings.Split(scenCSV, ",") {
+			sc, ok := workload.ScenarioByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q", name)
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	jobs := make([]job, 0, len(scenarios))
+	for _, sc := range scenarios {
+		inst := sc.Instantiate(seed, n, steps)
+		jobs = append(jobs, job{
+			name:        sc.Name,
+			description: sc.Description,
+			nodes:       inst.Nodes,
+			build:       inst.Build,
+			drive:       inst.Drive,
+		})
+	}
+	return jobs, nil
+}
+
+// recordJob writes the job's full ingested stream as a trace file.
+func recordJob(path string, jb job) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	stream := slices.Values(slices.Concat(jb.build, jb.drive))
+	if err := trace.WriteAll(f, stream); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// run drives the job's warm-up untimed and its drive stream timed into a
+// freshly configured maintainer, then verifies the final structure
+// against the greedy oracle — the acceptance gate every benchmarked
+// engine must pass on every scenario.
+func run(jb job, seed uint64, name string, shards, window int, opts ...dynmis.Option) engineRun {
+	m, err := dynmis.New(append(opts, dynmis.WithSeed(seed))...)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	if len(jb.build) > 0 {
+		if _, err := m.Drive(ctx, slices.Values(jb.build)); err != nil {
+			fatal(err)
+		}
+	}
+	var driveOpts []dynmis.DriveOption
+	if window > 0 {
+		driveOpts = append(driveOpts, dynmis.DriveWindow(window))
+	}
+	start := time.Now()
+	sum, err := m.Drive(ctx, slices.Values(jb.drive), driveOpts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+	return engineRun{
+		Engine:        name,
+		Shards:        shards,
+		Window:        window,
+		Updates:       sum.Changes,
+		Seconds:       elapsed.Seconds(),
+		UpdatesPerSec: float64(sum.Changes) / elapsed.Seconds(),
+		Adjustments:   sum.Total.Adjustments,
+		SSize:         sum.Total.SSize,
+		CrossShard:    sum.Total.CrossShard,
+		Verified:      m.Verify() == nil,
+	}
 }
 
 func defaultShards() string {
@@ -215,70 +326,6 @@ func label(er engineRun) string {
 	return er.Engine
 }
 
-// verify checks maximality+independence directly and the π-invariant —
-// the acceptance gate every benchmarked engine must pass on every
-// scenario.
-type verifiable interface {
-	Graph() *graph.Graph
-	State() map[graph.NodeID]core.Membership
-	Check() error
-}
-
-func verify(e verifiable) bool {
-	return core.CheckMIS(e.Graph(), e.State()) == nil && e.Check() == nil
-}
-
-func runSequential(seed uint64, build, drive []graph.Change) engineRun {
-	eng := core.NewTemplate(seed)
-	mustApply(eng.ApplyAll(build))
-	start := time.Now()
-	rep, err := eng.ApplyAll(drive)
-	elapsed := time.Since(start)
-	mustApply(rep, err)
-	return result("sequential", 0, 0, len(drive), elapsed, rep, verify(eng))
-}
-
-func runSequentialBatch(seed uint64, build, drive []graph.Change, window int) engineRun {
-	eng := core.NewTemplate(seed)
-	mustApply(eng.ApplyAll(build))
-	var total core.Report
-	start := time.Now()
-	for lo := 0; lo < len(drive); lo += window {
-		hi := min(lo+window, len(drive))
-		rep, err := eng.ApplyBatch(drive[lo:hi])
-		mustApply(rep, err)
-		total.Add(rep)
-	}
-	elapsed := time.Since(start)
-	return result("sequential-batch", 0, window, len(drive), elapsed, total, verify(eng))
-}
-
-func runSharded(seed uint64, build, drive []graph.Change, shards, window int) engineRun {
-	eng := shard.New(seed, shards)
-	eng.SetWindow(window)
-	mustApply(eng.ApplyAll(build))
-	start := time.Now()
-	rep, err := eng.ApplyAll(drive)
-	elapsed := time.Since(start)
-	mustApply(rep, err)
-	return result("sharded", shards, window, len(drive), elapsed, rep, verify(eng))
-}
-
-func result(name string, shards, window, updates int, elapsed time.Duration, rep core.Report, verified bool) engineRun {
-	return engineRun{
-		Engine:        name,
-		Shards:        shards,
-		Window:        window,
-		Updates:       updates,
-		Seconds:       elapsed.Seconds(),
-		UpdatesPerSec: float64(updates) / elapsed.Seconds(),
-		Adjustments:   rep.Adjustments,
-		SSize:         rep.SSize,
-		CrossShard:    rep.CrossShard,
-		Verified:      verified,
-	}
-}
-
 func churnHeadline(res scenarioResult) headline {
 	h := headline{Scenario: res.Scenario}
 	for _, er := range res.Engines {
@@ -302,9 +349,7 @@ func churnHeadline(res scenarioResult) headline {
 	return h
 }
 
-func mustApply(_ core.Report, err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -1,69 +1,192 @@
 // Command churnsim simulates a long-lived network under continuous churn
 // and reports windowed cost statistics, demonstrating that the per-change
 // guarantees hold sustainably (not just amortized): adjustments and
-// broadcasts stay O(1) per change over the whole run.
+// broadcasts stay O(1) per change over the whole run. The churn is a
+// single streaming Source driven through Maintainer.Drive; -record
+// captures everything the engine ingested (warm-up included) as a
+// dynmis/trace file, and -replay re-drives a recorded file instead of
+// generating churn — same bytes, same structure, on any engine.
 //
 // Usage:
 //
-//	churnsim -n 300 -steps 20000 -window 2000 -seed 3
+//	churnsim [-engine protocol] [-scenario churn] [-n 300] [-steps 20000]
+//	         [-window 2000] [-seed 3] [-record trace.jsonl] [-replay trace.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
+	"slices"
 
-	"dynmis/internal/protocol"
+	"dynmis"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/trace"
+	"dynmis/workload"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 300, "initial node count")
-		steps  = flag.Int("steps", 20000, "total churn steps")
-		window = flag.Int("window", 2000, "reporting window")
-		seed   = flag.Uint64("seed", 3, "random seed")
+		engineName = flag.String("engine", "protocol", "template | direct | protocol | async | sharded")
+		scenario   = flag.String("scenario", "churn", "workload scenario (see workload.Scenarios)")
+		n          = flag.Int("n", 300, "initial node count (scenarios may cap it)")
+		steps      = flag.Int("steps", 20000, "total churn steps")
+		window     = flag.Int("window", 2000, "reporting window")
+		seed       = flag.Uint64("seed", 3, "random seed")
+		record     = flag.String("record", "", "record the full ingested stream to this trace file")
+		replay     = flag.String("replay", "", "drive a recorded trace instead of generating churn")
 	)
 	flag.Parse()
-
-	rng := rand.New(rand.NewPCG(*seed, 0xc0ffee))
-	eng := protocol.New(*seed)
-	if _, err := eng.ApplyAll(workload.GNP(rng, *n, 8/float64(*n))); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *record != "" && *replay != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
+	}
+	if *window < 1 {
+		fatal(fmt.Errorf("-window must be at least 1, have %d", *window))
 	}
 
-	fmt.Printf("initial: %v, |MIS| = %d\n\n", eng.Graph(), len(eng.MIS()))
+	engine, ok := engineByName(*engineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+		os.Exit(2)
+	}
+	m, err := dynmis.New(dynmis.WithSeed(*seed), dynmis.WithEngine(engine))
+	if err != nil {
+		fatal(err)
+	}
+
+	// The full ingested stream: warm-up then churn when generating, or a
+	// recorded trace when replaying.
+	var (
+		src    dynmis.Source
+		reader *trace.Reader
+	)
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		reader = trace.NewReader(f)
+		src = reader.All()
+	} else {
+		// The shared scenario construction: warm-up slice plus a lazy
+		// drive stream, both from the canonical workload rng.
+		sc, ok := workload.ScenarioByName(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+		*n = sc.ClampNodes(*n)
+		rng := workload.Rand(*seed)
+		build := sc.Build(rng, *n)
+		src = concat(slices.Values(build), sc.Stream(rng, workload.BuildGraph(build), *steps))
+	}
+
+	var recorder *trace.Writer
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recorder = trace.NewWriter(f)
+		src = trace.Tee(src, recorder)
+	}
+
+	if *replay != "" {
+		fmt.Printf("engine=%s seed=%d replay=%s\n\n", engine, *seed, *replay)
+	} else {
+		fmt.Printf("engine=%s scenario=%s seed=%d\n\n", engine, *scenario, *seed)
+	}
 	fmt.Printf("%10s  %8s  %10s  %10s  %10s  %8s  %8s\n",
 		"steps", "nodes", "mean adj", "mean rnds", "mean bcast", "max |S|", "|MIS|")
 
-	done := 0
-	for done < *steps {
-		batch := min(*window, *steps-done)
-		churn := workload.RandomChurn(rng, eng.Graph(), workload.DefaultChurn(batch))
-		var adj, rounds, bcasts, ssize stats.Series
-		for _, c := range churn {
-			rep, err := eng.Apply(c)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "at step %d: %v\n", done, err)
-				os.Exit(1)
-			}
+	// Windowed statistics over the stream, printed as it is ingested.
+	var (
+		adj, rounds, bcasts, ssize stats.Series
+		done                       int
+	)
+	flush := func() {
+		fmt.Printf("%10d  %8d  %10.3f  %10.3f  %10.3f  %8d  %8d\n",
+			done, m.NodeCount(), adj.Mean(), rounds.Mean(), bcasts.Mean(),
+			int(ssize.Max()), misSize(m))
+		adj, rounds, bcasts, ssize = stats.Series{}, stats.Series{}, stats.Series{}, stats.Series{}
+	}
+	sum, err := m.Drive(context.Background(), src,
+		dynmis.DriveObserver(func(_ []dynmis.Change, rep dynmis.Report) {
 			adj.ObserveInt(rep.Adjustments)
 			rounds.ObserveInt(rep.Rounds)
 			bcasts.ObserveInt(rep.Broadcasts)
 			ssize.ObserveInt(rep.SSize)
+			done++
+			if done%*window == 0 {
+				flush()
+			}
+		}))
+	if err != nil {
+		fatal(fmt.Errorf("at step %d: %w", done, err))
+	}
+	if reader != nil && reader.Err() != nil {
+		fatal(reader.Err())
+	}
+	if done%*window != 0 {
+		flush()
+	}
+	if recorder != nil {
+		if err := recorder.Flush(); err != nil {
+			fatal(err)
 		}
-		done += batch
-		fmt.Printf("%10d  %8d  %10.3f  %10.3f  %10.3f  %8d  %8d\n",
-			done, eng.Graph().NodeCount(), adj.Mean(), rounds.Mean(), bcasts.Mean(),
-			int(ssize.Max()), len(eng.MIS()))
+		fmt.Printf("\nrecorded %d changes to %s\n", sum.Changes, *record)
 	}
 
-	if err := eng.Check(); err != nil {
-		fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %v\n", err)
-		os.Exit(1)
+	if err := m.Check(); err != nil {
+		fatal(fmt.Errorf("VERIFICATION FAILED: %w", err))
 	}
-	fmt.Println("\ninvariants verified after", done, "changes")
+	fmt.Printf("\ninvariants verified after %d changes (mean adjustments %.3f, max %d)\n",
+		sum.Changes, sum.MeanAdjustments(), sum.Max.Adjustments)
+}
+
+// engineByName maps the CLI engine names onto the facade's engine enum.
+func engineByName(name string) (dynmis.Engine, bool) {
+	switch name {
+	case "template":
+		return dynmis.EngineTemplate, true
+	case "direct":
+		return dynmis.EngineDirect, true
+	case "protocol":
+		return dynmis.EngineProtocol, true
+	case "async":
+		return dynmis.EngineAsyncDirect, true
+	case "sharded":
+		return dynmis.EngineSharded, true
+	}
+	return 0, false
+}
+
+// concat chains sources back to back.
+func concat(srcs ...dynmis.Source) dynmis.Source {
+	return func(yield func(dynmis.Change) bool) {
+		for _, src := range srcs {
+			for c := range src {
+				if !yield(c) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// misSize counts the MIS without materializing the sorted slice.
+func misSize(m *dynmis.Maintainer) int {
+	size := 0
+	for range m.MISSeq() {
+		size++
+	}
+	return size
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -1,7 +1,8 @@
 // Command dynmis runs one dynamic-MIS scenario from the command line: it
-// builds a topology, applies a random churn sequence with the selected
-// engine, and prints the per-change cost summary that the paper's
-// complexity measures define (adjustments, rounds, broadcasts, bits).
+// builds a topology, streams a random churn Source through the selected
+// engine with Maintainer.Drive, and prints the per-change cost summary
+// that the paper's complexity measures define (adjustments, rounds,
+// broadcasts, bits). All five engines are available through the facade.
 //
 // Usage:
 //
@@ -9,31 +10,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
+	"slices"
 
-	"dynmis/internal/core"
-	"dynmis/internal/direct"
-	"dynmis/internal/graph"
-	"dynmis/internal/protocol"
+	"dynmis"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
-
-// engine is the common surface the CLI needs.
-type engine interface {
-	Apply(graph.Change) (core.Report, error)
-	ApplyAll([]graph.Change) (core.Report, error)
-	Graph() *graph.Graph
-	MIS() []graph.NodeID
-	Check() error
-}
 
 func main() {
 	var (
-		engineName = flag.String("engine", "protocol", "template | direct | protocol | async")
+		engineName = flag.String("engine", "protocol", "template | direct | protocol | async | sharded")
 		topology   = flag.String("topology", "gnp", "gnp | star | grid | path | cycle")
 		n          = flag.Int("n", 200, "node count (grid uses the nearest square)")
 		p          = flag.Float64("p", 0.05, "edge probability for gnp")
@@ -43,23 +33,29 @@ func main() {
 	)
 	flag.Parse()
 
-	var eng engine
+	var engine dynmis.Engine
 	switch *engineName {
 	case "template":
-		eng = core.NewTemplate(*seed)
+		engine = dynmis.EngineTemplate
 	case "direct":
-		eng = direct.New(*seed)
-	case "async":
-		eng = direct.NewAsync(*seed, nil)
+		engine = dynmis.EngineDirect
 	case "protocol":
-		eng = protocol.New(*seed)
+		engine = dynmis.EngineProtocol
+	case "async":
+		engine = dynmis.EngineAsyncDirect
+	case "sharded":
+		engine = dynmis.EngineSharded
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
 		os.Exit(2)
 	}
+	m, err := dynmis.New(dynmis.WithSeed(*seed), dynmis.WithEngine(engine))
+	if err != nil {
+		fatal(err)
+	}
 
-	rng := rand.New(rand.NewPCG(*seed, 0x5eed))
-	var build []graph.Change
+	rng := workload.Rand(*seed)
+	var build []dynmis.Change
 	switch *topology {
 	case "gnp":
 		build = workload.GNP(rng, *n, *p)
@@ -80,56 +76,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	if _, err := eng.ApplyAll(build); err != nil {
-		fmt.Fprintf(os.Stderr, "build failed: %v\n", err)
-		os.Exit(1)
+	ctx := context.Background()
+	if _, err := m.Drive(ctx, slices.Values(build)); err != nil {
+		fatal(fmt.Errorf("build failed: %w", err))
 	}
-	fmt.Printf("built %s: %v, |MIS| = %d\n", *topology, eng.Graph(), len(eng.MIS()))
+	fmt.Printf("built %s: n=%d m=%d, |MIS| = %d\n", *topology, m.NodeCount(), m.EdgeCount(), len(m.MIS()))
 
-	churnOpts := workload.DefaultChurn(*steps)
-	if *engineName == "async" {
-		// The async engine does not model muting; the default mix never
-		// generates it, so nothing to adjust — kept for clarity.
-		_ = churnOpts
-	}
-	churn := workload.RandomChurn(rng, eng.Graph(), churnOpts)
-
+	// The timed phase: a churn Source streamed through the engine, with
+	// per-change reports folded into distributions as they happen.
+	churn := workload.ChurnSource(rng, workload.BuildGraph(build), workload.DefaultChurn(*steps))
 	var adj, ssize, rounds, bcasts, bits, depth stats.Series
-	for i, c := range churn {
-		rep, err := eng.Apply(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "change %d (%s) failed: %v\n", i, c, err)
-			os.Exit(1)
-		}
-		adj.ObserveInt(rep.Adjustments)
-		ssize.ObserveInt(rep.SSize)
-		rounds.ObserveInt(rep.Rounds)
-		bcasts.ObserveInt(rep.Broadcasts)
-		bits.ObserveInt(rep.Bits)
-		depth.ObserveInt(rep.CausalDepth)
+	sum, err := m.Drive(ctx, churn,
+		dynmis.DriveObserver(func(_ []dynmis.Change, rep dynmis.Report) {
+			adj.ObserveInt(rep.Adjustments)
+			ssize.ObserveInt(rep.SSize)
+			rounds.ObserveInt(rep.Rounds)
+			bcasts.ObserveInt(rep.Broadcasts)
+			bits.ObserveInt(rep.Bits)
+			depth.ObserveInt(rep.CausalDepth)
+		}))
+	if err != nil {
+		fatal(err)
 	}
 
-	table := stats.NewTable(fmt.Sprintf("per-change cost over %d churn steps (engine=%s)", len(churn), *engineName),
+	table := stats.NewTable(fmt.Sprintf("per-change cost over %d churn steps (engine=%s)", sum.Changes, engine),
 		"metric", "mean", "ci95", "max")
 	table.AddRow("adjustments", adj.Mean(), adj.CI95(), int(adj.Max()))
 	table.AddRow("|S|", ssize.Mean(), ssize.CI95(), int(ssize.Max()))
-	if *engineName != "async" {
+	if engine != dynmis.EngineAsyncDirect {
 		table.AddRow("rounds", rounds.Mean(), rounds.CI95(), int(rounds.Max()))
 	} else {
 		table.AddRow("causal depth", depth.Mean(), depth.CI95(), int(depth.Max()))
 	}
-	if *engineName != "template" {
+	if engine != dynmis.EngineTemplate && engine != dynmis.EngineSharded {
 		table.AddRow("broadcasts", bcasts.Mean(), bcasts.CI95(), int(bcasts.Max()))
 		table.AddRow("bits", bits.Mean(), bits.CI95(), int(bits.Max()))
 	}
 	table.Render(os.Stdout)
 
-	fmt.Printf("\nfinal graph %v, |MIS| = %d\n", eng.Graph(), len(eng.MIS()))
+	fmt.Printf("\nfinal graph n=%d m=%d, |MIS| = %d\n", m.NodeCount(), m.EdgeCount(), len(m.MIS()))
+	fmt.Printf("summary: %v\n", sum)
 	if *verify {
-		if err := eng.Check(); err != nil {
-			fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %v\n", err)
-			os.Exit(1)
+		if err := m.Verify(); err != nil {
+			fatal(fmt.Errorf("VERIFICATION FAILED: %w", err))
 		}
 		fmt.Println("invariants verified")
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -1,0 +1,162 @@
+package dynmis
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"dynmis/internal/core"
+)
+
+// Source is a stream of topology changes — the one way bulk updates enter
+// an engine. It is a plain Go 1.23 iterator, so anything that can yield
+// changes is a Source: the generators in dynmis/workload, a recorded
+// dynmis/trace replayed with trace.Reader.All, a slice via
+// slices.Values, or a hand-written func. Sources are pull-driven and may
+// be unbounded; Drive stops when the source is exhausted, the context is
+// cancelled, or a change is rejected.
+type Source = iter.Seq[Change]
+
+// Summary is the aggregate cost account Drive returns: totals,
+// per-application maxima and per-change means of adjustments, rounds,
+// broadcasts and bits, plus change counts by kind. It is exactly the fold
+// of the per-application Reports (see core.Summary.Observe).
+type Summary = core.Summary
+
+// SourceOf adapts explicit changes to a Source; for an existing slice,
+// slices.Values works directly.
+func SourceOf(cs ...Change) Source {
+	return func(yield func(Change) bool) {
+		for _, c := range cs {
+			if !yield(c) {
+				return
+			}
+		}
+	}
+}
+
+// driveConfig is the resolved option set of one Drive call.
+type driveConfig struct {
+	window   int
+	observer func(applied []Change, rep Report)
+}
+
+// DriveOption configures Maintainer.Drive.
+type DriveOption func(*driveConfig)
+
+// DriveWindow makes Drive deliver the stream in windows of n changes
+// through ApplyBatch — one staged recovery per window (the §6 batch
+// extension) — instead of one Apply per change. Window boundaries are
+// also the granularity of the change feed and of Summary.Max. n ≤ 1
+// selects the per-change default; the final window may be short.
+func DriveWindow(n int) DriveOption {
+	return func(c *driveConfig) { c.window = n }
+}
+
+// DriveObserver invokes fn after every successful engine application with
+// the changes it delivered and the Report it returned — per change by
+// default, per window under DriveWindow. The slice is reused between
+// calls; copy it to retain. Summing the observed Reports reproduces the
+// returned Summary exactly.
+func DriveObserver(fn func(applied []Change, rep Report)) DriveOption {
+	return func(c *driveConfig) { c.observer = fn }
+}
+
+// Drive pulls changes from src and applies them until the source is
+// exhausted, returning the aggregate Summary. It is the streaming
+// ingestion surface: per-change guarantees (single adjustment, O(1)
+// rounds and broadcasts in expectation) compose over the stream, and the
+// Summary reports exactly that composition.
+//
+// Drive is context-cancellable: cancellation is observed between changes
+// (between windows under DriveWindow), so the engine is always left in a
+// stable configuration with the MIS invariant intact, and Drive returns
+// the Summary of everything applied so far together with ctx.Err().
+// Changes already pulled but not yet applied when the context is
+// cancelled are discarded, never half-applied.
+//
+// On a rejected change Drive stops with the Summary of the applied
+// prefix and the engine error; the engine recovers the already-staged
+// prefix of a failed window first (see Maintainer.ApplyBatch), so the
+// invariant survives mid-stream errors too.
+func (m *Maintainer) Drive(ctx context.Context, src Source, opts ...DriveOption) (Summary, error) {
+	var cfg driveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var (
+		sum    Summary
+		buf    []Change
+		single [1]Change
+	)
+	apply := func(cs []Change) error {
+		var (
+			rep Report
+			err error
+		)
+		if len(cs) == 1 {
+			rep, err = m.impl.Apply(cs[0])
+		} else {
+			rep, err = m.impl.ApplyBatch(cs)
+		}
+		if err != nil {
+			return fmt.Errorf("dynmis: drive: change %d: %w", sum.Changes, err)
+		}
+		sum.Observe(rep, cs...)
+		if cfg.observer != nil {
+			cfg.observer(cs, rep)
+		}
+		return nil
+	}
+
+	for c := range src {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		if cfg.window <= 1 {
+			single[0] = c
+			if err := apply(single[:]); err != nil {
+				return sum, err
+			}
+			continue
+		}
+		buf = append(buf, c)
+		if len(buf) >= cfg.window {
+			if err := apply(buf); err != nil {
+				return sum, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		if err := apply(buf); err != nil {
+			return sum, err
+		}
+	}
+	return sum, ctx.Err()
+}
+
+// NodesSeq iterates over the visible node set in unspecified order,
+// without the sort and allocation of Nodes — the hot-path form for full
+// scans. The maintainer must not be mutated during iteration.
+func (m *Maintainer) NodesSeq() iter.Seq[NodeID] { return m.impl.Graph().NodeSeq() }
+
+// MISSeq iterates over the current MIS members in unspecified order,
+// without the sort and allocation of MIS. The maintainer must not be
+// mutated during iteration.
+func (m *Maintainer) MISSeq() iter.Seq[NodeID] {
+	return func(yield func(NodeID) bool) {
+		for v := range m.impl.Graph().NodeSeq() {
+			if m.impl.InMIS(v) && !yield(v) {
+				return
+			}
+		}
+	}
+}

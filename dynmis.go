@@ -30,6 +30,13 @@
 // should not re-poll MIS after every update: Subscribe delivers the
 // (usually single) membership change as a typed Event instead.
 //
+// Bulk updates enter an engine as a stream: a Source is any iterator of
+// changes (a dynmis/workload generator, a recorded dynmis/trace, a slice
+// via slices.Values), and Maintainer.Drive ingests it —
+// context-cancellable, optionally windowed through ApplyBatch — returning
+// an aggregate Summary of the paper's cost measures. See Drive and the
+// "Streaming ingestion & traces" section of the README.
+//
 // All engines are history independent (Definition 14): the distribution of
 // the maintained MIS depends only on the current graph, never on the
 // change history, and for a fixed seed the output equals the sequential

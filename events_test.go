@@ -7,7 +7,7 @@ import (
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // allEngines lists every engine choice for feed and capability tests.

@@ -1,6 +1,7 @@
 package dynmis_test
 
 import (
+	"context"
 	"fmt"
 
 	"dynmis"
@@ -159,6 +160,37 @@ func ExampleMaintainer_subscribe() {
 	// seq=4 node=1 cause=leave inMIS=false
 	// seq=5 node=3 cause=flip inMIS=true
 	// replay matches: true
+}
+
+// Streaming ingestion: a Source is any iterator of changes — a workload
+// generator, a recorded trace replayed with dynmis/trace, a slice via
+// slices.Values, or a hand-written func. Drive ingests the stream
+// (context-cancellable, optionally windowed through DriveWindow) and
+// returns a Summary aggregating the per-change cost reports.
+func ExampleMaintainer_drive() {
+	m := dynmis.MustNew(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineTemplate))
+
+	src := dynmis.SourceOf(
+		dynmis.NodeChange(dynmis.NodeInsert, 1),
+		dynmis.NodeChange(dynmis.NodeInsert, 2, 1),
+		dynmis.NodeChange(dynmis.NodeInsert, 3, 1, 2),
+		dynmis.EdgeChange(dynmis.EdgeDeleteGraceful, 1, 2),
+		dynmis.NodeChange(dynmis.NodeDeleteAbrupt, 1),
+	)
+	sum, err := m.Drive(context.Background(), src)
+	if err != nil {
+		fmt.Println("drive failed:", err)
+	}
+
+	fmt.Println("changes:", sum.Changes, "in", sum.Applies, "applications")
+	fmt.Println("inserts:", sum.ByKind[dynmis.NodeInsert], "deletes:", sum.ByKind[dynmis.NodeDeleteAbrupt])
+	fmt.Printf("adjustments: total=%d mean=%.1f\n", sum.Total.Adjustments, sum.MeanAdjustments())
+	fmt.Println("MIS size:", len(m.MIS()))
+	// Output:
+	// changes: 5 in 5 applications
+	// inserts: 3 deletes: 1
+	// adjustments: total=5 mean=1.0
+	// MIS size: 1
 }
 
 // The sequential variant maintains the same structure without any

@@ -6,12 +6,18 @@
 // expectation, at most one head — the overlay stays almost perfectly
 // stable under churn.
 //
+// The churn is expressed as a Source — an oblivious generator that owns
+// its own view of the membership — and streamed through Maintainer.Drive;
+// the returned Summary carries the per-kind event counts and the total
+// head re-elections.
+//
 // Run with:
 //
 //	go run ./examples/overlay
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -30,56 +36,63 @@ func main() {
 	rng := rand.New(rand.NewPCG(1, 7))
 
 	// Bootstrap: peers join one by one, each connecting to a few random
-	// existing peers (a typical unstructured overlay).
+	// existing peers (a typical unstructured overlay). The generator
+	// tracks the alive set itself — sources are oblivious to the engine.
 	var alive []dynmis.NodeID
 	next := dynmis.NodeID(0)
-	join := func() {
-		nbrs := pickDistinct(rng, alive, degree)
-		if _, err := m.InsertNode(next, nbrs...); err != nil {
-			log.Fatal(err)
-		}
+	join := func() dynmis.Change {
+		c := dynmis.NodeChange(dynmis.NodeInsert, next, pickDistinct(rng, alive, degree)...)
 		alive = append(alive, next)
 		next++
+		return c
 	}
-	for i := 0; i < peers; i++ {
-		join()
+
+	bootstrap := func(yield func(dynmis.Change) bool) {
+		for i := 0; i < peers; i++ {
+			if !yield(join()) {
+				return
+			}
+		}
+	}
+	if _, err := m.Drive(context.Background(), bootstrap); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("bootstrapped overlay: %d peers, %d super-peers\n", m.NodeCount(), len(m.MIS()))
 
 	// Churn: peers crash (abrupt) or leave politely (graceful); new peers
-	// join. Track how many head re-elections each event causes.
-	var totalAdjust, crashes, leaves, joins int
-	for step := 0; step < churnSteps; step++ {
-		switch {
-		case rng.Float64() < 0.25 && len(alive) > peers/2: // crash
-			i := rng.IntN(len(alive))
-			victim := alive[i]
-			alive = append(alive[:i], alive[i+1:]...)
-			rep, err := m.RemoveNodeAbrupt(victim)
-			if err != nil {
-				log.Fatal(err)
+	// join. One streaming Source, one Drive call; the Summary counts the
+	// head re-elections every event caused.
+	depart := func(kind dynmis.ChangeKind) dynmis.Change {
+		i := rng.IntN(len(alive))
+		victim := alive[i]
+		alive = append(alive[:i], alive[i+1:]...)
+		return dynmis.NodeChange(kind, victim)
+	}
+	churn := func(yield func(dynmis.Change) bool) {
+		for step := 0; step < churnSteps; step++ {
+			var c dynmis.Change
+			switch {
+			case rng.Float64() < 0.25 && len(alive) > peers/2: // crash
+				c = depart(dynmis.NodeDeleteAbrupt)
+			case rng.Float64() < 0.3 && len(alive) > peers/2: // polite leave
+				c = depart(dynmis.NodeDeleteGraceful)
+			default:
+				c = join()
 			}
-			totalAdjust += rep.Adjustments
-			crashes++
-		case rng.Float64() < 0.3 && len(alive) > peers/2: // polite leave
-			i := rng.IntN(len(alive))
-			victim := alive[i]
-			alive = append(alive[:i], alive[i+1:]...)
-			rep, err := m.RemoveNode(victim)
-			if err != nil {
-				log.Fatal(err)
+			if !yield(c) {
+				return
 			}
-			totalAdjust += rep.Adjustments
-			leaves++
-		default: // join
-			join()
-			joins++
 		}
 	}
 
-	fmt.Printf("churn: %d joins, %d crashes, %d polite leaves\n", joins, crashes, leaves)
-	fmt.Printf("head re-elections per event: %.3f (paper: ≤ 1 in expectation)\n",
-		float64(totalAdjust)/float64(churnSteps))
+	sum, err := m.Drive(context.Background(), churn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("churn: %d joins, %d crashes, %d polite leaves\n",
+		sum.ByKind[dynmis.NodeInsert], sum.ByKind[dynmis.NodeDeleteAbrupt], sum.ByKind[dynmis.NodeDeleteGraceful])
+	fmt.Printf("head re-elections per event: %.3f (paper: ≤ 1 in expectation)\n", sum.MeanAdjustments())
 	fmt.Printf("final overlay: %d peers, %d super-peers\n", m.NodeCount(), len(m.MIS()))
 
 	// Every peer must see a super-peer (maximality) — the overlay's

@@ -1,10 +1,12 @@
-// Quickstart: maintain an MIS over a small evolving graph and watch the
-// per-change cost reports. Run with:
+// Quickstart: maintain an MIS over a small evolving graph by streaming
+// the changes through Maintainer.Drive and watching the per-change cost
+// reports. Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,35 +17,37 @@ func main() {
 	// A maintainer backed by Algorithm 2 (the O(1)-broadcast protocol).
 	m := dynmis.MustNew(dynmis.WithSeed(42), dynmis.WithEngine(dynmis.EngineProtocol))
 
-	// Build a small network: a triangle with a pendant node.
-	steps := []struct {
-		desc  string
-		apply func() (dynmis.Report, error)
-	}{
-		{"insert node 1", func() (dynmis.Report, error) { return m.InsertNode(1) }},
-		{"insert node 2 (edge to 1)", func() (dynmis.Report, error) { return m.InsertNode(2, 1) }},
-		{"insert node 3 (edges to 1,2)", func() (dynmis.Report, error) { return m.InsertNode(3, 1, 2) }},
-		{"insert node 4 (edge to 3)", func() (dynmis.Report, error) { return m.InsertNode(4, 3) }},
-		{"delete edge {1,2}", func() (dynmis.Report, error) { return m.RemoveEdge(1, 2) }},
-		{"abruptly delete node 1", func() (dynmis.Report, error) { return m.RemoveNodeAbrupt(1) }},
-		{"insert edge {2,4}", func() (dynmis.Report, error) { return m.InsertEdge(2, 4) }},
-	}
+	// The whole evolution is one change stream: a triangle with a pendant
+	// node, then some churn. Any iterator of changes is a Source — a
+	// slice, a generator from dynmis/workload, or a recorded dynmis/trace.
+	stream := dynmis.SourceOf(
+		dynmis.NodeChange(dynmis.NodeInsert, 1),
+		dynmis.NodeChange(dynmis.NodeInsert, 2, 1),
+		dynmis.NodeChange(dynmis.NodeInsert, 3, 1, 2),
+		dynmis.NodeChange(dynmis.NodeInsert, 4, 3),
+		dynmis.EdgeChange(dynmis.EdgeDeleteGraceful, 1, 2),
+		dynmis.NodeChange(dynmis.NodeDeleteAbrupt, 1),
+		dynmis.EdgeChange(dynmis.EdgeInsert, 2, 4),
+	)
 
-	for _, s := range steps {
-		rep, err := s.apply()
-		if err != nil {
-			log.Fatalf("%s: %v", s.desc, err)
-		}
-		fmt.Printf("%-30s MIS=%v  adjustments=%d rounds=%d broadcasts=%d\n",
-			s.desc, m.MIS(), rep.Adjustments, rep.Rounds, rep.Broadcasts)
+	// Drive ingests the stream; the observer sees every applied change
+	// with its cost report, after the recovery has settled.
+	sum, err := m.Drive(context.Background(), stream,
+		dynmis.DriveObserver(func(applied []dynmis.Change, rep dynmis.Report) {
+			fmt.Printf("%-28s MIS=%v  adjustments=%d rounds=%d broadcasts=%d\n",
+				applied[0].String(), m.MIS(), rep.Adjustments, rep.Rounds, rep.Broadcasts)
+		}))
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nstream summary: %v\n", sum)
 
 	// History independence: the structure only depends on the final
 	// graph (and the seed), never on the path that built it.
 	if err := m.Verify(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nverified: output matches the sequential greedy MIS on the current graph")
+	fmt.Println("verified: output matches the sequential greedy MIS on the current graph")
 
 	// The derived correlation clustering comes for free.
 	fmt.Println("clusters:", m.Clusters())

@@ -1,11 +1,16 @@
-// Sensors: a duty-cycled sensor field. Sensors form a unit-disk-style
-// mesh; the MIS elects aggregation heads. To save battery, sensors
-// periodically mute — they stop transmitting but keep listening, exactly
-// the paper's mute/unmute change type — and later rejoin for O(1)
-// broadcasts because their knowledge stayed warm. A muted sensor leaves
-// the visible structure, so coverage (every awake sensor adjacent to a
-// head) is maintained among the awake ones at one expected adjustment per
+// Sensors: a duty-cycled sensor field. Sensors form a grid mesh; the MIS
+// elects aggregation heads. To save battery, sensors periodically mute —
+// they stop transmitting but keep listening, exactly the paper's
+// mute/unmute change type — and later rejoin for O(1) broadcasts because
+// their knowledge stayed warm. A muted sensor leaves the visible
+// structure, so coverage (every awake sensor adjacent to a head) is
+// maintained among the awake ones at one expected adjustment per
 // duty-cycle event.
+//
+// The whole duty cycle is one Source: an oblivious generator that tracks
+// the sleeping set itself and yields mute/unmute changes, streamed
+// through Maintainer.Drive. The Summary's per-kind counts and broadcast
+// totals replace hand-rolled accounting.
 //
 // Run with:
 //
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -29,25 +35,32 @@ func main() {
 	m := dynmis.MustNew(dynmis.WithSeed(21), dynmis.WithEngine(dynmis.EngineProtocol))
 	rng := rand.New(rand.NewPCG(8, 9))
 
-	// Deploy the field: a grid mesh (each sensor hears its 4 neighbors).
 	id := func(x, y int) dynmis.NodeID { return dynmis.NodeID(y*side + x) }
-	for y := 0; y < side; y++ {
-		for x := 0; x < side; x++ {
-			var nbrs []dynmis.NodeID
-			if x > 0 {
-				nbrs = append(nbrs, id(x-1, y))
-			}
-			if y > 0 {
-				nbrs = append(nbrs, id(x, y-1))
-			}
-			if _, err := m.InsertNode(id(x, y), nbrs...); err != nil {
-				log.Fatal(err)
+
+	// Deploy the field: a grid mesh (each sensor hears its 4 neighbors),
+	// as one insertion stream.
+	deploy := func(yield func(dynmis.Change) bool) {
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				var nbrs []dynmis.NodeID
+				if x > 0 {
+					nbrs = append(nbrs, id(x-1, y))
+				}
+				if y > 0 {
+					nbrs = append(nbrs, id(x, y-1))
+				}
+				if !yield(dynmis.NodeChange(dynmis.NodeInsert, id(x, y), nbrs...)) {
+					return
+				}
 			}
 		}
 	}
+	if _, err := m.Drive(context.Background(), deploy); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("deployed %d sensors, %d aggregation heads\n", m.NodeCount(), len(m.MIS()))
 
-	// Remember each sensor's mesh neighborhood for rejoining.
+	// Each sensor's full mesh neighborhood, for reattaching on wake-up.
 	neighborhood := map[dynmis.NodeID][]dynmis.NodeID{}
 	for y := 0; y < side; y++ {
 		for x := 0; x < side; x++ {
@@ -68,52 +81,59 @@ func main() {
 		}
 	}
 
-	sleeping := map[dynmis.NodeID]bool{}
-	var totalBcasts, totalAdjust, unmutes int
-	for e := 0; e < dutyEvents; e++ {
-		if len(sleeping) < side*side/3 && rng.IntN(2) == 0 {
-			// A random awake sensor goes to sleep.
-			awake := m.Nodes()
-			victim := awake[rng.IntN(len(awake))]
-			rep, err := m.Mute(victim)
-			if err != nil {
-				log.Fatal(err)
+	// The duty cycle as a Source: the generator owns the awake/sleeping
+	// bookkeeping, so the stream is oblivious and replayable.
+	awake := make([]dynmis.NodeID, 0, side*side)
+	for v := range side * side {
+		awake = append(awake, dynmis.NodeID(v))
+	}
+	var sleeping []dynmis.NodeID
+	isAsleep := make(map[dynmis.NodeID]bool)
+
+	dutyCycle := func(yield func(dynmis.Change) bool) {
+		for e := 0; e < dutyEvents; e++ {
+			if len(sleeping) < side*side/3 && rng.IntN(2) == 0 {
+				// A random awake sensor goes to sleep.
+				i := rng.IntN(len(awake))
+				victim := awake[i]
+				awake = append(awake[:i], awake[i+1:]...)
+				sleeping = append(sleeping, victim)
+				isAsleep[victim] = true
+				if !yield(dynmis.NodeChange(dynmis.NodeMute, victim)) {
+					return
+				}
+				continue
 			}
-			sleeping[victim] = true
-			totalBcasts += rep.Broadcasts
-			totalAdjust += rep.Adjustments
-			continue
-		}
-		if len(sleeping) == 0 {
-			continue
-		}
-		// A random sleeping sensor wakes up, reattaching to its awake
-		// mesh neighbors.
-		var victim dynmis.NodeID
-		for s := range sleeping {
-			victim = s
-			break
-		}
-		delete(sleeping, victim)
-		var nbrs []dynmis.NodeID
-		for _, u := range neighborhood[victim] {
-			if !sleeping[u] {
-				nbrs = append(nbrs, u)
+			if len(sleeping) == 0 {
+				continue
+			}
+			// The longest-sleeping sensor wakes up, reattaching to its
+			// awake mesh neighbors.
+			victim := sleeping[0]
+			sleeping = sleeping[1:]
+			delete(isAsleep, victim)
+			awake = append(awake, victim)
+			var nbrs []dynmis.NodeID
+			for _, u := range neighborhood[victim] {
+				if !isAsleep[u] {
+					nbrs = append(nbrs, u)
+				}
+			}
+			if !yield(dynmis.NodeChange(dynmis.NodeUnmute, victim, nbrs...)) {
+				return
 			}
 		}
-		rep, err := m.Unmute(victim, nbrs...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		unmutes++
-		totalBcasts += rep.Broadcasts
-		totalAdjust += rep.Adjustments
+	}
+
+	sum, err := m.Drive(context.Background(), dutyCycle)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("duty cycle: %d events (%d wake-ups), %d sensors asleep now\n",
-		dutyEvents, unmutes, len(sleeping))
+		sum.Changes, sum.ByKind[dynmis.NodeUnmute], len(sleeping))
 	fmt.Printf("per event: %.2f broadcasts, %.2f head changes (paper: O(1) expected)\n",
-		float64(totalBcasts)/float64(dutyEvents), float64(totalAdjust)/float64(dutyEvents))
+		sum.MeanBroadcasts(), sum.MeanAdjustments())
 	fmt.Printf("awake sensors: %d, heads: %d\n", m.NodeCount(), len(m.MIS()))
 
 	if err := m.Verify(); err != nil {

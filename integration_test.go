@@ -7,7 +7,7 @@ import (
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // TestCrossEngineSoak is the repository's end-to-end differential test:

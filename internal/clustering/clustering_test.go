@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func TestCostTriangleOneCluster(t *testing.T) {

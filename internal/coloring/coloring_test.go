@@ -8,7 +8,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func mustNew(t *testing.T, seed uint64, palette int) *Maintainer {

@@ -6,7 +6,7 @@ import (
 
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // TestBatchEqualsSequential is the batch extension's central property:

@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // buildFromBytes deterministically turns fuzz bytes into a small graph

@@ -50,6 +50,19 @@ func (r *Report) Add(o Report) {
 	r.CrossShard += o.CrossShard
 }
 
+// MaxOf raises each field of r to the corresponding field of o — the
+// field-wise maximum used for Summary.Max.
+func (r *Report) MaxOf(o Report) {
+	r.Adjustments = max(r.Adjustments, o.Adjustments)
+	r.SSize = max(r.SSize, o.SSize)
+	r.Flips = max(r.Flips, o.Flips)
+	r.Rounds = max(r.Rounds, o.Rounds)
+	r.Broadcasts = max(r.Broadcasts, o.Broadcasts)
+	r.Bits = max(r.Bits, o.Bits)
+	r.CausalDepth = max(r.CausalDepth, o.CausalDepth)
+	r.CrossShard = max(r.CrossShard, o.CrossShard)
+}
+
 // String renders the non-zero fields compactly.
 func (r Report) String() string {
 	return fmt.Sprintf("Report(adj=%d |S|=%d flips=%d rounds=%d bcasts=%d bits=%d depth=%d xshard=%d)",

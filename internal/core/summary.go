@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"dynmis/internal/graph"
+)
+
+// Summary is the aggregate cost account of driving a change stream into
+// an engine: totals, per-application maxima and per-change means of the
+// paper's complexity measures, plus change counts by kind. It is built by
+// folding the per-application Reports with Observe, so by construction it
+// carries no information beyond that fold — the facade's Drive property
+// tests pin this down.
+type Summary struct {
+	// Changes is the number of changes successfully applied.
+	Changes int
+	// Applies is the number of engine applications the changes were
+	// delivered in: equal to Changes when driving change-by-change, and
+	// the number of windows when driving through ApplyBatch.
+	Applies int
+	// ByKind counts the applied changes by change kind.
+	ByKind map[graph.ChangeKind]int
+	// Total accumulates every observed Report (Report.Add semantics:
+	// sums everywhere, except CausalDepth which is a maximum).
+	Total Report
+	// Max is the field-wise maximum over the observed Reports. When
+	// driving windowed, maxima are per window, not per change.
+	Max Report
+}
+
+// Observe folds one engine application — the Report it returned and the
+// changes it applied — into the summary.
+func (s *Summary) Observe(rep Report, cs ...graph.Change) {
+	if s.ByKind == nil {
+		s.ByKind = make(map[graph.ChangeKind]int)
+	}
+	s.Applies++
+	s.Changes += len(cs)
+	for _, c := range cs {
+		s.ByKind[c.Kind]++
+	}
+	s.Total.Add(rep)
+	s.Max.MaxOf(rep)
+}
+
+// MeanAdjustments is the mean adjustment count per change — the measure
+// Theorem 1 bounds by 1 in expectation.
+func (s Summary) MeanAdjustments() float64 { return s.mean(s.Total.Adjustments) }
+
+// MeanRounds is the mean round count per change.
+func (s Summary) MeanRounds() float64 { return s.mean(s.Total.Rounds) }
+
+// MeanBroadcasts is the mean broadcast count per change.
+func (s Summary) MeanBroadcasts() float64 { return s.mean(s.Total.Broadcasts) }
+
+// MeanBits is the mean message payload per change, in bits.
+func (s Summary) MeanBits() float64 { return s.mean(s.Total.Bits) }
+
+func (s Summary) mean(total int) float64 {
+	if s.Changes == 0 {
+		return 0
+	}
+	return float64(total) / float64(s.Changes)
+}
+
+// String renders the headline numbers compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("Summary(changes=%d applies=%d adj=%d mean-adj=%.3f max-adj=%d rounds=%d bcasts=%d bits=%d)",
+		s.Changes, s.Applies, s.Total.Adjustments, s.MeanAdjustments(), s.Max.Adjustments,
+		s.Total.Rounds, s.Total.Broadcasts, s.Total.Bits)
+}

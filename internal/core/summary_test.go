@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+func TestSummaryObserve(t *testing.T) {
+	var s Summary
+	s.Observe(Report{Adjustments: 2, Rounds: 3, Broadcasts: 5, Bits: 64, CausalDepth: 2},
+		graph.NodeChange(graph.NodeInsert, 1))
+	s.Observe(Report{Adjustments: 1, Rounds: 7, Broadcasts: 2, Bits: 16, CausalDepth: 1},
+		graph.EdgeChange(graph.EdgeInsert, 1, 2), graph.NodeChange(graph.NodeInsert, 2, 1))
+
+	if s.Changes != 3 || s.Applies != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ByKind[graph.NodeInsert] != 2 || s.ByKind[graph.EdgeInsert] != 1 {
+		t.Fatalf("ByKind: %v", s.ByKind)
+	}
+	if s.Total.Adjustments != 3 || s.Total.Rounds != 10 || s.Total.Broadcasts != 7 || s.Total.Bits != 80 {
+		t.Fatalf("Total: %+v", s.Total)
+	}
+	// Total.CausalDepth uses Report.Add semantics (max), matching the
+	// async engine's notion of stream depth.
+	if s.Total.CausalDepth != 2 {
+		t.Fatalf("Total.CausalDepth = %d", s.Total.CausalDepth)
+	}
+	if s.Max.Adjustments != 2 || s.Max.Rounds != 7 || s.Max.Broadcasts != 5 || s.Max.Bits != 64 {
+		t.Fatalf("Max: %+v", s.Max)
+	}
+	if got := s.MeanAdjustments(); got != 1.0 {
+		t.Fatalf("MeanAdjustments = %v", got)
+	}
+	if got := s.MeanBits(); got*3 != 80 {
+		t.Fatalf("MeanBits = %v", got)
+	}
+}
+
+func TestSummaryZeroValue(t *testing.T) {
+	var s Summary
+	if s.MeanAdjustments() != 0 || s.MeanRounds() != 0 || s.MeanBroadcasts() != 0 || s.MeanBits() != 0 {
+		t.Fatal("zero-value means must be 0, not NaN")
+	}
+	if s.String() == "" {
+		t.Fatal("String on zero value")
+	}
+}
+
+func TestReportMaxOf(t *testing.T) {
+	a := Report{Adjustments: 1, SSize: 9, Flips: 2, Rounds: 3, Broadcasts: 1, Bits: 10, CausalDepth: 4, CrossShard: 0}
+	b := Report{Adjustments: 5, SSize: 2, Flips: 7, Rounds: 1, Broadcasts: 6, Bits: 3, CausalDepth: 1, CrossShard: 8}
+	a.MaxOf(b)
+	want := Report{Adjustments: 5, SSize: 9, Flips: 7, Rounds: 3, Broadcasts: 6, Bits: 10, CausalDepth: 4, CrossShard: 8}
+	if a != want {
+		t.Fatalf("MaxOf: got %+v, want %+v", a, want)
+	}
+}

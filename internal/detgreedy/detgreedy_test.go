@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func TestDeterministicByID(t *testing.T) {

@@ -8,7 +8,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/simnet"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // Batch staging under every scheduler must quiesce at the same structure

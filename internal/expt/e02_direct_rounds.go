@@ -5,7 +5,7 @@ import (
 
 	"dynmis/internal/direct"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e2.Run = runE2; register(e2) }

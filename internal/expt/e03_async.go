@@ -6,7 +6,7 @@ import (
 	"dynmis/internal/direct"
 	"dynmis/internal/simnet"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e3.Run = runE3; register(e3) }

@@ -6,7 +6,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/protocol"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e4.Run = runE4; register(e4) }

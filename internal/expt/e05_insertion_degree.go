@@ -6,7 +6,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/protocol"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e5.Run = runE5; register(e5) }

@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/protocol"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e6.Run = runE6; register(e6) }

@@ -4,7 +4,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/detgreedy"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e7.Run = runE7; register(e7) }

@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/luby"
 	"dynmis/internal/protocol"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e8.Run = runE8; register(e8) }

@@ -5,7 +5,7 @@ import (
 
 	"dynmis/internal/clustering"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e9.Run = runE9; register(e9) }

@@ -3,7 +3,7 @@ package expt
 import (
 	"dynmis/internal/core"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e10.Run = runE10; register(e10) }

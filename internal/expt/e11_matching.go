@@ -3,7 +3,7 @@ package expt
 import (
 	"dynmis/internal/matching"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e11.Run = runE11; register(e11) }

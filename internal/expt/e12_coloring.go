@@ -5,7 +5,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/order"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e12.Run = runE12; register(e12) }

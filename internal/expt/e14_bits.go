@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/order"
 	"dynmis/internal/protocol"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e14.Run = runE14; register(e14) }

@@ -6,7 +6,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/order"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e15.Run = runE15; register(e15) }

@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/order"
 	"dynmis/internal/seqdyn"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e16.Run = runE16; register(e16) }

@@ -6,7 +6,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/protocol"
 	"dynmis/internal/stats"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func init() { e18.Run = runE18; register(e18) }

@@ -6,7 +6,7 @@ import (
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func TestRunProducesValidMIS(t *testing.T) {

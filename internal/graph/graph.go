@@ -8,6 +8,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 )
 
@@ -155,6 +156,19 @@ func (g *Graph) NodeCount() int { return len(g.adj) }
 
 // EdgeCount returns the number of undirected edges.
 func (g *Graph) EdgeCount() int { return g.edges }
+
+// NodeSeq iterates over the node IDs in unspecified order, without the
+// sort and allocation of Nodes — the hot-path form for full scans. The
+// graph must not be mutated during iteration.
+func (g *Graph) NodeSeq() iter.Seq[NodeID] {
+	return func(yield func(NodeID) bool) {
+		for v := range g.adj {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
 
 // Nodes returns all node IDs in ascending order. The slice is a copy.
 func (g *Graph) Nodes() []NodeID {

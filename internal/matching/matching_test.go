@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 
 	"dynmis/internal/graph"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func TestNewEdgeCanonical(t *testing.T) {

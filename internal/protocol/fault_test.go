@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/simnet"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // TestFaultInjectionDetected demonstrates that the reliable-links

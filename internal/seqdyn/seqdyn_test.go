@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func checkOracle(t *testing.T, e *Engine) {

@@ -7,7 +7,7 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 // The sharded engine must reproduce the sequential Template bit-for-bit on

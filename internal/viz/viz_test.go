@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"dynmis/internal/core"
-	"dynmis/internal/workload"
+	"dynmis/workload"
 )
 
 func TestMISDot(t *testing.T) {

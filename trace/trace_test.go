@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"slices"
+	"strings"
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/workload"
+)
+
+// sample covers every change kind, including empty and multi-neighbor
+// insertions.
+func sample() []graph.Change {
+	return []graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+		graph.NodeChange(graph.NodeInsert, 3, 1, 2),
+		graph.EdgeChange(graph.EdgeInsert, 1, 3),
+		graph.EdgeChange(graph.EdgeDeleteGraceful, 1, 2),
+		graph.EdgeChange(graph.EdgeDeleteAbrupt, 1, 3),
+		graph.NodeChange(graph.NodeMute, 2),
+		graph.NodeChange(graph.NodeUnmute, 2, 3),
+		graph.NodeChange(graph.NodeDeleteGraceful, 3),
+		graph.NodeChange(graph.NodeDeleteAbrupt, 2),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cs := sample()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, slices.Values(cs)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changesEqual(got, cs) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, cs)
+	}
+
+	// Re-encoding the decoded stream must reproduce the file byte for
+	// byte: the encoding is canonical.
+	var buf2 bytes.Buffer
+	if err := WriteAll(&buf2, slices.Values(got)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-encoding is not byte-identical:\n%q\nvs\n%q", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestRoundTripWorkload(t *testing.T) {
+	// A generated workload — the artifact -record captures — survives the
+	// round trip change for change.
+	rng := workload.Rand(7)
+	build := workload.GNP(rng, 60, 0.05)
+	drive := workload.RandomChurn(rng, workload.BuildGraph(build), workload.DefaultChurn(500))
+	cs := append(append([]graph.Change{}, build...), drive...)
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, slices.Values(cs)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changesEqual(got, cs) {
+		t.Fatalf("workload round trip mismatch: %d vs %d changes", len(got), len(cs))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), Schema) {
+		t.Fatalf("empty trace missing header: %q", buf.String())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: got %v, %v", got, err)
+	}
+}
+
+func TestSchemaRejection(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":      "",
+		"wrongVer":   `{"schema":"dynmis-trace/v999"}` + "\n",
+		"noSchema":   `{"k":"node-insert","n":1}` + "\n",
+		"notJSON":    "plain text\n",
+		"otherField": `{"hello":"world"}` + "\n",
+	} {
+		if _, err := ReadAll(strings.NewReader(input)); !errors.Is(err, ErrSchema) {
+			t.Errorf("%s: want ErrSchema, got %v", name, err)
+		}
+	}
+}
+
+func TestMalformedRecords(t *testing.T) {
+	head := `{"schema":"dynmis-trace/v1"}` + "\n"
+	for name, line := range map[string]string{
+		"unknownKind": `{"k":"node-teleport","n":1}`,
+		"edgeNoEnds":  `{"k":"edge-insert"}`,
+		"nodeNoNode":  `{"k":"node-insert"}`,
+		"garbage":     `{{{`,
+	} {
+		_, err := ReadAll(strings.NewReader(head + line + "\n"))
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("%s: want decode error, got %v", name, err)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(strings.NewReader(`{"schema":"dynmis-trace/v1"}` + "\n" + `{"k":"bogus","n":1}` + "\n"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("error must be sticky")
+	}
+	if r.Err() == nil {
+		t.Fatal("Err must report the sticky error")
+	}
+}
+
+func TestAllStopsCleanlyAtEOF(t *testing.T) {
+	cs := sample()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, slices.Values(cs)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var got []graph.Change
+	for c := range r.All() {
+		got = append(got, c)
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean trace left Err = %v", r.Err())
+	}
+	if !changesEqual(got, cs) {
+		t.Fatal("All mismatch")
+	}
+}
+
+func TestTee(t *testing.T) {
+	cs := sample()
+	var rec bytes.Buffer
+	w := NewWriter(&rec)
+
+	var passed []graph.Change
+	for c := range Tee(slices.Values(cs), w) {
+		passed = append(passed, c)
+	}
+	if !changesEqual(passed, cs) {
+		t.Fatal("Tee altered the stream")
+	}
+	got, err := ReadAll(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changesEqual(got, cs) {
+		t.Fatal("Tee recording mismatch")
+	}
+}
+
+func TestTeeFlushesOnEarlyStop(t *testing.T) {
+	cs := sample()
+	var rec bytes.Buffer
+	w := NewWriter(&rec)
+	n := 0
+	for range Tee(slices.Values(cs), w) {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	got, err := ReadAll(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changesEqual(got, cs[:3]) {
+		t.Fatalf("early stop recorded %d changes, want 3", len(got))
+	}
+}
+
+func changesEqual(a, b []graph.Change) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].U != b[i].U || a[i].V != b[i].V || a[i].Node != b[i].Node {
+			return false
+		}
+		if !slices.Equal(a[i].Edges, b[i].Edges) {
+			return false
+		}
+	}
+	return true
+}

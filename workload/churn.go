@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand/v2"
+	"slices"
 
 	"dynmis/internal/graph"
 )
@@ -44,95 +45,11 @@ func DefaultChurn(steps int) ChurnOptions {
 
 // RandomChurn generates a valid random change sequence starting from the
 // given graph (which is only read — a scratch copy tracks validity). The
-// returned changes can be fed to any engine in order.
+// returned changes can be fed to any engine in order. It is the
+// materialized form of ChurnSource: for equal rng states the slice and
+// the stream are identical change for change.
 func RandomChurn(rng *rand.Rand, start *graph.Graph, opts ChurnOptions) []graph.Change {
-	g := start.Clone()
-	next := graph.NodeID(0)
-	for _, v := range g.Nodes() {
-		if v >= next {
-			next = v + 1
-		}
-	}
-
-	weights := []float64{
-		opts.NodeInsertWeight,
-		opts.NodeDeleteWeight,
-		opts.EdgeInsertWeight,
-		opts.EdgeDeleteWeight,
-	}
-	totalW := 0.0
-	for _, w := range weights {
-		totalW += w
-	}
-	if totalW == 0 {
-		return nil
-	}
-
-	pickOp := func() int {
-		x := rng.Float64() * totalW
-		for i, w := range weights {
-			if x < w {
-				return i
-			}
-			x -= w
-		}
-		return len(weights) - 1
-	}
-
-	var cs []graph.Change
-	for len(cs) < opts.Steps {
-		nodes := g.Nodes()
-		var c graph.Change
-		switch pickOp() {
-		case 0: // node insert
-			var nbrs []graph.NodeID
-			for _, v := range nodes {
-				if rng.Float64() < opts.AttachProb {
-					nbrs = append(nbrs, v)
-					if opts.MaxAttach > 0 && len(nbrs) >= opts.MaxAttach {
-						break
-					}
-				}
-			}
-			c = graph.NodeChange(graph.NodeInsert, next, nbrs...)
-			next++
-		case 1: // node delete
-			if len(nodes) == 0 {
-				continue
-			}
-			kind := graph.NodeDeleteGraceful
-			if rng.Float64() < opts.AbruptFraction {
-				kind = graph.NodeDeleteAbrupt
-			}
-			c = graph.NodeChange(kind, nodes[rng.IntN(len(nodes))])
-		case 2: // edge insert
-			if len(nodes) < 2 {
-				continue
-			}
-			u := nodes[rng.IntN(len(nodes))]
-			v := nodes[rng.IntN(len(nodes))]
-			if u == v || g.HasEdge(u, v) {
-				continue
-			}
-			c = graph.EdgeChange(graph.EdgeInsert, u, v)
-		default: // edge delete
-			es := g.Edges()
-			if len(es) == 0 {
-				continue
-			}
-			e := es[rng.IntN(len(es))]
-			kind := graph.EdgeDeleteGraceful
-			if rng.Float64() < opts.AbruptFraction {
-				kind = graph.EdgeDeleteAbrupt
-			}
-			c = graph.EdgeChange(kind, e[0], e[1])
-		}
-		if err := c.Apply(g); err != nil {
-			panic("workload: generated invalid change: " + err.Error())
-		}
-		cs = append(cs, c)
-	}
-	return cs
+	return slices.Collect(ChurnSource(rng, start, opts))
 }
 
 // EdgeChurn generates a sequence of single-edge changes (insert or delete

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"slices"
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+// TestSourcesMatchSlices pins the stream/slice duality: for equal rng
+// states, every streaming generator yields exactly the changes its
+// materialized counterpart returns.
+func TestSourcesMatchSlices(t *testing.T) {
+	start := BuildGraph(GNP(Rand(3), 80, 0.06))
+	bip := BuildGraph(CompleteBipartite(10))
+
+	cases := []struct {
+		name   string
+		slice  func() []graph.Change
+		stream func() []graph.Change
+	}{
+		{
+			"churn",
+			func() []graph.Change { return RandomChurn(Rand(9), start, DefaultChurn(400)) },
+			func() []graph.Change { return slices.Collect(ChurnSource(Rand(9), start, DefaultChurn(400))) },
+		},
+		{
+			"sliding-window",
+			func() []graph.Change { return SlidingWindow(Rand(9), start, 400) },
+			func() []graph.Change { return slices.Collect(SlidingWindowSource(Rand(9), start, 400)) },
+		},
+		{
+			"power-law",
+			func() []graph.Change { return PowerLawChurn(Rand(9), start, 400) },
+			func() []graph.Change { return slices.Collect(PowerLawSource(Rand(9), start, 400)) },
+		},
+		{
+			"adversarial",
+			func() []graph.Change { return AdversarialDeletions(Rand(9), bip, 100) },
+			func() []graph.Change { return slices.Collect(AdversarialSource(Rand(9), bip, 100)) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.slice(), tc.stream()
+			if len(a) == 0 {
+				t.Fatal("degenerate: empty workload")
+			}
+			if len(a) != len(b) {
+				t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i].String() != b[i].String() {
+					t.Fatalf("change %d differs: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSourcesAreValidStreams drives each generator's output through a
+// scratch graph to confirm every yielded change is applicable in order.
+func TestSourcesAreValidStreams(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			inst := sc.Instantiate(5, 120, 300)
+			g := graph.New()
+			for i, c := range slices.Concat(inst.Build, inst.Drive) {
+				if err := c.Apply(g); err != nil {
+					t.Fatalf("change %d invalid: %v", i, err)
+				}
+			}
+			if len(inst.Drive) != 300 {
+				t.Fatalf("drive has %d changes, want 300", len(inst.Drive))
+			}
+		})
+	}
+}
+
+// TestSourceEarlyBreak confirms generators stop cleanly when their
+// consumer abandons the stream.
+func TestSourceEarlyBreak(t *testing.T) {
+	start := BuildGraph(GNP(Rand(3), 40, 0.1))
+	n := 0
+	for range ChurnSource(Rand(1), start, DefaultChurn(1000)) {
+		n++
+		if n == 10 {
+			break
+		}
+	}
+	if n != 10 {
+		t.Fatalf("consumed %d changes", n)
+	}
+}
+
+// TestInstantiate pins the shared construction path: deterministic for
+// equal seeds, distinct across seeds, and honoring MaxNodes.
+func TestInstantiate(t *testing.T) {
+	sc, _ := ScenarioByName("churn")
+	a := sc.Instantiate(11, 100, 200)
+	b := sc.Instantiate(11, 100, 200)
+	if len(a.Drive) != len(b.Drive) || a.Drive[0].String() != b.Drive[0].String() {
+		t.Fatal("Instantiate is not deterministic for equal seeds")
+	}
+	got := slices.Collect(a.Source())
+	if len(got) != len(a.Drive) {
+		t.Fatal("Instance.Source does not replay Drive")
+	}
+
+	adv, _ := ScenarioByName("adversarial-deletion")
+	inst := adv.Instantiate(11, 5000, 10)
+	if inst.Nodes != adv.MaxNodes {
+		t.Fatalf("MaxNodes clamp: have %d, want %d", inst.Nodes, adv.MaxNodes)
+	}
+}

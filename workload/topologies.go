@@ -1,13 +1,17 @@
-// Package workload builds the topologies and dynamic change sequences used
-// by the paper's examples and by the experiment harness: G(n,p) graphs,
-// stars (§5 Example 1), disjoint 3-edge paths (Example 2), complete
-// bipartite graphs minus a perfect matching (Example 3), the K_{k,k}
-// lower-bound gadget (§1.1), and randomized churn sequences for the
-// fully dynamic setting.
+// Package workload generates the dynamic workloads that drive a dynmis
+// engine: named benchmark scenarios (churn, sliding-window, power-law,
+// adversarial-deletion) whose drive phases are lazy change Sources
+// (iter.Seq — assignable to dynmis.Source and consumable by
+// Maintainer.Drive), plus the static topologies of the paper's examples:
+// G(n,p) graphs, stars (§5 Example 1), disjoint 3-edge paths (Example 2),
+// complete bipartite graphs minus a perfect matching (Example 3), and the
+// K_{k,k} lower-bound gadget (§1.1).
 //
-// All builders return change sequences (not graphs) so they can drive any
-// engine; BuildGraph materializes a sequence when a static graph is
-// needed.
+// All builders return change sequences or Sources (not graphs) so they
+// can drive any engine; BuildGraph materializes a sequence when a static
+// graph is needed, and dynmis/trace records any Source for bit-for-bit
+// replay. Scenario.Instantiate binds a scenario to the canonical rng of
+// Rand, which is how every cmd tool constructs its workloads.
 package workload
 
 import (
