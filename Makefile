@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke clean
+.PHONY: ci fmt vet build test race bench bench-smoke bench-delta clean
 
 ci: fmt vet build race bench-smoke
 
@@ -39,6 +39,15 @@ bench-smoke:
 		-record /tmp/dynmis_smoke_trace.jsonl -out /tmp/BENCH_dynmis_smoke_record.json
 	$(GO) run ./cmd/bench -shards 2 -replay /tmp/dynmis_smoke_trace.jsonl \
 		-out /tmp/BENCH_dynmis_smoke_replay.json
+
+# Perf trajectory report: a short run of every scenario printed as
+# per-scenario updates/sec ratios against the committed BENCH_dynmis.json.
+# Informational, never a gate — CI runs it as a non-blocking step, and 2000
+# steps is sized for signal (~regressions of 2x+), not for noise-free
+# precision. Writes only under /tmp.
+bench-delta:
+	$(GO) run ./cmd/bench -steps 2000 -out /tmp/BENCH_dynmis_delta.json \
+		-baseline BENCH_dynmis.json
 
 # Full benchmark: regenerates the checked-in BENCH_dynmis.json.
 bench:

@@ -33,10 +33,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"slices"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -114,6 +114,7 @@ func main() {
 		record    = flag.String("record", "", "record the ingested stream (warm-up + drive) to this trace file; requires exactly one scenario")
 		replay    = flag.String("replay", "", "benchmark a recorded trace instead of generating workloads")
 		out       = flag.String("out", "BENCH_dynmis.json", "output JSON path")
+		baseline  = flag.String("baseline", "", "compare per-scenario updates/sec against this previously emitted JSON (e.g. the committed BENCH_dynmis.json)")
 	)
 	flag.Parse()
 	if *quick {
@@ -180,6 +181,17 @@ func main() {
 			h.SequentialPerSec, h.ShardedPerSec, h.ShardedShards, h.Speedup, h.SpeedupVsBatch)
 	}
 
+	// Load the baseline before writing: -baseline and -out may name the
+	// same file (regenerating the committed numbers while reporting the
+	// change against them).
+	var baseData []byte
+	if *baseline != "" {
+		baseData, err = os.ReadFile(*baseline)
+		if err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+	}
+
 	data, err := json.MarshalIndent(output, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -189,6 +201,44 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if baseData != nil {
+		if err := printDelta(os.Stdout, output, *baseline, baseData); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printDelta renders this run's per-scenario updates/sec against a
+// previously emitted JSON file. It is a report, not a gate: engines whose
+// scenario or configuration is absent from the baseline print "new", and
+// differing -steps merely change measurement noise, not the ratio's
+// meaning.
+func printDelta(w io.Writer, cur benchOutput, path string, data []byte) error {
+	var base benchOutput
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	rate := make(map[string]float64)
+	for _, sc := range base.Scenarios {
+		for _, er := range sc.Engines {
+			rate[sc.Scenario+"/"+label(er)] = er.UpdatesPerSec
+		}
+	}
+	fmt.Fprintf(w, "\ndelta vs %s (steps %d -> %d):\n", path, base.Steps, cur.Steps)
+	for _, sc := range cur.Scenarios {
+		for _, er := range sc.Engines {
+			key := sc.Scenario + "/" + label(er)
+			old, ok := rate[key]
+			if !ok || old <= 0 {
+				fmt.Fprintf(w, "  %-32s %12.0f updates/s   (new)\n", key, er.UpdatesPerSec)
+				continue
+			}
+			fmt.Fprintf(w, "  %-32s %12.0f updates/s  %8.2fx (baseline %.0f)\n",
+				key, er.UpdatesPerSec, er.UpdatesPerSec/old, old)
+		}
+	}
+	return nil
 }
 
 // buildJobs resolves the workload set: recorded-trace replay, or the
@@ -261,6 +311,7 @@ func run(jb job, seed uint64, name string, shards, window int, opts ...dynmis.Op
 	}
 	ctx := context.Background()
 	if len(jb.build) > 0 {
+		m.Grow(jb.nodes)
 		if _, err := m.Drive(ctx, slices.Values(jb.build)); err != nil {
 			fatal(err)
 		}
@@ -299,7 +350,7 @@ func defaultShards() string {
 	for q := range set {
 		ps = append(ps, q)
 	}
-	sort.Ints(ps)
+	slices.Sort(ps)
 	strs := make([]string, len(ps))
 	for i, q := range ps {
 		strs[i] = strconv.Itoa(q)

@@ -405,6 +405,13 @@ func (m *Maintainer) Unmute(v NodeID, nbrs ...NodeID) (Report, error) {
 	return m.impl.Apply(graph.NodeChange(graph.NodeUnmute, v, nbrs...))
 }
 
+// Grow hints the expected number of additional nodes, preallocating the
+// storage arena (slots, adjacency, priority and membership lanes, and the
+// node index table) so a known-size warm-up phase neither reallocates nor
+// incrementally rehashes. It never changes observable state and is safe to
+// skip or overshoot.
+func (m *Maintainer) Grow(n int) { m.impl.Graph().Grow(n) }
+
 // InMIS reports whether v is currently in the MIS.
 func (m *Maintainer) InMIS(v NodeID) bool { return m.impl.InMIS(v) }
 

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"dynmis/internal/graph"
-)
+import "dynmis/internal/graph"
 
 // ApplyBatch applies several topology changes at once and runs a single
 // recovery cascade, instead of recovering after each change. This
@@ -22,40 +18,5 @@ import (
 // publishes the prefix's feed delta) before the error returns — the
 // engine stays consistent and usable.
 func (t *Template) ApplyBatch(cs []graph.Change) (Report, error) {
-	before := t.State()
-
-	var rep Report
-	flipped := make(map[graph.NodeID]int)
-	var frontier []graph.NodeID
-
-	for i, c := range cs {
-		staged, err := StageChange(t.g, t.ord, MapState(t.state), c)
-		if err != nil {
-			err = fmt.Errorf("batch change %d: %w", i, err)
-			if _, cerr := t.cascade(frontier, flipped); cerr != nil {
-				return Report{}, fmt.Errorf("%w (and prefix recovery failed: %v)", err, cerr)
-			}
-			t.feed.EmitDiff(before, t.state)
-			return Report{}, err
-		}
-		if staged.PreFlipped != graph.None {
-			flipped[staged.PreFlipped] = 1
-		}
-		frontier = append(frontier, staged.Frontier...)
-	}
-
-	steps, err := t.cascade(frontier, flipped)
-	if err != nil {
-		return Report{}, err
-	}
-	t.steps = steps
-
-	rep.Rounds = steps
-	rep.SSize = len(flipped)
-	for _, n := range flipped {
-		rep.Flips += n
-	}
-	rep.Adjustments = len(DiffStates(before, t.state))
-	t.feed.EmitDiff(before, t.state)
-	return rep, nil
+	return t.applyWindow(cs, true)
 }

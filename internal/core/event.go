@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dynmis/internal/graph"
 )
@@ -107,7 +108,7 @@ func (f *Feed) Publish(node graph.NodeID, from, to Membership, cause EventCause)
 // engine's O(touched) accounting) use it to publish in the canonical
 // order; the Seq fields of the input are overwritten.
 func (f *Feed) PublishSorted(evs []Event) {
-	sort.Slice(evs, func(i, j int) bool { return evs[i].Node < evs[j].Node })
+	slices.SortFunc(evs, func(a, b Event) int { return cmp.Compare(a.Node, b.Node) })
 	for _, ev := range evs {
 		f.Publish(ev.Node, ev.From, ev.To, ev.Cause)
 	}
@@ -138,6 +139,53 @@ func (f *Feed) EmitDiff(before, after map[graph.NodeID]Membership) {
 		}
 	}
 	f.PublishSorted(evs)
+}
+
+// Touched is a node's pre-window configuration, captured at first touch:
+// whether it was present in the stable configuration before the update
+// window, and with which membership. The template and sharded engines
+// record one Touched per staged or flipped node and account the whole
+// window from that set alone — O(touched), never O(n).
+type Touched struct {
+	Present bool
+	M       Membership
+}
+
+// DeltaFromTouched computes the window's adjustment count and — when emit
+// is set — its canonical feed delta, by comparing each touched node's
+// pre-window configuration against the current arena state. Untouched
+// nodes cannot have changed, so the result equals DiffStates/EmitDiff over
+// full before/after maps (the events still need PublishSorted for the
+// canonical node order).
+func DeltaFromTouched(g *graph.Graph, s State, touched map[graph.NodeID]Touched, emit bool) (adjustments int, evs []Event) {
+	for v, b := range touched {
+		i, present := g.Index(v)
+		switch {
+		case b.Present && present:
+			if cur := s.At(i); cur != b.M {
+				adjustments++
+				if emit {
+					evs = append(evs, Event{Node: v, From: b.M, To: cur, Cause: CauseFlip})
+				}
+			}
+		case b.Present && !present:
+			if b.M == In {
+				adjustments++
+			}
+			if emit {
+				evs = append(evs, Event{Node: v, From: b.M, To: Out, Cause: CauseLeave})
+			}
+		case !b.Present && present:
+			cur := s.At(i)
+			if cur == In {
+				adjustments++
+			}
+			if emit {
+				evs = append(evs, Event{Node: v, From: Out, To: cur, Cause: CauseJoin})
+			}
+		}
+	}
+	return adjustments, evs
 }
 
 // Replay folds an event stream into the membership configuration it

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
@@ -12,12 +12,7 @@ import (
 // joins the MIS iff none of its earlier neighbors did. This is the oracle
 // that every dynamic engine must reproduce (history independence, Def. 14).
 func GreedyMIS(g *graph.Graph, ord *order.Order) map[graph.NodeID]Membership {
-	nodes := g.Nodes()
-	for _, v := range nodes {
-		ord.Ensure(v)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return ord.Less(nodes[i], nodes[j]) })
-
+	nodes := sortedByOrder(g, ord)
 	state := make(map[graph.NodeID]Membership, len(nodes))
 	for _, v := range nodes {
 		in := In
@@ -29,6 +24,25 @@ func GreedyMIS(g *graph.Graph, ord *order.Order) map[graph.NodeID]Membership {
 		state[v] = in
 	}
 	return state
+}
+
+// sortedByOrder returns g's nodes in increasing π position, ensuring every
+// node has a priority.
+func sortedByOrder(g *graph.Graph, ord *order.Order) []graph.NodeID {
+	nodes := g.Nodes()
+	for _, v := range nodes {
+		ord.Ensure(v)
+	}
+	slices.SortFunc(nodes, func(a, b graph.NodeID) int {
+		if ord.Less(a, b) {
+			return -1
+		}
+		if ord.Less(b, a) {
+			return 1
+		}
+		return 0
+	})
+	return nodes
 }
 
 // GreedyClusters computes the random-greedy pivot clustering of Ailon,
@@ -71,12 +85,7 @@ func GreedyClusters(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Mem
 // Colors are 1-based. It is the random-greedy coloring discussed in the
 // paper's Example 3 (§5).
 func GreedyColoring(g *graph.Graph, ord *order.Order) map[graph.NodeID]int {
-	nodes := g.Nodes()
-	for _, v := range nodes {
-		ord.Ensure(v)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return ord.Less(nodes[i], nodes[j]) })
-
+	nodes := sortedByOrder(g, ord)
 	color := make(map[graph.NodeID]int, len(nodes))
 	for _, v := range nodes {
 		used := make(map[int]bool)

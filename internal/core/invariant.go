@@ -7,29 +7,41 @@ import (
 	"dynmis/internal/order"
 )
 
+// Stater is a read-only membership lookup: the dense State view and the
+// MapState adapter both satisfy it, so the invariant checkers run
+// unchanged over an arena-backed engine or a plain map.
+type Stater interface {
+	// Get returns v's membership (Out for unknown nodes).
+	Get(v graph.NodeID) Membership
+	// Has reports whether v has a membership at all.
+	Has(v graph.NodeID) bool
+}
+
 // ShouldBeIn evaluates the MIS invariant's right-hand side for v: true iff
 // no neighbor earlier in π is currently in the MIS. A node satisfies the
-// invariant iff state[v] == ShouldBeIn(v).
-func ShouldBeIn(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Membership, v graph.NodeID) Membership {
+// invariant iff state.Get(v) == ShouldBeIn(v). (The template engine's
+// cascade evaluates the same predicate in slot space — graph.LessAt over
+// the priority lane — without the map lookups of ord.Less.)
+func ShouldBeIn(g *graph.Graph, ord *order.Order, state Stater, v graph.NodeID) Membership {
 	in := In
 	g.EachNeighbor(v, func(u graph.NodeID) {
-		if ord.Less(u, v) && state[u] == In {
+		if ord.Less(u, v) && state.Get(u) == In {
 			in = Out
 		}
 	})
 	return in
 }
 
-// CheckInvariant verifies that state satisfies the MIS invariant on every
+// CheckInvariantOn verifies that state satisfies the MIS invariant on every
 // node of g (which implies that the In-set is a maximal independent set,
 // §3). It returns nil on success and a descriptive error naming the first
 // violated node otherwise.
-func CheckInvariant(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Membership) error {
+func CheckInvariantOn(g *graph.Graph, ord *order.Order, state Stater) error {
 	for _, v := range g.Nodes() {
-		m, ok := state[v]
-		if !ok {
+		if !state.Has(v) {
 			return fmt.Errorf("core: node %d has no state", v)
 		}
+		m := state.Get(v)
 		if want := ShouldBeIn(g, ord, state, v); m != want {
 			return fmt.Errorf("core: MIS invariant violated at node %d: state %v, want %v", v, m, want)
 		}
@@ -37,20 +49,24 @@ func CheckInvariant(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Mem
 	return nil
 }
 
-// CheckMIS verifies maximality and independence directly (without reference
-// to π): no two In-nodes are adjacent, and every Out-node has an In
-// neighbor. It is the model-level acceptance test used when an engine's
+// CheckInvariant is CheckInvariantOn over a plain membership map.
+func CheckInvariant(g *graph.Graph, ord *order.Order, state map[graph.NodeID]Membership) error {
+	return CheckInvariantOn(g, ord, MapState(state))
+}
+
+// CheckMISOn verifies maximality and independence directly (without
+// reference to π): no two In-nodes are adjacent, and every Out-node has an
+// In neighbor. It is the model-level acceptance test used when an engine's
 // internal order is not observable.
-func CheckMIS(g *graph.Graph, state map[graph.NodeID]Membership) error {
+func CheckMISOn(g *graph.Graph, state Stater) error {
 	for _, v := range g.Nodes() {
-		m, ok := state[v]
-		if !ok {
+		if !state.Has(v) {
 			return fmt.Errorf("core: node %d has no state", v)
 		}
-		if m == In {
+		if state.Get(v) == In {
 			var bad graph.NodeID = graph.None
 			g.EachNeighbor(v, func(u graph.NodeID) {
-				if state[u] == In {
+				if state.Get(u) == In {
 					bad = u
 				}
 			})
@@ -61,7 +77,7 @@ func CheckMIS(g *graph.Graph, state map[graph.NodeID]Membership) error {
 		}
 		covered := false
 		g.EachNeighbor(v, func(u graph.NodeID) {
-			if state[u] == In {
+			if state.Get(u) == In {
 				covered = true
 			}
 		})
@@ -70,4 +86,9 @@ func CheckMIS(g *graph.Graph, state map[graph.NodeID]Membership) error {
 		}
 	}
 	return nil
+}
+
+// CheckMIS is CheckMISOn over a plain membership map.
+func CheckMIS(g *graph.Graph, state map[graph.NodeID]Membership) error {
+	return CheckMISOn(g, MapState(state))
 }

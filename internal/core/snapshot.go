@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
@@ -31,7 +32,7 @@ func (t *Template) Snapshot() *Snapshot {
 	s := &Snapshot{}
 	for _, v := range t.g.Nodes() {
 		prio, _ := t.ord.Priority(v)
-		s.Nodes = append(s.Nodes, SnapshotNode{ID: v, Priority: prio, InMIS: t.state[v] == In})
+		s.Nodes = append(s.Nodes, SnapshotNode{ID: v, Priority: prio, InMIS: t.state.InMIS(v)})
 	}
 	s.Edges = t.g.Edges()
 	return s
@@ -57,21 +58,18 @@ func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
 // invariant, so a tampered snapshot is rejected.
 func RestoreTemplate(s *Snapshot, seed uint64) (*Template, error) {
 	t := NewTemplateWithOrder(order.New(seed))
-	// Insert nodes in snapshot order, then edges; memberships are
-	// restored verbatim and validated at the end.
-	sorted := make([]SnapshotNode, len(s.Nodes))
-	copy(sorted, s.Nodes)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	// Insert nodes in ascending ID order, then edges; memberships are
+	// restored verbatim and validated at the end. The arena is presized so
+	// the rebuild neither reallocates nor rehashes.
+	t.g.Grow(len(s.Nodes))
+	sorted := slices.Clone(s.Nodes)
+	slices.SortFunc(sorted, func(a, b SnapshotNode) int { return cmp.Compare(a.ID, b.ID) })
 	for _, n := range sorted {
 		if err := t.g.AddNode(n.ID); err != nil {
 			return nil, fmt.Errorf("core: restore: %w", err)
 		}
 		t.ord.Set(n.ID, n.Priority)
-		if n.InMIS {
-			t.state[n.ID] = In
-		} else {
-			t.state[n.ID] = Out
-		}
+		t.state.Set(n.ID, Membership(n.InMIS))
 	}
 	for _, e := range s.Edges {
 		if err := t.g.AddEdge(e[0], e[1]); err != nil {

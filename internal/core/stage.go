@@ -8,9 +8,8 @@ import (
 )
 
 // StateStore is the mutable membership table that change staging operates
-// on. Template uses a plain map (via MapState); the sharded engine uses a
-// partitioned store so that the recovery cascade can later run with
-// per-shard synchronization.
+// on. The template and sharded engines use the dense State view over their
+// graph arena; MapState adapts a plain map for reference models and tests.
 type StateStore interface {
 	// Get returns v's membership (Out for unknown nodes, matching the
 	// zero value of a map lookup).
@@ -32,6 +31,12 @@ func (s MapState) Set(v graph.NodeID, m Membership) { s[v] = m }
 
 // Delete implements StateStore.
 func (s MapState) Delete(v graph.NodeID) { delete(s, v) }
+
+// Has implements Stater.
+func (s MapState) Has(v graph.NodeID) bool {
+	_, ok := s[v]
+	return ok
+}
 
 // Staged is the outcome of staging a single topology change: the graph and
 // state mutations have been applied, and the recovery cascade still has to
@@ -82,10 +87,14 @@ func StageChange(g *graph.Graph, ord *order.Order, state StateStore, c graph.Cha
 		st.Frontier = []graph.NodeID{vstar}
 
 	case graph.NodeInsert, graph.NodeUnmute:
-		ord.Ensure(c.Node) // unmuting reuses the retained priority
 		if err := c.Apply(g); err != nil {
 			return Staged{}, err
 		}
+		// Ensure after Apply, so the node occupies its slot when the
+		// priority is written through to the arena lane (unmuting reuses
+		// the retained priority). The Ensure call sequence — which is what
+		// fixes the priority stream — is unchanged.
+		ord.Ensure(c.Node)
 		// The inserted node starts with the temporary state M̄ (§4.1);
 		// only it can be violated.
 		state.Set(c.Node, Out)

@@ -11,7 +11,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"dynmis/internal/graph"
 )
@@ -35,6 +35,92 @@ func (m Membership) String() string {
 	return "M̄"
 }
 
+// State is the dense membership view of a graph arena: memberships live in
+// the graph's one-byte state lane, indexed by dense slot, so the cascade
+// inner loop reads and writes them as array elements with zero map lookups.
+// A node is "known" to the view exactly while it occupies a slot, which
+// makes presence queries free and guarantees — because the graph zeroes a
+// slot's lanes on free and on reallocation — that a recycled slot can never
+// surface a deleted node's membership.
+//
+// State is a view, not a container: copying it is free and every copy reads
+// and writes the same arena. It implements both StateStore (staging) and
+// Stater (invariant checking).
+type State struct {
+	g *graph.Graph
+}
+
+// NewState returns the membership view over g's arena.
+func NewState(g *graph.Graph) State { return State{g: g} }
+
+// Get returns v's membership (Out for unknown nodes, matching the zero
+// value of a map lookup).
+func (s State) Get(v graph.NodeID) Membership {
+	i, ok := s.g.Index(v)
+	if !ok {
+		return Out
+	}
+	return Membership(s.g.StateAt(i) != 0)
+}
+
+// Has reports whether v currently has a membership (i.e. occupies a slot).
+func (s State) Has(v graph.NodeID) bool { return s.g.HasNode(v) }
+
+// At returns the membership in slot i — the cascade's array-walk accessor.
+func (s State) At(i int) Membership { return s.g.StateAt(i) != 0 }
+
+// SetAt writes the membership in slot i.
+func (s State) SetAt(i int, m Membership) {
+	var b byte
+	if m == In {
+		b = 1
+	}
+	s.g.SetStateAt(i, b)
+}
+
+// Set records v's membership. Setting an absent node is a no-op: a
+// membership exists only while the node occupies a slot.
+func (s State) Set(v graph.NodeID, m Membership) {
+	if i, ok := s.g.Index(v); ok {
+		s.SetAt(i, m)
+	}
+}
+
+// Delete forgets v's membership. Deleting an absent node is a no-op (the
+// graph already zeroed the slot's lane when the node was removed).
+func (s State) Delete(v graph.NodeID) {
+	if i, ok := s.g.Index(v); ok {
+		s.g.SetStateAt(i, 0)
+	}
+}
+
+// InMIS reports whether v is currently in the MIS.
+func (s State) InMIS(v graph.NodeID) bool { return s.Get(v) == In }
+
+// MIS returns the sorted list of MIS members.
+func (s State) MIS() []graph.NodeID {
+	out := make([]graph.NodeID, 0, s.g.NodeCount())
+	for i := range s.g.Slots() {
+		if s.g.IDAt(i) != graph.None && s.g.StateAt(i) != 0 {
+			out = append(out, s.g.IDAt(i))
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Map materializes the view as a plain membership map (the Engine.State
+// wire format).
+func (s State) Map() map[graph.NodeID]Membership {
+	out := make(map[graph.NodeID]Membership, s.g.NodeCount())
+	for i := range s.g.Slots() {
+		if v := s.g.IDAt(i); v != graph.None {
+			out[v] = s.g.StateAt(i) != 0
+		}
+	}
+	return out
+}
+
 // MISOf extracts the sorted list of MIS members from a state map.
 func MISOf(state map[graph.NodeID]Membership) []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(state))
@@ -43,7 +129,7 @@ func MISOf(state map[graph.NodeID]Membership) []graph.NodeID {
 			out = append(out, v)
 		}
 	}
-	sortIDs(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -79,10 +165,6 @@ func DiffStates(before, after map[graph.NodeID]Membership) []graph.NodeID {
 			out = append(out, v) // left while in the MIS
 		}
 	}
-	sortIDs(out)
+	slices.Sort(out)
 	return out
-}
-
-func sortIDs(ids []graph.NodeID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

@@ -20,12 +20,40 @@ import (
 // upward in π (a node's invariant depends only on earlier neighbors), so
 // the process terminates; the set of distinct flipped nodes is S and
 // E[|S|] ≤ 1 over the random order (Theorem 1).
+//
+// Storage-wise the engine is arena-backed: memberships live in the graph's
+// dense state lane (the State view) and priorities are written through into
+// the graph's priority lane by the attached Order, so the cascade inner
+// loop — invariant evaluation, flipping, frontier expansion — is pure array
+// walks over slot indices with no hashing and no steady-state allocation.
+// Per-update cost accounting is O(touched): only the nodes a window staged
+// or flipped are examined, never the whole state (Theorem 1 makes that set
+// expected-constant per change).
 type Template struct {
 	g     *graph.Graph
 	ord   *order.Order
-	state map[graph.NodeID]Membership
+	state State
 	steps int // safety counter for the last cascade
 	feed  Feed
+
+	// Slot-indexed cascade scratch, reused across windows. seen carries a
+	// per-step epoch stamp (deduplicates candidates without a map);
+	// flipCnt/flipped record the cascade's flips sparsely so resetting is
+	// O(|S|), not O(n).
+	seen     []uint64
+	epoch    uint64
+	flipCnt  []int32
+	flipped  []int32
+	cand     []int32
+	next     []int32
+	violated []int32
+
+	// Window scratch.
+	one      [1]graph.Change
+	frontier []graph.NodeID
+	preFlips []graph.NodeID
+	touched  map[graph.NodeID]Touched
+	flips    map[graph.NodeID]int
 }
 
 // Template implements the full engine surface plus the persistence
@@ -44,10 +72,14 @@ func NewTemplate(seed uint64) *Template {
 // NewTemplateWithOrder returns an engine using a caller-supplied order,
 // allowing several engines (or an oracle) to share the same π.
 func NewTemplateWithOrder(ord *order.Order) *Template {
+	g := graph.New()
+	ord.Attach(g)
 	return &Template{
-		g:     graph.New(),
-		ord:   ord,
-		state: make(map[graph.NodeID]Membership),
+		g:       g,
+		ord:     ord,
+		state:   NewState(g),
+		touched: make(map[graph.NodeID]Touched),
+		flips:   make(map[graph.NodeID]int),
 	}
 }
 
@@ -59,22 +91,19 @@ func (t *Template) Graph() *graph.Graph { return t.g }
 func (t *Template) Order() *order.Order { return t.ord }
 
 // InMIS reports whether v is currently in the maintained MIS.
-func (t *Template) InMIS(v graph.NodeID) bool { return t.state[v] == In }
+func (t *Template) InMIS(v graph.NodeID) bool { return t.state.InMIS(v) }
 
 // MIS returns the sorted current MIS.
-func (t *Template) MIS() []graph.NodeID { return MISOf(t.state) }
+func (t *Template) MIS() []graph.NodeID { return t.state.MIS() }
 
 // State returns a copy of the full membership map.
-func (t *Template) State() map[graph.NodeID]Membership {
-	out := make(map[graph.NodeID]Membership, len(t.state))
-	for v, m := range t.state {
-		out[v] = m
-	}
-	return out
-}
+func (t *Template) State() map[graph.NodeID]Membership { return t.state.Map() }
+
+// View returns the live dense membership view (read-only for callers).
+func (t *Template) View() State { return t.state }
 
 // Check verifies the MIS invariant on the current configuration.
-func (t *Template) Check() error { return CheckInvariant(t.g, t.ord, t.state) }
+func (t *Template) Check() error { return CheckInvariantOn(t.g, t.ord, t.state) }
 
 // Subscribe registers a change-feed callback; see Feed.
 func (t *Template) Subscribe(fn func(Event)) { t.feed.Subscribe(fn) }
@@ -82,90 +111,177 @@ func (t *Template) Subscribe(fn func(Event)) { t.feed.Subscribe(fn) }
 // Apply performs one topology change and runs the recovery cascade,
 // returning the cost report. On validation error the engine is unchanged.
 func (t *Template) Apply(c graph.Change) (Report, error) {
-	// Validate before the O(n) state snapshot so rejected changes stay
-	// cheap; StageChange re-validates, which is redundant but harmless.
-	if err := c.Validate(t.g); err != nil {
-		return Report{}, err
-	}
-	before := t.State()
+	t.one[0] = c
+	return t.applyWindow(t.one[:], false)
+}
 
-	var rep Report
-	flipped := make(map[graph.NodeID]int) // node -> flip count
+// applyWindow is the shared application path of Apply (a window of one)
+// and ApplyBatch: stage every change, run a single recovery cascade over
+// the combined damage, then account adjustments and the feed delta from
+// the touched set alone.
+//
+// On a staging error the already-staged prefix's mutations remain applied,
+// and the recovery cascade runs over the prefix's damage (also publishing
+// its feed delta) before the error returns: the engine stays consistent
+// and usable. For a window of one nothing has been staged when that
+// happens, so Apply's contract — unchanged engine on validation error —
+// holds.
+func (t *Template) applyWindow(cs []graph.Change, batch bool) (Report, error) {
+	clear(t.touched)
+	t.frontier = t.frontier[:0]
+	t.preFlips = t.preFlips[:0]
 
-	staged, err := StageChange(t.g, t.ord, MapState(t.state), c)
-	if err != nil {
-		return Report{}, err
-	}
-	if staged.PreFlipped != graph.None {
-		flipped[staged.PreFlipped] = 1
+	var stageErr error
+	for i, c := range cs {
+		// Capture the pre-window configuration of the node a node-change
+		// touches before staging mutates it (first touch wins). Edge
+		// changes mutate no membership during staging; their endpoints are
+		// captured by the cascade's flip records if they flip.
+		if !c.Kind.IsEdge() {
+			if _, seen := t.touched[c.Node]; !seen {
+				t.touched[c.Node] = Touched{Present: t.g.HasNode(c.Node), M: t.state.Get(c.Node)}
+			}
+		}
+		staged, err := StageChange(t.g, t.ord, t.state, c)
+		if err != nil {
+			if batch {
+				err = fmt.Errorf("batch change %d: %w", i, err)
+			}
+			stageErr = err
+			break
+		}
+		if staged.PreFlipped != graph.None {
+			t.preFlips = append(t.preFlips, staged.PreFlipped)
+		}
+		t.frontier = append(t.frontier, staged.Frontier...)
 	}
 
-	steps, err := t.cascade(staged.Frontier, flipped)
-	if err != nil {
-		return Report{}, err
+	steps, cerr := t.cascade(t.frontier)
+	if cerr != nil {
+		if stageErr != nil {
+			return Report{}, fmt.Errorf("%w (and prefix recovery failed: %v)", stageErr, cerr)
+		}
+		return Report{}, cerr
 	}
 	t.steps = steps
 
+	// Fold the cascade's flip records into the cost account and the
+	// touched set. A cascade flip only ever toggles, so a node's
+	// pre-cascade membership is its current one complemented iff its flip
+	// count is odd.
+	clear(t.flips)
+	for _, v := range t.preFlips {
+		t.flips[v] = 1
+	}
+	for _, s := range t.flipped {
+		v := t.g.IDAt(int(s))
+		t.flips[v] += int(t.flipCnt[s])
+		if _, seen := t.touched[v]; !seen {
+			m := t.state.At(int(s))
+			if t.flipCnt[s]%2 == 1 {
+				m = !m
+			}
+			t.touched[v] = Touched{Present: true, M: m}
+		}
+	}
+
+	adj, evs := DeltaFromTouched(t.g, t.state, t.touched, t.feed.Active())
+	t.feed.PublishSorted(evs)
+	if stageErr != nil {
+		return Report{}, stageErr
+	}
+
+	var rep Report
 	rep.Rounds = steps
-	rep.SSize = len(flipped)
-	for _, n := range flipped {
+	rep.SSize = len(t.flips)
+	for _, n := range t.flips {
 		rep.Flips += n
 	}
-	rep.Adjustments = len(DiffStates(before, t.state))
-	t.feed.EmitDiff(before, t.state)
+	rep.Adjustments = adj
 	return rep, nil
 }
 
 // cascade runs the synchronous flip fixpoint starting from the given
-// candidate set, recording flips. It returns the number of synchronous
-// steps in which at least one node flipped.
-func (t *Template) cascade(candidates []graph.NodeID, flipped map[graph.NodeID]int) (int, error) {
+// candidate set, recording flips in the slot-indexed scratch. It returns
+// the number of synchronous steps in which at least one node flipped.
+func (t *Template) cascade(frontier []graph.NodeID) (int, error) {
+	// Reset the previous window's flip records sparsely, then make sure
+	// the slot-indexed scratch covers the arena.
+	for _, s := range t.flipped {
+		t.flipCnt[s] = 0
+	}
+	t.flipped = t.flipped[:0]
+	if n := t.g.Slots(); len(t.seen) < n {
+		t.seen = append(t.seen, make([]uint64, n-len(t.seen))...)
+		t.flipCnt = append(t.flipCnt, make([]int32, n-len(t.flipCnt))...)
+	}
+
+	cand, next, violated := t.cand[:0], t.next[:0], t.violated[:0]
+	defer func() { t.cand, t.next, t.violated = cand[:0], next[:0], violated[:0] }()
+	for _, v := range frontier {
+		// Frontier entries staged away later in the same window no longer
+		// resolve; their former neighbors were seeded separately.
+		if i, ok := t.g.Index(v); ok {
+			cand = append(cand, int32(i))
+		}
+	}
+
 	steps := 0
 	limit := 2*t.g.NodeCount() + 10
-	for len(candidates) > 0 {
-		var violated []graph.NodeID
-		seen := make(map[graph.NodeID]struct{}, len(candidates))
-		for _, u := range candidates {
-			if _, dup := seen[u]; dup {
+	for len(cand) > 0 {
+		t.epoch++
+		violated = violated[:0]
+		for _, s := range cand {
+			if t.seen[s] == t.epoch {
 				continue
 			}
-			seen[u] = struct{}{}
-			if !t.g.HasNode(u) {
-				continue
-			}
-			if t.state[u] != ShouldBeIn(t.g, t.ord, t.state, u) {
-				violated = append(violated, u)
+			t.seen[s] = t.epoch
+			if t.state.At(int(s)) != t.shouldBeInAt(int(s)) {
+				violated = append(violated, s)
 			}
 		}
 		if len(violated) == 0 {
-			return steps, nil
+			break
 		}
 		steps++
 		if steps > limit {
 			return steps, fmt.Errorf("core: cascade did not converge after %d steps", steps)
 		}
-		// Flip simultaneously: compute targets first, then commit.
-		targets := make([]Membership, len(violated))
-		for i, u := range violated {
-			targets[i] = ShouldBeIn(t.g, t.ord, t.state, u)
-		}
-		for i, u := range violated {
-			t.state[u] = targets[i]
-			flipped[u]++
+		// Flip simultaneously. A violated node's target is always the
+		// complement of its current state (membership is binary), so the
+		// simultaneous commit is a plain toggle.
+		for _, s := range violated {
+			t.state.SetAt(int(s), !t.state.At(int(s)))
+			if t.flipCnt[s] == 0 {
+				t.flipped = append(t.flipped, s)
+			}
+			t.flipCnt[s]++
 		}
 		// New violations can only appear at nodes ordered after a node
 		// that just flipped (the invariant looks only at earlier
 		// neighbors).
-		candidates = candidates[:0]
-		for _, u := range violated {
-			t.g.EachNeighbor(u, func(w graph.NodeID) {
-				if t.ord.Less(u, w) {
-					candidates = append(candidates, w)
+		next = next[:0]
+		for _, s := range violated {
+			for _, nb := range t.g.NeighborSlots(int(s)) {
+				if t.g.LessAt(int(s), int(nb)) {
+					next = append(next, nb)
 				}
-			})
+			}
 		}
+		cand, next = next, cand
 	}
 	return steps, nil
+}
+
+// shouldBeInAt is ShouldBeIn in slot space: an array walk over the
+// neighbor slots, the state lane and the priority lane.
+func (t *Template) shouldBeInAt(i int) Membership {
+	for _, nb := range t.g.NeighborSlots(i) {
+		if t.state.At(int(nb)) == In && t.g.LessAt(int(nb), i) {
+			return Out
+		}
+	}
+	return In
 }
 
 // LastCascadeSteps returns the step count of the most recent Apply; it is

@@ -3,7 +3,7 @@ package expt
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
@@ -93,7 +93,7 @@ func runE17(cfg Config) (*Result, error) {
 	for k := range keys {
 		sorted = append(sorted, k)
 	}
-	sort.Strings(sorted)
+	slices.Sort(sorted)
 	tv := 0.0
 	for _, k := range sorted {
 		pa := float64(countA[k]) / float64(runs)

@@ -7,9 +7,10 @@
 package expt
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"dynmis/internal/stats"
 )
@@ -77,13 +78,12 @@ func All() []Experiment {
 	for _, e := range registry {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
+	slices.SortFunc(out, func(a, b Experiment) int {
 		// Numeric-aware: E2 before E10.
-		a, b := out[i].ID, out[j].ID
-		if len(a) != len(b) {
-			return len(a) < len(b)
+		if c := cmp.Compare(len(a.ID), len(b.ID)); c != 0 {
+			return c
 		}
-		return a < b
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

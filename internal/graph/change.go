@@ -127,6 +127,9 @@ func (c Change) Validate(g *Graph) error {
 			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrNoEdge)
 		}
 	case NodeInsert, NodeUnmute:
+		if c.Node == None {
+			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrReservedID)
+		}
 		if g.HasNode(c.Node) {
 			return fmt.Errorf("%w: %s: %w", ErrInvalidChange, c, ErrNodeExists)
 		}

@@ -3,20 +3,36 @@
 // 2016): an evolving node/edge set subject to typed topology changes
 // (insertions and deletions of edges and nodes, graceful or abrupt, plus
 // muting/unmuting of nodes).
+//
+// # Storage
+//
+// The graph is arena-backed: every node occupies a dense slot in a set of
+// parallel arrays, and a single NodeID → slot table (plus a free-list that
+// recycles the slots of deleted nodes) is the only hash map in the
+// structure. Adjacency is stored as slot indices — inline in the slot for
+// small degrees, spilling into a sorted slice beyond that — so walking a
+// neighborhood is an array scan with zero map lookups. Two auxiliary
+// per-slot lanes ride in the same arena for the layers above: a 64-bit
+// priority lane maintained by internal/order (see Order.Attach) and a
+// one-byte state lane in which internal/core keeps MIS memberships. Both
+// lanes are zeroed whenever a slot is allocated or freed, so recycled
+// slots can never leak a previous node's priority or membership.
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"iter"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a node. IDs are chosen by the caller and are stable for
-// the lifetime of the node.
+// the lifetime of the node. None (-1) is reserved and rejected by AddNode.
 type NodeID int64
 
-// None is the zero-like sentinel for "no node".
+// None is the zero-like sentinel for "no node"; it also marks free slots
+// in the arena, which is why it can never name a real node.
 const None NodeID = -1
 
 // Errors returned by graph mutations. They are sentinel values so callers
@@ -27,56 +43,264 @@ var (
 	ErrEdgeExists = errors.New("graph: edge already exists")
 	ErrNoEdge     = errors.New("graph: edge does not exist")
 	ErrSelfLoop   = errors.New("graph: self loops are not allowed")
+	// ErrReservedID rejects NodeID None (-1): the arena marks free slots
+	// with it, so it cannot name a real node.
+	ErrReservedID = errors.New("graph: NodeID None (-1) is reserved")
 )
+
+// inlineDegree is the number of neighbor slots stored inline in the node
+// slot itself; only nodes of larger degree allocate a spill slice.
+const inlineDegree = 4
+
+// adjacency is one slot's neighbor list, as slot indices in ascending
+// order. While spill is nil the neighbors live in inline[:deg]; once the
+// degree first exceeds inlineDegree they move into the spill slice (kept
+// with len == deg) and stay there — including across slot recycling, so a
+// hot slot's capacity is reused instead of reallocated.
+type adjacency struct {
+	deg    int32
+	inline [inlineDegree]int32
+	spill  []int32
+}
+
+// slots returns the neighbor slots in ascending slot order. The returned
+// slice aliases the arena and is valid only until the next mutation.
+func (a *adjacency) slots() []int32 {
+	if a.spill != nil {
+		return a.spill
+	}
+	return a.inline[:a.deg]
+}
+
+// contains reports whether j is a neighbor slot.
+func (a *adjacency) contains(j int32) bool {
+	if a.spill != nil {
+		_, ok := slices.BinarySearch(a.spill, j)
+		return ok
+	}
+	for _, s := range a.inline[:a.deg] {
+		if s == j {
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds neighbor slot j, keeping ascending order. j must not be
+// present.
+func (a *adjacency) insert(j int32) {
+	if a.spill == nil {
+		if int(a.deg) < inlineDegree {
+			k := a.deg
+			for k > 0 && a.inline[k-1] > j {
+				a.inline[k] = a.inline[k-1]
+				k--
+			}
+			a.inline[k] = j
+			a.deg++
+			return
+		}
+		a.spill = make([]int32, a.deg, 2*inlineDegree)
+		copy(a.spill, a.inline[:a.deg])
+	}
+	k, _ := slices.BinarySearch(a.spill, j)
+	a.spill = slices.Insert(a.spill, k, j)
+	a.deg++
+}
+
+// remove deletes neighbor slot j. j must be present.
+func (a *adjacency) remove(j int32) {
+	if a.spill != nil {
+		k, _ := slices.BinarySearch(a.spill, j)
+		a.spill = slices.Delete(a.spill, k, k+1)
+		a.deg--
+		return
+	}
+	for k := int32(0); k < a.deg; k++ {
+		if a.inline[k] == j {
+			copy(a.inline[k:a.deg-1], a.inline[k+1:a.deg])
+			a.deg--
+			return
+		}
+	}
+}
+
+// reset empties the list for slot recycling, retaining spill capacity.
+func (a *adjacency) reset() {
+	a.deg = 0
+	if a.spill != nil {
+		a.spill = a.spill[:0]
+	}
+}
 
 // Graph is a mutable undirected simple graph. The zero value is not ready to
 // use; call New.
 type Graph struct {
-	adj   map[NodeID]map[NodeID]struct{}
-	edges int
+	idx    map[NodeID]int32 // NodeID → dense slot
+	idxCap int              // size hint the idx map was last built with
+	ids    []NodeID         // slot → NodeID; None when the slot is free
+	adj    []adjacency      // slot → neighbor slots
+	prio   []uint64         // slot → priority lane (see Order.Attach)
+	state  []byte           // slot → membership lane (owned by internal/core)
+	free   []int32          // recycled slots, popped LIFO
+	n      int              // live node count
+	edges  int
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[NodeID]map[NodeID]struct{})}
+	return &Graph{idx: make(map[NodeID]int32)}
+}
+
+// Grow arranges capacity for at least n additional nodes, so that a warm-up
+// phase inserting a known number of nodes neither reallocates the arena nor
+// incrementally rehashes the index table.
+func (g *Graph) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	// Fresh insertions drain the free-list first; only the remainder
+	// needs new arena capacity.
+	if extra := n - len(g.free); extra > 0 {
+		g.ids = slices.Grow(g.ids, extra)
+		g.adj = slices.Grow(g.adj, extra)
+		g.prio = slices.Grow(g.prio, extra)
+		g.state = slices.Grow(g.state, extra)
+	}
+	// Rebuild the index map only when the request exceeds every size it
+	// has already reached — a Grow that is already satisfied must not
+	// rehash (it is documented as safe to repeat).
+	if need := g.n + n; need > max(g.idxCap, len(g.idx)) {
+		idx := make(map[NodeID]int32, need)
+		for v, i := range g.idx {
+			idx[v] = i
+		}
+		g.idx = idx
+		g.idxCap = need
+	}
+}
+
+// Index returns v's dense slot index. Slots are stable for the lifetime of
+// the node (until it is deleted) and recycled afterwards; they are the key
+// into the arena accessors (IDAt, NeighborSlots, PrioAt, StateAt, LessAt).
+func (g *Graph) Index(v NodeID) (int, bool) {
+	i, ok := g.idx[v]
+	return int(i), ok
+}
+
+// Slots returns the arena size: slot indices range over [0, Slots()).
+// Some slots may be free (IDAt returns None for those).
+func (g *Graph) Slots() int { return len(g.ids) }
+
+// IDAt returns the NodeID occupying slot i, or None if the slot is free.
+func (g *Graph) IDAt(i int) NodeID { return g.ids[i] }
+
+// NeighborSlots returns the neighbor slots of the node in slot i, in
+// ascending slot order. The slice aliases the arena: it is read-only and
+// valid only until the next mutation.
+func (g *Graph) NeighborSlots(i int) []int32 { return g.adj[i].slots() }
+
+// DegreeAt returns the degree of the node in slot i.
+func (g *Graph) DegreeAt(i int) int { return int(g.adj[i].deg) }
+
+// PrioAt returns slot i's entry of the priority lane. The lane is written
+// by an attached internal/order.Order (the source of truth for priorities);
+// it exists so that the cascade inner loop can compare π positions with
+// two array reads instead of two map lookups.
+func (g *Graph) PrioAt(i int) uint64 { return g.prio[i] }
+
+// SetPrioAt writes slot i's entry of the priority lane.
+func (g *Graph) SetPrioAt(i int, p uint64) { g.prio[i] = p }
+
+// StateAt returns slot i's entry of the membership lane, a single byte
+// owned by the engine layered above (internal/core stores the MIS
+// membership here; 0 is "out"). Freed and newly allocated slots read 0.
+func (g *Graph) StateAt(i int) byte { return g.state[i] }
+
+// SetStateAt writes slot i's entry of the membership lane.
+func (g *Graph) SetStateAt(i int, b byte) { g.state[i] = b }
+
+// LessAt reports whether the node in slot i precedes the node in slot j in
+// the random order π recorded in the priority lane (ties broken by NodeID,
+// matching order.Less). Both slots must be occupied.
+func (g *Graph) LessAt(i, j int) bool {
+	if g.prio[i] != g.prio[j] {
+		return g.prio[i] < g.prio[j]
+	}
+	return g.ids[i] < g.ids[j]
 }
 
 // HasNode reports whether v is present.
 func (g *Graph) HasNode(v NodeID) bool {
-	_, ok := g.adj[v]
+	_, ok := g.idx[v]
 	return ok
 }
 
 // HasEdge reports whether the undirected edge {u,v} is present.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	nb, ok := g.adj[u]
+	i, ok := g.idx[u]
 	if !ok {
 		return false
 	}
-	_, ok = nb[v]
-	return ok
+	j, ok := g.idx[v]
+	if !ok {
+		return false
+	}
+	return g.adj[i].contains(j)
+}
+
+// alloc claims a slot for v: a recycled one if available, else a fresh one.
+// Lanes and adjacency of the returned slot are zeroed.
+func (g *Graph) alloc(v NodeID) int32 {
+	var i int32
+	if k := len(g.free); k > 0 {
+		i = g.free[k-1]
+		g.free = g.free[:k-1]
+	} else {
+		i = int32(len(g.ids))
+		g.ids = append(g.ids, None)
+		g.adj = append(g.adj, adjacency{})
+		g.prio = append(g.prio, 0)
+		g.state = append(g.state, 0)
+	}
+	g.ids[i] = v
+	g.adj[i].reset()
+	g.prio[i] = 0
+	g.state[i] = 0
+	g.idx[v] = i
+	g.n++
+	return i
 }
 
 // AddNode inserts an isolated node.
 func (g *Graph) AddNode(v NodeID) error {
+	if v == None {
+		return fmt.Errorf("add node %d: %w", v, ErrReservedID)
+	}
 	if g.HasNode(v) {
 		return fmt.Errorf("add node %d: %w", v, ErrNodeExists)
 	}
-	g.adj[v] = make(map[NodeID]struct{})
+	g.alloc(v)
 	return nil
 }
 
 // RemoveNode deletes v and all incident edges.
 func (g *Graph) RemoveNode(v NodeID) error {
-	nb, ok := g.adj[v]
+	i, ok := g.idx[v]
 	if !ok {
 		return fmt.Errorf("remove node %d: %w", v, ErrNoNode)
 	}
-	for u := range nb {
-		delete(g.adj[u], v)
+	for _, j := range g.adj[i].slots() {
+		g.adj[j].remove(i)
 		g.edges--
 	}
-	delete(g.adj, v)
+	g.adj[i].reset()
+	g.prio[i] = 0
+	g.state[i] = 0
+	g.ids[i] = None
+	delete(g.idx, v)
+	g.free = append(g.free, i)
+	g.n--
 	return nil
 }
 
@@ -85,28 +309,32 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	if u == v {
 		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrSelfLoop)
 	}
-	if !g.HasNode(u) {
+	i, ok := g.idx[u]
+	if !ok {
 		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, u, ErrNoNode)
 	}
-	if !g.HasNode(v) {
+	j, ok := g.idx[v]
+	if !ok {
 		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, v, ErrNoNode)
 	}
-	if g.HasEdge(u, v) {
+	if g.adj[i].contains(j) {
 		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrEdgeExists)
 	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	g.adj[i].insert(j)
+	g.adj[j].insert(i)
 	g.edges++
 	return nil
 }
 
 // RemoveEdge deletes the undirected edge {u,v}.
 func (g *Graph) RemoveEdge(u, v NodeID) error {
-	if !g.HasEdge(u, v) {
+	i, iok := g.idx[u]
+	j, jok := g.idx[v]
+	if !iok || !jok || !g.adj[i].contains(j) {
 		return fmt.Errorf("remove edge {%d,%d}: %w", u, v, ErrNoEdge)
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	g.adj[i].remove(j)
+	g.adj[j].remove(i)
 	g.edges--
 	return nil
 }
@@ -114,45 +342,54 @@ func (g *Graph) RemoveEdge(u, v NodeID) error {
 // Neighbors returns the neighbors of v in ascending ID order. The returned
 // slice is a copy owned by the caller. Neighbors of an absent node are nil.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
-	nb, ok := g.adj[v]
+	i, ok := g.idx[v]
 	if !ok {
 		return nil
 	}
-	out := make([]NodeID, 0, len(nb))
-	for u := range nb {
-		out = append(out, u)
+	nb := g.adj[i].slots()
+	out := make([]NodeID, len(nb))
+	for k, j := range nb {
+		out[k] = g.ids[j]
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // EachNeighbor calls fn for every neighbor of v in unspecified order. It
 // avoids the sort and allocation of Neighbors for hot paths.
 func (g *Graph) EachNeighbor(v NodeID, fn func(u NodeID)) {
-	for u := range g.adj[v] {
-		fn(u)
+	i, ok := g.idx[v]
+	if !ok {
+		return
+	}
+	for _, j := range g.adj[i].slots() {
+		fn(g.ids[j])
 	}
 }
 
 // Degree returns the degree of v, or 0 if absent.
 func (g *Graph) Degree(v NodeID) int {
-	return len(g.adj[v])
+	i, ok := g.idx[v]
+	if !ok {
+		return 0
+	}
+	return int(g.adj[i].deg)
 }
 
 // MaxDegree returns the maximum degree over all nodes (0 for the empty
 // graph).
 func (g *Graph) MaxDegree() int {
-	max := 0
-	for _, nb := range g.adj {
-		if len(nb) > max {
-			max = len(nb)
+	maxDeg := 0
+	for i := range g.ids {
+		if g.ids[i] != None {
+			maxDeg = max(maxDeg, int(g.adj[i].deg))
 		}
 	}
-	return max
+	return maxDeg
 }
 
 // NodeCount returns the number of nodes.
-func (g *Graph) NodeCount() int { return len(g.adj) }
+func (g *Graph) NodeCount() int { return g.n }
 
 // EdgeCount returns the number of undirected edges.
 func (g *Graph) EdgeCount() int { return g.edges }
@@ -162,7 +399,10 @@ func (g *Graph) EdgeCount() int { return g.edges }
 // graph must not be mutated during iteration.
 func (g *Graph) NodeSeq() iter.Seq[NodeID] {
 	return func(yield func(NodeID) bool) {
-		for v := range g.adj {
+		for _, v := range g.ids {
+			if v == None {
+				continue
+			}
 			if !yield(v) {
 				return
 			}
@@ -172,58 +412,82 @@ func (g *Graph) NodeSeq() iter.Seq[NodeID] {
 
 // Nodes returns all node IDs in ascending order. The slice is a copy.
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(g.adj))
-	for v := range g.adj {
-		out = append(out, v)
+	out := make([]NodeID, 0, g.n)
+	for _, v := range g.ids {
+		if v != None {
+			out = append(out, v)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // Edges returns all edges as ordered pairs (u < v), sorted lexicographically.
 func (g *Graph) Edges() [][2]NodeID {
 	out := make([][2]NodeID, 0, g.edges)
-	for u, nb := range g.adj {
-		for v := range nb {
-			if u < v {
-				out = append(out, [2]NodeID{u, v})
+	for i := range g.ids {
+		if g.ids[i] == None {
+			continue
+		}
+		for _, j := range g.adj[i].slots() {
+			if g.ids[i] < g.ids[j] {
+				out = append(out, [2]NodeID{g.ids[i], g.ids[j]})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]NodeID) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return out[i][1] < out[j][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, preallocated to exactly g's size: slot
+// assignment, lanes and free-list carry over, so a clone is immediately
+// usable by the same attached order without rebuilding.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make(map[NodeID]map[NodeID]struct{}, len(g.adj)), edges: g.edges}
-	for v, nb := range g.adj {
-		cnb := make(map[NodeID]struct{}, len(nb))
-		for u := range nb {
-			cnb[u] = struct{}{}
+	c := &Graph{
+		idx:   make(map[NodeID]int32, len(g.idx)),
+		ids:   slices.Clone(g.ids),
+		adj:   make([]adjacency, len(g.adj)),
+		prio:  slices.Clone(g.prio),
+		state: slices.Clone(g.state),
+		free:  slices.Clone(g.free),
+		n:     g.n,
+		edges: g.edges,
+	}
+	for v, i := range g.idx {
+		c.idx[v] = i
+	}
+	for i := range g.adj {
+		c.adj[i] = adjacency{deg: g.adj[i].deg, inline: g.adj[i].inline}
+		if g.adj[i].spill != nil {
+			c.adj[i].spill = slices.Clone(g.adj[i].spill)
 		}
-		c.adj[v] = cnb
 	}
 	return c
 }
 
-// Equal reports whether g and h have identical node and edge sets.
+// Equal reports whether g and h have identical node and edge sets (slot
+// assignment and lanes are representation details and do not participate).
 func (g *Graph) Equal(h *Graph) bool {
-	if len(g.adj) != len(h.adj) || g.edges != h.edges {
+	if g.n != h.n || g.edges != h.edges {
 		return false
 	}
-	for v, nb := range g.adj {
-		hnb, ok := h.adj[v]
-		if !ok || len(nb) != len(hnb) {
+	for i := range g.ids {
+		v := g.ids[i]
+		if v == None {
+			continue
+		}
+		j, ok := h.idx[v]
+		if !ok || g.adj[i].deg != h.adj[j].deg {
 			return false
 		}
-		for u := range nb {
-			if _, ok := hnb[u]; !ok {
+		for _, k := range g.adj[i].slots() {
+			hj, ok := h.idx[g.ids[k]]
+			if !ok || !h.adj[j].contains(hj) {
 				return false
 			}
 		}
@@ -233,5 +497,5 @@ func (g *Graph) Equal(h *Graph) bool {
 
 // String renders a compact description, e.g. "Graph(n=3, m=2)".
 func (g *Graph) String() string {
-	return fmt.Sprintf("Graph(n=%d, m=%d)", len(g.adj), g.edges)
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.edges)
 }

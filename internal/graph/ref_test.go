@@ -1,0 +1,426 @@
+package graph
+
+// Differential suite for the dense arena storage: a map-of-maps reference
+// model (the pre-arena implementation of this package) is driven through
+// the same randomized mutation streams as the dense Graph, and the full
+// observable surface — node/edge sets, degrees, neighborhoods, counts,
+// error classes — must agree at every step. The property test covers many
+// seeded streams; the fuzz target lets `go test -fuzz` explore op
+// sequences adversarially (its corpus seeds run in normal `go test` too).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// refGraph is the reference model: the map-centric storage the dense arena
+// replaced.
+type refGraph struct {
+	adj   map[NodeID]map[NodeID]struct{}
+	edges int
+}
+
+func newRef() *refGraph {
+	return &refGraph{adj: make(map[NodeID]map[NodeID]struct{})}
+}
+
+func (g *refGraph) hasNode(v NodeID) bool { _, ok := g.adj[v]; return ok }
+
+func (g *refGraph) hasEdge(u, v NodeID) bool {
+	nb, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	_, ok = nb[v]
+	return ok
+}
+
+func (g *refGraph) addNode(v NodeID) error {
+	if v == None {
+		return ErrReservedID
+	}
+	if g.hasNode(v) {
+		return ErrNodeExists
+	}
+	g.adj[v] = make(map[NodeID]struct{})
+	return nil
+}
+
+func (g *refGraph) removeNode(v NodeID) error {
+	nb, ok := g.adj[v]
+	if !ok {
+		return ErrNoNode
+	}
+	for u := range nb {
+		delete(g.adj[u], v)
+		g.edges--
+	}
+	delete(g.adj, v)
+	return nil
+}
+
+func (g *refGraph) addEdge(u, v NodeID) error {
+	if u == v {
+		return ErrSelfLoop
+	}
+	if !g.hasNode(u) || !g.hasNode(v) {
+		return ErrNoNode
+	}
+	if g.hasEdge(u, v) {
+		return ErrEdgeExists
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return nil
+}
+
+func (g *refGraph) removeEdge(u, v NodeID) error {
+	if !g.hasEdge(u, v) {
+		return ErrNoEdge
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+	return nil
+}
+
+func (g *refGraph) nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (g *refGraph) neighbors(v NodeID) []NodeID {
+	nb, ok := g.adj[v]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, len(nb))
+	for u := range nb {
+		out = append(out, u)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (g *refGraph) maxDegree() int {
+	m := 0
+	for _, nb := range g.adj {
+		m = max(m, len(nb))
+	}
+	return m
+}
+
+// op is one mutation of the differential stream.
+type op struct {
+	kind byte // 0 addNode, 1 removeNode, 2 addEdge, 3 removeEdge
+	u, v NodeID
+}
+
+// applyBoth applies o to both implementations and fails the test unless
+// the outcomes (success, or error class) match.
+func applyBoth(t *testing.T, g *Graph, ref *refGraph, o op) {
+	t.Helper()
+	var gotErr, refErr error
+	switch o.kind % 4 {
+	case 0:
+		gotErr, refErr = g.AddNode(o.u), ref.addNode(o.u)
+	case 1:
+		gotErr, refErr = g.RemoveNode(o.u), ref.removeNode(o.u)
+	case 2:
+		gotErr, refErr = g.AddEdge(o.u, o.v), ref.addEdge(o.u, o.v)
+	case 3:
+		gotErr, refErr = g.RemoveEdge(o.u, o.v), ref.removeEdge(o.u, o.v)
+	}
+	if (gotErr == nil) != (refErr == nil) {
+		t.Fatalf("op %+v: dense err %v, reference err %v", o, gotErr, refErr)
+	}
+	if refErr != nil && !errors.Is(gotErr, refErr) {
+		t.Fatalf("op %+v: dense err %v, want class %v", o, gotErr, refErr)
+	}
+}
+
+// compareAll checks the whole observable surface of g against ref.
+func compareAll(t *testing.T, g *Graph, ref *refGraph) {
+	t.Helper()
+	if g.NodeCount() != len(ref.adj) {
+		t.Fatalf("node count: dense %d, reference %d", g.NodeCount(), len(ref.adj))
+	}
+	if g.EdgeCount() != ref.edges {
+		t.Fatalf("edge count: dense %d, reference %d", g.EdgeCount(), ref.edges)
+	}
+	if g.MaxDegree() != ref.maxDegree() {
+		t.Fatalf("max degree: dense %d, reference %d", g.MaxDegree(), ref.maxDegree())
+	}
+	nodes := g.Nodes()
+	if want := ref.nodes(); !slices.Equal(nodes, want) {
+		t.Fatalf("nodes: dense %v, reference %v", nodes, want)
+	}
+	seq := slices.Collect(g.NodeSeq())
+	slices.Sort(seq)
+	if !slices.Equal(seq, nodes) {
+		t.Fatalf("NodeSeq disagrees with Nodes: %v vs %v", seq, nodes)
+	}
+	edgeTotal := 0
+	for _, v := range nodes {
+		nb := g.Neighbors(v)
+		if want := ref.neighbors(v); !slices.Equal(nb, want) {
+			t.Fatalf("neighbors(%d): dense %v, reference %v", v, nb, want)
+		}
+		if g.Degree(v) != len(nb) {
+			t.Fatalf("degree(%d): %d, want %d", v, g.Degree(v), len(nb))
+		}
+		var viaEach []NodeID
+		g.EachNeighbor(v, func(u NodeID) { viaEach = append(viaEach, u) })
+		slices.Sort(viaEach)
+		if !slices.Equal(viaEach, nb) {
+			t.Fatalf("EachNeighbor(%d) disagrees with Neighbors: %v vs %v", v, viaEach, nb)
+		}
+		for _, u := range nb {
+			if !g.HasEdge(v, u) || !g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) false for listed neighbor", v, u)
+			}
+		}
+		edgeTotal += len(nb)
+	}
+	if edgeTotal != 2*ref.edges {
+		t.Fatalf("degree sum %d, want %d", edgeTotal, 2*ref.edges)
+	}
+	edges := g.Edges()
+	if len(edges) != ref.edges {
+		t.Fatalf("Edges() length %d, want %d", len(edges), ref.edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] || !ref.hasEdge(e[0], e[1]) {
+			t.Fatalf("Edges() lists %v, not a reference edge", e)
+		}
+	}
+	// Arena invariants: every live node resolves to a slot that maps back
+	// to it, and slot-space adjacency agrees with the ID-space view.
+	for _, v := range nodes {
+		i, ok := g.Index(v)
+		if !ok || g.IDAt(i) != v {
+			t.Fatalf("Index/IDAt roundtrip broken for %d", v)
+		}
+		if g.DegreeAt(i) != g.Degree(v) {
+			t.Fatalf("DegreeAt(%d) %d, want %d", i, g.DegreeAt(i), g.Degree(v))
+		}
+		var viaSlots []NodeID
+		for _, j := range g.NeighborSlots(i) {
+			viaSlots = append(viaSlots, g.IDAt(int(j)))
+		}
+		slices.Sort(viaSlots)
+		if !slices.Equal(viaSlots, g.Neighbors(v)) {
+			t.Fatalf("NeighborSlots(%d) disagrees with Neighbors(%d)", i, v)
+		}
+	}
+}
+
+// randOp draws a mutation biased toward valid targets so streams build
+// real graphs instead of erroring constantly. The ID range starts at the
+// reserved None (-1) so every stream also probes the sentinel rejection.
+func randOp(rng *rand.Rand, idSpace int64) op {
+	return op{
+		kind: byte(rng.IntN(4)),
+		u:    NodeID(rng.Int64N(idSpace+1) - 1),
+		v:    NodeID(rng.Int64N(idSpace+1) - 1),
+	}
+}
+
+// TestDenseVsReferenceModel drives dense and reference storage through
+// randomized change streams over a small ID space (maximizing collisions,
+// deletions and slot recycling) and requires full observable equality.
+func TestDenseVsReferenceModel(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+		g, ref := New(), newRef()
+		idSpace := int64(8 + 8*seed) // small spaces recycle slots hard
+		for i := 0; i < 3000; i++ {
+			applyBoth(t, g, ref, randOp(rng, idSpace))
+			if i%251 == 0 {
+				compareAll(t, g, ref)
+			}
+		}
+		compareAll(t, g, ref)
+
+		// Clone must observably equal the original and be independent.
+		c := g.Clone()
+		if !c.Equal(g) || !g.Equal(c) {
+			t.Fatalf("seed %d: clone not Equal to original", seed)
+		}
+		compareAll(t, c, ref)
+		// Keep mutating the clone (with ref tracking it); the original
+		// must not move.
+		wantNodes, wantEdges := g.Nodes(), g.Edges()
+		for i := 0; i < 200; i++ {
+			applyBoth(t, c, ref, randOp(rng, idSpace))
+		}
+		compareAll(t, c, ref)
+		if !slices.Equal(g.Nodes(), wantNodes) || !slices.Equal(g.Edges(), wantEdges) {
+			t.Fatalf("seed %d: mutating a clone changed the original", seed)
+		}
+	}
+}
+
+// TestGrowPreservesContent: growing mid-stream never changes observable
+// state, and subsequent inserts use the reserved capacity.
+func TestGrowPreservesContent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	g, ref := New(), newRef()
+	for i := 0; i < 500; i++ {
+		applyBoth(t, g, ref, randOp(rng, 32))
+		if i%100 == 0 {
+			g.Grow(64)
+			compareAll(t, g, ref)
+		}
+	}
+	compareAll(t, g, ref)
+}
+
+// TestSlotRecycling pins the arena's free-list behavior: a deleted node's
+// slot is reused, and both lanes (priority, state) plus the adjacency of
+// the recycled slot read as zero for the new tenant.
+func TestSlotRecycling(t *testing.T) {
+	g := New()
+	for v := NodeID(0); v < 4; v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := g.Index(1)
+	g.SetPrioAt(i1, 42)
+	g.SetStateAt(i1, 1)
+
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Slots() != 4 {
+		t.Fatalf("arena grew on delete: %d slots", g.Slots())
+	}
+	if err := g.AddNode(99); err != nil {
+		t.Fatal(err)
+	}
+	i99, ok := g.Index(99)
+	if !ok || i99 != i1 {
+		t.Fatalf("slot not recycled: node 99 in slot %d, want %d", i99, i1)
+	}
+	if g.Slots() != 4 {
+		t.Fatalf("arena grew despite free slot: %d slots", g.Slots())
+	}
+	if g.PrioAt(i99) != 0 || g.StateAt(i99) != 0 {
+		t.Fatalf("recycled slot leaks lanes: prio %d, state %d", g.PrioAt(i99), g.StateAt(i99))
+	}
+	if g.DegreeAt(i99) != 0 || len(g.NeighborSlots(i99)) != 0 {
+		t.Fatalf("recycled slot leaks adjacency: degree %d", g.DegreeAt(i99))
+	}
+	if g.HasEdge(99, 2) || g.HasEdge(2, 99) {
+		t.Fatal("recycled slot inherited an edge")
+	}
+}
+
+// TestAdjacencySpill exercises the inline→sorted-spill transition in both
+// directions against the reference model.
+func TestAdjacencySpill(t *testing.T) {
+	g, ref := New(), newRef()
+	const hub, n = NodeID(1000), 3 * inlineDegree
+	applyBoth(t, g, ref, op{kind: 0, u: hub})
+	for v := NodeID(0); v < n; v++ {
+		applyBoth(t, g, ref, op{kind: 0, u: v})
+		applyBoth(t, g, ref, op{kind: 2, u: hub, v: v})
+		compareAll(t, g, ref)
+	}
+	for v := NodeID(0); v < n; v++ {
+		applyBoth(t, g, ref, op{kind: 3, u: hub, v: v})
+		compareAll(t, g, ref)
+	}
+}
+
+// FuzzDenseVsReference lets the fuzzer synthesize op streams; every 5-byte
+// group decodes to one mutation over a 16-ID space.
+func FuzzDenseVsReference(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 8, 1, 2, 12, 4, 3})
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 1, 1, 1, 0, 0, 0, 0, 0})
+	rng := rand.New(rand.NewPCG(1, 2))
+	long := make([]byte, 600)
+	for i := range long {
+		long[i] = byte(rng.UintN(256))
+	}
+	f.Add(long)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ref := New(), newRef()
+		for len(data) >= 3 {
+			// IDs cover [-1, 14]: -1 is the reserved sentinel.
+			o := op{kind: data[0], u: NodeID(data[1]%16) - 1, v: NodeID(data[2]%16) - 1}
+			data = data[3:]
+			applyBoth(t, g, ref, o)
+		}
+		compareAll(t, g, ref)
+	})
+}
+
+// TestReservedIDRejected: the free-slot sentinel can never become a node,
+// at the graph boundary and at change validation.
+func TestReservedIDRejected(t *testing.T) {
+	g := New()
+	if err := g.AddNode(None); !errors.Is(err, ErrReservedID) {
+		t.Fatalf("AddNode(None) = %v, want ErrReservedID", err)
+	}
+	if g.NodeCount() != 0 || g.HasNode(None) {
+		t.Fatal("rejected sentinel insert left state behind")
+	}
+	c := NodeChange(NodeInsert, None)
+	if err := c.Validate(g); !errors.Is(err, ErrReservedID) || !errors.Is(err, ErrInvalidChange) {
+		t.Fatalf("Validate(insert None) = %v, want ErrInvalidChange wrapping ErrReservedID", err)
+	}
+}
+
+// TestGrowIdempotent: a Grow that is already satisfied must not rebuild
+// the index table (rehashing a large live graph would be O(n) per call).
+func TestGrowIdempotent(t *testing.T) {
+	g := New()
+	g.Grow(100)
+	for v := NodeID(0); v < 50; v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.idxCap != 100 {
+		t.Fatalf("idxCap %d after Grow(100), want 100", g.idxCap)
+	}
+	g.Grow(10) // 50 live + 10 <= 100 already reserved
+	if g.idxCap != 100 {
+		t.Fatalf("satisfied Grow rebuilt the index table (idxCap %d)", g.idxCap)
+	}
+	g.Grow(100) // 50 live + 100 > 100: genuine growth
+	if g.idxCap != 150 {
+		t.Fatalf("idxCap %d after Grow(100) at 50 live, want 150", g.idxCap)
+	}
+}
+
+// TestErrorMessagesKeepContext: mutation errors still wrap the sentinel
+// and name the operands (callers match with errors.Is; humans read the
+// text).
+func TestErrorMessagesKeepContext(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(3, 3); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop: %v", err)
+	}
+	err := g.AddEdge(1, 2)
+	if !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing endpoint: %v", err)
+	}
+	if want := fmt.Sprintf("add edge {%d,%d}", 1, 2); err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the edge", err)
+	}
+}

@@ -10,8 +10,9 @@
 package matching
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
@@ -78,7 +79,7 @@ func (m *Maintainer) lineNeighbors(e Edge) []graph.NodeID {
 	}
 	add(e.U)
 	add(e.V)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	// An edge can share both endpoints only with itself, so no
 	// duplicates arise, but triangles contribute each neighbor once per
 	// shared endpoint; dedupe defensively.
@@ -186,11 +187,11 @@ func (m *Maintainer) Matching() []Edge {
 	for _, id := range m.eng.MIS() {
 		out = append(out, m.edges[id])
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	slices.SortFunc(out, func(a, b Edge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
 		}
-		return out[i].V < out[j].V
+		return cmp.Compare(a.V, b.V)
 	})
 	return out
 }

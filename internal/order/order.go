@@ -3,6 +3,13 @@
 // insertion, and π orders nodes by increasing priority. Ties — which occur
 // with negligible probability for 64-bit priorities — are broken by node ID
 // so that the order is always total and deterministic given the seed.
+//
+// The priority table (a map) is the source of truth: it survives a node's
+// absence from any particular graph (muted nodes keep their priority). For
+// the cascade hot path, an Order additionally writes every priority through
+// into the dense priority lane of each attached graph arena (Attach), so
+// engines compare π positions with graph.LessAt — two array reads — instead
+// of two map lookups.
 package order
 
 import (
@@ -18,8 +25,9 @@ type Priority uint64
 // Order assigns and remembers priorities. The zero value is not usable;
 // call New.
 type Order struct {
-	rng  *rand.Rand
-	prio map[graph.NodeID]Priority
+	rng    *rand.Rand
+	prio   map[graph.NodeID]Priority
+	arenas []*graph.Graph
 }
 
 // New returns an Order drawing priorities from a PCG stream seeded with
@@ -32,19 +40,59 @@ func New(seed uint64) *Order {
 	}
 }
 
-// Ensure returns v's priority, drawing a fresh one if v has none yet.
-func (o *Order) Ensure(v graph.NodeID) Priority {
-	if p, ok := o.prio[v]; ok {
-		return p
+// Attach registers g's arena for priority write-through: every priority this
+// Order knows — now (backfill) or in the future (Ensure, Set) — is mirrored
+// into g's dense priority lane for the slots of nodes present in g. Engines
+// attach their graph at construction; an Order may be attached to several
+// arenas (differential tests share one π across engines). Attaching the
+// same graph twice is a no-op.
+func (o *Order) Attach(g *graph.Graph) {
+	for _, a := range o.arenas {
+		if a == g {
+			return
+		}
 	}
-	p := Priority(o.rng.Uint64())
-	o.prio[v] = p
+	o.arenas = append(o.arenas, g)
+	for i := range g.Slots() {
+		if v := g.IDAt(i); v != graph.None {
+			if p, ok := o.prio[v]; ok {
+				g.SetPrioAt(i, uint64(p))
+			}
+		}
+	}
+}
+
+// sync mirrors v's priority into every attached arena where v currently
+// occupies a slot. Arenas where v is absent are skipped: their slot will be
+// filled by the Ensure that accompanies v's insertion there.
+func (o *Order) sync(v graph.NodeID, p Priority) {
+	for _, g := range o.arenas {
+		if i, ok := g.Index(v); ok {
+			g.SetPrioAt(i, uint64(p))
+		}
+	}
+}
+
+// Ensure returns v's priority, drawing a fresh one if v has none yet, and
+// writes it through to the attached arenas. Engines call Ensure after the
+// node is present in their graph, so the arena lane is filled in the same
+// step (see core.StageChange).
+func (o *Order) Ensure(v graph.NodeID) Priority {
+	p, ok := o.prio[v]
+	if !ok {
+		p = Priority(o.rng.Uint64())
+		o.prio[v] = p
+	}
+	o.sync(v, p)
 	return p
 }
 
 // Set forces v's priority. It is intended for tests and for adversarial
 // constructions that need a specific order.
-func (o *Order) Set(v graph.NodeID, p Priority) { o.prio[v] = p }
+func (o *Order) Set(v graph.NodeID, p Priority) {
+	o.prio[v] = p
+	o.sync(v, p)
+}
 
 // Priority returns v's priority if assigned.
 func (o *Order) Priority(v graph.NodeID) (Priority, bool) {
@@ -53,7 +101,8 @@ func (o *Order) Priority(v graph.NodeID) (Priority, bool) {
 }
 
 // Drop forgets v's priority (used when a node is deleted for good; a muted
-// node keeps its priority).
+// node keeps its priority). Arena lanes need no cleanup: the graph zeroes a
+// slot's lanes when it is freed or reallocated.
 func (o *Order) Drop(v graph.NodeID) { delete(o.prio, v) }
 
 // Less reports whether π(u) < π(v). Both nodes must have priorities; absent

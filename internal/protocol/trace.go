@@ -1,7 +1,7 @@
 package protocol
 
 import (
-	"sort"
+	"slices"
 	"strconv"
 
 	"dynmis/internal/graph"
@@ -44,7 +44,7 @@ func (tr TraceRound) StatesLine() string {
 	for v := range tr.States {
 		ids = append(ids, v)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	out := ""
 	for i, v := range ids {
 		if i > 0 {

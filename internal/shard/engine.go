@@ -11,13 +11,22 @@
 //     Staging collects the cascade seed set (the union of the per-change
 //     candidate sets S0).
 //  2. Recovery (parallel): the flip fixpoint runs as a distributed
-//     worklist. Each shard worker pops candidate nodes it owns from its
+//     worklist. Each shard worker pops candidate slots it owns from its
 //     mailbox, re-evaluates the MIS invariant against current neighbor
-//     states, flips its own nodes under the shard lock, and forwards the
+//     states, flips its own slots under the shard lock, and forwards the
 //     later-in-π neighbors of every flipped node to their owner shards.
 //     Updates whose cascades stay inside one shard proceed with no
 //     coordination at all; only hand-offs that cross a shard boundary
 //     serialize, through the receiving shard's mailbox.
+//
+// Storage is the same dense arena every engine shares: memberships live in
+// the graph's one-byte state lane and priorities in its priority lane, so
+// a worker's invariant evaluation is an array walk over neighbor slots.
+// The partition is over slots, not node IDs — contiguous blocks of
+// ownerBlock slots per shard — which keeps a shard's lane bytes on its own
+// cache lines. During a cascade the graph (and hence the slot space) is
+// frozen, so workers exchange raw slot indices and never consult the
+// NodeID index table.
 //
 // Correctness does not depend on scheduling: the membership assignment
 // satisfying the invariant "v ∈ MIS iff no earlier-in-π neighbor is in the
@@ -49,6 +58,12 @@ import (
 // ApplyAll when SetWindow has not been called.
 const DefaultWindow = 512
 
+// ownerBlock is the slot-partition granularity: slots are assigned to
+// shards in contiguous blocks of this size, aligning a shard's span of the
+// one-byte state lane with whole cache lines so concurrent workers do not
+// false-share.
+const ownerBlock = 64
+
 // Stats is the engine's cumulative concurrency account.
 type Stats struct {
 	// Windows is the number of parallel windows executed.
@@ -66,13 +81,14 @@ type Stats struct {
 	CrossShard int
 }
 
-// shardPart is one vertex partition: its membership table plus the
-// per-window scratch the owning worker records flips into.
+// shardPart is one slot partition's synchronization point plus the
+// per-window scratch the owning worker records flips into. The membership
+// bytes themselves live in the shared arena lane; the shard lock guards
+// exactly the lane bytes of the slots this shard owns.
 type shardPart struct {
-	mu    sync.RWMutex
-	state map[graph.NodeID]core.Membership
+	mu sync.RWMutex
 
-	// Owner-worker-only window scratch (reset by beginWindow, read by
+	// Owner-worker-only window scratch (reset by runCascade, read by
 	// the coordinator after the workers have joined).
 	flips      map[graph.NodeID]int
 	before     map[graph.NodeID]core.Membership
@@ -90,6 +106,7 @@ type shardPart struct {
 type Engine struct {
 	g      *graph.Graph
 	ord    *order.Order
+	state  core.State
 	shards []*shardPart
 	window int
 	stats  Stats
@@ -116,14 +133,17 @@ func NewWithOrder(ord *order.Order, shards int) *Engine {
 	if shards < 1 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	g := graph.New()
+	ord.Attach(g)
 	e := &Engine{
-		g:      graph.New(),
+		g:      g,
 		ord:    ord,
+		state:  core.NewState(g),
 		shards: make([]*shardPart, shards),
 		window: DefaultWindow,
 	}
 	for i := range e.shards {
-		e.shards[i] = &shardPart{state: make(map[graph.NodeID]core.Membership)}
+		e.shards[i] = &shardPart{}
 	}
 	return e
 }
@@ -143,12 +163,10 @@ func (e *Engine) SetWindow(n int) {
 // Stats returns the cumulative concurrency account.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// owner maps a node to its shard by a mixed hash, so that adjacent caller
-// IDs spread across shards.
-func (e *Engine) owner(v graph.NodeID) int {
-	x := uint64(v) * 0x9e3779b97f4a7c15
-	x ^= x >> 32
-	return int(x % uint64(len(e.shards)))
+// owner maps a slot to its shard: contiguous ownerBlock-sized slot blocks,
+// round-robin across shards.
+func (e *Engine) owner(s int32) int {
+	return int(uint32(s) / ownerBlock % uint32(len(e.shards)))
 }
 
 // Graph exposes the engine's live graph. Callers must treat it as
@@ -159,47 +177,22 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 func (e *Engine) Order() *order.Order { return e.ord }
 
 // InMIS reports whether v is currently in the maintained MIS.
-func (e *Engine) InMIS(v graph.NodeID) bool {
-	s := e.shards[e.owner(v)]
-	return s.state[v] == core.In
-}
+func (e *Engine) InMIS(v graph.NodeID) bool { return e.state.InMIS(v) }
 
 // MIS returns the sorted current MIS.
-func (e *Engine) MIS() []graph.NodeID { return core.MISOf(e.State()) }
+func (e *Engine) MIS() []graph.NodeID { return e.state.MIS() }
 
-// State returns the full membership map, assembled across shards.
-func (e *Engine) State() map[graph.NodeID]core.Membership {
-	out := make(map[graph.NodeID]core.Membership, e.g.NodeCount())
-	for _, s := range e.shards {
-		for v, m := range s.state {
-			out[v] = m
-		}
-	}
-	return out
-}
+// State returns the full membership map.
+func (e *Engine) State() map[graph.NodeID]core.Membership { return e.state.Map() }
 
 // Check verifies the MIS invariant on the current configuration.
-func (e *Engine) Check() error { return core.CheckInvariant(e.g, e.ord, e.State()) }
+func (e *Engine) Check() error { return core.CheckInvariantOn(e.g, e.ord, e.state) }
 
 // Subscribe registers a change-feed callback. Events are published by the
 // coordinator goroutine after each window's cascade has quiesced — never
 // by the shard workers — in ascending node order, so subscribing adds no
 // synchronization to the parallel phase.
 func (e *Engine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
-
-// stateStore adapts the sharded tables to core.StateStore for staging,
-// which runs single-threaded between windows.
-type stateStore struct{ e *Engine }
-
-func (s stateStore) Get(v graph.NodeID) core.Membership {
-	return s.e.shards[s.e.owner(v)].state[v]
-}
-func (s stateStore) Set(v graph.NodeID, m core.Membership) {
-	s.e.shards[s.e.owner(v)].state[v] = m
-}
-func (s stateStore) Delete(v graph.NodeID) {
-	delete(s.e.shards[s.e.owner(v)].state, v)
-}
 
 // Apply performs one topology change (a window of one) and returns its
 // cost report. On validation error the engine is unchanged.
@@ -222,12 +215,6 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 	return total, nil
 }
 
-// beforeInfo is a touched node's pre-window configuration.
-type beforeInfo struct {
-	present bool
-	m       core.Membership
-}
-
 // ApplyBatch applies one window: all changes are staged serially (which
 // fixes π deterministically), then a single parallel recovery cascade
 // brings the structure back to the greedy fixpoint. The final state is
@@ -242,24 +229,22 @@ func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	var (
 		seeds      []graph.NodeID
 		preFlipped []graph.NodeID
-		before     = make(map[graph.NodeID]beforeInfo)
+		touched    = make(map[graph.NodeID]core.Touched)
 	)
-	store := stateStore{e}
 	for i, c := range cs {
 		// Capture the pre-window configuration of the node a node-change
 		// touches before staging mutates it (first touch wins). Edge
 		// changes mutate no membership during staging, so they need no
 		// capture.
 		if !c.Kind.IsEdge() {
-			if _, seen := before[c.Node]; !seen {
-				present := e.g.HasNode(c.Node)
-				before[c.Node] = beforeInfo{present: present, m: store.Get(c.Node)}
+			if _, seen := touched[c.Node]; !seen {
+				touched[c.Node] = core.Touched{Present: e.g.HasNode(c.Node), M: e.state.Get(c.Node)}
 			}
 		}
-		staged, err := core.StageChange(e.g, e.ord, store, c)
+		staged, err := core.StageChange(e.g, e.ord, e.state, c)
 		if err != nil {
 			e.runCascade(seeds)
-			e.account(before, preFlipped)
+			e.account(touched, preFlipped)
 			return core.Report{}, fmt.Errorf("batch change %d: %w", i, err)
 		}
 		if staged.PreFlipped != graph.None {
@@ -274,13 +259,15 @@ func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	e.stats.Updates += len(cs)
 	e.stats.Seeds += len(seeds)
 
-	return e.account(before, preFlipped), nil
+	return e.account(touched, preFlipped), nil
 }
 
 // runCascade executes the parallel flip fixpoint from the given seeds.
-// During the cascade the graph and order are read-only; memberships are
-// read under shard RLocks and written only by the owning worker under the
-// shard write lock, so the run is race-free and -race-clean.
+// During the cascade the graph and order are read-only — the slot space is
+// frozen — so the workers exchange raw slot indices; the membership lane
+// is read under the owning shard's RLock and written only by the owning
+// worker under the shard write lock, making the run race-free and
+// -race-clean.
 func (e *Engine) runCascade(seeds []graph.NodeID) {
 	for _, s := range e.shards {
 		s.flips = make(map[graph.NodeID]int)
@@ -307,12 +294,15 @@ func (e *Engine) runCascade(seeds []graph.NodeID) {
 			}
 		})
 	}
-	enqueue := func(v graph.NodeID) {
+	// Mailboxes carry slot indices (as their NodeID payload type): the
+	// slot space is frozen for the whole cascade, and slots — unlike IDs —
+	// index the arena directly.
+	enqueue := func(s int32) {
 		// Increment before Push so a concurrent worker draining the
 		// entry cannot observe pending == 0 early; a deduplicated push
 		// gives the credit back.
 		atomic.AddInt64(&pending, 1)
-		if !boxes[e.owner(v)].Push(v) {
+		if !boxes[e.owner(s)].Push(graph.NodeID(s)) {
 			if atomic.AddInt64(&pending, -1) == 0 {
 				shutdown()
 			}
@@ -320,11 +310,14 @@ func (e *Engine) runCascade(seeds []graph.NodeID) {
 	}
 
 	for _, v := range seeds {
-		enqueue(v)
+		// Seeds staged away later in the same window no longer resolve;
+		// their former neighbors were seeded separately.
+		if i, ok := e.g.Index(v); ok {
+			enqueue(int32(i))
+		}
 	}
 	if atomic.LoadInt64(&pending) == 0 {
-		// Every seed deduplicated away (duplicate frontier entries only;
-		// nothing to do).
+		// Every seed deduplicated or staged away; nothing to do.
 		shutdown()
 		return
 	}
@@ -335,11 +328,11 @@ func (e *Engine) runCascade(seeds []graph.NodeID) {
 		go func(w int) {
 			defer wg.Done()
 			for {
-				v, ok := boxes[w].Pop()
+				s, ok := boxes[w].Pop()
 				if !ok {
 					return
 				}
-				e.step(w, v, enqueue)
+				e.step(w, int32(s), enqueue)
 				if atomic.AddInt64(&pending, -1) == 0 {
 					shutdown()
 				}
@@ -349,65 +342,62 @@ func (e *Engine) runCascade(seeds []graph.NodeID) {
 	wg.Wait()
 }
 
-// step evaluates the MIS invariant at v (owned by shard w) and flips it if
-// violated, forwarding the nodes whose invariant the flip can affect.
-func (e *Engine) step(w int, v graph.NodeID, enqueue func(graph.NodeID)) {
-	if !e.g.HasNode(v) {
-		// The node was staged away later in the same window; its former
-		// neighbors were seeded separately.
-		return
-	}
+// step evaluates the MIS invariant at slot s (owned by shard w) and flips
+// it if violated, forwarding the slots whose invariant the flip can affect.
+func (e *Engine) step(w int, s int32, enqueue func(int32)) {
 	own := e.shards[w]
 	own.mu.RLock()
-	cur := own.state[v]
+	cur := e.state.At(int(s))
 	own.mu.RUnlock()
 
 	// ShouldBeIn under current states, with per-read shard locking. Reads
 	// may be momentarily stale; any later flip of an earlier neighbor
-	// re-enqueues v, so staleness delays convergence but cannot corrupt
+	// re-enqueues s, so staleness delays convergence but cannot corrupt
 	// the fixpoint.
 	want := core.In
-	e.g.EachNeighbor(v, func(u graph.NodeID) {
-		if want == core.Out || !e.ord.Less(u, v) {
-			return
+	for _, nb := range e.g.NeighborSlots(int(s)) {
+		if !e.g.LessAt(int(nb), int(s)) {
+			continue
 		}
-		su := e.shards[e.owner(u)]
+		su := e.shards[e.owner(nb)]
 		su.mu.RLock()
-		uin := su.state[u] == core.In
+		nin := e.state.At(int(nb)) == core.In
 		su.mu.RUnlock()
-		if uin {
+		if nin {
 			want = core.Out
+			break
 		}
-	})
+	}
 	if want == cur {
 		return
 	}
 
+	v := e.g.IDAt(int(s))
 	own.mu.Lock()
 	if _, seen := own.flips[v]; !seen {
 		own.before[v] = cur
 	}
 	own.flips[v]++
-	own.state[v] = want
+	e.state.SetAt(int(s), want)
 	own.mu.Unlock()
 
 	// Only nodes later in π can have been violated by this flip.
-	e.g.EachNeighbor(v, func(u graph.NodeID) {
-		if !e.ord.Less(v, u) {
-			return
+	for _, nb := range e.g.NeighborSlots(int(s)) {
+		if !e.g.LessAt(int(s), int(nb)) {
+			continue
 		}
-		if e.owner(u) == w {
+		if e.owner(nb) == w {
 			own.localHops++
 		} else {
 			own.crossShard++
 		}
-		enqueue(u)
-	})
+		enqueue(nb)
+	}
 }
 
 // account assembles the window's cost report from the staging touch map
 // and the per-shard flip records, in O(touched) rather than O(n).
-func (e *Engine) account(before map[graph.NodeID]beforeInfo, preFlipped []graph.NodeID) core.Report {
+func (e *Engine) account(touched map[graph.NodeID]core.Touched, preFlipped []graph.NodeID) core.Report {
 	var rep core.Report
 
 	inS := make(map[graph.NodeID]struct{})
@@ -423,8 +413,8 @@ func (e *Engine) account(before map[graph.NodeID]beforeInfo, preFlipped []graph.
 		// Cascade-flipped nodes that staging did not touch entered the
 		// window present, with the recorded pre-flip membership.
 		for v, m := range s.before {
-			if _, seen := before[v]; !seen {
-				before[v] = beforeInfo{present: true, m: m}
+			if _, seen := touched[v]; !seen {
+				touched[v] = core.Touched{Present: true, M: m}
 			}
 		}
 		rep.CrossShard += s.crossShard
@@ -438,37 +428,8 @@ func (e *Engine) account(before map[graph.NodeID]beforeInfo, preFlipped []graph.
 	// yields the window's change-feed delta, so a subscribed feed costs
 	// O(touched · log touched) (for the canonical node ordering), not
 	// O(n).
-	emit := e.feed.Active()
-	var evs []core.Event
-	for v, b := range before {
-		presentNow := e.g.HasNode(v)
-		switch {
-		case b.present && presentNow:
-			if cur := e.shards[e.owner(v)].state[v]; cur != b.m {
-				rep.Adjustments++
-				if emit {
-					evs = append(evs, core.Event{Node: v, From: b.m, To: cur, Cause: core.CauseFlip})
-				}
-			}
-		case b.present && !presentNow:
-			if b.m == core.In {
-				rep.Adjustments++
-			}
-			if emit {
-				evs = append(evs, core.Event{Node: v, From: b.m, To: core.Out, Cause: core.CauseLeave})
-			}
-		case !b.present && presentNow:
-			cur := e.shards[e.owner(v)].state[v]
-			if cur == core.In {
-				rep.Adjustments++
-			}
-			if emit {
-				evs = append(evs, core.Event{Node: v, From: core.Out, To: cur, Cause: core.CauseJoin})
-			}
-		}
-	}
-	if emit {
-		e.feed.PublishSorted(evs)
-	}
+	adj, evs := core.DeltaFromTouched(e.g, e.state, touched, e.feed.Active())
+	rep.Adjustments = adj
+	e.feed.PublishSorted(evs)
 	return rep
 }

@@ -1,8 +1,9 @@
 package shard
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dynmis/internal/core"
 	"dynmis/internal/order"
@@ -21,7 +22,7 @@ func (e *Engine) Snapshot() *core.Snapshot {
 		s.Nodes = append(s.Nodes, core.SnapshotNode{
 			ID:       v,
 			Priority: prio,
-			InMIS:    e.shards[e.owner(v)].state[v] == core.In,
+			InMIS:    e.state.InMIS(v),
 		})
 	}
 	s.Edges = e.g.Edges()
@@ -35,19 +36,15 @@ func (e *Engine) Snapshot() *core.Snapshot {
 // violating the MIS invariant is rejected.
 func Restore(s *core.Snapshot, seed uint64, shards int) (*Engine, error) {
 	e := NewWithOrder(order.New(seed), shards)
-	sorted := make([]core.SnapshotNode, len(s.Nodes))
-	copy(sorted, s.Nodes)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	e.g.Grow(len(s.Nodes))
+	sorted := slices.Clone(s.Nodes)
+	slices.SortFunc(sorted, func(a, b core.SnapshotNode) int { return cmp.Compare(a.ID, b.ID) })
 	for _, n := range sorted {
 		if err := e.g.AddNode(n.ID); err != nil {
 			return nil, fmt.Errorf("shard: restore: %w", err)
 		}
 		e.ord.Set(n.ID, n.Priority)
-		m := core.Out
-		if n.InMIS {
-			m = core.In
-		}
-		e.shards[e.owner(n.ID)].state[n.ID] = m
+		e.state.Set(n.ID, core.Membership(n.InMIS))
 	}
 	for _, edge := range s.Edges {
 		if err := e.g.AddEdge(edge[0], edge[1]); err != nil {

@@ -1,9 +1,10 @@
 package simnet
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"dynmis/internal/graph"
@@ -156,7 +157,7 @@ func (n *Network) StepRound() {
 	for v := range n.procs {
 		ids = append(ids, v)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 
 	outs := make([]Payload, len(ids))
 	if n.workers >= 2 && len(ids) >= 2*n.workers {
@@ -198,7 +199,7 @@ func (n *Network) StepRound() {
 
 // sortedInbox orders messages by sender for deterministic processing.
 func sortedInbox(msgs []Message) []Message {
-	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	slices.SortStableFunc(msgs, func(a, b Message) int { return cmp.Compare(a.From, b.From) })
 	return msgs
 }
 

@@ -6,7 +6,7 @@ package viz
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
@@ -46,10 +46,10 @@ func ClustersDot(w io.Writer, g *graph.Graph, assign map[graph.NodeID]graph.Node
 	for h := range byHead {
 		heads = append(heads, h)
 	}
-	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	slices.Sort(heads)
 	for _, h := range heads {
 		members := byHead[h]
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		slices.Sort(members)
 		fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=\"pivot %d\";\n", h, h)
 		for _, v := range members {
 			if v == h {
