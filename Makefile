@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-delta clean
+.PHONY: ci fmt vet build test race bench bench-smoke bench-delta validate validate-smoke clean
 
-ci: fmt vet build race bench-smoke
+ci: fmt vet build race bench-smoke validate-smoke
 
 # gofmt enforcement: fail with the offending file list if any file is not
 # gofmt-clean.
@@ -52,6 +52,23 @@ bench-delta:
 # Full benchmark: regenerates the checked-in BENCH_dynmis.json.
 bench:
 	$(GO) run ./cmd/bench -out BENCH_dynmis.json
+
+# Paper-claims validation: regenerates docs/VALIDATION.md by driving
+# the workload scenarios through all five engines with complexity
+# instrumentation and tabulating measured amortized adjustments,
+# rounds, broadcasts and messages per update against the paper's
+# bounds. Deterministic: unchanged flags reproduce the committed file
+# byte for byte. Takes a few minutes.
+validate:
+	$(GO) run ./cmd/validate
+
+# CI-sized validation: a tiny instrumented run across all five engines
+# (exercising the whole metrics path end to end), then the
+# docs-freshness check — fails if docs/VALIDATION.md's schema header
+# drifts from the generator's schema version. Writes only under /tmp.
+validate-smoke:
+	$(GO) run ./cmd/validate -quick -out /tmp/VALIDATION_smoke.md
+	$(GO) run ./cmd/validate -check
 
 clean:
 	$(GO) clean ./...

@@ -1,6 +1,7 @@
 // Command bench is the unified benchmark harness: it drives every
-// workload scenario (churn, sliding-window, power-law, adversarial
-// deletions) through the streaming ingestion API (Maintainer.Drive)
+// workload scenario (churn, sliding-window, power-law, single-node
+// churn, adversarial deletions) through the streaming ingestion API
+// (Maintainer.Drive)
 // against the sequential and sharded update engines, verifies each final
 // structure against the greedy oracle, and emits machine-readable
 // results to BENCH_dynmis.json so the performance trajectory is

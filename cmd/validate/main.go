@@ -1,0 +1,404 @@
+// Command validate is the paper-claims validation harness: it drives the
+// workload scenarios across all five engines with complexity
+// instrumentation enabled (dynmis.WithInstrumentation) and emits
+// docs/VALIDATION.md — tables of measured amortized adjustments,
+// cascade lengths, rounds, broadcasts and message counts per update,
+// set against the bounds the source paper proves (E[adjustments] ≤ 1
+// per change, Theorem 1; O(1) rounds and broadcasts for Algorithm 2,
+// Theorem 7). Every engine run is verified against the sequential
+// greedy oracle before its numbers are reported, so the tables can only
+// ever describe correct executions.
+//
+// Usage:
+//
+//	validate [-sizes 100,200,400] [-steps 2000] [-seed 42] [-shards 1]
+//	         [-scenarios churn,sliding-window,single-node-churn,adversarial-deletion]
+//	         [-out docs/VALIDATION.md] [-quick] [-check]
+//
+// The emitted document starts with a machine-readable schema header;
+// -check verifies that an existing document's header matches this
+// binary's schema version and exits non-zero on drift, which is the CI
+// docs-freshness gate (make validate-smoke). Runs are deterministic for
+// a fixed flag set — the workloads come from the canonical seeded rng,
+// every engine is deterministic for a fixed seed, and the sharded
+// engine defaults to one shard here so its transient-flip counts do not
+// depend on goroutine interleaving — so regenerating with unchanged
+// flags reproduces the committed file byte for byte.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"strconv"
+	"strings"
+
+	"dynmis"
+	"dynmis/metrics"
+	"dynmis/workload"
+)
+
+// schemaVersion names the layout of the emitted document. Bump it when
+// the table columns or the header structure change, and regenerate
+// docs/VALIDATION.md in the same commit: cmd/validate -check fails CI
+// whenever the committed header and this constant drift apart.
+const schemaVersion = "dynmis-validate/v1"
+
+// schemaMarker is the exact prefix of the machine-readable header line.
+const schemaMarker = "<!-- schema: "
+
+// engineSpec is one engine column of the validation matrix.
+type engineSpec struct {
+	name string
+	opts func(shards int) []dynmis.Option
+}
+
+func engines() []engineSpec {
+	return []engineSpec{
+		{"template", func(int) []dynmis.Option {
+			return []dynmis.Option{dynmis.WithEngine(dynmis.EngineTemplate)}
+		}},
+		{"direct", func(int) []dynmis.Option {
+			return []dynmis.Option{dynmis.WithEngine(dynmis.EngineDirect)}
+		}},
+		{"protocol", func(int) []dynmis.Option {
+			return []dynmis.Option{dynmis.WithEngine(dynmis.EngineProtocol)}
+		}},
+		{"async-direct", func(int) []dynmis.Option {
+			return []dynmis.Option{dynmis.WithEngine(dynmis.EngineAsyncDirect)}
+		}},
+		{"sharded", func(shards int) []dynmis.Option {
+			return []dynmis.Option{dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(shards)}
+		}},
+	}
+}
+
+// row is one (scenario, n, engine) measurement.
+type row struct {
+	engine  string
+	n       int
+	updates int
+	meanAdj float64
+	maxAdj  int
+	per     metrics.PerUpdate
+}
+
+// flatness pairs an engine's smallest-n and largest-n measurements of
+// one scenario for the conformance summary's growth ratio.
+type flatness struct {
+	scenario, engine string
+	first, last      row
+}
+
+func main() {
+	var (
+		sizesCSV = flag.String("sizes", "100,200,400", "comma-separated warm-up sizes n (scenarios may clamp)")
+		steps    = flag.Int("steps", 2000, "measured update steps per engine run")
+		scenCSV  = flag.String("scenarios", "churn,sliding-window,single-node-churn,adversarial-deletion", "comma-separated scenario names")
+		seed     = flag.Uint64("seed", 42, "base random seed (engines and workload generation)")
+		runs     = flag.Int("runs", 3, "independent seeded runs aggregated per table row (seeds seed..seed+runs-1)")
+		shards   = flag.Int("shards", 1, "shard count for the sharded engine (1 keeps regeneration byte-stable)")
+		out      = flag.String("out", "docs/VALIDATION.md", "output markdown path (and the file -check inspects)")
+		quick    = flag.Bool("quick", false, "smoke sizes (sizes=60, steps=400) for CI")
+		check    = flag.Bool("check", false, "verify -out's schema header matches this binary and exit (no measurement)")
+	)
+	flag.Parse()
+	if *check {
+		if err := checkSchema(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: schema header matches %s\n", *out, schemaVersion)
+		return
+	}
+	if *quick {
+		*sizesCSV, *steps = "60", 400
+	}
+
+	sizes, err := parseSizes(*sizesCSV)
+	if err != nil {
+		fatal(err)
+	}
+	var scenarios []workload.Scenario
+	for _, name := range strings.Split(*scenCSV, ",") {
+		sc, ok := workload.ScenarioByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q", name))
+		}
+		scenarios = append(scenarios, sc)
+	}
+
+	var doc strings.Builder
+	writeHeader(&doc, *seed, *steps, *runs, sizes, *shards)
+
+	var flat []flatness
+
+	for _, sc := range scenarios {
+		fmt.Printf("== %s\n", sc.Name)
+		fmt.Fprintf(&doc, "## Scenario: %s\n\n%s.\n\n", sc.Name, sc.Description)
+		doc.WriteString(tableHeader)
+
+		// Scenarios with a warm-up cap (adversarial-deletion) clamp
+		// large sizes to the same n; measuring the same point twice
+		// would just duplicate rows.
+		effective := dedupeClamped(sc, sizes)
+		byEngine := make(map[string][]row)
+		for _, n := range effective {
+			for _, es := range engines() {
+				r := measure(sc, n, *steps, *seed, *runs, es, *shards)
+				byEngine[es.name] = append(byEngine[es.name], r)
+				fmt.Printf("   %-14s n=%-5d adj/upd=%.3f max=%d\n", es.name, r.n, r.meanAdj, r.maxAdj)
+			}
+		}
+		for _, es := range engines() {
+			for _, r := range byEngine[es.name] {
+				writeRow(&doc, r)
+			}
+			rows := byEngine[es.name]
+			if len(rows) > 1 {
+				flat = append(flat, flatness{sc.Name, es.name, rows[0], rows[len(rows)-1]})
+			}
+		}
+		doc.WriteString("\n")
+	}
+
+	writeConformance(&doc, flat)
+	writeReadingGuide(&doc)
+
+	if err := os.WriteFile(*out, []byte(doc.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure aggregates one table row: `runs` independent seeded runs of
+// one engine on one scenario at one size. Each run instantiates the
+// workload and the engine at its own seed (seed+i), drives an untimed
+// warm-up and then the instrumented measurement stream change by change
+// (the paper's bounds are per update), and is verified against the
+// greedy oracle before its counters are admitted.
+//
+// Aggregating across seeds matters for the adversarial scenarios: their
+// per-update cost is a rare lottery win (probability ~1/n) paying ~n
+// adjustments, so a single seed's rate has enormous variance — one
+// unlucky leaf-priority minimum reads as a flat zero. Summing a few
+// independent orders π is the estimator the "in expectation over π"
+// theorems actually talk about.
+func measure(sc workload.Scenario, n, steps int, baseSeed uint64, runs int, es engineSpec, shards int) row {
+	if runs < 1 {
+		runs = 1
+	}
+	r := row{engine: es.name}
+	var agg metrics.Counters
+	for i := 0; i < runs; i++ {
+		seed := baseSeed + uint64(i)
+		inst := sc.Instantiate(seed, n, steps)
+		r.n = inst.Nodes
+		opts := append(es.opts(shards), dynmis.WithSeed(seed), dynmis.WithInstrumentation())
+		m, err := dynmis.New(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		m.Grow(inst.Nodes)
+		if _, err := m.Drive(ctx, slices.Values(inst.Build)); err != nil {
+			fatal(fmt.Errorf("%s warm-up: %w", es.name, err))
+		}
+		sum, err := m.Drive(ctx, inst.Source())
+		if err != nil {
+			fatal(fmt.Errorf("%s drive: %w", es.name, err))
+		}
+		if err := m.Verify(); err != nil {
+			fatal(fmt.Errorf("%s/%s n=%d seed=%d failed oracle verification: %w", sc.Name, es.name, inst.Nodes, seed, err))
+		}
+		if sum.Metrics == nil {
+			fatal(fmt.Errorf("%s: Drive returned no metrics despite WithInstrumentation", es.name))
+		}
+		agg.Add(*sum.Metrics)
+		r.updates += sum.Changes
+		r.maxAdj = max(r.maxAdj, sum.Max.Adjustments)
+	}
+	if agg.Updates > 0 {
+		r.meanAdj = float64(agg.Adjustments) / float64(agg.Updates)
+	}
+	r.per = agg.PerUpdate()
+	return r
+}
+
+const tableHeader = "| engine | n | updates | adj/upd | max adj | \\|S\\|/upd | flips/upd | casc-steps/upd | touched/upd | rounds/upd | bcasts/upd | msgs/upd | bits/upd |\n" +
+	"|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n"
+
+// writeRow renders one measurement. Quantities an engine does not model
+// at all (the template has no network, the message-passing engines no
+// cascade scratch) render as "·" rather than a misleading 0.
+func writeRow(doc *strings.Builder, r row) {
+	dot := func(v float64) string {
+		if v == 0 {
+			return "·"
+		}
+		return fmt.Sprintf("%.3f", v)
+	}
+	fmt.Fprintf(doc, "| %s | %d | %d | %.3f | %d | %.3f | %.3f | %s | %s | %s | %s | %s | %s |\n",
+		r.engine, r.n, r.updates, r.meanAdj, r.maxAdj, r.per.Influence, r.per.Flips,
+		dot(r.per.CascadeSteps), dot(r.per.TouchedSlots), dot(r.per.Rounds),
+		dot(r.per.Broadcasts), dot(r.per.MessagesSent), dot(r.per.Bits))
+}
+
+func writeHeader(doc *strings.Builder, seed uint64, steps, runs int, sizes []int, shards int) {
+	strs := make([]string, len(sizes))
+	for i, n := range sizes {
+		strs[i] = strconv.Itoa(n)
+	}
+	fmt.Fprintf(doc, `# VALIDATION — measured complexity vs. the paper's bounds
+
+%s%s -->
+<!-- Generated by cmd/validate. Regenerate with 'make validate'; CI verifies this header with 'go run ./cmd/validate -check'. -->
+
+This document is the empirical check that the reproduction actually
+exhibits the quantitative guarantees of *Optimal Dynamic Distributed
+MIS* (Censor-Hillel, Haramaty, Karnin; PODC 2016). Every table below is
+measured by the complexity-instrumentation subsystem (dynmis/metrics,
+attached via the core.Instrument capability) while driving seeded
+workload scenarios through all five engines; every run is verified
+against the sequential greedy oracle before its numbers are admitted.
+
+Parameters: base seed %d, %d measured updates per run, %d independent
+seeded runs aggregated per row (the expectation in the theorems is over
+the random order π, so each row sums a few independent orders), warm-up
+sizes n ∈ {%s}, sharded engine at %d shard(s). All columns except
+"updates", "max adj" and "n" are amortized per update. Regenerating
+with the same parameters reproduces this file byte for byte.
+
+The bounds under test, all *in expectation over the random order π, per
+topology change*:
+
+- **Adjustments ≤ 1** (Theorem 1): "adj/upd" must stay bounded by a
+  small constant — and stay *flat as n grows* — on every engine;
+  "max adj" may grow with n (a low-probability hub flip demotes a whole
+  neighborhood), which is exactly the amortized-vs-worst-case contrast
+  the theorem describes.
+- **O(1) rounds and O(1) broadcasts** of O(log n) bits (Theorem 7,
+  Algorithm 2 = the protocol engine): "rounds/upd" and "bcasts/upd"
+  must stay bounded and flat for the protocol engine. The direct
+  engines may spend up to |S|² broadcasts (§4) — they are the paper's
+  motivation for Algorithm 2, and the tables let you watch the gap.
+- **O(touched) accounting**: "touched/upd" is the number of arena slots
+  the template/sharded cost accounting examined; bounded and flat means
+  per-update work is independent of n.
+
+`, schemaMarker, schemaVersion, seed, steps, runs, strings.Join(strs, ", "), shards)
+}
+
+// writeConformance renders the flatness summary: for every
+// (scenario, engine) measured at more than one size, the amortized
+// adjustment rate at the smallest and largest n and its growth ratio.
+func writeConformance(doc *strings.Builder, flat []flatness) {
+	if len(flat) == 0 {
+		return
+	}
+	doc.WriteString(`## Conformance summary: amortized adjustments stay flat
+
+O(1) amortized means the per-update adjustment rate must not grow with
+the graph: the "growth" column is adj/upd at the largest measured n
+divided by adj/upd at the smallest. Values near 1.0 (or below) are the
+paper's prediction; a rate growing with n would falsify the
+reproduction.
+
+| scenario | engine | adj/upd @ n=min | adj/upd @ n=max | growth |
+|---|---|---:|---:|---:|
+`)
+	for _, f := range flat {
+		growth := "·"
+		if f.first.meanAdj > 0 {
+			growth = fmt.Sprintf("%.2f", f.last.meanAdj/f.first.meanAdj)
+		}
+		fmt.Fprintf(doc, "| %s | %s | %.3f (n=%d) | %.3f (n=%d) | %s |\n",
+			f.scenario, f.engine, f.first.meanAdj, f.first.n, f.last.meanAdj, f.last.n, growth)
+	}
+	doc.WriteString("\n")
+}
+
+func writeReadingGuide(doc *strings.Builder) {
+	doc.WriteString(`## Column key
+
+- **adj/upd** — membership adjustments per update (Theorem 1 bounds the
+  expectation by 1); **max adj** — largest single-update adjustment
+  count observed.
+- **|S|/upd, flips/upd** — influence-set size and total state flips per
+  update, including transient flips (flips ≥ |S| ≥ adjustments).
+- **casc-steps/upd, touched/upd** — template/sharded engines only:
+  synchronous cascade steps to quiescence and arena slots examined by
+  the O(touched) accounting.
+- **rounds/upd, bcasts/upd, msgs/upd, bits/upd** — message-passing
+  engines only: synchronous network rounds to quiescence, broadcast
+  operations, point-to-point message copies sent, and payload bits.
+- **·** — the engine does not model that quantity (the model-level
+  template has no network; the message-passing engines no cascade
+  scratch; the asynchronous engine no global rounds).
+
+Single-node-churn is the deliberate worst case: its hub re-insertion
+occasionally wins the priority lottery against the whole leaf set, so
+"max adj" scales with n there while "adj/upd" stays constant — the
+sharpest illustration of what "O(1) amortized, in expectation" does and
+does not promise.
+
+Its broadcast column grows with n for a model-inherent reason, too:
+re-inserting a degree-(n−1) node makes every neighbor announce itself
+once, Θ(n) broadcasts charged to a single update. The O(1)-broadcast
+theorem is about the *recovery* following a change, not the
+neighborhood discovery of a fresh high-degree node — churn and
+sliding-window, whose attach degrees are bounded, are the scenarios
+that exhibit the bound.
+`)
+}
+
+// checkSchema is the docs-freshness gate: it fails unless the file's
+// schema header names exactly this binary's schemaVersion.
+func checkSchema(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("validate -check: %w (run 'make validate' to generate it)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, schemaMarker) {
+			continue
+		}
+		got := strings.TrimSuffix(strings.TrimPrefix(line, schemaMarker), " -->")
+		if got != schemaVersion {
+			return fmt.Errorf("validate -check: %s has schema %q, this generator emits %q — regenerate with 'make validate'", path, got, schemaVersion)
+		}
+		return nil
+	}
+	return fmt.Errorf("validate -check: %s has no %q header — regenerate with 'make validate'", path, schemaMarker)
+}
+
+// dedupeClamped maps the requested sizes through the scenario's
+// MaxNodes clamp and drops duplicates, preserving order.
+func dedupeClamped(sc workload.Scenario, sizes []int) []int {
+	var out []int
+	for _, n := range sizes {
+		c := sc.ClampNodes(n)
+		if !slices.Contains(out, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func parseSizes(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -sizes entry %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@ import (
 	"iter"
 
 	"dynmis/internal/core"
+	"dynmis/metrics"
 )
 
 // Source is a stream of topology changes — the one way bulk updates enter
@@ -20,7 +21,9 @@ type Source = iter.Seq[Change]
 // Summary is the aggregate cost account Drive returns: totals,
 // per-application maxima and per-change means of adjustments, rounds,
 // broadcasts and bits, plus change counts by kind. It is exactly the fold
-// of the per-application Reports (see core.Summary.Observe).
+// of the per-application Reports (see core.Summary.Observe); under
+// WithInstrumentation, Summary.Metrics additionally carries the engine's
+// complexity-counter delta over the drive.
 type Summary = core.Summary
 
 // SourceOf adapts explicit changes to a Source; for an existing slice,
@@ -92,7 +95,22 @@ func (m *Maintainer) Drive(ctx context.Context, src Source, opts ...DriveOption)
 		sum    Summary
 		buf    []Change
 		single [1]Change
+		start  metrics.Counters
 	)
+	if m.coll != nil {
+		start = m.coll.Snapshot()
+	}
+	// finish stamps the summary with the engine's instrumentation delta
+	// over this drive (when a collector is attached) on every return
+	// path, success or not — an interrupted drive still reports the
+	// counters of its applied prefix.
+	finish := func(s Summary) Summary {
+		if m.coll != nil {
+			d := m.coll.Snapshot().Diff(start)
+			s.Metrics = &d
+		}
+		return s
+	}
 	apply := func(cs []Change) error {
 		var (
 			rep Report
@@ -115,32 +133,32 @@ func (m *Maintainer) Drive(ctx context.Context, src Source, opts ...DriveOption)
 
 	for c := range src {
 		if err := ctx.Err(); err != nil {
-			return sum, err
+			return finish(sum), err
 		}
 		if cfg.window <= 1 {
 			single[0] = c
 			if err := apply(single[:]); err != nil {
-				return sum, err
+				return finish(sum), err
 			}
 			continue
 		}
 		buf = append(buf, c)
 		if len(buf) >= cfg.window {
 			if err := apply(buf); err != nil {
-				return sum, err
+				return finish(sum), err
 			}
 			buf = buf[:0]
 		}
 	}
 	if len(buf) > 0 {
 		if err := ctx.Err(); err != nil {
-			return sum, err
+			return finish(sum), err
 		}
 		if err := apply(buf); err != nil {
-			return sum, err
+			return finish(sum), err
 		}
 	}
-	return sum, ctx.Err()
+	return finish(sum), ctx.Err()
 }
 
 // NodesSeq iterates over the visible node set in unspecified order,

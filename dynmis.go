@@ -37,6 +37,14 @@
 // an aggregate Summary of the paper's cost measures. See Drive and the
 // "Streaming ingestion & traces" section of the README.
 //
+// The paper's quantitative claims are measurable, not just asserted:
+// WithInstrumentation attaches cheap complexity counters
+// (dynmis/metrics) that every engine accounts its adjustments, cascade
+// lengths, rounds, broadcasts and message traffic into — read them with
+// Maintainer.Metrics or per drive via Summary.Metrics. The validation
+// harness (cmd/validate, `make validate`) tabulates the measured
+// amortized costs against the paper's O(1) bounds in docs/VALIDATION.md.
+//
 // All engines are history independent (Definition 14): the distribution of
 // the maintained MIS depends only on the current graph, never on the
 // change history, and for a fixed seed the output equals the sequential
@@ -63,6 +71,7 @@ import (
 	"dynmis/internal/protocol"
 	"dynmis/internal/shard"
 	"dynmis/internal/simnet"
+	"dynmis/metrics"
 )
 
 // NodeID identifies a node; IDs are chosen by the caller.
@@ -173,6 +182,12 @@ var (
 
 	_ core.Snapshotter = (*core.Template)(nil)
 	_ core.Snapshotter = (*shard.Engine)(nil)
+
+	_ core.Instrument = (*core.Template)(nil)
+	_ core.Instrument = (*direct.Engine)(nil)
+	_ core.Instrument = (*protocol.Engine)(nil)
+	_ core.Instrument = (*direct.AsyncEngine)(nil)
+	_ core.Instrument = (*shard.Engine)(nil)
 )
 
 type config struct {
@@ -185,6 +200,7 @@ type config struct {
 	shardsSet   bool
 	window      int
 	windowSet   bool
+	instrument  bool
 }
 
 // Option configures New, Restore and the derived-structure constructors.
@@ -227,6 +243,20 @@ func WithShards(p int) Option {
 // feed: each window publishes one net membership delta.
 func WithWindow(n int) Option {
 	return func(c *config) { c.window = n; c.windowSet = true }
+}
+
+// WithInstrumentation attaches a complexity-instrumentation collector
+// (dynmis/metrics) to the engine: every successful update accounts the
+// paper's cost measures — adjustments, influence-set size, cascade
+// steps, touched slots, rounds, broadcasts, message traffic — into
+// cumulative counters read with Maintainer.Metrics, and Drive reports
+// each drive's delta as Summary.Metrics. All five engines support it.
+//
+// Without this option instrumentation is disabled and costs nothing:
+// the accounting paths are guarded by a single nil check and the
+// cascade hot loops are untouched (pinned by an allocation test).
+func WithInstrumentation() Option {
+	return func(c *config) { c.instrument = true }
 }
 
 // validate rejects option combinations no engine can honor.
@@ -297,6 +327,21 @@ func resolve(defaultEngine Engine, opts []Option) (config, error) {
 type Maintainer struct {
 	impl   core.Engine
 	engine Engine
+	coll   *metrics.Collector // nil unless WithInstrumentation
+}
+
+// newMaintainer wraps a built engine, attaching an instrumentation
+// collector when the configuration asked for one. It is the single
+// construction path shared by New and Restore.
+func newMaintainer(impl core.Engine, cfg config) *Maintainer {
+	m := &Maintainer{impl: impl, engine: cfg.engine}
+	if cfg.instrument {
+		if ins, ok := impl.(core.Instrument); ok {
+			m.coll = metrics.NewCollector()
+			ins.Instrument(m.coll)
+		}
+	}
+	return m
 }
 
 // New returns a Maintainer over the empty graph, or an ErrInvalidOption
@@ -306,7 +351,7 @@ func New(opts ...Option) (*Maintainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Maintainer{impl: cfg.build(), engine: cfg.engine}, nil
+	return newMaintainer(cfg.build(), cfg), nil
 }
 
 // MustNew is New for static option sets; it panics on invalid options.
@@ -447,6 +492,31 @@ func (m *Maintainer) Clusters() map[NodeID]NodeID {
 // debugging; it is never needed in normal operation).
 func (m *Maintainer) Check() error { return m.impl.Check() }
 
+// Metrics returns a snapshot of the cumulative complexity counters and
+// whether instrumentation is enabled. The counters cover every
+// successful update since construction (or the last ResetMetrics):
+// amortized adjustments, cascade steps, touched slots, rounds,
+// broadcasts and message traffic — the measured forms of the paper's
+// O(1) bounds, tabulated against them by cmd/validate. Without
+// WithInstrumentation the snapshot is zero and the second result is
+// false.
+func (m *Maintainer) Metrics() (metrics.Counters, bool) {
+	if m.coll == nil {
+		return metrics.Counters{}, false
+	}
+	return m.coll.Snapshot(), true
+}
+
+// ResetMetrics zeroes the instrumentation counters; it is a no-op
+// without WithInstrumentation. Use it to scope the account to a
+// measurement phase (e.g. after an untimed warm-up) — Drive callers get
+// per-drive deltas in Summary.Metrics without resetting.
+func (m *Maintainer) ResetMetrics() {
+	if m.coll != nil {
+		m.coll.Reset()
+	}
+}
+
 // Snapshot is a serializable image of the maintained structure (graph,
 // priorities, memberships); see Maintainer.Snapshot and Restore.
 type Snapshot = core.Snapshot
@@ -490,7 +560,7 @@ func Restore(s *Snapshot, seed uint64, opts ...Option) (*Maintainer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Maintainer{impl: tpl, engine: EngineTemplate}, nil
+		return newMaintainer(tpl, cfg), nil
 	case EngineSharded:
 		e, err := shard.Restore(s, seed, cfg.shards)
 		if err != nil {
@@ -499,7 +569,7 @@ func Restore(s *Snapshot, seed uint64, opts ...Option) (*Maintainer, error) {
 		if cfg.window > 0 {
 			e.SetWindow(cfg.window)
 		}
-		return &Maintainer{impl: e, engine: EngineSharded}, nil
+		return newMaintainer(e, cfg), nil
 	default:
 		return nil, fmt.Errorf("%w: engine %v cannot restore a snapshot", ErrSnapshotUnsupported, cfg.engine)
 	}

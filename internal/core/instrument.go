@@ -1,0 +1,33 @@
+package core
+
+import "dynmis/metrics"
+
+// Instrument is the optional complexity-instrumentation capability: an
+// Engine that can account the paper's cost measures (adjustments,
+// cascade length, touched slots, rounds, broadcasts, message traffic)
+// into an attached metrics.Collector implements it. All five engines in
+// this repository do; the capability exists — rather than a mandatory
+// Engine method — so that future backends without meaningful accounting
+// remain valid engines, mirroring Snapshotter.
+//
+// The contract is zero cost when disabled: with no collector attached
+// (the default), the only overhead an implementation may add to its
+// accounting path is a nil pointer check, and it must not allocate. The
+// cascade inner loops are never touched at all — engines fold the
+// per-window Report and scratch sizes they already compute into the
+// collector after recovery has settled. A pinned allocation test
+// (instrument_test.go) keeps this honest.
+//
+// Engines update the collector only from their applying goroutine (the
+// sharded engine from its coordinator after the workers have joined), so
+// the Collector needs no synchronization. Applications that end in an
+// error are not counted, even when a failed batch leaves its staged
+// prefix applied: instrumentation tracks successful windows only.
+type Instrument interface {
+	// Instrument attaches a collector; nil detaches and disables
+	// instrumentation.
+	Instrument(*metrics.Collector)
+	// Collector returns the attached collector, or nil when
+	// instrumentation is disabled.
+	Collector() *metrics.Collector
+}

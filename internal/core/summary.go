@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynmis/internal/graph"
+	"dynmis/metrics"
 )
 
 // Summary is the aggregate cost account of driving a change stream into
@@ -11,7 +12,9 @@ import (
 // paper's complexity measures, plus change counts by kind. It is built by
 // folding the per-application Reports with Observe, so by construction it
 // carries no information beyond that fold — the facade's Drive property
-// tests pin this down.
+// tests pin this down. The one addition outside the fold is the optional
+// Metrics field, which the facade attaches from the engine's
+// instrumentation collector when one is present.
 type Summary struct {
 	// Changes is the number of changes successfully applied.
 	Changes int
@@ -27,6 +30,14 @@ type Summary struct {
 	// Max is the field-wise maximum over the observed Reports. When
 	// driving windowed, maxima are per window, not per change.
 	Max Report
+	// Metrics is the engine's instrumentation delta over the drive that
+	// produced this summary — the complexity counters accumulated
+	// between the drive's first and last application. It is set by
+	// Maintainer.Drive when the engine has a metrics.Collector attached
+	// (WithInstrumentation) and nil otherwise; Observe never populates
+	// it, so the fold property over Reports (Total, Max, ByKind, the
+	// means) is unaffected by instrumentation.
+	Metrics *metrics.Counters
 }
 
 // Observe folds one engine application — the Report it returned and the

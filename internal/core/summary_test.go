@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dynmis/internal/graph"
+	"dynmis/metrics"
 )
 
 func TestSummaryObserve(t *testing.T) {
@@ -35,6 +36,54 @@ func TestSummaryObserve(t *testing.T) {
 	}
 	if got := s.MeanBits(); got*3 != 80 {
 		t.Fatalf("MeanBits = %v", got)
+	}
+}
+
+// TestSummaryFoldWithMetricsPresent pins that the Metrics field rides
+// outside the Report fold: populating it changes neither Total nor Max
+// nor the means, Observe never touches it, and two summaries folding
+// identical Reports agree on every folded field regardless of which one
+// carries counters.
+func TestSummaryFoldWithMetricsPresent(t *testing.T) {
+	reports := []Report{
+		{Adjustments: 2, SSize: 3, Flips: 4, Rounds: 3, Broadcasts: 5, Bits: 64},
+		{Adjustments: 0, SSize: 1, Flips: 1, Rounds: 7, Broadcasts: 2, Bits: 16},
+		{Adjustments: 4, SSize: 4, Flips: 9, Rounds: 1, Broadcasts: 9, Bits: 8},
+	}
+	changes := []graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.EdgeChange(graph.EdgeInsert, 1, 2),
+		graph.NodeChange(graph.NodeDeleteAbrupt, 1),
+	}
+
+	var plain, metered Summary
+	metered.Metrics = &metrics.Counters{Updates: 3, Adjustments: 6, Broadcasts: 16}
+	for i, rep := range reports {
+		plain.Observe(rep, changes[i])
+		metered.Observe(rep, changes[i])
+	}
+
+	if plain.Total != metered.Total {
+		t.Fatalf("Metrics presence changed Total:\n%+v\n%+v", plain.Total, metered.Total)
+	}
+	if plain.Max != metered.Max {
+		t.Fatalf("Metrics presence changed Max:\n%+v\n%+v", plain.Max, metered.Max)
+	}
+	if want := (Report{Adjustments: 4, SSize: 4, Flips: 9, Rounds: 7, Broadcasts: 9, Bits: 64}); metered.Max != want {
+		t.Fatalf("Max fold: got %+v, want %+v", metered.Max, want)
+	}
+	if got := metered.MeanAdjustments(); got != 2.0 {
+		t.Fatalf("MeanAdjustments = %v, want 2", got)
+	}
+	if got := metered.MeanBroadcasts(); got*3 != 16 {
+		t.Fatalf("MeanBroadcasts = %v", got)
+	}
+	// Observe must never invent or mutate counters.
+	if plain.Metrics != nil {
+		t.Fatal("Observe populated Metrics")
+	}
+	if *metered.Metrics != (metrics.Counters{Updates: 3, Adjustments: 6, Broadcasts: 16}) {
+		t.Fatalf("Observe mutated Metrics: %+v", *metered.Metrics)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
+	"dynmis/metrics"
 )
 
 // Template is the model-level engine of Algorithm 1 (§3): it maintains the
@@ -35,6 +36,7 @@ type Template struct {
 	state State
 	steps int // safety counter for the last cascade
 	feed  Feed
+	coll  *metrics.Collector // nil while instrumentation is disabled
 
 	// Slot-indexed cascade scratch, reused across windows. seen carries a
 	// per-step epoch stamp (deduplicates candidates without a map);
@@ -56,11 +58,12 @@ type Template struct {
 	flips    map[graph.NodeID]int
 }
 
-// Template implements the full engine surface plus the persistence
-// capability.
+// Template implements the full engine surface plus the persistence and
+// instrumentation capabilities.
 var (
 	_ Engine      = (*Template)(nil)
 	_ Snapshotter = (*Template)(nil)
+	_ Instrument  = (*Template)(nil)
 )
 
 // NewTemplate returns an engine over an empty graph with a fresh random
@@ -107,6 +110,13 @@ func (t *Template) Check() error { return CheckInvariantOn(t.g, t.ord, t.state) 
 
 // Subscribe registers a change-feed callback; see Feed.
 func (t *Template) Subscribe(fn func(Event)) { t.feed.Subscribe(fn) }
+
+// Instrument attaches a complexity collector (nil detaches); see the
+// Instrument capability.
+func (t *Template) Instrument(c *metrics.Collector) { t.coll = c }
+
+// Collector returns the attached collector, or nil.
+func (t *Template) Collector() *metrics.Collector { return t.coll }
 
 // Apply performs one topology change and runs the recovery cascade,
 // returning the cost report. On validation error the engine is unchanged.
@@ -163,7 +173,12 @@ func (t *Template) applyWindow(cs []graph.Change, batch bool) (Report, error) {
 		}
 		return Report{}, cerr
 	}
-	t.steps = steps
+	if stageErr == nil {
+		// Record the step count only for successful windows: a rejected
+		// Apply stages nothing and must leave the engine — including
+		// LastCascadeSteps — unchanged.
+		t.steps = steps
+	}
 
 	// Fold the cascade's flip records into the cost account and the
 	// touched set. A cascade flip only ever toggles, so a node's
@@ -198,6 +213,19 @@ func (t *Template) applyWindow(cs []graph.Change, batch bool) (Report, error) {
 		rep.Flips += n
 	}
 	rep.Adjustments = adj
+
+	// Instrumentation folds quantities already computed for the Report
+	// and the O(touched) accounting — nothing is measured twice, and a
+	// detached collector costs exactly this nil check.
+	if mc := t.coll; mc != nil {
+		mc.Updates += uint64(len(cs))
+		mc.Windows++
+		mc.Adjustments += uint64(adj)
+		mc.Influence += uint64(rep.SSize)
+		mc.Flips += uint64(rep.Flips)
+		mc.CascadeSteps += uint64(steps)
+		mc.TouchedSlots += uint64(len(t.touched))
+	}
 	return rep, nil
 }
 
@@ -284,7 +312,8 @@ func (t *Template) shouldBeInAt(i int) Membership {
 	return In
 }
 
-// LastCascadeSteps returns the step count of the most recent Apply; it is
+// LastCascadeSteps returns the step count of the most recent successful
+// Apply or ApplyBatch (failed applications leave it unchanged); it is
 // exposed for tests exercising the §3 path example.
 func (t *Template) LastCascadeSteps() int { return t.steps }
 

@@ -7,6 +7,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
 	"dynmis/internal/simnet"
+	"dynmis/metrics"
 )
 
 // asyncNode adapts view to simnet.AsyncProc: it reacts to each delivered
@@ -82,12 +83,23 @@ type AsyncEngine struct {
 	visible *graph.Graph
 	procs   map[graph.NodeID]*asyncNode
 	feed    core.Feed
+	coll    *metrics.Collector // nil while instrumentation is disabled
 
 	// MaxDeliveries bounds each recovery; 0 selects an automatic bound.
 	MaxDeliveries int
 }
 
-var _ core.Engine = (*AsyncEngine)(nil)
+var (
+	_ core.Engine     = (*AsyncEngine)(nil)
+	_ core.Instrument = (*AsyncEngine)(nil)
+)
+
+// Instrument attaches a complexity collector (nil detaches); see
+// core.Instrument.
+func (e *AsyncEngine) Instrument(c *metrics.Collector) { e.coll = c }
+
+// Collector returns the attached collector, or nil.
+func (e *AsyncEngine) Collector() *metrics.Collector { return e.coll }
 
 // NewAsync returns an asynchronous engine; sched nil means FIFO delivery.
 func NewAsync(seed uint64, sched simnet.Scheduler) *AsyncEngine {
@@ -188,6 +200,9 @@ func (e *AsyncEngine) Apply(c graph.Change) (core.Report, error) {
 	after := e.State()
 	rep.Adjustments = len(core.DiffStates(before, after))
 	e.feed.EmitDiff(before, after)
+	if mc := e.coll; mc != nil {
+		mc.ObserveNetworkWindow(1, rep.Adjustments, rep.SSize, rep.Flips, rep.Rounds, e.net.Metrics.Sample())
+	}
 	return rep, nil
 }
 
@@ -370,6 +385,9 @@ func (e *AsyncEngine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	after := e.State()
 	rep.Adjustments = len(core.DiffStates(before, after))
 	e.feed.EmitDiff(before, after)
+	if mc := e.coll; mc != nil {
+		mc.ObserveNetworkWindow(len(cs), rep.Adjustments, rep.SSize, rep.Flips, rep.Rounds, e.net.Metrics.Sample())
+	}
 	return rep, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
 	"dynmis/internal/simnet"
+	"dynmis/metrics"
 )
 
 // Payloads. The direct algorithm announces only outputs, so its state
@@ -268,12 +269,23 @@ type Engine struct {
 	visible *graph.Graph
 	procs   map[graph.NodeID]*syncNode
 	feed    core.Feed
+	coll    *metrics.Collector // nil while instrumentation is disabled
 
 	// MaxRounds bounds each recovery; 0 selects an automatic O(n) bound.
 	MaxRounds int
 }
 
-var _ core.Engine = (*Engine)(nil)
+var (
+	_ core.Engine     = (*Engine)(nil)
+	_ core.Instrument = (*Engine)(nil)
+)
+
+// Instrument attaches a complexity collector (nil detaches); see
+// core.Instrument.
+func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
+
+// Collector returns the attached collector, or nil.
+func (e *Engine) Collector() *metrics.Collector { return e.coll }
 
 // New returns an engine over an empty graph with a fresh order.
 func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
@@ -359,6 +371,9 @@ func (e *Engine) Apply(c graph.Change) (core.Report, error) {
 	after := e.State()
 	rep.Adjustments = len(core.DiffStates(before, after))
 	e.feed.EmitDiff(before, after)
+	if mc := e.coll; mc != nil {
+		mc.ObserveNetworkWindow(1, rep.Adjustments, rep.SSize, rep.Flips, rep.Rounds, e.net.Metrics.Sample())
+	}
 	return rep, nil
 }
 
@@ -517,6 +532,27 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 // mid-batch error, for the applied prefix), matching the genuinely
 // batching engines event for event.
 func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
+	// Mirror protocol.Engine.ApplyBatch: the per-change delegation
+	// instruments per change, so snapshot the counters and repair
+	// afterwards — one window per batch, nothing counted on error.
+	var snap metrics.Counters
+	if e.coll != nil {
+		snap = e.coll.Counters
+	}
+	rep, err := e.applyBatch(cs)
+	if e.coll != nil {
+		switch {
+		case err != nil:
+			e.coll.Counters = snap
+		case len(cs) > 0:
+			e.coll.Windows = snap.Windows + 1
+		}
+	}
+	return rep, err
+}
+
+// applyBatch is ApplyBatch without the instrumentation repair.
+func (e *Engine) applyBatch(cs []graph.Change) (core.Report, error) {
 	if !e.feed.Active() {
 		return e.ApplyAll(cs)
 	}

@@ -1,22 +1,3 @@
-// Package graph provides the dynamic undirected graph that underlies the
-// dynamic distributed model of Censor-Hillel, Haramaty and Karnin (PODC
-// 2016): an evolving node/edge set subject to typed topology changes
-// (insertions and deletions of edges and nodes, graceful or abrupt, plus
-// muting/unmuting of nodes).
-//
-// # Storage
-//
-// The graph is arena-backed: every node occupies a dense slot in a set of
-// parallel arrays, and a single NodeID → slot table (plus a free-list that
-// recycles the slots of deleted nodes) is the only hash map in the
-// structure. Adjacency is stored as slot indices — inline in the slot for
-// small degrees, spilling into a sorted slice beyond that — so walking a
-// neighborhood is an array scan with zero map lookups. Two auxiliary
-// per-slot lanes ride in the same arena for the layers above: a 64-bit
-// priority lane maintained by internal/order (see Order.Attach) and a
-// one-byte state lane in which internal/core keeps MIS memberships. Both
-// lanes are zeroed whenever a slot is allocated or freed, so recycled
-// slots can never leak a previous node's priority or membership.
 package graph
 
 import (
@@ -27,12 +8,17 @@ import (
 	"slices"
 )
 
-// NodeID identifies a node. IDs are chosen by the caller and are stable for
-// the lifetime of the node. None (-1) is reserved and rejected by AddNode.
+// NodeID identifies a node. IDs are chosen by the caller and are stable
+// for the lifetime of the node — unlike slot indices, which are
+// recycled when nodes are deleted (see the package documentation for
+// the ID/slot distinction). None (-1) is reserved and rejected by
+// AddNode.
 type NodeID int64
 
-// None is the zero-like sentinel for "no node"; it also marks free slots
-// in the arena, which is why it can never name a real node.
+// None is the zero-like sentinel for "no node": the value IDAt returns
+// for a free arena slot, and the conventional "absent" NodeID
+// throughout the engines. Because free slots are marked with it, it can
+// never name a real node (ErrReservedID).
 const None NodeID = -1
 
 // Errors returned by graph mutations. They are sentinel values so callers
@@ -152,9 +138,13 @@ func New() *Graph {
 	return &Graph{idx: make(map[NodeID]int32)}
 }
 
-// Grow arranges capacity for at least n additional nodes, so that a warm-up
-// phase inserting a known number of nodes neither reallocates the arena nor
-// incrementally rehashes the index table.
+// Grow arranges capacity for at least n additional nodes, so that a
+// warm-up phase inserting a known number of nodes neither reallocates
+// the arena nor incrementally rehashes the index table. It never
+// changes observable state, and it is watermarked: the index table is
+// rebuilt only when the projected size exceeds every size it has
+// already reached, so repeating a satisfied Grow (or shrinking the
+// request) is a no-op rather than a rehash.
 func (g *Graph) Grow(n int) {
 	if n <= 0 {
 		return
@@ -180,19 +170,25 @@ func (g *Graph) Grow(n int) {
 	}
 }
 
-// Index returns v's dense slot index. Slots are stable for the lifetime of
-// the node (until it is deleted) and recycled afterwards; they are the key
-// into the arena accessors (IDAt, NeighborSlots, PrioAt, StateAt, LessAt).
+// Index returns v's dense slot index. Slots are stable for the lifetime
+// of the node (until it is deleted) and recycled afterwards, so they
+// must not be cached across mutations; they are the key into the arena
+// accessors (IDAt, NeighborSlots, DegreeAt, PrioAt, StateAt, LessAt).
+// This lookup is the only hashing in the structure — engines resolve
+// IDs to slots once per operation and then stay in slot space.
 func (g *Graph) Index(v NodeID) (int, bool) {
 	i, ok := g.idx[v]
 	return int(i), ok
 }
 
 // Slots returns the arena size: slot indices range over [0, Slots()).
-// Some slots may be free (IDAt returns None for those).
+// Some slots may be free (IDAt returns None for those); the size only
+// ever grows, since deleted nodes' slots are recycled through the
+// free-list rather than compacted away.
 func (g *Graph) Slots() int { return len(g.ids) }
 
-// IDAt returns the NodeID occupying slot i, or None if the slot is free.
+// IDAt returns the NodeID occupying slot i, or None if the slot is free
+// (on the free-list, awaiting recycling).
 func (g *Graph) IDAt(i int) NodeID { return g.ids[i] }
 
 // NeighborSlots returns the neighbor slots of the node in slot i, in
@@ -214,7 +210,9 @@ func (g *Graph) SetPrioAt(i int, p uint64) { g.prio[i] = p }
 
 // StateAt returns slot i's entry of the membership lane, a single byte
 // owned by the engine layered above (internal/core stores the MIS
-// membership here; 0 is "out"). Freed and newly allocated slots read 0.
+// membership here; 0 is "out"). Freed and newly allocated slots read 0
+// — both free and alloc zero the lane, so a recycled slot can never
+// leak its previous tenant's membership.
 func (g *Graph) StateAt(i int) byte { return g.state[i] }
 
 // SetStateAt writes slot i's entry of the membership lane.
@@ -284,7 +282,9 @@ func (g *Graph) AddNode(v NodeID) error {
 	return nil
 }
 
-// RemoveNode deletes v and all incident edges.
+// RemoveNode deletes v and all incident edges. v's slot is zeroed
+// (lanes and adjacency, retaining spill capacity) and pushed onto the
+// free-list for recycling by a future insertion.
 func (g *Graph) RemoveNode(v NodeID) error {
 	i, ok := g.idx[v]
 	if !ok {
@@ -444,9 +444,11 @@ func (g *Graph) Edges() [][2]NodeID {
 	return out
 }
 
-// Clone returns a deep copy of g, preallocated to exactly g's size: slot
-// assignment, lanes and free-list carry over, so a clone is immediately
-// usable by the same attached order without rebuilding.
+// Clone returns a deep copy of g, preallocated to exactly g's size:
+// slot assignment, lanes and free-list carry over (every node keeps its
+// slot index), so a clone is immediately usable by the same attached
+// order without rebuilding, and slot-space scratch computed against g
+// remains meaningful for the clone.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		idx:   make(map[NodeID]int32, len(g.idx)),

@@ -8,6 +8,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
 	"dynmis/internal/simnet"
+	"dynmis/metrics"
 )
 
 // ErrUnmuteUnknownNeighbor is returned when a node is unmuted with an edge
@@ -25,13 +26,17 @@ type Engine struct {
 	visible *graph.Graph
 	procs   map[graph.NodeID]*node
 	feed    core.Feed
+	coll    *metrics.Collector // nil while instrumentation is disabled
 
 	// MaxRounds bounds each recovery; 0 selects an automatic bound of
 	// O(n) rounds, far above the paper's 3|S|+2 worst case.
 	MaxRounds int
 }
 
-var _ core.Engine = (*Engine)(nil)
+var (
+	_ core.Engine     = (*Engine)(nil)
+	_ core.Instrument = (*Engine)(nil)
+)
 
 // New returns an engine over an empty graph with a fresh order.
 func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
@@ -126,8 +131,18 @@ func (e *Engine) Apply(c graph.Change) (core.Report, error) {
 	after := e.State()
 	rep.Adjustments = len(core.DiffStates(before, after))
 	e.feed.EmitDiff(before, after)
+	if mc := e.coll; mc != nil {
+		mc.ObserveNetworkWindow(1, rep.Adjustments, rep.SSize, rep.Flips, rep.Rounds, e.net.Metrics.Sample())
+	}
 	return rep, nil
 }
+
+// Instrument attaches a complexity collector (nil detaches); see
+// core.Instrument.
+func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
+
+// Collector returns the attached collector, or nil.
+func (e *Engine) Collector() *metrics.Collector { return e.coll }
 
 // Subscribe registers a change-feed callback; see core.Feed.
 func (e *Engine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
@@ -304,6 +319,30 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 // whole batch (even on a mid-batch error, for the applied prefix),
 // matching the genuinely batching engines event for event.
 func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
+	// The per-change delegation would also instrument per change: one
+	// window per change, and a failed batch's applied prefix counted.
+	// Snapshot the counters and repair afterwards so the batch surface
+	// honors the capability contract — one window per batch, nothing on
+	// error — on every engine.
+	var snap metrics.Counters
+	if e.coll != nil {
+		snap = e.coll.Counters
+	}
+	rep, err := e.applyBatch(cs)
+	if e.coll != nil {
+		switch {
+		case err != nil:
+			e.coll.Counters = snap
+		case len(cs) > 0:
+			e.coll.Windows = snap.Windows + 1
+		}
+	}
+	return rep, err
+}
+
+// applyBatch is ApplyBatch without the instrumentation repair: the
+// sequential realization of the batch with a single net feed delta.
+func (e *Engine) applyBatch(cs []graph.Change) (core.Report, error) {
 	if !e.feed.Active() {
 		return e.ApplyAll(cs)
 	}

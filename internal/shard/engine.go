@@ -52,6 +52,7 @@ import (
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
 	"dynmis/internal/simnet"
+	"dynmis/metrics"
 )
 
 // DefaultWindow is the number of changes applied per parallel window by
@@ -111,14 +112,17 @@ type Engine struct {
 	window int
 	stats  Stats
 	feed   core.Feed
+	coll   *metrics.Collector // nil while instrumentation is disabled
 }
 
 // Engine implements the full engine surface plus the persistence
 // capability (its core state — graph, order, memberships — is the same
-// data the template engine persists, merely partitioned).
+// data the template engine persists, merely partitioned) and the
+// instrumentation capability.
 var (
 	_ core.Engine      = (*Engine)(nil)
 	_ core.Snapshotter = (*Engine)(nil)
+	_ core.Instrument  = (*Engine)(nil)
 )
 
 // New returns an engine over the empty graph with the given shard count
@@ -162,6 +166,16 @@ func (e *Engine) SetWindow(n int) {
 
 // Stats returns the cumulative concurrency account.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Instrument attaches a complexity collector (nil detaches); see
+// core.Instrument. The collector is written only by the coordinator
+// goroutine after a window's workers have joined, never by the shard
+// workers, so instrumentation adds no synchronization to the parallel
+// cascade.
+func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
+
+// Collector returns the attached collector, or nil.
+func (e *Engine) Collector() *metrics.Collector { return e.coll }
 
 // owner maps a slot to its shard: contiguous ownerBlock-sized slot blocks,
 // round-robin across shards.
@@ -259,7 +273,22 @@ func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	e.stats.Updates += len(cs)
 	e.stats.Seeds += len(seeds)
 
-	return e.account(touched, preFlipped), nil
+	rep := e.account(touched, preFlipped)
+	if mc := e.coll; mc != nil {
+		// The per-shard hop counters are still intact here: runCascade
+		// resets them at the start of the *next* window.
+		mc.Updates += uint64(len(cs))
+		mc.Windows++
+		mc.Adjustments += uint64(rep.Adjustments)
+		mc.Influence += uint64(rep.SSize)
+		mc.Flips += uint64(rep.Flips)
+		mc.TouchedSlots += uint64(len(touched))
+		mc.CrossShard += uint64(rep.CrossShard)
+		for _, s := range e.shards {
+			mc.Handoffs += uint64(s.localHops + s.crossShard)
+		}
+	}
+	return rep, nil
 }
 
 // runCascade executes the parallel flip fixpoint from the given seeds.

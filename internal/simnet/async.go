@@ -117,13 +117,15 @@ func (n *AsyncNetwork) Inject(to graph.NodeID, m Message) {
 }
 
 // Broadcast sends p from v to all current neighbors with the given causal
-// depth, charging one broadcast.
+// depth, charging one broadcast. Copies are counted as Sent here and as
+// Messages only on actual delivery (Run): a copy in flight to a node
+// that departs before delivery is sent but never delivered.
 func (n *AsyncNetwork) Broadcast(from graph.NodeID, p Payload, depth int) {
 	n.Metrics.Broadcasts++
 	n.Metrics.Bits += p.Bits()
 	n.g.EachNeighbor(from, func(u graph.NodeID) {
 		n.queue = append(n.queue, inflight{to: u, msg: Message{From: from, Payload: p}, depth: depth})
-		n.Metrics.Messages++
+		n.Metrics.Sent++
 	})
 }
 
@@ -156,6 +158,11 @@ func (n *AsyncNetwork) Run(maxDeliveries int) error {
 		proc, ok := n.procs[f.to]
 		if !ok {
 			continue // recipient departed while the message was in flight
+		}
+		if f.msg.From != graph.None {
+			// An actual point-to-point delivery (injected control
+			// events carry no communication cost).
+			n.Metrics.Messages++
 		}
 		// A delivery at depth d extends the causal chain to d+1 hops of
 		// communication when the message was an actual broadcast;

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"dynmis/internal/graph"
+	"dynmis/metrics"
 )
 
 // Metrics accumulates communication costs across a recovery period.
@@ -35,8 +36,15 @@ type Metrics struct {
 	// node per round, regardless of degree) — the paper's
 	// broadcast-complexity.
 	Broadcasts int
-	// Messages is the number of point-to-point deliveries (broadcasts
-	// fan out to one message per neighbor).
+	// Sent is the number of point-to-point copies produced by broadcast
+	// fan-out (one per neighbor), whether or not they were delivered.
+	// In the synchronous network Sent = Messages + Dropped; in the
+	// asynchronous network a copy in flight to a node that departs
+	// before delivery is sent but never delivered, so Sent may also
+	// exceed Messages without any fault injection.
+	Sent int
+	// Messages is the number of point-to-point deliveries actually made
+	// to a live recipient.
 	Messages int
 	// Bits is the total payload size of all broadcasts.
 	Bits int
@@ -53,6 +61,7 @@ func (m *Metrics) Reset() { *m = Metrics{} }
 // Add accumulates o into m; CausalDepth takes the maximum.
 func (m *Metrics) Add(o Metrics) {
 	m.Broadcasts += o.Broadcasts
+	m.Sent += o.Sent
 	m.Messages += o.Messages
 	m.Bits += o.Bits
 	m.Dropped += o.Dropped
@@ -63,8 +72,22 @@ func (m *Metrics) Add(o Metrics) {
 
 // String renders the metrics compactly.
 func (m Metrics) String() string {
-	return fmt.Sprintf("Metrics(bcasts=%d msgs=%d bits=%d depth=%d)",
-		m.Broadcasts, m.Messages, m.Bits, m.CausalDepth)
+	return fmt.Sprintf("Metrics(bcasts=%d sent=%d msgs=%d bits=%d depth=%d)",
+		m.Broadcasts, m.Sent, m.Messages, m.Bits, m.CausalDepth)
+}
+
+// Sample exports the readings as a metrics.NetworkSample — the shape
+// Collector.ObserveNetworkWindow folds — for the engines' instrument
+// accounting.
+func (m Metrics) Sample() metrics.NetworkSample {
+	return metrics.NetworkSample{
+		Broadcasts:  m.Broadcasts,
+		Sent:        m.Sent,
+		Delivered:   m.Messages,
+		Dropped:     m.Dropped,
+		Bits:        m.Bits,
+		CausalDepth: m.CausalDepth,
+	}
 }
 
 // Payload is the content of a broadcast message. Bits reports its size in

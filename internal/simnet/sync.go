@@ -113,6 +113,7 @@ func (n *Network) Broadcast(from graph.NodeID, p Payload) {
 	n.Metrics.Broadcasts++
 	n.Metrics.Bits += p.Bits()
 	n.g.EachNeighbor(from, func(u graph.NodeID) {
+		n.Metrics.Sent++
 		if n.Fault != nil && n.Fault(from, u, p) {
 			n.Metrics.Dropped++
 			return

@@ -40,8 +40,8 @@ func (s Scenario) Drive(rng *rand.Rand, g *graph.Graph, steps int) []graph.Chang
 
 // Scenarios returns the benchmark suite: mixed churn, a sliding window
 // over a node stream, preferential-attachment (power-law) growth with
-// random decay, and the adversarial deletion pattern of the paper's §1.1
-// lower-bound gadget.
+// random decay, worst-case single-node churn on a star hub, and the
+// adversarial deletion pattern of the paper's §1.1 lower-bound gadget.
 func Scenarios() []Scenario {
 	return []Scenario{
 		{
@@ -69,6 +69,14 @@ func Scenarios() []Scenario {
 				return GNP(rng, n, 4/float64(n))
 			},
 			Stream: PowerLawSource,
+		},
+		{
+			Name:        "single-node-churn",
+			Description: "star hub deleted and re-inserted every step — worst-case single-node pattern, E[adj] stays O(1)",
+			Build: func(rng *rand.Rand, n int) []graph.Change {
+				return Star(n)
+			},
+			Stream: SingleNodeChurnSource,
 		},
 		{
 			Name:        "adversarial-deletion",
@@ -107,6 +115,16 @@ func SlidingWindow(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change
 // because hub neighborhoods span every shard.
 func PowerLawChurn(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change {
 	return slices.Collect(PowerLawSource(rng, start, steps))
+}
+
+// SingleNodeChurn is the materialized form of SingleNodeChurnSource:
+// alternating deletion and full re-insertion of the warm-up graph's
+// maximum-degree node (the star hub in the packaged scenario). It is the
+// worst-case single-node pattern: the per-change adjustment maximum
+// scales with the hub's degree, while the random order keeps the
+// amortized cost O(1) (Theorem 1).
+func SingleNodeChurn(rng *rand.Rand, start *graph.Graph, steps int) []graph.Change {
+	return slices.Collect(SingleNodeChurnSource(rng, start, steps))
 }
 
 // AdversarialDeletions is the materialized form of AdversarialSource: on

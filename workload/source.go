@@ -231,6 +231,54 @@ func PowerLawSource(rng *rand.Rand, start *graph.Graph, steps int) iter.Seq[grap
 	}
 }
 
+// SingleNodeChurnSource is the streaming form of SingleNodeChurn: on a
+// warmed-up star (§5 Example 1) it repeatedly deletes the hub — the
+// maximum-degree node of the start graph — and re-inserts it with its
+// full former neighborhood, alternating strictly so every step churns
+// the one worst-placed node in the graph.
+//
+// This is the worst-case single-node pattern for adjustment complexity:
+// whenever the hub wins the priority lottery against all n-1 leaves
+// (probability ~1/n per re-insertion, since priorities are redrawn), the
+// insertion demotes every leaf and the following deletion promotes them
+// all back — Θ(n) adjustments for those two changes. The random order
+// makes the *expected* cost O(1) per change (Theorem 1), so measured
+// amortized adjustments stay flat as n grows while the per-change
+// maximum scales with n; cmd/validate tabulates exactly this contrast.
+func SingleNodeChurnSource(rng *rand.Rand, start *graph.Graph, steps int) iter.Seq[graph.Change] {
+	hub, best := graph.None, -1
+	for _, v := range start.Nodes() {
+		if d := start.Degree(v); d > best {
+			hub, best = v, d
+		}
+	}
+	leaves := start.Neighbors(hub)
+
+	return func(yield func(graph.Change) bool) {
+		if hub == graph.None {
+			// An empty warm-up has no hub to churn.
+			return
+		}
+		present := true
+		for emitted := 0; emitted < steps; emitted++ {
+			var c graph.Change
+			if present {
+				kind := graph.NodeDeleteGraceful
+				if rng.IntN(2) == 0 {
+					kind = graph.NodeDeleteAbrupt
+				}
+				c = graph.NodeChange(kind, hub)
+			} else {
+				c = graph.NodeChange(graph.NodeInsert, hub, leaves...)
+			}
+			present = !present
+			if !yield(c) {
+				return
+			}
+		}
+	}
+}
+
 // AdversarialSource is the streaming form of AdversarialDeletions: the
 // §1.1 lower-bound pattern on a warmed-up K_{k,k}.
 func AdversarialSource(_ *rand.Rand, start *graph.Graph, steps int) iter.Seq[graph.Change] {

@@ -1,6 +1,7 @@
 // Package workload generates the dynamic workloads that drive a dynmis
 // engine: named benchmark scenarios (churn, sliding-window, power-law,
-// adversarial-deletion) whose drive phases are lazy change Sources
+// single-node-churn, adversarial-deletion) whose drive phases are lazy
+// change Sources
 // (iter.Seq — assignable to dynmis.Source and consumable by
 // Maintainer.Drive), plus the static topologies of the paper's examples:
 // G(n,p) graphs, stars (§5 Example 1), disjoint 3-edge paths (Example 2),
