@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Updates: 2, Windows: 1, Adjustments: 3, Influence: 4, Flips: 5,
+		CascadeSteps: 6, TouchedSlots: 7, Rounds: 8, Broadcasts: 9,
+		MessagesSent: 10, MessagesDelivered: 11, MessagesDropped: 1, Bits: 12,
+		MaxCausalDepth: 4, Handoffs: 13, CrossShard: 14}
+	b := Counters{Updates: 1, Windows: 1, Adjustments: 1, Influence: 1, Flips: 1,
+		CascadeSteps: 1, TouchedSlots: 1, Rounds: 1, Broadcasts: 1,
+		MessagesSent: 1, MessagesDelivered: 1, MessagesDropped: 1, Bits: 1,
+		MaxCausalDepth: 2, Handoffs: 1, CrossShard: 1}
+	a.Add(b)
+	want := Counters{Updates: 3, Windows: 2, Adjustments: 4, Influence: 5, Flips: 6,
+		CascadeSteps: 7, TouchedSlots: 8, Rounds: 9, Broadcasts: 10,
+		MessagesSent: 11, MessagesDelivered: 12, MessagesDropped: 2, Bits: 13,
+		MaxCausalDepth: 4, Handoffs: 14, CrossShard: 15}
+	if a != want {
+		t.Fatalf("Add:\n got %+v\nwant %+v", a, want)
+	}
+}
+
+func TestCountersAddMaxCausalDepthIsMax(t *testing.T) {
+	a := Counters{MaxCausalDepth: 1}
+	a.Add(Counters{MaxCausalDepth: 7})
+	if a.MaxCausalDepth != 7 {
+		t.Fatalf("MaxCausalDepth = %d, want 7", a.MaxCausalDepth)
+	}
+	a.Add(Counters{MaxCausalDepth: 3})
+	if a.MaxCausalDepth != 7 {
+		t.Fatalf("MaxCausalDepth regressed to %d", a.MaxCausalDepth)
+	}
+}
+
+func TestCountersDiff(t *testing.T) {
+	var c Collector
+	c.Updates, c.Adjustments, c.Broadcasts = 10, 4, 20
+	before := c.Snapshot()
+	c.Updates, c.Adjustments, c.Broadcasts = 15, 6, 29
+	c.MaxCausalDepth = 3
+	d := c.Snapshot().Diff(before)
+	if d.Updates != 5 || d.Adjustments != 2 || d.Broadcasts != 9 {
+		t.Fatalf("Diff: %+v", d)
+	}
+	// The interval maximum is not recoverable; Diff documents that it
+	// carries the running maximum.
+	if d.MaxCausalDepth != 3 {
+		t.Fatalf("Diff MaxCausalDepth = %d, want running max 3", d.MaxCausalDepth)
+	}
+}
+
+func TestPerUpdate(t *testing.T) {
+	c := Counters{Updates: 4, Adjustments: 2, Rounds: 8, Broadcasts: 6, Bits: 100}
+	p := c.PerUpdate()
+	if p.Adjustments != 0.5 || p.Rounds != 2 || p.Broadcasts != 1.5 || p.Bits != 25 {
+		t.Fatalf("PerUpdate: %+v", p)
+	}
+	// No updates must give zeros, never NaN.
+	if z := (Counters{Adjustments: 5}).PerUpdate(); z != (PerUpdate{}) {
+		t.Fatalf("zero-update PerUpdate: %+v", z)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Updates: 10, Adjustments: 5, Broadcasts: 7}
+	s := c.String()
+	if !strings.Contains(s, "updates=10") || !strings.Contains(s, "adj/upd=0.500") || !strings.Contains(s, "bcasts=7") {
+		t.Fatalf("String: %s", s)
+	}
+	// Zero-valued counters are elided.
+	if strings.Contains(s, "rounds=") {
+		t.Fatalf("String shows zero counter: %s", s)
+	}
+	if (Counters{}).String() == "" {
+		t.Fatal("empty String on zero value")
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.Updates = 9
+	c.Reset()
+	if c.Snapshot() != (Counters{}) {
+		t.Fatalf("Reset incomplete: %+v", c.Counters)
+	}
+}
