@@ -5,9 +5,10 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-delta validate validate-smoke clean
+.PHONY: ci fmt vet build test race race-matrix bench bench-smoke bench-delta bench-scaling validate validate-smoke clean
 
 ci: fmt vet build race bench-smoke validate-smoke
+	@$(MAKE) bench-scaling || echo "bench-scaling failed (non-blocking: shared or single-core runners cannot guarantee a parallel speedup)"
 
 # gofmt enforcement: fail with the offending file list if any file is not
 # gofmt-clean.
@@ -29,6 +30,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race matrix: the race detector catches a data race only when the
+# schedule actually interleaves the racing accesses, and the sharded
+# cascade's work-stealing paths interleave very differently at different
+# scheduler widths. Run the suite (shard package first — it is the one
+# with real lock-free concurrency) at a narrow and a wide GOMAXPROCS.
+# -count=1 is load-bearing: the test cache does not key on GOMAXPROCS,
+# so without it the second width would be served from the first's cache.
+race-matrix:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/shard/... ./...
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/shard/... ./...
+
 # Smoke-size benchmark: fast, but still exercises all scenarios and both
 # engines through the streaming ingestion path, plus a trace
 # record/replay round trip, so the harness can't silently rot. Writes
@@ -48,6 +60,17 @@ bench-smoke:
 bench-delta:
 	$(GO) run ./cmd/bench -steps 2000 -out /tmp/BENCH_dynmis_delta.json \
 		-baseline BENCH_dynmis.json
+
+# Scaling smoke: a tiny churn run at GOMAXPROCS 1 and 4 that asserts the
+# sharded engine is at least as fast as the sequential template when
+# given cores (-min-speedup 1.0 gates on the headline speedup). `make ci`
+# runs it non-blocking: a shared or single-core runner cannot guarantee
+# a parallel speedup, but the JSON lands in /tmp (CI uploads it as an
+# artifact) so the trajectory is always inspectable.
+bench-scaling:
+	$(GO) run ./cmd/bench -n 2000 -steps 10000 -scenarios churn \
+		-shards 1,4 -gomaxprocs 1,4 -min-speedup 1.0 \
+		-out /tmp/BENCH_dynmis_scaling.json
 
 # Full benchmark: regenerates the checked-in BENCH_dynmis.json.
 bench:

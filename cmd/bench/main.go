@@ -10,23 +10,33 @@
 // Usage:
 //
 //	bench [-n 2000] [-steps 20000] [-shards 1,4,8] [-window 512]
-//	      [-scenarios churn,sliding-window] [-seed 42] [-quick]
+//	      [-gomaxprocs 1,2,4,8,16] [-scenarios churn,sliding-window]
+//	      [-seed 42] [-quick] [-min-speedup 1.0]
 //	      [-record trace.jsonl] [-replay trace.jsonl]
 //	      [-out BENCH_dynmis.json]
 //
 // Engines:
 //
 //   - sequential:      EngineTemplate driven change by change — the
-//     paper's per-update path.
+//     paper's per-update path. Always timed at GOMAXPROCS=1: it is the
+//     single-core baseline every scaling ratio divides by.
 //   - sequential-batch: EngineTemplate driven through DriveWindow —
-//     batched staging, still a single-threaded cascade.
-//   - sharded-P:       EngineSharded with P worker shards, windowed.
+//     batched staging, still a single-threaded cascade (GOMAXPROCS=1).
+//   - sharded-P:       EngineSharded with P worker shards, windowed,
+//     timed once per -gomaxprocs value. Each run records the GOMAXPROCS
+//     it was timed at and its scaling efficiency:
+//     (rate / sequential rate) / min(P, GOMAXPROCS) — the fraction of
+//     ideal linear scaling the run achieved.
 //
 // -record captures the full ingested stream (warm-up + drive) of the
 // selected scenario as a dynmis/trace JSONL file; -replay benchmarks a
 // previously recorded trace instead of generating a workload, timing the
 // whole trace from the empty graph — the same bytes drive every engine,
 // bit for bit.
+//
+// -min-speedup gates CI smoke runs: after benchmarking, exit nonzero
+// unless the headline sharded rate reaches the given multiple of the
+// sequential rate.
 package main
 
 import (
@@ -47,18 +57,31 @@ import (
 	"dynmis/workload"
 )
 
-// engineRun is one (scenario, engine) measurement in the emitted JSON.
+// Schema identifies the output format. v2 moved gomaxprocs from the top
+// level into every engine run (a file may now mix runs at different
+// GOMAXPROCS) and added per-run scaling_efficiency.
+const Schema = "dynmis-bench/v2"
+
+// engineRun is one (scenario, engine, gomaxprocs) measurement in the
+// emitted JSON.
 type engineRun struct {
 	Engine        string  `json:"engine"`
 	Shards        int     `json:"shards,omitempty"`
 	Window        int     `json:"window,omitempty"`
+	Gomaxprocs    int     `json:"gomaxprocs"`
 	Updates       int     `json:"updates"`
 	Seconds       float64 `json:"seconds"`
 	UpdatesPerSec float64 `json:"updates_per_sec"`
-	Adjustments   int     `json:"adjustments"`
-	SSize         int     `json:"s_size"`
-	CrossShard    int     `json:"cross_shard,omitempty"`
-	Verified      bool    `json:"verified"`
+	// ScalingEfficiency is (rate / sequential rate) / min(shards,
+	// gomaxprocs) for sharded runs: 1.0 is ideal linear scaling over the
+	// exploitable parallelism, values near 1/min(P,procs) mean the run
+	// scaled not at all. Zero for the sequential engines.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	Adjustments       int     `json:"adjustments"`
+	SSize             int     `json:"s_size"`
+	CrossShard        int     `json:"cross_shard,omitempty"`
+	Steals            int     `json:"steals,omitempty"`
+	Verified          bool    `json:"verified"`
 }
 
 type scenarioResult struct {
@@ -69,28 +92,31 @@ type scenarioResult struct {
 }
 
 type benchOutput struct {
-	Schema     string           `json:"schema"`
-	Go         string           `json:"go"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Seed       uint64           `json:"seed"`
-	Steps      int              `json:"steps"`
-	Scenarios  []scenarioResult `json:"scenarios"`
-	Headline   headline         `json:"headline"`
+	Schema    string           `json:"schema"`
+	Go        string           `json:"go"`
+	NumCPU    int              `json:"num_cpu"`
+	Seed      uint64           `json:"seed"`
+	Steps     int              `json:"steps"`
+	Scenarios []scenarioResult `json:"scenarios"`
+	Headline  headline         `json:"headline"`
 }
 
 // headline is the number the ROADMAP tracks: sharded updates/sec on the
 // churn scenario, against both baselines. speedup (vs the per-update
 // sequential path) mixes the windowed-staging gain with the parallel
 // cascade; speedup_vs_batch (vs the single-threaded batched template)
-// isolates what sharding itself buys, so both are recorded.
+// isolates what sharding itself buys, so both are recorded, along with
+// the GOMAXPROCS and scaling efficiency of the winning sharded run.
 type headline struct {
-	Scenario         string  `json:"scenario"`
-	SequentialPerSec float64 `json:"sequential_updates_per_sec"`
-	BatchPerSec      float64 `json:"sequential_batch_updates_per_sec"`
-	ShardedPerSec    float64 `json:"sharded_updates_per_sec"`
-	ShardedShards    int     `json:"sharded_shards"`
-	Speedup          float64 `json:"speedup"`
-	SpeedupVsBatch   float64 `json:"speedup_vs_batch"`
+	Scenario          string  `json:"scenario"`
+	SequentialPerSec  float64 `json:"sequential_updates_per_sec"`
+	BatchPerSec       float64 `json:"sequential_batch_updates_per_sec"`
+	ShardedPerSec     float64 `json:"sharded_updates_per_sec"`
+	ShardedShards     int     `json:"sharded_shards"`
+	ShardedGomaxprocs int     `json:"sharded_gomaxprocs"`
+	Speedup           float64 `json:"speedup"`
+	SpeedupVsBatch    float64 `json:"speedup_vs_batch"`
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
 }
 
 // job is one benchmarkable workload: an untimed warm-up and a timed
@@ -105,17 +131,19 @@ type job struct {
 
 func main() {
 	var (
-		n         = flag.Int("n", 2000, "initial node count (scenarios may cap it)")
-		steps     = flag.Int("steps", 20000, "timed update steps per engine")
-		shardsCSV = flag.String("shards", defaultShards(), "comma-separated shard counts to benchmark")
-		window    = flag.Int("window", 512, "batch window for the batched/sharded engines")
-		scenCSV   = flag.String("scenarios", "", "comma-separated scenario names (default: all)")
-		seed      = flag.Uint64("seed", 42, "random seed (engines and workload generation)")
-		quick     = flag.Bool("quick", false, "smoke-test sizes (n=300, steps=3000)")
-		record    = flag.String("record", "", "record the ingested stream (warm-up + drive) to this trace file; requires exactly one scenario")
-		replay    = flag.String("replay", "", "benchmark a recorded trace instead of generating workloads")
-		out       = flag.String("out", "BENCH_dynmis.json", "output JSON path")
-		baseline  = flag.String("baseline", "", "compare per-scenario updates/sec against this previously emitted JSON (e.g. the committed BENCH_dynmis.json)")
+		n          = flag.Int("n", 2000, "initial node count (scenarios may cap it)")
+		steps      = flag.Int("steps", 20000, "timed update steps per engine")
+		shardsCSV  = flag.String("shards", defaultShards(), "comma-separated shard counts to benchmark")
+		window     = flag.Int("window", 512, "batch window for the batched/sharded engines")
+		gmpCSV     = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values for the sharded runs (default: the current value)")
+		scenCSV    = flag.String("scenarios", "", "comma-separated scenario names (default: all)")
+		seed       = flag.Uint64("seed", 42, "random seed (engines and workload generation)")
+		quick      = flag.Bool("quick", false, "smoke-test sizes (n=300, steps=3000)")
+		record     = flag.String("record", "", "record the ingested stream (warm-up + drive) to this trace file; requires exactly one scenario")
+		replay     = flag.String("replay", "", "benchmark a recorded trace instead of generating workloads")
+		out        = flag.String("out", "BENCH_dynmis.json", "output JSON path")
+		baseline   = flag.String("baseline", "", "compare per-scenario updates/sec against this previously emitted JSON (e.g. the committed BENCH_dynmis.json)")
+		minSpeedup = flag.Float64("min-speedup", 0, "exit nonzero unless the headline sharded speedup vs sequential reaches this factor")
 	)
 	flag.Parse()
 	if *quick {
@@ -138,33 +166,48 @@ func main() {
 		}
 		fmt.Printf("recorded %d changes to %s\n", len(jobs[0].build)+len(jobs[0].drive), *record)
 	}
-	shardCounts, err := parseShards(*shardsCSV)
+	shardCounts, err := parseCounts(*shardsCSV, "-shards")
 	if err != nil {
 		fatal(err)
 	}
+	gmpList := []int{runtime.GOMAXPROCS(0)}
+	if *gmpCSV != "" {
+		if gmpList, err = parseCounts(*gmpCSV, "-gomaxprocs"); err != nil {
+			fatal(err)
+		}
+	}
 
 	output := benchOutput{
-		Schema:     "dynmis-bench/v1",
-		Go:         runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       *seed,
-		Steps:      *steps,
+		Schema: Schema,
+		Go:     runtime.Version(),
+		NumCPU: runtime.NumCPU(),
+		Seed:   *seed,
+		Steps:  *steps,
 	}
 
 	for _, jb := range jobs {
 		res := scenarioResult{Scenario: jb.name, Description: jb.description, Nodes: jb.nodes}
 		fmt.Printf("== %s (n=%d, %d updates)\n", jb.name, jb.nodes, len(jb.drive))
 
-		res.Engines = append(res.Engines,
-			run(jb, *seed, "sequential", 0, 0, dynmis.WithEngine(dynmis.EngineTemplate)),
-			run(jb, *seed, "sequential-batch", 0, *window, dynmis.WithEngine(dynmis.EngineTemplate)))
-		for _, p := range shardCounts {
-			res.Engines = append(res.Engines, run(jb, *seed, "sharded", p, *window,
-				dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(p)))
+		// The sequential engines are the single-core baselines: they are
+		// always timed at GOMAXPROCS=1, whatever the sharded matrix is.
+		seq := run(jb, *seed, "sequential", 0, 0, 1, dynmis.WithEngine(dynmis.EngineTemplate))
+		res.Engines = append(res.Engines, seq,
+			run(jb, *seed, "sequential-batch", 0, *window, 1, dynmis.WithEngine(dynmis.EngineTemplate)))
+		for _, gmp := range gmpList {
+			for _, p := range shardCounts {
+				er := run(jb, *seed, "sharded", p, *window, gmp,
+					dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(p))
+				if seq.UpdatesPerSec > 0 {
+					er.ScalingEfficiency = er.UpdatesPerSec / seq.UpdatesPerSec / float64(min(p, gmp))
+				}
+				res.Engines = append(res.Engines, er)
+			}
 		}
 		for _, er := range res.Engines {
-			fmt.Printf("   %-18s %12.0f updates/s  adj=%-6d |S|=%-6d xshard=%-6d verified=%v\n",
-				label(er), er.UpdatesPerSec, er.Adjustments, er.SSize, er.CrossShard, er.Verified)
+			fmt.Printf("   %-18s p=%-3d %12.0f updates/s  eff=%-5.2f adj=%-6d |S|=%-6d xshard=%-6d steals=%-5d verified=%v\n",
+				label(er), er.Gomaxprocs, er.UpdatesPerSec, er.ScalingEfficiency,
+				er.Adjustments, er.SSize, er.CrossShard, er.Steals, er.Verified)
 			if !er.Verified {
 				fatal(fmt.Errorf("FATAL: %s/%s failed MIS verification", jb.name, label(er)))
 			}
@@ -178,8 +221,9 @@ func main() {
 
 	if output.Headline.Scenario != "" && output.Headline.ShardedPerSec > 0 {
 		h := output.Headline
-		fmt.Printf("\nheadline: churn %0.f updates/s sequential -> %0.f updates/s sharded-%d (%.2fx; %.2fx vs single-threaded batch)\n",
-			h.SequentialPerSec, h.ShardedPerSec, h.ShardedShards, h.Speedup, h.SpeedupVsBatch)
+		fmt.Printf("\nheadline: churn %0.f updates/s sequential -> %0.f updates/s sharded-%d@p%d (%.2fx; %.2fx vs single-threaded batch; efficiency %.2f)\n",
+			h.SequentialPerSec, h.ShardedPerSec, h.ShardedShards, h.ShardedGomaxprocs,
+			h.Speedup, h.SpeedupVsBatch, h.ScalingEfficiency)
 	}
 
 	// Load the baseline before writing: -baseline and -out may name the
@@ -208,35 +252,78 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if *minSpeedup > 0 {
+		h := output.Headline
+		if h.Scenario == "" {
+			fatal(fmt.Errorf("-min-speedup needs the churn scenario in the run set"))
+		}
+		if h.Speedup < *minSpeedup {
+			fatal(fmt.Errorf("headline speedup %.2fx below the -min-speedup gate %.2fx (sharded %.0f vs sequential %.0f updates/s)",
+				h.Speedup, *minSpeedup, h.ShardedPerSec, h.SequentialPerSec))
+		}
+		fmt.Printf("min-speedup gate passed: %.2fx >= %.2fx\n", h.Speedup, *minSpeedup)
+	}
+}
+
+// baselineFile parses both schema versions: v1 carried one top-level
+// gomaxprocs for every run, v2 records it per run.
+type baselineFile struct {
+	Schema     string           `json:"schema"`
+	GOMAXPROCS int              `json:"gomaxprocs"` // v1 only
+	Steps      int              `json:"steps"`
+	Scenarios  []scenarioResult `json:"scenarios"`
 }
 
 // printDelta renders this run's per-scenario updates/sec against a
-// previously emitted JSON file. It is a report, not a gate: engines whose
-// scenario or configuration is absent from the baseline print "new", and
-// differing -steps merely change measurement noise, not the ratio's
-// meaning.
+// previously emitted JSON file (either schema version). It is a report,
+// not a gate: engines whose scenario or configuration is absent from the
+// baseline print "new", and differing -steps merely change measurement
+// noise. Comparing rates measured at different GOMAXPROCS would be
+// meaningless, though, so those entries are refused with a note instead
+// of a ratio.
 func printDelta(w io.Writer, cur benchOutput, path string, data []byte) error {
-	var base benchOutput
+	var base baselineFile
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
+	switch base.Schema {
+	case Schema, "dynmis-bench/v1":
+	default:
+		return fmt.Errorf("baseline %s: unsupported schema %q", path, base.Schema)
+	}
+	// A baseline may carry a whole GOMAXPROCS matrix per engine (the
+	// committed file does), so match on (scenario, engine, procs) first;
+	// the name-only map is kept solely to distinguish "measured at a
+	// different GOMAXPROCS" from "not in the baseline at all".
 	rate := make(map[string]float64)
+	procsOf := make(map[string][]int)
 	for _, sc := range base.Scenarios {
 		for _, er := range sc.Engines {
-			rate[sc.Scenario+"/"+label(er)] = er.UpdatesPerSec
+			procs := er.Gomaxprocs
+			if procs == 0 {
+				procs = base.GOMAXPROCS // v1: one global value
+			}
+			key := sc.Scenario + "/" + label(er)
+			rate[fmt.Sprintf("%s@%d", key, procs)] = er.UpdatesPerSec
+			procsOf[key] = append(procsOf[key], procs)
 		}
 	}
 	fmt.Fprintf(w, "\ndelta vs %s (steps %d -> %d):\n", path, base.Steps, cur.Steps)
 	for _, sc := range cur.Scenarios {
 		for _, er := range sc.Engines {
 			key := sc.Scenario + "/" + label(er)
-			old, ok := rate[key]
-			if !ok || old <= 0 {
+			old, ok := rate[fmt.Sprintf("%s@%d", key, er.Gomaxprocs)]
+			switch {
+			case ok && old > 0:
+				fmt.Fprintf(w, "  %-32s %12.0f updates/s  %8.2fx (baseline %.0f)\n",
+					key, er.UpdatesPerSec, er.UpdatesPerSec/old, old)
+			case len(procsOf[key]) > 0:
+				fmt.Fprintf(w, "  %-32s %12.0f updates/s   (not comparable: baseline at GOMAXPROCS=%v, this run at %d)\n",
+					key, er.UpdatesPerSec, procsOf[key], er.Gomaxprocs)
+			default:
 				fmt.Fprintf(w, "  %-32s %12.0f updates/s   (new)\n", key, er.UpdatesPerSec)
-				continue
 			}
-			fmt.Fprintf(w, "  %-32s %12.0f updates/s  %8.2fx (baseline %.0f)\n",
-				key, er.UpdatesPerSec, er.UpdatesPerSec/old, old)
 		}
 	}
 	return nil
@@ -302,10 +389,13 @@ func recordJob(path string, jb job) error {
 }
 
 // run drives the job's warm-up untimed and its drive stream timed into a
-// freshly configured maintainer, then verifies the final structure
-// against the greedy oracle — the acceptance gate every benchmarked
-// engine must pass on every scenario.
-func run(jb job, seed uint64, name string, shards, window int, opts ...dynmis.Option) engineRun {
+// freshly configured maintainer at the requested GOMAXPROCS, then
+// verifies the final structure against the greedy oracle — the
+// acceptance gate every benchmarked engine must pass on every scenario.
+func run(jb job, seed uint64, name string, shards, window, procs int, opts ...dynmis.Option) engineRun {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
 	m, err := dynmis.New(append(opts, dynmis.WithSeed(seed))...)
 	if err != nil {
 		fatal(err)
@@ -331,12 +421,14 @@ func run(jb job, seed uint64, name string, shards, window int, opts ...dynmis.Op
 		Engine:        name,
 		Shards:        shards,
 		Window:        window,
+		Gomaxprocs:    procs,
 		Updates:       sum.Changes,
 		Seconds:       elapsed.Seconds(),
 		UpdatesPerSec: float64(sum.Changes) / elapsed.Seconds(),
 		Adjustments:   sum.Total.Adjustments,
 		SSize:         sum.Total.SSize,
 		CrossShard:    sum.Total.CrossShard,
+		Steals:        sum.Total.Steals,
 		Verified:      m.Verify() == nil,
 	}
 }
@@ -359,12 +451,12 @@ func defaultShards() string {
 	return strings.Join(strs, ",")
 }
 
-func parseShards(csv string) ([]int, error) {
+func parseCounts(csv, flagName string) ([]int, error) {
 	var out []int
 	for _, s := range strings.Split(csv, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || p < 1 {
-			return nil, fmt.Errorf("bad -shards entry %q", s)
+			return nil, fmt.Errorf("bad %s entry %q", flagName, s)
 		}
 		out = append(out, p)
 	}
@@ -390,6 +482,8 @@ func churnHeadline(res scenarioResult) headline {
 		if er.Engine == "sharded" && er.Shards >= 4 && er.UpdatesPerSec > h.ShardedPerSec {
 			h.ShardedPerSec = er.UpdatesPerSec
 			h.ShardedShards = er.Shards
+			h.ShardedGomaxprocs = er.Gomaxprocs
+			h.ScalingEfficiency = er.ScalingEfficiency
 		}
 	}
 	if h.SequentialPerSec > 0 {

@@ -55,6 +55,13 @@ func TestDriveMetricsAcrossEngines(t *testing.T) {
 				if c.TouchedSlots == 0 || c.Handoffs == 0 {
 					t.Fatalf("sharded: touched/handoffs stayed zero: %+v", c)
 				}
+				// CrossShard is the boundary-crossing subset of Handoffs,
+				// and every steal moves at least one already-counted
+				// hand-off, so neither can exceed the hand-off total.
+				if c.CrossShard > c.Handoffs || c.Steals > c.Handoffs {
+					t.Fatalf("sharded: cross-shard %d / steals %d exceed handoffs %d",
+						c.CrossShard, c.Steals, c.Handoffs)
+				}
 			case dynmis.EngineDirect, dynmis.EngineProtocol:
 				if c.Broadcasts == 0 || c.MessagesSent == 0 || c.Rounds == 0 || c.Bits == 0 {
 					t.Fatalf("%v: network counters stayed zero: %+v", e, c)

@@ -34,6 +34,10 @@ type Report struct {
 	// parallel window. Theorem 1's E[|S|] ≤ 1 bounds its expectation by
 	// O(1) per change regardless of the shard count.
 	CrossShard int
+	// Steals counts work-steal operations in the sharded concurrent
+	// engine: an idle worker taking queued slots from a busier shard.
+	// Scheduling-dependent, so not deterministic across runs.
+	Steals int
 }
 
 // Add accumulates o into r (for sequence-level totals).
@@ -48,6 +52,7 @@ func (r *Report) Add(o Report) {
 		r.CausalDepth = o.CausalDepth
 	}
 	r.CrossShard += o.CrossShard
+	r.Steals += o.Steals
 }
 
 // MaxOf raises each field of r to the corresponding field of o — the
@@ -61,6 +66,7 @@ func (r *Report) MaxOf(o Report) {
 	r.Bits = max(r.Bits, o.Bits)
 	r.CausalDepth = max(r.CausalDepth, o.CausalDepth)
 	r.CrossShard = max(r.CrossShard, o.CrossShard)
+	r.Steals = max(r.Steals, o.Steals)
 }
 
 // String renders the non-zero fields compactly.

@@ -216,6 +216,20 @@ func (e *AsyncEngine) stage(c graph.Change, rep *core.Report) (func(), error) {
 		if err := e.net.AddEdge(c.U, c.V); err != nil {
 			return nil, err
 		}
+		// If this batch deleted the same edge earlier (nothing has been
+		// delivered yet, so its evEdgeDown pair is still in flight),
+		// cancel it instead of layering attach events on top: the net
+		// topology change is zero and both endpoints' quiesced knowledge
+		// is still exact. Delivering the stale down after the peer's
+		// attach hello would wipe a correct neighbor entry for good.
+		if e.cancelEdgeEvents(c.U, c.V, func(p simnet.Payload) graph.NodeID {
+			if ev, ok := p.(evEdgeDown); ok {
+				return ev.Peer
+			}
+			return none
+		}) {
+			return nil, nil
+		}
 		e.net.Inject(c.U, simnet.Message{From: none, Payload: evEdgeAttached{Peer: c.V}})
 		e.net.Inject(c.V, simnet.Message{From: none, Payload: evEdgeAttached{Peer: c.U}})
 		return nil, nil
@@ -226,6 +240,16 @@ func (e *AsyncEngine) stage(c graph.Change, rep *core.Report) (func(), error) {
 		}
 		if err := e.net.RemoveEdge(c.U, c.V); err != nil {
 			return nil, err
+		}
+		// Symmetric to EdgeInsert: an insert earlier in this batch whose
+		// attach events are still in flight is simply cancelled.
+		if e.cancelEdgeEvents(c.U, c.V, func(p simnet.Payload) graph.NodeID {
+			if ev, ok := p.(evEdgeAttached); ok {
+				return ev.Peer
+			}
+			return none
+		}) {
+			return nil, nil
 		}
 		e.net.Inject(c.U, simnet.Message{From: none, Payload: evEdgeDown{Peer: c.V}})
 		e.net.Inject(c.V, simnet.Message{From: none, Payload: evEdgeDown{Peer: c.U}})
@@ -389,6 +413,22 @@ func (e *AsyncEngine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 		mc.ObserveNetworkWindow(len(cs), rep.Adjustments, rep.SSize, rep.Flips, rep.Rounds, e.net.Metrics.Sample())
 	}
 	return rep, nil
+}
+
+// cancelEdgeEvents removes the in-flight injected event pair for edge
+// {u, v} whose peer is extracted by peerOf (evEdgeDown or evEdgeAttached),
+// reporting whether a pair was cancelled. Injected events are only ever
+// consumed during a drain and all of a batch's changes are staged before
+// the drain starts, so the pair is either fully in flight or fully absent.
+func (e *AsyncEngine) cancelEdgeEvents(u, v graph.NodeID, peerOf func(simnet.Payload) graph.NodeID) bool {
+	removed := e.net.Unqueue(func(to graph.NodeID, m simnet.Message) bool {
+		if m.From != graph.None {
+			return false
+		}
+		peer := peerOf(m.Payload)
+		return (to == u && peer == v) || (to == v && peer == u)
+	})
+	return removed > 0
 }
 
 // referencesAny reports whether c names any node in the given set, and

@@ -140,9 +140,14 @@ func (v *view) ingest(m simnet.Message) bool {
 			info.in = p.In
 		} else {
 			v.nbr[m.From] = &nbrInfo{prio: p.Prio, in: p.In}
-			if p.NeedInfo {
-				v.pendingReply = true
-			}
+		}
+		// Honor NeedInfo even when the sender is already known: under an
+		// adversarial asynchronous scheduler this node may have learned
+		// the sender from an incidental broadcast before the sender's
+		// NeedInfo hello arrives, and a dropped reply would starve the
+		// sender's awaitInfo count forever.
+		if p.NeedInfo {
+			v.pendingReply = true
 		}
 		if v.awaitInfo > 0 {
 			v.awaitInfo--
@@ -150,15 +155,27 @@ func (v *view) ingest(m simnet.Message) bool {
 		return true
 	case retireMsg:
 		delete(v.nbr, m.From)
+		if v.awaitInfo > 0 {
+			v.awaitInfo--
+		}
 		return true
 	case evEdgeAttached:
 		v.pendingHello = true
 		return false
 	case evEdgeDown:
 		delete(v.nbr, p.Peer)
+		// A lost edge resolves one pending expectation: if this node was
+		// inserted in the same batch and awaits the peer's hello, that
+		// hello is never coming (the peer is no longer a neighbor).
+		if v.awaitInfo > 0 {
+			v.awaitInfo--
+		}
 		return true
 	case evNodeGone:
 		delete(v.nbr, p.Peer)
+		if v.awaitInfo > 0 {
+			v.awaitInfo--
+		}
 		return true
 	case evRetire:
 		v.retiring = true

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// A partitioned free-list must recycle every freed slot exactly once and
+// never change observable graph state — only which slot an insertion gets.
+func TestPartitionedFreeListRecycles(t *testing.T) {
+	g := New()
+	const n = 256
+	for v := range NodeID(n) {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.PartitionFreeList(4, 64)
+
+	// Free a skewed range: all of the first block-aligned region, which
+	// an unpartitioned LIFO list would hand back in one clump.
+	for v := range NodeID(128) {
+		if err := g.RemoveNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.FreeSlots() != 128 {
+		t.Fatalf("FreeSlots = %d, want 128", g.FreeSlots())
+	}
+
+	// Re-insert: every freed slot must be reused before the arena grows.
+	slots := g.Slots()
+	for v := NodeID(1000); v < 1000+128; v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Slots() != slots {
+		t.Fatalf("arena grew from %d to %d slots despite %d free", slots, g.Slots(), 128)
+	}
+	if g.FreeSlots() != 0 {
+		t.Fatalf("FreeSlots = %d after refill", g.FreeSlots())
+	}
+	if g.NodeCount() != n {
+		t.Fatalf("NodeCount = %d, want %d", g.NodeCount(), n)
+	}
+}
+
+// Round-robin allocation must spread recycled slots across the
+// partitions rather than draining one block's worth at a time.
+func TestPartitionedFreeListSpreadsAllocations(t *testing.T) {
+	g := New()
+	const parts, block = 4, 8
+	for v := range NodeID(parts * block * 4) {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.PartitionFreeList(parts, block)
+	for v := range NodeID(parts * block * 4) {
+		if err := g.RemoveNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The first `parts` allocations must land in `parts` distinct
+	// partitions (the round-robin guarantee).
+	seen := make(map[int]bool)
+	for v := NodeID(10_000); v < 10_000+parts; v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+		i, _ := g.Index(v)
+		seen[i/block%parts] = true
+	}
+	if len(seen) != parts {
+		t.Fatalf("first %d allocations hit %d partitions, want %d", parts, len(seen), parts)
+	}
+}
+
+// Repartitioning (including back to 1) must preserve the free slot set,
+// and a partitioned graph must keep passing random churn.
+func TestRepartitionPreservesFreeSet(t *testing.T) {
+	g := New()
+	rng := rand.New(rand.NewPCG(3, 5))
+	live := map[NodeID]bool{}
+	next := NodeID(0)
+	for step := 0; step < 2000; step++ {
+		if step%500 == 250 {
+			g.PartitionFreeList(1+rng.IntN(8), 16)
+		}
+		if len(live) == 0 || rng.IntN(3) > 0 {
+			if err := g.AddNode(next); err != nil {
+				t.Fatal(err)
+			}
+			live[next] = true
+			next++
+		} else {
+			var victim NodeID
+			for v := range live {
+				victim = v
+				break
+			}
+			if err := g.RemoveNode(victim); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, victim)
+		}
+		if g.NodeCount() != len(live) {
+			t.Fatalf("step %d: NodeCount %d, live %d", step, g.NodeCount(), len(live))
+		}
+		if g.Slots()-g.FreeSlots() != len(live) {
+			t.Fatalf("step %d: slots %d - free %d != live %d", step, g.Slots(), g.FreeSlots(), len(live))
+		}
+	}
+	c := g.Clone()
+	if !g.Equal(c) || c.FreeSlots() != g.FreeSlots() {
+		t.Fatal("clone diverged from partitioned original")
+	}
+}

@@ -128,14 +128,71 @@ type Graph struct {
 	adj    []adjacency      // slot → neighbor slots
 	prio   []uint64         // slot → priority lane (see Order.Attach)
 	state  []byte           // slot → membership lane (owned by internal/core)
-	free   []int32          // recycled slots, popped LIFO
+	free   [][]int32        // recycled slots per partition, popped LIFO
+	freeRR int              // round-robin allocation cursor over partitions
+	freeBk int32            // slot-block granularity keying the partitions
 	n      int              // live node count
 	edges  int
 }
 
-// New returns an empty graph.
+// New returns an empty graph with a single (unpartitioned) free-list.
 func New() *Graph {
-	return &Graph{idx: make(map[NodeID]int32)}
+	return &Graph{idx: make(map[NodeID]int32), free: make([][]int32, 1)}
+}
+
+// freeKey returns the free-list partition owning slot i.
+func (g *Graph) freeKey(i int32) int {
+	if len(g.free) == 1 {
+		return 0
+	}
+	return int(uint32(i) / uint32(g.freeBk) % uint32(len(g.free)))
+}
+
+// freeCount returns the total number of recycled slots awaiting reuse.
+func (g *Graph) freeCount() int {
+	n := 0
+	for _, part := range g.free {
+		n += len(part)
+	}
+	return n
+}
+
+// FreeSlots returns the number of recycled slots on the free-list(s).
+func (g *Graph) FreeSlots() int { return g.freeCount() }
+
+// PartitionFreeList splits the arena free-list into parts independent
+// pools keyed by contiguous blockSlots-sized slot blocks — the same
+// block-cyclic keying a sharded engine uses for slot ownership. Freed
+// slots return to the pool of their owning partition, and allocations
+// draw from the pools round-robin, so a burst of insertions spreads its
+// recycled slots evenly across all partitions instead of replaying the
+// free-list's LIFO history (which, after skewed churn, can hand every
+// new node to one partition and leave its owner doing the whole
+// cascade). With parts == 1 the graph behaves exactly as before:
+// one LIFO free-list.
+//
+// Repartitioning rebuckets the current free slots; it never changes
+// observable graph state, only which free slot a future insertion gets.
+func (g *Graph) PartitionFreeList(parts int, blockSlots int) {
+	if parts < 1 {
+		parts = 1
+	}
+	if blockSlots < 1 {
+		blockSlots = 1
+	}
+	if parts == len(g.free) && (parts == 1 || int32(blockSlots) == g.freeBk) {
+		return
+	}
+	old := g.free
+	g.free = make([][]int32, parts)
+	g.freeBk = int32(blockSlots)
+	g.freeRR = 0
+	for _, part := range old {
+		for _, i := range part {
+			k := g.freeKey(i)
+			g.free[k] = append(g.free[k], i)
+		}
+	}
 }
 
 // Grow arranges capacity for at least n additional nodes, so that a
@@ -151,7 +208,7 @@ func (g *Graph) Grow(n int) {
 	}
 	// Fresh insertions drain the free-list first; only the remainder
 	// needs new arena capacity.
-	if extra := n - len(g.free); extra > 0 {
+	if extra := n - g.freeCount(); extra > 0 {
 		g.ids = slices.Grow(g.ids, extra)
 		g.adj = slices.Grow(g.adj, extra)
 		g.prio = slices.Grow(g.prio, extra)
@@ -247,14 +304,21 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return g.adj[i].contains(j)
 }
 
-// alloc claims a slot for v: a recycled one if available, else a fresh one.
-// Lanes and adjacency of the returned slot are zeroed.
+// alloc claims a slot for v: a recycled one if available (drawn from the
+// free-list partitions round-robin), else a fresh one. Lanes and
+// adjacency of the returned slot are zeroed.
 func (g *Graph) alloc(v NodeID) int32 {
-	var i int32
-	if k := len(g.free); k > 0 {
-		i = g.free[k-1]
-		g.free = g.free[:k-1]
-	} else {
+	i := int32(-1)
+	for range g.free {
+		p := g.freeRR
+		g.freeRR = (g.freeRR + 1) % len(g.free)
+		if k := len(g.free[p]); k > 0 {
+			i = g.free[p][k-1]
+			g.free[p] = g.free[p][:k-1]
+			break
+		}
+	}
+	if i < 0 {
 		i = int32(len(g.ids))
 		g.ids = append(g.ids, None)
 		g.adj = append(g.adj, adjacency{})
@@ -299,7 +363,8 @@ func (g *Graph) RemoveNode(v NodeID) error {
 	g.state[i] = 0
 	g.ids[i] = None
 	delete(g.idx, v)
-	g.free = append(g.free, i)
+	k := g.freeKey(i)
+	g.free[k] = append(g.free[k], i)
 	g.n--
 	return nil
 }
@@ -451,14 +516,19 @@ func (g *Graph) Edges() [][2]NodeID {
 // remains meaningful for the clone.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		idx:   make(map[NodeID]int32, len(g.idx)),
-		ids:   slices.Clone(g.ids),
-		adj:   make([]adjacency, len(g.adj)),
-		prio:  slices.Clone(g.prio),
-		state: slices.Clone(g.state),
-		free:  slices.Clone(g.free),
-		n:     g.n,
-		edges: g.edges,
+		idx:    make(map[NodeID]int32, len(g.idx)),
+		ids:    slices.Clone(g.ids),
+		adj:    make([]adjacency, len(g.adj)),
+		prio:   slices.Clone(g.prio),
+		state:  slices.Clone(g.state),
+		free:   make([][]int32, len(g.free)),
+		freeRR: g.freeRR,
+		freeBk: g.freeBk,
+		n:      g.n,
+		edges:  g.edges,
+	}
+	for k, part := range g.free {
+		c.free[k] = slices.Clone(part)
 	}
 	for v, i := range g.idx {
 		c.idx[v] = i

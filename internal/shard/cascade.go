@@ -1,0 +1,466 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/simnet"
+)
+
+// Per-slot cascade states. Every arena slot carries one uint32 in the
+// engine's flags lane forming a tiny state machine that provides both
+// deduplication (the old mailbox's queued-set) and single-flight
+// execution (the old design's one-consumer-per-shard guarantee, which
+// work-stealing would otherwise break):
+//
+//	stIdle ──enqueue──▶ stQueued ──pop──▶ stRunning ──done──▶ stIdle
+//	                                          │  ▲
+//	                                 enqueue  ▼  │ rerun
+//	                                      stRequeued
+//
+// An enqueue of a queued slot merges (no new entry); an enqueue of a
+// running slot marks it requeued, and the slot's current runner loops —
+// re-reading neighbor states that now include the enqueuer's flip — so
+// no two workers ever evaluate the same slot concurrently, yet no flip
+// of an earlier-in-π neighbor can be missed. All transitions are
+// sequentially consistent atomics, which is what carries the
+// happens-before edge from a neighbor's lane write to the re-run's read.
+const (
+	stIdle uint32 = iota
+	stQueued
+	stRunning
+	stRequeued
+)
+
+const (
+	// serialSeedCutoff is the seed count below which a window's cascade
+	// runs inline on the coordinator with no locks at all: spawning P
+	// workers for a handful of seeds costs more than the cascade.
+	serialSeedCutoff = 32
+	// outboxFlush caps a per-destination outbox before it is force-flushed
+	// mid-round, bounding the latency of a cross-shard hand-off batch.
+	outboxFlush = 128
+	// localSpill caps the private run stack; beyond it the oldest half is
+	// published to the worker's own deque where idle shards can steal it.
+	localSpill = 512
+	// refillBatch is how many slots a worker moves from its shared deque
+	// to its private stack per refill.
+	refillBatch = 64
+	// stealBatch caps one steal; Deque.Steal additionally never takes
+	// more than half the victim's queue.
+	stealBatch = 32
+)
+
+// worker is one cascade worker's private state: its shared deque (where
+// cross-shard batches arrive and thieves steal from), its private run
+// stack, per-destination outbox rings, and window scratch. Everything
+// except the deque is touched only by the owning worker goroutine during
+// a cascade and by the coordinator after the workers have joined.
+type worker struct {
+	deque   simnet.Deque
+	local   []int32   // private LIFO run stack (not stealable)
+	out     [][]int32 // per-destination outbox rings, flushed in batches
+	touched []int32   // slots this worker first-flipped in the window
+
+	localHops int // hand-offs staying inside the flipped slot's own shard
+	crossHops int // hand-offs crossing an ownership boundary
+	steals    int // successful steal operations by this worker
+	stolen    int // slots acquired by those steals
+}
+
+// parkLot is the cascade's idle coordination: workers that find no
+// runnable work anywhere sleep here, batch deliveries bump gen and wake
+// them, and the worker that drives pending to zero sets done.
+type parkLot struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     uint64
+	waiting int
+	done    bool
+}
+
+// growScratch sizes the per-slot lanes (cascade flags, flip counts,
+// first pre-flip memberships) to the arena. New entries are zero —
+// stIdle, no flips — and the lanes are returned to all-zero by the
+// cascade itself (flags) and by account (flip lanes), so no O(n) clear
+// ever happens: per-window cost stays O(touched).
+func (e *Engine) growScratch() {
+	n := e.g.Slots()
+	if len(e.flags) < n {
+		e.flags = append(e.flags, make([]uint32, n-len(e.flags))...)
+		e.flipCount = append(e.flipCount, make([]uint32, n-len(e.flipCount))...)
+		e.firstBefore = append(e.firstBefore, make([]byte, n-len(e.firstBefore))...)
+	}
+}
+
+// recordFlip accounts one flip of slot s, capturing the pre-flip
+// membership the first time the window's cascade touches s. The flip
+// lanes are written only by s's current runner (single-flight) and read
+// by the coordinator after the workers join.
+func (e *Engine) recordFlip(wk *worker, s int32, before core.Membership) {
+	if e.flipCount[s] == 0 {
+		if before == core.In {
+			e.firstBefore[s] = 2
+		} else {
+			e.firstBefore[s] = 1
+		}
+		wk.touched = append(wk.touched, s)
+	}
+	e.flipCount[s]++
+}
+
+// runCascade executes the flip fixpoint from the given seed nodes.
+// During the cascade the graph and order are frozen, so workers exchange
+// raw slot indices. Small windows (and any window on a single-processor
+// runtime, where parallel workers could only timeshare) drain inline on
+// the coordinator with no locks; larger ones fan out to one worker per
+// shard with work stealing.
+func (e *Engine) runCascade(seeds []graph.NodeID) {
+	for _, wk := range e.workers {
+		wk.touched = wk.touched[:0]
+		wk.local = wk.local[:0]
+		wk.localHops, wk.crossHops, wk.steals, wk.stolen = 0, 0, 0, 0
+	}
+	e.growScratch()
+	if len(seeds) == 0 {
+		return
+	}
+
+	// Resolve and deduplicate the seeds into per-owner batches. Seeds
+	// staged away later in the same window no longer resolve; their
+	// former neighbors were seeded separately.
+	npend := 0
+	for _, v := range seeds {
+		i, ok := e.g.Index(v)
+		if !ok {
+			continue
+		}
+		s := int32(i)
+		if atomic.CompareAndSwapUint32(&e.flags[s], stIdle, stQueued) {
+			npend++
+			d := e.owner(s)
+			e.seedBatch[d] = append(e.seedBatch[d], s)
+		}
+	}
+	if npend == 0 {
+		return
+	}
+
+	if !e.forceParallel && (len(e.shards) == 1 || npend <= serialSeedCutoff || runtime.GOMAXPROCS(0) == 1) {
+		e.drainSerial()
+		return
+	}
+
+	e.pending.Store(int64(npend))
+	e.lot.done = false
+	e.lot.gen = 0
+	for d := range e.seedBatch {
+		if len(e.seedBatch[d]) > 0 {
+			e.workers[d].deque.PushBatch(e.seedBatch[d])
+			e.seedBatch[d] = e.seedBatch[d][:0]
+		}
+	}
+	var wg sync.WaitGroup
+	for w := range e.workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.runWorker(w)
+		}()
+	}
+	wg.Wait()
+}
+
+// drainSerial is the inline fast path: the same fixpoint, run by the
+// coordinator alone, so the membership lane needs no locks and the flags
+// lane no contended atomics. Hand-offs are still attributed local/cross
+// by slot ownership — the split measures ownership-boundary crossings,
+// which are a property of the flip sequence, not of which goroutine
+// happened to execute it.
+func (e *Engine) drainSerial() {
+	wk := e.workers[0]
+	stack := wk.local[:0]
+	for d := range e.seedBatch {
+		stack = append(stack, e.seedBatch[d]...)
+		e.seedBatch[d] = e.seedBatch[d][:0]
+	}
+	for len(stack) > 0 {
+		n := len(stack) - 1
+		s := stack[n]
+		stack = stack[:n]
+		atomic.StoreUint32(&e.flags[s], stIdle)
+
+		cur := e.state.At(int(s))
+		want := core.In
+		for _, nb := range e.g.NeighborSlots(int(s)) {
+			if e.g.LessAt(int(nb), int(s)) && e.state.At(int(nb)) == core.In {
+				want = core.Out
+				break
+			}
+		}
+		if want == cur {
+			continue
+		}
+		e.state.SetAt(int(s), want)
+		e.recordFlip(wk, s, cur)
+		so := e.owner(s)
+		for _, nb := range e.g.NeighborSlots(int(s)) {
+			if !e.g.LessAt(int(s), int(nb)) {
+				continue
+			}
+			if e.owner(nb) == so {
+				wk.localHops++
+			} else {
+				wk.crossHops++
+			}
+			if atomic.LoadUint32(&e.flags[nb]) == stIdle {
+				atomic.StoreUint32(&e.flags[nb], stQueued)
+				stack = append(stack, nb)
+			}
+		}
+	}
+	wk.local = stack
+}
+
+// runWorker is one parallel worker's main loop: drain the private stack,
+// flush outbox batches, refill from the own deque, steal from busier
+// shards, park when the whole cascade is quiet.
+func (e *Engine) runWorker(w int) {
+	wk := e.workers[w]
+	for {
+		for len(wk.local) > 0 {
+			n := len(wk.local) - 1
+			s := wk.local[n]
+			wk.local = wk.local[:n]
+			e.process(w, wk, s)
+		}
+		e.flushAll(wk)
+		if e.refill(wk) {
+			continue
+		}
+		if e.stealWork(w, wk) {
+			continue
+		}
+		if !e.park(w, wk) {
+			return
+		}
+	}
+}
+
+// process runs the state machine for one popped slot: evaluate (and
+// maybe flip), looping while enqueues marked the slot requeued, then
+// release the pending credit and detect termination.
+func (e *Engine) process(w int, wk *worker, s int32) {
+	fl := &e.flags[s]
+	if old := atomic.SwapUint32(fl, stRunning); old != stQueued {
+		panic(fmt.Sprintf("shard: popped slot %d in cascade state %d, want queued", s, old))
+	}
+	for {
+		e.step(w, wk, s)
+		if atomic.CompareAndSwapUint32(fl, stRunning, stIdle) {
+			break
+		}
+		// An enqueue landed while we were running: consume its credit
+		// and re-evaluate with the enqueuer's flip now visible.
+		if old := atomic.SwapUint32(fl, stRunning); old != stRequeued {
+			panic(fmt.Sprintf("shard: rerun of slot %d found cascade state %d, want requeued", s, old))
+		}
+		e.pending.Add(-1)
+	}
+	if e.pending.Add(-1) == 0 {
+		e.shutdown()
+	}
+}
+
+// step evaluates the MIS invariant at slot s and flips it if violated,
+// forwarding the slots whose invariant the flip can affect. The
+// membership lane is read under the slot-owning shard's RLock and
+// written under its write lock; reads may be momentarily stale, but any
+// later flip of an earlier neighbor re-enqueues (or re-runs) s, so
+// staleness delays convergence and cannot corrupt the fixpoint.
+func (e *Engine) step(w int, wk *worker, s int32) {
+	own := e.shards[e.owner(s)]
+	own.mu.RLock()
+	cur := e.state.At(int(s))
+	own.mu.RUnlock()
+
+	want := core.In
+	for _, nb := range e.g.NeighborSlots(int(s)) {
+		if !e.g.LessAt(int(nb), int(s)) {
+			continue
+		}
+		p := e.shards[e.owner(nb)]
+		p.mu.RLock()
+		nin := e.state.At(int(nb)) == core.In
+		p.mu.RUnlock()
+		if nin {
+			want = core.Out
+			break
+		}
+	}
+	if want == cur {
+		return
+	}
+
+	own.mu.Lock()
+	e.state.SetAt(int(s), want)
+	own.mu.Unlock()
+	e.recordFlip(wk, s, cur)
+
+	// Only nodes later in π can have been violated by this flip.
+	so := e.owner(s)
+	for _, nb := range e.g.NeighborSlots(int(s)) {
+		if !e.g.LessAt(int(s), int(nb)) {
+			continue
+		}
+		if e.owner(nb) == so {
+			wk.localHops++
+		} else {
+			wk.crossHops++
+		}
+		e.enqueue(w, wk, nb)
+	}
+}
+
+// enqueue routes slot s into the cascade: own-shard work goes onto the
+// private stack, cross-shard work into the destination's outbox ring.
+// Duplicate enqueues merge via the state machine; enqueues against a
+// running slot become a rerun instead of a queue entry.
+//
+// The pending credit is taken after the CAS but before the slot becomes
+// visible to any consumer; the count cannot meanwhile hit zero because
+// the caller — a worker mid-process, or the coordinator before workers
+// start — still holds its own credit.
+func (e *Engine) enqueue(w int, wk *worker, s int32) {
+	fl := &e.flags[s]
+	for {
+		switch atomic.LoadUint32(fl) {
+		case stIdle:
+			if atomic.CompareAndSwapUint32(fl, stIdle, stQueued) {
+				e.pending.Add(1)
+				d := e.owner(s)
+				if d == w {
+					wk.local = append(wk.local, s)
+					if len(wk.local) > localSpill {
+						e.spillLocal(wk)
+					}
+				} else {
+					wk.out[d] = append(wk.out[d], s)
+					if len(wk.out[d]) >= outboxFlush {
+						e.flushDest(wk, d)
+					}
+				}
+				return
+			}
+		case stQueued, stRequeued:
+			return // merged into the already-pending entry
+		case stRunning:
+			if atomic.CompareAndSwapUint32(fl, stRunning, stRequeued) {
+				e.pending.Add(1)
+				return
+			}
+		}
+	}
+}
+
+// spillLocal publishes the oldest half of the private stack to the
+// worker's shared deque, where idle shards can steal it.
+func (e *Engine) spillLocal(wk *worker) {
+	half := len(wk.local) / 2
+	wk.deque.PushBatch(wk.local[:half])
+	n := copy(wk.local, wk.local[half:])
+	wk.local = wk.local[:n]
+	e.wake()
+}
+
+// flushDest delivers one destination's outbox as a single batch.
+func (e *Engine) flushDest(wk *worker, d int) {
+	e.workers[d].deque.PushBatch(wk.out[d])
+	wk.out[d] = wk.out[d][:0]
+	e.wake()
+}
+
+// flushAll delivers every non-empty outbox; it must run before a worker
+// refills, steals or parks, so no hand-off can hide in a sleeping
+// worker's outbox.
+func (e *Engine) flushAll(wk *worker) {
+	for d := range wk.out {
+		if len(wk.out[d]) > 0 {
+			e.flushDest(wk, d)
+		}
+	}
+}
+
+// refill moves a batch from the worker's shared deque onto its private
+// stack, reporting whether anything arrived.
+func (e *Engine) refill(wk *worker) bool {
+	n := len(wk.local)
+	wk.local = wk.deque.PopBatch(wk.local, refillBatch)
+	return len(wk.local) > n
+}
+
+// stealWork scans the other shards' deques and steals a batch from the
+// first non-empty one.
+func (e *Engine) stealWork(w int, wk *worker) bool {
+	for i := 1; i < len(e.workers); i++ {
+		v := (w + i) % len(e.workers)
+		n := len(wk.local)
+		wk.local = e.workers[v].deque.Steal(wk.local, stealBatch)
+		if got := len(wk.local) - n; got > 0 {
+			wk.steals++
+			wk.stolen += got
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks until new work may exist (a batch delivery bumped gen) or
+// the cascade terminated. It returns false exactly when the worker
+// should exit. The gen re-check between the unlocked probe and the Wait
+// closes the lost-wakeup window.
+func (e *Engine) park(w int, wk *worker) bool {
+	lot := &e.lot
+	lot.mu.Lock()
+	for {
+		if lot.done {
+			lot.mu.Unlock()
+			return false
+		}
+		gen := lot.gen
+		lot.mu.Unlock()
+		if e.refill(wk) || e.stealWork(w, wk) {
+			return true
+		}
+		lot.mu.Lock()
+		if lot.gen == gen && !lot.done {
+			lot.waiting++
+			lot.cond.Wait()
+			lot.waiting--
+		}
+	}
+}
+
+// wake records that work was published and rouses parked workers.
+func (e *Engine) wake() {
+	lot := &e.lot
+	lot.mu.Lock()
+	lot.gen++
+	if lot.waiting > 0 {
+		lot.cond.Broadcast()
+	}
+	lot.mu.Unlock()
+}
+
+// shutdown marks the cascade terminated and releases every parked worker.
+func (e *Engine) shutdown() {
+	lot := &e.lot
+	lot.mu.Lock()
+	lot.done = true
+	lot.cond.Broadcast()
+	lot.mu.Unlock()
+}

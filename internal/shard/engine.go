@@ -1,6 +1,6 @@
 // Package shard implements the sharded concurrent update engine: the
 // template cascade of Algorithm 1 (internal/core) executed in parallel by
-// P worker goroutines, each owning a partition of the vertex space.
+// P worker goroutines, each anchored to a partition of the vertex space.
 //
 // A window of topology changes is applied in two phases:
 //
@@ -11,35 +11,43 @@
 //     Staging collects the cascade seed set (the union of the per-change
 //     candidate sets S0).
 //  2. Recovery (parallel): the flip fixpoint runs as a distributed
-//     worklist. Each shard worker pops candidate slots it owns from its
-//     mailbox, re-evaluates the MIS invariant against current neighbor
-//     states, flips its own slots under the shard lock, and forwards the
-//     later-in-π neighbors of every flipped node to their owner shards.
-//     Updates whose cascades stay inside one shard proceed with no
-//     coordination at all; only hand-offs that cross a shard boundary
-//     serialize, through the receiving shard's mailbox.
+//     worklist with work stealing. Each worker drains a private run
+//     stack of candidate slots, re-evaluates the MIS invariant against
+//     current neighbor states, flips under the slot-owning shard's lock,
+//     and routes the later-in-π neighbors of every flipped node: slots
+//     of its own shard onto the private stack, foreign slots into
+//     per-destination outbox rings that are flushed as whole batches
+//     into the destination worker's deque (simnet.Deque). A worker whose
+//     own shard runs dry steals batches from busier shards' deques, so a
+//     skewed cascade no longer leaves P−1 cores parked. Per-slot
+//     deduplication and single-flight execution are enforced by an
+//     atomic state machine (see cascade.go), not by queue identity, so
+//     stealing cannot double-evaluate a slot.
 //
 // Storage is the same dense arena every engine shares: memberships live in
 // the graph's one-byte state lane and priorities in its priority lane, so
 // a worker's invariant evaluation is an array walk over neighbor slots.
 // The partition is over slots, not node IDs — contiguous blocks of
 // ownerBlock slots per shard — which keeps a shard's lane bytes on its own
-// cache lines. During a cascade the graph (and hence the slot space) is
-// frozen, so workers exchange raw slot indices and never consult the
-// NodeID index table.
+// cache lines, and the graph's free-list is partitioned the same way
+// (graph.PartitionFreeList), so staging recycles slots round-robin across
+// shards instead of clumping one shard's blocks with all the fresh nodes.
+// During a cascade the graph (and hence the slot space) is frozen, so
+// workers exchange raw slot indices and never consult the NodeID index
+// table.
 //
 // Correctness does not depend on scheduling: the membership assignment
 // satisfying the invariant "v ∈ MIS iff no earlier-in-π neighbor is in the
 // MIS" is unique for a fixed graph and order (it is the sequential greedy
 // MIS), flips propagate strictly upward in π, and every flip re-enqueues
 // exactly the nodes whose invariant it can affect — so the fixpoint the
-// workers quiesce at is that unique assignment, regardless of shard count
-// or interleaving. This is the same history-independence argument
-// (Definition 14) that makes the paper's distributed engines agree with
-// the sequential oracle. The paper's Theorem 1 (E[|S|] ≤ 1) is what makes
-// the design scale: the expected number of cascade hand-offs — and hence
-// of cross-shard serializations — is O(1) per change, independent of both
-// the graph size and P.
+// workers quiesce at is that unique assignment, regardless of shard count,
+// stealing, or interleaving. This is the same history-independence
+// argument (Definition 14) that makes the paper's distributed engines
+// agree with the sequential oracle. The paper's Theorem 1 (E[|S|] ≤ 1) is
+// what makes the design scale: the expected number of cascade hand-offs —
+// and hence of cross-shard batches — is O(1) per change, independent of
+// both the graph size and P.
 package shard
 
 import (
@@ -51,7 +59,6 @@ import (
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
-	"dynmis/internal/simnet"
 	"dynmis/metrics"
 )
 
@@ -74,27 +81,30 @@ type Stats struct {
 	// Seeds is the total number of cascade seed evaluations enqueued by
 	// staging.
 	Seeds int
-	// LocalHandoffs counts cascade hand-offs that stayed on the
-	// flipping node's own shard.
+	// LocalHandoffs counts cascade hand-offs whose destination slot is
+	// owned by the flipping node's own shard.
 	LocalHandoffs int
-	// CrossShard counts cascade hand-offs that crossed a shard boundary
-	// (the serialization points).
+	// CrossShard counts cascade hand-offs that crossed a shard-ownership
+	// boundary (the batched hand-off points). The local/cross split is by
+	// slot ownership, so it is a deterministic property of the flip
+	// sequence, not of which worker executed a slot.
 	CrossShard int
+	// Steals counts successful steal operations: an idle worker taking a
+	// batch from a busier shard's deque. Unlike the hand-off counters
+	// this depends on runtime scheduling and is not deterministic.
+	Steals int
+	// StolenSlots counts the queued slots acquired by those steals.
+	StolenSlots int
 }
 
-// shardPart is one slot partition's synchronization point plus the
-// per-window scratch the owning worker records flips into. The membership
+// shardPart is one slot partition's synchronization point. The membership
 // bytes themselves live in the shared arena lane; the shard lock guards
-// exactly the lane bytes of the slots this shard owns.
+// exactly the lane bytes of the slots this shard owns. The padding keeps
+// neighboring shards' locks off one cache line, so lock traffic on one
+// shard does not false-share with its neighbors.
 type shardPart struct {
 	mu sync.RWMutex
-
-	// Owner-worker-only window scratch (reset by runCascade, read by
-	// the coordinator after the workers have joined).
-	flips      map[graph.NodeID]int
-	before     map[graph.NodeID]core.Membership
-	crossShard int
-	localHops  int
+	_  [40]byte
 }
 
 // Engine is the sharded concurrent MIS maintainer. It implements the same
@@ -105,14 +115,35 @@ type shardPart struct {
 // An Engine must not be used from multiple goroutines simultaneously: the
 // parallelism is inside a window, not across callers.
 type Engine struct {
-	g      *graph.Graph
-	ord    *order.Order
-	state  core.State
-	shards []*shardPart
-	window int
-	stats  Stats
-	feed   core.Feed
-	coll   *metrics.Collector // nil while instrumentation is disabled
+	g       *graph.Graph
+	ord     *order.Order
+	state   core.State
+	shards  []*shardPart
+	workers []*worker
+	window  int
+	stats   Stats
+	feed    core.Feed
+	coll    *metrics.Collector // nil while instrumentation is disabled
+
+	// Per-slot cascade lanes, sized to the arena by growScratch and held
+	// across windows so no per-window O(n) allocation or clearing occurs
+	// (all three are all-zero whenever the engine is quiescent).
+	flags       []uint32 // cascade state machine, accessed atomically
+	flipCount   []uint32 // flips of this slot in the current window
+	firstBefore []byte   // pre-flip membership at first flip: 1=Out, 2=In
+
+	pending   atomic.Int64 // queued + requeued slots in the running cascade
+	lot       parkLot      // idle-worker parking for the running cascade
+	seedBatch [][]int32    // per-owner seed staging, reused across windows
+
+	// Previous window's hand-off/steal totals, folded from the worker
+	// scratch by account and read by the instrumentation hook.
+	winLocal, winCross, winSteals, winStolen int
+
+	// forceParallel disables the serial fast path so tests exercise the
+	// worker/stealing machinery even on single-processor runtimes and for
+	// tiny seed sets.
+	forceParallel bool
 }
 
 // Engine implements the full engine surface plus the persistence
@@ -139,16 +170,24 @@ func NewWithOrder(ord *order.Order, shards int) *Engine {
 	}
 	g := graph.New()
 	ord.Attach(g)
+	// Partition the arena free-list along shard-ownership blocks: each
+	// shard recycles slots it owns, so staging-heavy workloads do not
+	// funnel every insertion through one shard's slot range.
+	g.PartitionFreeList(shards, ownerBlock)
 	e := &Engine{
-		g:      g,
-		ord:    ord,
-		state:  core.NewState(g),
-		shards: make([]*shardPart, shards),
-		window: DefaultWindow,
+		g:         g,
+		ord:       ord,
+		state:     core.NewState(g),
+		shards:    make([]*shardPart, shards),
+		workers:   make([]*worker, shards),
+		window:    DefaultWindow,
+		seedBatch: make([][]int32, shards),
 	}
 	for i := range e.shards {
 		e.shards[i] = &shardPart{}
+		e.workers[i] = &worker{out: make([][]int32, shards)}
 	}
+	e.lot.cond = sync.NewCond(&e.lot.mu)
 	return e
 }
 
@@ -238,7 +277,8 @@ func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
 // On a staging error the already-staged prefix's mutations remain
 // applied, and the recovery cascade runs over the prefix's damage (also
 // publishing its feed delta) before the error returns, mirroring
-// Template.ApplyBatch: the engine stays consistent and usable.
+// Template.ApplyBatch: the engine stays consistent and usable. The
+// attached metrics collector is not advanced for a failed window.
 func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 	var (
 		seeds      []graph.NodeID
@@ -275,182 +315,75 @@ func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
 
 	rep := e.account(touched, preFlipped)
 	if mc := e.coll; mc != nil {
-		// The per-shard hop counters are still intact here: runCascade
-		// resets them at the start of the *next* window.
 		mc.Updates += uint64(len(cs))
 		mc.Windows++
 		mc.Adjustments += uint64(rep.Adjustments)
 		mc.Influence += uint64(rep.SSize)
 		mc.Flips += uint64(rep.Flips)
 		mc.TouchedSlots += uint64(len(touched))
-		mc.CrossShard += uint64(rep.CrossShard)
-		for _, s := range e.shards {
-			mc.Handoffs += uint64(s.localHops + s.crossShard)
-		}
+		mc.CrossShard += uint64(e.winCross)
+		mc.Handoffs += uint64(e.winLocal + e.winCross)
+		mc.Steals += uint64(e.winSteals)
 	}
 	return rep, nil
 }
 
-// runCascade executes the parallel flip fixpoint from the given seeds.
-// During the cascade the graph and order are read-only — the slot space is
-// frozen — so the workers exchange raw slot indices; the membership lane
-// is read under the owning shard's RLock and written only by the owning
-// worker under the shard write lock, making the run race-free and
-// -race-clean.
-func (e *Engine) runCascade(seeds []graph.NodeID) {
-	for _, s := range e.shards {
-		s.flips = make(map[graph.NodeID]int)
-		s.before = make(map[graph.NodeID]core.Membership)
-		s.crossShard = 0
-		s.localHops = 0
-	}
-	if len(seeds) == 0 {
-		return
-	}
-
-	boxes := make([]*simnet.Mailbox, len(e.shards))
-	for i := range boxes {
-		boxes[i] = simnet.NewMailbox()
-	}
-	var (
-		pending int64
-		finish  sync.Once
-	)
-	shutdown := func() {
-		finish.Do(func() {
-			for _, b := range boxes {
-				b.Close()
-			}
-		})
-	}
-	// Mailboxes carry slot indices (as their NodeID payload type): the
-	// slot space is frozen for the whole cascade, and slots — unlike IDs —
-	// index the arena directly.
-	enqueue := func(s int32) {
-		// Increment before Push so a concurrent worker draining the
-		// entry cannot observe pending == 0 early; a deduplicated push
-		// gives the credit back.
-		atomic.AddInt64(&pending, 1)
-		if !boxes[e.owner(s)].Push(graph.NodeID(s)) {
-			if atomic.AddInt64(&pending, -1) == 0 {
-				shutdown()
-			}
-		}
-	}
-
-	for _, v := range seeds {
-		// Seeds staged away later in the same window no longer resolve;
-		// their former neighbors were seeded separately.
-		if i, ok := e.g.Index(v); ok {
-			enqueue(int32(i))
-		}
-	}
-	if atomic.LoadInt64(&pending) == 0 {
-		// Every seed deduplicated or staged away; nothing to do.
-		shutdown()
-		return
-	}
-
-	var wg sync.WaitGroup
-	for w := range e.shards {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				s, ok := boxes[w].Pop()
-				if !ok {
-					return
-				}
-				e.step(w, int32(s), enqueue)
-				if atomic.AddInt64(&pending, -1) == 0 {
-					shutdown()
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// step evaluates the MIS invariant at slot s (owned by shard w) and flips
-// it if violated, forwarding the slots whose invariant the flip can affect.
-func (e *Engine) step(w int, s int32, enqueue func(int32)) {
-	own := e.shards[w]
-	own.mu.RLock()
-	cur := e.state.At(int(s))
-	own.mu.RUnlock()
-
-	// ShouldBeIn under current states, with per-read shard locking. Reads
-	// may be momentarily stale; any later flip of an earlier neighbor
-	// re-enqueues s, so staleness delays convergence but cannot corrupt
-	// the fixpoint.
-	want := core.In
-	for _, nb := range e.g.NeighborSlots(int(s)) {
-		if !e.g.LessAt(int(nb), int(s)) {
-			continue
-		}
-		su := e.shards[e.owner(nb)]
-		su.mu.RLock()
-		nin := e.state.At(int(nb)) == core.In
-		su.mu.RUnlock()
-		if nin {
-			want = core.Out
-			break
-		}
-	}
-	if want == cur {
-		return
-	}
-
-	v := e.g.IDAt(int(s))
-	own.mu.Lock()
-	if _, seen := own.flips[v]; !seen {
-		own.before[v] = cur
-	}
-	own.flips[v]++
-	e.state.SetAt(int(s), want)
-	own.mu.Unlock()
-
-	// Only nodes later in π can have been violated by this flip.
-	for _, nb := range e.g.NeighborSlots(int(s)) {
-		if !e.g.LessAt(int(s), int(nb)) {
-			continue
-		}
-		if e.owner(nb) == w {
-			own.localHops++
-		} else {
-			own.crossShard++
-		}
-		enqueue(nb)
-	}
-}
-
 // account assembles the window's cost report from the staging touch map
-// and the per-shard flip records, in O(touched) rather than O(n).
+// and the per-worker flip records, in O(touched) rather than O(n), and
+// returns the per-slot flip lanes to all-zero for the next window.
 func (e *Engine) account(touched map[graph.NodeID]core.Touched, preFlipped []graph.NodeID) core.Report {
 	var rep core.Report
 
-	inS := make(map[graph.NodeID]struct{})
-	for _, v := range preFlipped {
-		inS[v] = struct{}{}
-		rep.Flips++
-	}
-	for _, s := range e.shards {
-		for v, n := range s.flips {
-			inS[v] = struct{}{}
-			rep.Flips += n
-		}
-		// Cascade-flipped nodes that staging did not touch entered the
-		// window present, with the recorded pre-flip membership.
-		for v, m := range s.before {
-			if _, seen := touched[v]; !seen {
-				touched[v] = core.Touched{Present: true, M: m}
+	// preFlipped entries (nodes deleted while In) may repeat, and may
+	// collide with a cascade flip of the same node (deleted, re-inserted
+	// and flipped within one window). Cascade-flipped slots are unique by
+	// construction — flipCount transitions 0→1 exactly once per slot — so
+	// only this small set needs a dedup map for the |S| count.
+	var inS map[graph.NodeID]struct{}
+	if len(preFlipped) > 0 {
+		inS = make(map[graph.NodeID]struct{}, len(preFlipped))
+		for _, v := range preFlipped {
+			rep.Flips++
+			if _, dup := inS[v]; !dup {
+				inS[v] = struct{}{}
+				rep.SSize++
 			}
 		}
-		rep.CrossShard += s.crossShard
-		e.stats.CrossShard += s.crossShard
-		e.stats.LocalHandoffs += s.localHops
 	}
-	rep.SSize = len(inS)
+
+	e.winLocal, e.winCross, e.winSteals, e.winStolen = 0, 0, 0, 0
+	for _, wk := range e.workers {
+		for _, s := range wk.touched {
+			v := e.g.IDAt(int(s))
+			rep.Flips += int(e.flipCount[s])
+			before := core.Out
+			if e.firstBefore[s] == 2 {
+				before = core.In
+			}
+			e.flipCount[s] = 0
+			e.firstBefore[s] = 0
+			if inS == nil {
+				rep.SSize++
+			} else if _, dup := inS[v]; !dup {
+				rep.SSize++
+			}
+			// Cascade-flipped nodes that staging did not touch entered
+			// the window present, with the recorded pre-flip membership.
+			if _, seen := touched[v]; !seen {
+				touched[v] = core.Touched{Present: true, M: before}
+			}
+		}
+		e.winLocal += wk.localHops
+		e.winCross += wk.crossHops
+		e.winSteals += wk.steals
+		e.winStolen += wk.stolen
+	}
+	rep.CrossShard = e.winCross
+	rep.Steals = e.winSteals
+	e.stats.CrossShard += e.winCross
+	e.stats.LocalHandoffs += e.winLocal
+	e.stats.Steals += e.winSteals
+	e.stats.StolenSlots += e.winStolen
 
 	// Adjustment accounting matches core.DiffStates restricted to touched
 	// nodes — untouched nodes cannot have changed. The same touched set

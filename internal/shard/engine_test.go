@@ -2,6 +2,7 @@ package shard
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"dynmis/internal/core"
@@ -26,19 +27,26 @@ func TestEquivalenceWithSequential(t *testing.T) {
 				t.Fatalf("template: %v", err)
 			}
 
-			e := New(42, shards)
-			e.SetWindow(window)
-			if _, err := e.ApplyAll(seq); err != nil {
-				t.Fatalf("shards=%d window=%d: %v", shards, window, err)
-			}
-			if err := e.Check(); err != nil {
-				t.Fatalf("shards=%d window=%d: invariant: %v", shards, window, err)
-			}
-			if !core.EqualStates(tpl.State(), e.State()) {
-				t.Fatalf("shards=%d window=%d: state diverged from sequential engine", shards, window)
-			}
-			if !tpl.Graph().Equal(e.Graph()) {
-				t.Fatalf("shards=%d window=%d: graph diverged", shards, window)
+			// Once letting the engine pick its execution mode per window,
+			// once with the serial fast path disabled, so the equivalence
+			// covers the worker/stealing machinery even on hosts where
+			// GOMAXPROCS would route everything through the serial drain.
+			for _, force := range []bool{false, true} {
+				e := New(42, shards)
+				e.forceParallel = force
+				e.SetWindow(window)
+				if _, err := e.ApplyAll(seq); err != nil {
+					t.Fatalf("shards=%d window=%d force=%v: %v", shards, window, force, err)
+				}
+				if err := e.Check(); err != nil {
+					t.Fatalf("shards=%d window=%d force=%v: invariant: %v", shards, window, force, err)
+				}
+				if !core.EqualStates(tpl.State(), e.State()) {
+					t.Fatalf("shards=%d window=%d force=%v: state diverged from sequential engine", shards, window, force)
+				}
+				if !tpl.Graph().Equal(e.Graph()) {
+					t.Fatalf("shards=%d window=%d force=%v: graph diverged", shards, window, force)
+				}
 			}
 		}
 	}
@@ -191,14 +199,19 @@ func TestMuteUnmuteWindow(t *testing.T) {
 	}
 }
 
-// Dense windows under many shards exercise mailbox dedup and the
-// termination protocol; run with -race to exercise the locking discipline.
+// Dense windows under many shards exercise the per-slot state-machine
+// dedup, batch flushing, stealing and the termination protocol; run with
+// -race to exercise the locking discipline. The serial fast path is
+// disabled and GOMAXPROCS raised so the parallel machinery runs even on
+// single-processor hosts.
 func TestDenseWindowsRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	rng := rand.New(rand.NewPCG(31, 37))
 	build := workload.GNP(rng, 200, 0.1)
 	churn := workload.RandomChurn(rng, workload.BuildGraph(build), workload.DefaultChurn(1500))
 
 	e := New(8, 8)
+	e.forceParallel = true
 	e.SetWindow(128)
 	if _, err := e.ApplyAll(build); err != nil {
 		t.Fatal(err)

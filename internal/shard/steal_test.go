@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/internal/order"
+	"dynmis/metrics"
+	"dynmis/workload"
+)
+
+// The instrumentation counters and the engine's own Stats are two
+// accounts of the same cascade; they must agree window by window even
+// under concurrent execution with stealing, and every steal must carry
+// at least one slot.
+func TestStealHandoffCounterProperty(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewPCG(41, 43))
+	build := workload.GNP(rng, 300, 0.04)
+	churn := workload.RandomChurn(rng, workload.BuildGraph(build), workload.DefaultChurn(4000))
+	all := append(build, churn...)
+
+	e := New(17, 8)
+	e.forceParallel = true
+	coll := metrics.NewCollector()
+	e.Instrument(coll)
+
+	const window = 256
+	for lo := 0; lo < len(all); lo += window {
+		hi := min(lo+window, len(all))
+		stPrev, cPrev := e.Stats(), coll.Snapshot()
+		if _, err := e.ApplyBatch(all[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		st, c := e.Stats(), coll.Snapshot()
+		dLocal := st.LocalHandoffs - stPrev.LocalHandoffs
+		dCross := st.CrossShard - stPrev.CrossShard
+		dSteals := st.Steals - stPrev.Steals
+		dStolen := st.StolenSlots - stPrev.StolenSlots
+		if got := c.Handoffs - cPrev.Handoffs; got != uint64(dLocal+dCross) {
+			t.Fatalf("window at %d: collector handoffs %d != stats local %d + cross %d",
+				lo, got, dLocal, dCross)
+		}
+		if got := c.CrossShard - cPrev.CrossShard; got != uint64(dCross) {
+			t.Fatalf("window at %d: collector cross-shard %d, stats %d", lo, got, dCross)
+		}
+		if got := c.Steals - cPrev.Steals; got != uint64(dSteals) {
+			t.Fatalf("window at %d: collector steals %d, stats %d", lo, got, dSteals)
+		}
+		if dStolen < dSteals {
+			t.Fatalf("window at %d: %d steals carried only %d slots", lo, dSteals, dStolen)
+		}
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// Steal totals are scheduling-dependent, so only log them.
+	t.Logf("handoffs: %d local, %d cross; steals: %d (%d slots)",
+		st.LocalHandoffs, st.CrossShard, st.Steals, st.StolenSlots)
+}
+
+// Hand-off attribution is by slot ownership, so the local/cross split is
+// a property of the flip sequence, not of the execution mode. A delete
+// at the head of a stable path cascades as a single chain — exactly one
+// slot queued at any moment, every node flipping exactly once — so its
+// flip sequence, and hence its hand-off account, is identical whichever
+// path executes it. (Build-phase cascades from many seeds are NOT
+// deterministic: parallel interleaving changes transient flips, which is
+// fine — only the fixpoint is unique.)
+func TestHandoffAttributionModeIndependent(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n = 400
+	run := func(force bool) Stats {
+		e := New(1, 4)
+		for v := 0; v < n; v++ {
+			e.Order().Set(graph.NodeID(v), order.Priority(v+1))
+		}
+		if _, err := e.ApplyAll(workload.Path(n)); err != nil {
+			t.Fatal(err)
+		}
+		e.forceParallel = force
+		before := e.Stats()
+		if _, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Check(); err != nil {
+			t.Fatal(err)
+		}
+		after := e.Stats()
+		return Stats{
+			LocalHandoffs: after.LocalHandoffs - before.LocalHandoffs,
+			CrossShard:    after.CrossShard - before.CrossShard,
+			Steals:        after.Steals - before.Steals,
+		}
+	}
+	serial, parallel := run(false), run(true)
+	if serial.LocalHandoffs != parallel.LocalHandoffs || serial.CrossShard != parallel.CrossShard {
+		t.Fatalf("hand-off attribution depends on execution mode: serial %d/%d, parallel %d/%d",
+			serial.LocalHandoffs, serial.CrossShard, parallel.LocalHandoffs, parallel.CrossShard)
+	}
+	if serial.LocalHandoffs+serial.CrossShard == 0 {
+		t.Fatal("chain cascade produced no hand-offs")
+	}
+	if serial.Steals != 0 {
+		t.Fatalf("serial drain reported %d steals", serial.Steals)
+	}
+}
+
+// A window that fails staging must leave the metrics collector untouched
+// — including the steal counter — even though the recovery cascade over
+// the staged prefix runs (and moves the engine's own Stats).
+func TestFailedWindowLeavesCountersUnchanged(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n = 400
+	e := New(1, 4)
+	e.forceParallel = true
+	for v := 0; v < n; v++ {
+		e.Order().Set(graph.NodeID(v), order.Priority(v+1))
+	}
+	if _, err := e.ApplyAll(workload.Path(n)); err != nil {
+		t.Fatal(err)
+	}
+	coll := metrics.NewCollector()
+	e.Instrument(coll)
+
+	before := coll.Snapshot()
+	stBefore := e.Stats()
+	_, err := e.ApplyBatch([]graph.Change{
+		graph.NodeChange(graph.NodeDeleteAbrupt, 0),        // cascades the whole chain
+		graph.EdgeChange(graph.EdgeInsert, 77_777, 88_888), // fails validation
+	})
+	if err == nil {
+		t.Fatal("expected staging failure")
+	}
+	if after := coll.Snapshot(); after != before {
+		t.Fatalf("failed window moved the collector:\n got %+v\nwant %+v", after, before)
+	}
+	// The prefix cascade did run: the structure is consistent and the
+	// engine's own account moved.
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.LocalHandoffs+st.CrossShard == stBefore.LocalHandoffs+stBefore.CrossShard {
+		t.Fatal("prefix cascade produced no hand-offs")
+	}
+}

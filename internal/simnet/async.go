@@ -132,6 +132,26 @@ func (n *AsyncNetwork) Broadcast(from graph.NodeID, p Payload, depth int) {
 // Pending returns the number of in-flight messages.
 func (n *AsyncNetwork) Pending() int { return len(n.queue) }
 
+// Unqueue removes every in-flight message matching pred and reports how
+// many were removed. Engines use it to cancel stale injected detection
+// events when a later change in the same batch reverts the condition they
+// announce (e.g. an edge deleted and re-inserted before the network ran):
+// delivering the stale event after the revert would wipe knowledge that is
+// correct again.
+func (n *AsyncNetwork) Unqueue(pred func(to graph.NodeID, m Message) bool) int {
+	removed := 0
+	kept := n.queue[:0]
+	for _, f := range n.queue {
+		if pred(f.to, f.msg) {
+			removed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	n.queue = kept
+	return removed
+}
+
 // Run delivers messages per the scheduler until the network drains,
 // failing after maxDeliveries. Handlers run atomically per delivery, as in
 // the standard asynchronous model.

@@ -1,0 +1,143 @@
+package simnet
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+)
+
+func TestDequeBatchRoundTrip(t *testing.T) {
+	var d Deque
+	d.PushBatch([]int32{1, 2, 3, 4, 5})
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+
+	// Owner pops from the newest end, LIFO.
+	got := d.PopBatch(nil, 2)
+	if !slices.Equal(got, []int32{5, 4}) {
+		t.Fatalf("PopBatch = %v, want [5 4]", got)
+	}
+	// Thief takes from the oldest end, capped at half the remainder.
+	stolen := d.Steal(nil, 10)
+	if !slices.Equal(stolen, []int32{1, 2}) {
+		t.Fatalf("Steal = %v, want [1 2] (half of 3)", stolen)
+	}
+	if rest := d.PopBatch(nil, 10); !slices.Equal(rest, []int32{3}) {
+		t.Fatalf("remainder = %v, want [3]", rest)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after drain", d.Len())
+	}
+	if got := d.PopBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("PopBatch on empty = %v", got)
+	}
+	if got := d.Steal(nil, 4); len(got) != 0 {
+		t.Fatalf("Steal on empty = %v", got)
+	}
+}
+
+// Steal of a single entry must take it: the never-more-than-half rule
+// rounds up, or a lone hand-off could be unstealable forever.
+func TestDequeStealSingleton(t *testing.T) {
+	var d Deque
+	d.PushBatch([]int32{7})
+	if got := d.Steal(nil, 8); !slices.Equal(got, []int32{7}) {
+		t.Fatalf("Steal singleton = %v", got)
+	}
+}
+
+func TestDequeGrowWraps(t *testing.T) {
+	var d Deque
+	// Force head/tail wrap-around before a grow.
+	d.PushBatch(make([]int32, 48))
+	d.PopBatch(nil, 40)
+	batch := make([]int32, 100)
+	for i := range batch {
+		batch[i] = int32(i)
+	}
+	d.PushBatch(batch)
+	if d.Len() != 108 {
+		t.Fatalf("Len = %d, want 108", d.Len())
+	}
+	got := d.PopBatch(nil, 108)
+	// The 100-entry batch comes back LIFO first, then the 8 zeros.
+	for i := 0; i < 100; i++ {
+		if got[i] != int32(99-i) {
+			t.Fatalf("entry %d = %d, want %d", i, got[i], 99-i)
+		}
+	}
+}
+
+// Concurrent producers, one owner and several thieves: every pushed
+// entry must come out exactly once.
+func TestDequeConcurrent(t *testing.T) {
+	var d Deque
+	const producers, perProducer = 4, 2000
+
+	var wg sync.WaitGroup
+	for p := range producers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(p), 99))
+			batch := make([]int32, 0, 16)
+			for i := range perProducer {
+				batch = append(batch, int32(p*perProducer+i))
+				if len(batch) == cap(batch) || rng.IntN(8) == 0 {
+					d.PushBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			d.PushBatch(batch)
+		}()
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int32]int)
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := range 3 {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			buf := make([]int32, 0, 64)
+			for {
+				buf = buf[:0]
+				if c == 0 {
+					buf = d.PopBatch(buf, 32)
+				} else {
+					buf = d.Steal(buf, 32)
+				}
+				if len(buf) > 0 {
+					mu.Lock()
+					for _, v := range buf {
+						seen[v]++
+					}
+					mu.Unlock()
+					continue
+				}
+				select {
+				case <-done:
+					if d.Len() == 0 {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("drained %d distinct entries, want %d", len(seen), producers*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %d drained %d times", v, n)
+		}
+	}
+}

@@ -17,10 +17,10 @@
 //     because procs are isolated and rounds are barrier-synchronized.
 //   - AsyncNetwork: the event-driven asynchronous model, with the message
 //     scheduler as the explicit adversary (FIFO, LIFO, random).
-//   - Mailbox: the unbounded deduplicating worklist queue underlying the
+//   - Deque: the batched work-stealing worklist queue underlying the
 //     sharded concurrent engine (internal/shard), where "messages" are
-//     invariant re-evaluation requests routed between shard workers
-//     rather than simulated network packets.
+//     invariant re-evaluation requests routed between shard workers in
+//     per-destination batches rather than simulated network packets.
 package simnet
 
 import (

@@ -96,12 +96,18 @@ type Counters struct {
 	MaxCausalDepth uint64
 
 	// Handoffs is the total number of cascade hand-offs the sharded
-	// engine routed through its mailboxes (local and cross-shard).
+	// engine routed (local and cross-shard, attributed by slot
+	// ownership).
 	Handoffs uint64
 	// CrossShard is the subset of Handoffs that crossed a shard boundary
 	// — the serialization points of a parallel window. Theorem 1 bounds
 	// its expectation by O(1) per update regardless of the shard count.
 	CrossShard uint64
+	// Steals is the number of successful work-steal operations in the
+	// sharded engine: an idle worker taking a batch of queued slots from
+	// a busier shard's deque. Unlike Handoffs/CrossShard it depends on
+	// runtime scheduling, so it is not deterministic across runs.
+	Steals uint64
 }
 
 // Add accumulates o into c: sums everywhere, except MaxCausalDepth which
@@ -123,6 +129,7 @@ func (c *Counters) Add(o Counters) {
 	c.MaxCausalDepth = max(c.MaxCausalDepth, o.MaxCausalDepth)
 	c.Handoffs += o.Handoffs
 	c.CrossShard += o.CrossShard
+	c.Steals += o.Steals
 }
 
 // Diff returns the counters accumulated since prev was captured from the
@@ -148,6 +155,7 @@ func (c Counters) Diff(prev Counters) Counters {
 		MaxCausalDepth:    c.MaxCausalDepth,
 		Handoffs:          c.Handoffs - prev.Handoffs,
 		CrossShard:        c.CrossShard - prev.CrossShard,
+		Steals:            c.Steals - prev.Steals,
 	}
 }
 
@@ -167,6 +175,7 @@ type PerUpdate struct {
 	Bits              float64
 	Handoffs          float64
 	CrossShard        float64
+	Steals            float64
 }
 
 // PerUpdate returns the amortized per-update rates.
@@ -188,6 +197,7 @@ func (c Counters) PerUpdate() PerUpdate {
 		Bits:              per(c.Bits),
 		Handoffs:          per(c.Handoffs),
 		CrossShard:        per(c.CrossShard),
+		Steals:            per(c.Steals),
 	}
 }
 
@@ -208,7 +218,7 @@ func (c Counters) String() string {
 		{"rounds", c.Rounds}, {"bcasts", c.Broadcasts}, {"sent", c.MessagesSent},
 		{"delivered", c.MessagesDelivered}, {"dropped", c.MessagesDropped},
 		{"bits", c.Bits}, {"depth", c.MaxCausalDepth},
-		{"handoffs", c.Handoffs}, {"xshard", c.CrossShard},
+		{"handoffs", c.Handoffs}, {"xshard", c.CrossShard}, {"steals", c.Steals},
 	} {
 		if f.v != 0 {
 			fmt.Fprintf(&b, " %s=%d", f.name, f.v)

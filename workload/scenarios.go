@@ -73,6 +73,7 @@ func Scenarios() []Scenario {
 		{
 			Name:        "single-node-churn",
 			Description: "star hub deleted and re-inserted every step — worst-case single-node pattern, E[adj] stays O(1)",
+			MaxNodes:    2000, // hub churn costs Θ(n) per step by design; cap so -n sweeps stay feasible
 			Build: func(rng *rand.Rand, n int) []graph.Change {
 				return Star(n)
 			},

@@ -17,6 +17,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"dynmis/internal/graph"
@@ -55,20 +56,68 @@ func InsertionSequence(g *graph.Graph) []graph.Change {
 }
 
 // GNP generates an Erdős–Rényi G(n,p) graph with nodes 0..n-1 as an
-// insertion sequence.
+// insertion sequence. Edges are sampled by geometric skipping over the
+// linearized upper-triangular pair index — each skip length is the gap
+// between successive Bernoulli successes — so generation costs O(n + m)
+// RNG draws instead of the naive O(n²), which is what makes the n ≥ 100k
+// benchmark topologies feasible. Output is deterministic per rng state.
 func GNP(rng *rand.Rand, n int, p float64) []graph.Change {
 	g := graph.New()
 	for v := 0; v < n; v++ {
 		mustAddNode(g, graph.NodeID(v))
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if rng.Float64() < p {
+	switch {
+	case p <= 0 || n < 2:
+		// No edges.
+	case p >= 1:
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
 				mustAddEdge(g, graph.NodeID(u), graph.NodeID(v))
 			}
 		}
+	default:
+		// Pairs (u,v), u<v, enumerated row-major as indices 0..total-1;
+		// skip = floor(log(U)/log(1-p)) jumps straight to the next edge.
+		logq := math.Log1p(-p)
+		total := int64(n) * int64(n-1) / 2
+		rowOf := func(k int64) (int, int64) {
+			// Invert k = u*n - u*(u+3)/2 + v - 1... binary-search the row
+			// start instead of closed-form to avoid float edge cases.
+			lo, hi := 0, n-1
+			for lo < hi {
+				mid := (lo + hi + 1) / 2
+				if rowStart(mid, n) <= k {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+			}
+			return lo, k - rowStart(lo, n)
+		}
+		for k := int64(-1); ; {
+			u := rng.Float64()
+			if u <= 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			skip := math.Log(u) / logq
+			if skip >= float64(total) { // also catches +Inf
+				break
+			}
+			k += 1 + int64(skip)
+			if k >= total {
+				break
+			}
+			row, off := rowOf(k)
+			mustAddEdge(g, graph.NodeID(row), graph.NodeID(row+1+int(off)))
+		}
 	}
 	return InsertionSequence(g)
+}
+
+// rowStart returns the linearized index of pair (u, u+1): the number of
+// upper-triangular pairs in rows before u.
+func rowStart(u, n int) int64 {
+	return int64(u)*int64(n) - int64(u)*int64(u+1)/2
 }
 
 // Star generates a star with center 0 and n-1 leaves (§5 Example 1).
