@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-matrix bench bench-smoke bench-delta bench-scaling validate validate-smoke clean
+.PHONY: ci fmt vet build test race race-matrix bench bench-smoke bench-delta bench-scaling validate validate-smoke serve-smoke clean
 
-ci: fmt vet build race bench-smoke validate-smoke
+ci: fmt vet build race bench-smoke validate-smoke serve-smoke
 	@$(MAKE) bench-scaling || echo "bench-scaling failed (non-blocking: shared or single-core runners cannot guarantee a parallel speedup)"
 
 # gofmt enforcement: fail with the offending file list if any file is not
@@ -47,7 +47,7 @@ race-matrix:
 # only under /tmp; the checked-in BENCH_dynmis.json is untouched.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_dynmis_smoke.json
-	$(GO) run ./cmd/bench -n 200 -steps 1000 -shards 2 -scenarios churn \
+	$(GO) run ./cmd/bench -n 200 -steps 1000 -shards 2 -scenarios churn -serve-steps 0 \
 		-record /tmp/dynmis_smoke_trace.jsonl -out /tmp/BENCH_dynmis_smoke_record.json
 	$(GO) run ./cmd/bench -shards 2 -replay /tmp/dynmis_smoke_trace.jsonl \
 		-out /tmp/BENCH_dynmis_smoke_replay.json
@@ -58,8 +58,8 @@ bench-smoke:
 # steps is sized for signal (~regressions of 2x+), not for noise-free
 # precision. Writes only under /tmp.
 bench-delta:
-	$(GO) run ./cmd/bench -steps 2000 -out /tmp/BENCH_dynmis_delta.json \
-		-baseline BENCH_dynmis.json
+	$(GO) run ./cmd/bench -steps 2000 -serve-steps 0 \
+		-out /tmp/BENCH_dynmis_delta.json -baseline BENCH_dynmis.json
 
 # Scaling smoke: a tiny churn run at GOMAXPROCS 1 and 4 that asserts the
 # sharded engine is at least as fast as the sequential template when
@@ -69,8 +69,17 @@ bench-delta:
 # artifact) so the trajectory is always inspectable.
 bench-scaling:
 	$(GO) run ./cmd/bench -n 2000 -steps 10000 -scenarios churn \
-		-shards 1,4 -gomaxprocs 1,4 -min-speedup 1.0 \
+		-shards 1,4 -gomaxprocs 1,4 -min-speedup 1.0 -serve-steps 0 \
 		-out /tmp/BENCH_dynmis_scaling.json
+
+# Daemon gate: boot dynmisd on an ephemeral port, drive a workload burst
+# over the wire with dynmisload (concurrent gap-checked subscribers +
+# /v1/state verified against a local replay), kill -9 the daemon,
+# restart it on the same WAL, and verify the recovered state matches a
+# reference replay of the WAL. Sized for CI; the acceptance-scale run is
+# SERVE_SMOKE_STEPS=50000 SERVE_SMOKE_SUBS=64 make serve-smoke.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Full benchmark: regenerates the checked-in BENCH_dynmis.json.
 bench:

@@ -59,8 +59,10 @@ import (
 
 // Schema identifies the output format. v2 moved gomaxprocs from the top
 // level into every engine run (a file may now mix runs at different
-// GOMAXPROCS) and added per-run scaling_efficiency.
-const Schema = "dynmis-bench/v2"
+// GOMAXPROCS) and added per-run scaling_efficiency. v3 added the "serve"
+// section: the dynmisd daemon benchmarked over real loopback HTTP
+// (ingest throughput and subscriber-visible event latency).
+const Schema = "dynmis-bench/v3"
 
 // engineRun is one (scenario, engine, gomaxprocs) measurement in the
 // emitted JSON.
@@ -99,6 +101,7 @@ type benchOutput struct {
 	Steps     int              `json:"steps"`
 	Scenarios []scenarioResult `json:"scenarios"`
 	Headline  headline         `json:"headline"`
+	Serve     *serveResult     `json:"serve,omitempty"`
 }
 
 // headline is the number the ROADMAP tracks: sharded updates/sec on the
@@ -142,12 +145,15 @@ func main() {
 		record     = flag.String("record", "", "record the ingested stream (warm-up + drive) to this trace file; requires exactly one scenario")
 		replay     = flag.String("replay", "", "benchmark a recorded trace instead of generating workloads")
 		out        = flag.String("out", "BENCH_dynmis.json", "output JSON path")
+		serveSteps = flag.Int("serve-steps", 50000, "updates driven over the wire in the serve benchmark (0 disables it)")
+		serveSubs  = flag.Int("serve-subs", 64, "concurrent event subscribers in the serve benchmark")
 		baseline   = flag.String("baseline", "", "compare per-scenario updates/sec against this previously emitted JSON (e.g. the committed BENCH_dynmis.json)")
 		minSpeedup = flag.Float64("min-speedup", 0, "exit nonzero unless the headline sharded speedup vs sequential reaches this factor")
 	)
 	flag.Parse()
 	if *quick {
 		*n, *steps = 300, 3000
+		*serveSteps, *serveSubs = 5000, 8
 	}
 	if *record != "" && *replay != "" {
 		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
@@ -226,6 +232,20 @@ func main() {
 			h.Speedup, h.SpeedupVsBatch, h.ScalingEfficiency)
 	}
 
+	// The serve section: dynmisd over real loopback HTTP. Skipped in
+	// -replay mode (the section always benches the churn scenario at its
+	// own size) and when -serve-steps is 0.
+	if *serveSteps > 0 && *replay == "" {
+		fmt.Printf("\n== serve (churn over HTTP, %d updates, %d subscribers)\n", *serveSteps, *serveSubs)
+		sres, err := runServe(*seed, *n, *serveSteps, *serveSubs)
+		if err != nil {
+			fatal(err)
+		}
+		output.Serve = sres
+		fmt.Printf("   ingest %12.0f updates/s   %d events x %d subscribers   latency p50 %.2fms p99 %.2fms\n",
+			sres.IngestPerSec, sres.Events, sres.Subscribers, sres.LatencyP50Ms, sres.LatencyP99Ms)
+	}
+
 	// Load the baseline before writing: -baseline and -out may name the
 	// same file (regenerating the committed numbers while reporting the
 	// change against them).
@@ -288,7 +308,7 @@ func printDelta(w io.Writer, cur benchOutput, path string, data []byte) error {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
 	switch base.Schema {
-	case Schema, "dynmis-bench/v1":
+	case Schema, "dynmis-bench/v1", "dynmis-bench/v2":
 	default:
 		return fmt.Errorf("baseline %s: unsupported schema %q", path, base.Schema)
 	}

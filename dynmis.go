@@ -575,6 +575,29 @@ func Restore(s *Snapshot, seed uint64, opts ...Option) (*Maintainer, error) {
 	}
 }
 
+// PriorityDraws reports how many fresh priorities the maintainer's random
+// order has drawn so far. Persist it next to a Snapshot and pass it to
+// RestoreAt and the restored maintainer continues the identical priority
+// stream — the property the durability layer (dynmis/server) relies on for
+// byte-identical crash recovery.
+func (m *Maintainer) PriorityDraws() uint64 { return m.impl.Order().Draws() }
+
+// RestoreAt is Restore plus stream repositioning: after rebuilding the
+// structure it advances the priority stream past the first draws draws, so
+// nodes inserted after the restore receive exactly the priorities the
+// original maintainer would have assigned. Restore alone only guarantees a
+// *valid* continuation (any seed keeps priorities uniform); RestoreAt
+// guarantees the *same* continuation, which is what makes snapshot +
+// change-log-tail replay reproduce an uninterrupted run bit for bit.
+func RestoreAt(s *Snapshot, seed uint64, draws uint64, opts ...Option) (*Maintainer, error) {
+	m, err := Restore(s, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	m.impl.Order().Skip(draws)
+	return m, nil
+}
+
 // Verify additionally asserts history independence: the current structure
 // must equal the sequential greedy MIS on the current graph under the
 // maintainer's random order.

@@ -26,6 +26,7 @@ type Priority uint64
 // call New.
 type Order struct {
 	rng    *rand.Rand
+	draws  uint64
 	prio   map[graph.NodeID]Priority
 	arenas []*graph.Graph
 }
@@ -81,10 +82,28 @@ func (o *Order) Ensure(v graph.NodeID) Priority {
 	p, ok := o.prio[v]
 	if !ok {
 		p = Priority(o.rng.Uint64())
+		o.draws++
 		o.prio[v] = p
 	}
 	o.sync(v, p)
 	return p
+}
+
+// Draws returns how many fresh priorities this Order has drawn from its
+// stream. Together with the seed it names the exact stream position, so a
+// restored Order can be advanced with Skip to where the original stood —
+// the durability layer persists it next to each snapshot.
+func (o *Order) Draws() uint64 { return o.draws }
+
+// Skip burns n draws from the priority stream without assigning them.
+// Skipping the Draws() of a same-seed Order reproduces its stream
+// position exactly: every later Ensure draws the same priority the
+// original Order would have drawn.
+func (o *Order) Skip(n uint64) {
+	for range n {
+		o.rng.Uint64()
+	}
+	o.draws += n
 }
 
 // Set forces v's priority. It is intended for tests and for adversarial

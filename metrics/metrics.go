@@ -34,80 +34,82 @@ import (
 // Fields an engine does not model stay zero: the model-level template
 // has no rounds or messages, the message-passing engines have no cascade
 // steps or touched slots, and only the sharded engine reports hand-offs.
+// The JSON tags are the stable wire names used by dynmisd's /metricsz
+// endpoint; renaming a tag is a wire-format change.
 type Counters struct {
 	// Updates is the number of topology changes successfully applied
 	// while the collector was attached. Applications that end in an
 	// error are not counted at all — even though a failed batch's
 	// staged prefix takes effect, instrumentation tracks successful
 	// windows only.
-	Updates uint64
+	Updates uint64 `json:"updates"`
 	// Windows is the number of engine applications the updates arrived
 	// in: equal to Updates when applying change by change, and the
 	// number of batch windows when applying through ApplyBatch.
-	Windows uint64
+	Windows uint64 `json:"windows"`
 
 	// Adjustments is the total number of membership adjustments — nodes
 	// whose output differs between the stable configuration before an
 	// update and the one after it. Theorem 1 bounds its expectation by
 	// one per update; Adjustments/Updates is the measured amortized
 	// adjustment complexity that docs/VALIDATION.md tabulates.
-	Adjustments uint64
+	Adjustments uint64 `json:"adjustments"`
 	// Influence is the total influence-set size Σ|S|: nodes that changed
 	// state at least once during a recovery, including transient flips.
-	Influence uint64
+	Influence uint64 `json:"influence"`
 	// Flips is the total number of state flips including repeats (the
 	// naive template may make up to |S|² of them, §4).
-	Flips uint64
+	Flips uint64 `json:"flips"`
 
 	// CascadeSteps is the total number of synchronous cascade steps the
 	// model-level template executed (steps in which at least one node
 	// flipped) — its "rounds to quiescence".
-	CascadeSteps uint64
+	CascadeSteps uint64 `json:"cascade_steps"`
 	// TouchedSlots is the total number of distinct arena slots the
 	// O(touched) accounting examined per window: staged nodes plus
 	// cascade-flipped nodes. It is the measured form of the claim that
 	// per-update cost is O(touched), never O(n).
-	TouchedSlots uint64
+	TouchedSlots uint64 `json:"touched_slots"`
 
 	// Rounds is the total number of synchronous network rounds to
 	// quiescence across all instrumented updates (message-passing
 	// engines only).
-	Rounds uint64
+	Rounds uint64 `json:"rounds"`
 	// Broadcasts counts broadcast operations: one per sending node per
 	// round regardless of degree — the paper's broadcast-complexity.
-	Broadcasts uint64
+	Broadcasts uint64 `json:"broadcasts"`
 	// MessagesSent counts point-to-point message copies produced by
 	// broadcast fan-out (one per neighbor), including copies that were
 	// never delivered — dropped by a fault injector, or in flight to a
 	// node that departed before delivery.
-	MessagesSent uint64
+	MessagesSent uint64 `json:"messages_sent"`
 	// MessagesDelivered counts point-to-point copies actually delivered
 	// to a live recipient. Without faults and departures mid-recovery
 	// it equals MessagesSent.
-	MessagesDelivered uint64
+	MessagesDelivered uint64 `json:"messages_delivered"`
 	// MessagesDropped counts copies suppressed by a fault injector.
-	MessagesDropped uint64
+	MessagesDropped uint64 `json:"messages_dropped"`
 	// Bits is the total broadcast payload size in bits; the paper
 	// restricts messages to O(log n) bits.
-	Bits uint64
+	Bits uint64 `json:"bits"`
 	// MaxCausalDepth is the longest chain of causally dependent message
 	// deliveries observed (asynchronous engine only). It is a maximum,
 	// not a sum.
-	MaxCausalDepth uint64
+	MaxCausalDepth uint64 `json:"max_causal_depth"`
 
 	// Handoffs is the total number of cascade hand-offs the sharded
 	// engine routed (local and cross-shard, attributed by slot
 	// ownership).
-	Handoffs uint64
+	Handoffs uint64 `json:"handoffs"`
 	// CrossShard is the subset of Handoffs that crossed a shard boundary
 	// — the serialization points of a parallel window. Theorem 1 bounds
 	// its expectation by O(1) per update regardless of the shard count.
-	CrossShard uint64
+	CrossShard uint64 `json:"cross_shard"`
 	// Steals is the number of successful work-steal operations in the
 	// sharded engine: an idle worker taking a batch of queued slots from
 	// a busier shard's deque. Unlike Handoffs/CrossShard it depends on
 	// runtime scheduling, so it is not deterministic across runs.
-	Steals uint64
+	Steals uint64 `json:"steals"`
 }
 
 // Add accumulates o into c: sums everywhere, except MaxCausalDepth which
@@ -162,20 +164,22 @@ func (c Counters) Diff(prev Counters) Counters {
 // PerUpdate is Counters normalized by the update count: the amortized
 // per-change complexity measures the paper's theorems bound. The zero
 // value (no updates) is all zeros, never NaN.
+// The JSON tags mirror Counters' and are equally load-bearing for
+// /metricsz consumers.
 type PerUpdate struct {
-	Adjustments       float64
-	Influence         float64
-	Flips             float64
-	CascadeSteps      float64
-	TouchedSlots      float64
-	Rounds            float64
-	Broadcasts        float64
-	MessagesSent      float64
-	MessagesDelivered float64
-	Bits              float64
-	Handoffs          float64
-	CrossShard        float64
-	Steals            float64
+	Adjustments       float64 `json:"adjustments"`
+	Influence         float64 `json:"influence"`
+	Flips             float64 `json:"flips"`
+	CascadeSteps      float64 `json:"cascade_steps"`
+	TouchedSlots      float64 `json:"touched_slots"`
+	Rounds            float64 `json:"rounds"`
+	Broadcasts        float64 `json:"broadcasts"`
+	MessagesSent      float64 `json:"messages_sent"`
+	MessagesDelivered float64 `json:"messages_delivered"`
+	Bits              float64 `json:"bits"`
+	Handoffs          float64 `json:"handoffs"`
+	CrossShard        float64 `json:"cross_shard"`
+	Steals            float64 `json:"steals"`
 }
 
 // PerUpdate returns the amortized per-update rates.

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"dynmis"
+)
+
+// WireEvent is the membership event as it travels the wire: the fields of
+// dynmis.Event with memberships and cause as strings, plus the server
+// wall-clock publication time — the field subscriber-visible latency is
+// measured against. Seq is the daemon's logical sequence number: it keeps
+// counting across crash recovery, so a subscriber's resume cursor means
+// the same thing before and after a restart.
+type WireEvent struct {
+	Seq   uint64        `json:"seq"`
+	Node  dynmis.NodeID `json:"node"`
+	From  string        `json:"from"`
+	To    string        `json:"to"`
+	Cause string        `json:"cause"`
+	TS    int64         `json:"ts,omitempty"` // unix nanoseconds at publication
+}
+
+// membershipWire renders a membership for the wire.
+func membershipWire(m dynmis.Membership) string {
+	if m == dynmis.In {
+		return "in"
+	}
+	return "out"
+}
+
+// toWire converts a feed event (already rebased to the logical sequence)
+// into its wire form.
+func toWire(ev dynmis.Event, ts int64) WireEvent {
+	return WireEvent{
+		Seq:   ev.Seq,
+		Node:  ev.Node,
+		From:  membershipWire(ev.From),
+		To:    membershipWire(ev.To),
+		Cause: ev.Cause.String(),
+		TS:    ts,
+	}
+}
+
+// Terminal stream conditions, delivered to subscribers as typed errors and
+// rendered by the handlers as terminal wire records.
+var (
+	// errLagged: the subscriber fell behind the retention window — its next
+	// event was evicted. The client must resync from /v1/state.
+	errLagged = errors.New("subscriber lagged behind the retention window")
+	// errTruncated: the requested resume position predates the retained
+	// history (e.g. events from before the last crash recovery).
+	errTruncated = errors.New("event history truncated before the requested position")
+	// errHubClosed: the daemon is shutting down; the backlog was delivered
+	// in full before this was reported.
+	errHubClosed = errors.New("event stream closed")
+)
+
+// hub is the subscriber fan-out: an append-only, seq-contiguous event log
+// plus any number of cursor-based readers. Writers append under the lock;
+// each subscriber runs its own goroutine that copies batches of the log
+// out under the lock and writes them to its client outside it, so one slow
+// client never blocks the ingest path or the other subscribers.
+//
+// Retention bounds memory: with retain > 0 the log keeps only the newest
+// retain events, and a subscriber whose cursor falls below the floor is
+// dropped with errLagged — the slow-consumer policy. Dropping means
+// *disconnecting*, never silently skipping events: a resumed client either
+// observes the gap-free sequence or is told to resync.
+type hub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	log    []WireEvent // events floor+1 .. floor+len(log), contiguous
+	floor  uint64      // seq of the newest event no longer retained
+	retain int         // max retained events; 0 = unlimited
+	closed bool
+
+	subscribers int // currently connected
+
+	// counters, read by /metricsz (under mu)
+	published   uint64 // events ever appended
+	evicted     uint64 // events dropped from retention
+	subsTotal   uint64 // subscribers ever accepted
+	subsDropped uint64 // subscribers dropped as lagged
+}
+
+// newHub returns a hub whose log starts just above floor: the first
+// appended event receives seq floor+1. A leader recovering from a
+// snapshot passes its recovered watermark; a fresh daemon passes 0.
+func newHub(floor uint64, retain int) *hub {
+	h := &hub{floor: floor, retain: retain}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// append adds one event to the log. ev.Seq must be exactly watermark+1 —
+// the caller (the feed rebasing subscription, or the replica's leader
+// stream after a contiguity check) guarantees it.
+func (h *hub) append(ev WireEvent) {
+	h.mu.Lock()
+	h.log = append(h.log, ev)
+	h.published++
+	if h.retain > 0 && len(h.log) > h.retain {
+		drop := len(h.log) - h.retain
+		h.log = h.log[drop:]
+		h.floor += uint64(drop)
+		h.evicted += uint64(drop)
+	}
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// watermark returns the seq of the newest published event.
+func (h *hub) watermark() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.floor + uint64(len(h.log))
+}
+
+// bounds returns the retention floor and the watermark together.
+func (h *hub) bounds() (floor, watermark uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.floor, h.floor + uint64(len(h.log))
+}
+
+// close ends every subscription: each subscriber drains the backlog it has
+// not yet delivered, then returns errHubClosed so its handler can emit a
+// terminal record. Further appends are rejected by the callers (ingest is
+// already stopped when close runs).
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// reset discards the log and restarts it above floor, dropping every
+// subscriber as lagged. The replica uses it when a leader resync makes
+// its local history non-contiguous.
+func (h *hub) reset(floor uint64) {
+	h.mu.Lock()
+	h.log = nil
+	h.floor = floor
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// stream delivers every event with seq > from to send, in order, without
+// gaps or duplicates: first the retained backlog, then live events as they
+// are appended, batched under one lock acquisition per wake-up. It returns
+// errTruncated immediately if from is below the retention floor,
+// errLagged if the cursor is evicted mid-stream, errHubClosed after the
+// hub shuts down (backlog fully delivered first), a send error as-is, or
+// ctx.Err. send runs outside the hub lock.
+func (h *hub) stream(ctx context.Context, from uint64, batch int, send func([]WireEvent) error) error {
+	if batch <= 0 {
+		batch = 512
+	}
+	// A context watcher wakes the cond wait so a departed client releases
+	// its goroutine promptly.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			h.cond.Broadcast()
+		case <-done:
+		}
+	}()
+
+	h.mu.Lock()
+	h.subsTotal++
+	h.subscribers++
+	defer func() {
+		h.subscribers--
+		h.mu.Unlock()
+	}()
+	if from < h.floor {
+		return errTruncated
+	}
+	cursor := from
+	buf := make([]WireEvent, 0, batch)
+	for {
+		for cursor >= h.floor+uint64(len(h.log)) && !h.closed && ctx.Err() == nil {
+			h.cond.Wait()
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if cursor < h.floor {
+			h.subsDropped++
+			return errLagged
+		}
+		if cursor >= h.floor+uint64(len(h.log)) {
+			// Closed with the backlog drained.
+			return errHubClosed
+		}
+		lo := int(cursor - h.floor)
+		hi := min(len(h.log), lo+batch)
+		buf = append(buf[:0], h.log[lo:hi]...)
+		cursor += uint64(hi - lo)
+
+		h.mu.Unlock()
+		err := send(buf)
+		h.mu.Lock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// snapshotCounters returns the hub's counter block for /metricsz.
+func (h *hub) snapshotCounters() (published, evicted, subsNow, subsTotal, subsDropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published, h.evicted, uint64(h.subscribers), h.subsTotal, h.subsDropped
+}

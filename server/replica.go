@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynmis"
+)
+
+// Replica is the read-replica role: it bootstraps from a leader's
+// /v1/state, follows the leader's event stream, folds every event into a
+// local membership configuration exactly as dynmis.ReplayEvents would, and
+// serves the same read surface (state, MIS, events, metrics) to its own
+// subscribers. Because the event stream carries the adjusted nodes — the
+// paper's whole output interface — the replica's State is equal to the
+// leader's at every watermark it reaches, which TestReplicaExactState
+// asserts literally.
+//
+// Ingestion endpoints answer 403 with the leader's URL. If the replica
+// falls behind the leader's retention window (409 or a lagged terminal
+// record), it resyncs from /v1/state and resets its own hub, dropping its
+// subscribers so they resync too — staleness is never silently papered
+// over.
+type Replica struct {
+	leader  string
+	client  *http.Client
+	hub     *hub
+	handler http.Handler
+
+	mu    sync.Mutex
+	state map[dynmis.NodeID]dynmis.Membership
+	seq   uint64
+	ready bool
+
+	resyncs  atomic.Uint64
+	eventsIn atomic.Uint64
+}
+
+// ReplicaConfig configures OpenReplica.
+type ReplicaConfig struct {
+	// Leader is the leader's base URL, e.g. "http://127.0.0.1:7070".
+	Leader string
+	// Retain bounds the replica's own event log (see Config.Retain).
+	Retain int
+	// Client overrides the HTTP client (tests); nil means a default with
+	// no overall timeout (the event stream is long-lived).
+	Client *http.Client
+}
+
+// OpenReplica builds a Replica. It performs no network I/O until Run.
+func OpenReplica(cfg ReplicaConfig) *Replica {
+	r := &Replica{
+		leader: cfg.Leader,
+		client: cfg.Client,
+		hub:    newHub(0, cfg.Retain),
+		state:  map[dynmis.NodeID]dynmis.Membership{},
+	}
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	r.handler = (&routes{
+		role:     "replica",
+		leader:   cfg.Leader,
+		hub:      r.hub,
+		state:    r.stateSnapshot,
+		mis:      r.misSnapshot,
+		metricsz: r.Metricsz,
+		ingest:   nil,
+	}).mux()
+	return r
+}
+
+// ServeHTTP serves the replica's read-only wire surface.
+func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.handler.ServeHTTP(w, req)
+}
+
+// Seq returns the leader watermark the replica has caught up to.
+func (r *Replica) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Ready reports whether the replica has bootstrapped at least once.
+func (r *Replica) Ready() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ready
+}
+
+// Resyncs counts full state resyncs (bootstrap included).
+func (r *Replica) Resyncs() uint64 { return r.resyncs.Load() }
+
+// Run follows the leader until ctx is cancelled: bootstrap from
+// /v1/state, then stream /v1/events?from=<seq>, folding each event and
+// republishing it to the replica's own subscribers. Disconnects resume
+// from the last applied seq; retention misses trigger a full resync.
+// Run returns ctx.Err on cancellation.
+func (r *Replica) Run(ctx context.Context) error {
+	defer r.hub.close()
+	needResync := true
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if needResync {
+			if err := r.bootstrap(ctx); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				r.sleep(ctx, 100*time.Millisecond)
+				continue
+			}
+			needResync = false
+		}
+		resync, err := r.follow(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		needResync = resync
+		if err != nil {
+			r.sleep(ctx, 100*time.Millisecond)
+		}
+	}
+}
+
+func (r *Replica) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// bootstrap loads the leader's full state and rebases the replica on it.
+// If the replica already served history, its hub is reset (dropping local
+// subscribers, who must themselves resync) unless the new state continues
+// exactly where the local history ends.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+"/v1/state", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: replica bootstrap: leader answered %s", resp.Status)
+	}
+	var doc StateDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("server: replica bootstrap: %w", err)
+	}
+	state := make(map[dynmis.NodeID]dynmis.Membership, len(doc.Nodes))
+	for _, n := range doc.Nodes {
+		m := dynmis.Out
+		if n.InMIS {
+			m = dynmis.In
+		}
+		state[n.Node] = m
+	}
+	r.mu.Lock()
+	wasReady, prevSeq := r.ready, r.seq
+	r.state = state
+	r.seq = doc.Seq
+	r.ready = true
+	r.mu.Unlock()
+	if !wasReady || prevSeq != doc.Seq {
+		r.hub.reset(doc.Seq)
+	}
+	r.resyncs.Add(1)
+	return nil
+}
+
+// follow consumes the leader's NDJSON event stream from the current seq.
+// It returns (true, nil) when a full resync is required, (false, err) on a
+// transient failure to reconnect from the same position, and (false, nil)
+// when the leader ended the stream gracefully.
+func (r *Replica) follow(ctx context.Context) (resync bool, err error) {
+	from := r.Seq()
+	url := fmt.Sprintf("%s/v1/events?from=%d", r.leader, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		// The leader no longer retains our position (it restarted with a
+		// shorter retention, or we lagged): full resync.
+		io.Copy(io.Discard, resp.Body)
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("server: replica follow: leader answered %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		// Events carry "cause"; terminal records carry "end" or "error".
+		var rec struct {
+			WireEvent
+			End   bool   `json:"end"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return false, fmt.Errorf("server: replica follow: %w", err)
+		}
+		switch {
+		case rec.Cause != "":
+			if err := r.apply(rec.WireEvent); err != nil {
+				return true, err
+			}
+		case rec.Error != "":
+			return true, nil // lagged: resync
+		case rec.End:
+			// Graceful leader shutdown: hold position and retry — the
+			// leader may come back (the crash-recovery path).
+			return false, fmt.Errorf("server: replica follow: leader ended the stream at seq %d", rec.Seq)
+		default:
+			return false, fmt.Errorf("server: replica follow: unrecognized record %q", raw)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// apply folds one leader event into the replica state — the same fold
+// dynmis.ReplayEvents performs — and republishes it. A sequence gap is an
+// error that forces a resync; it cannot happen over one connection (the
+// leader stream is gap-free by construction) but guards the fold anyway.
+func (r *Replica) apply(ev WireEvent) error {
+	r.mu.Lock()
+	if ev.Seq != r.seq+1 {
+		have := r.seq
+		r.mu.Unlock()
+		return fmt.Errorf("server: replica stream gap: have seq %d, got %d", have, ev.Seq)
+	}
+	if ev.Cause == dynmis.CauseLeave.String() {
+		delete(r.state, ev.Node)
+	} else {
+		m := dynmis.Out
+		if ev.To == "in" {
+			m = dynmis.In
+		}
+		r.state[ev.Node] = m
+	}
+	r.seq = ev.Seq
+	r.mu.Unlock()
+	r.eventsIn.Add(1)
+	r.hub.append(ev)
+	return nil
+}
+
+// stateSnapshot renders the replica state for /v1/state.
+func (r *Replica) stateSnapshot() ([]StateNode, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nodes := make([]StateNode, 0, len(r.state))
+	for v, m := range r.state {
+		nodes = append(nodes, StateNode{Node: v, InMIS: m == dynmis.In})
+	}
+	slices.SortFunc(nodes, func(a, b StateNode) int {
+		return int(a.Node - b.Node)
+	})
+	return nodes, r.seq
+}
+
+// misSnapshot renders the replica's MIS view for /v1/mis.
+func (r *Replica) misSnapshot() ([]dynmis.NodeID, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var mis []dynmis.NodeID
+	for v, m := range r.state {
+		if m == dynmis.In {
+			mis = append(mis, v)
+		}
+	}
+	slices.Sort(mis)
+	return mis, r.seq
+}
+
+// Metricsz snapshots the replica's serving counters.
+func (r *Replica) Metricsz() Metricsz {
+	published, evicted, subsNow, subsTotal, subsDropped := r.hub.snapshotCounters()
+	r.mu.Lock()
+	seq := r.seq
+	r.mu.Unlock()
+	return Metricsz{
+		Role:               "replica",
+		Seq:                seq,
+		ChangesAccepted:    r.eventsIn.Load(),
+		EventsPublished:    published,
+		EventsEvicted:      evicted,
+		Subscribers:        subsNow,
+		SubscribersTotal:   subsTotal,
+		SubscribersDropped: subsDropped,
+		LeaderResyncs:      r.resyncs.Load(),
+	}
+}

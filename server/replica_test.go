@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"maps"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dynmis"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func replicaState(r *Replica) map[dynmis.NodeID]dynmis.Membership {
+	nodes, _ := r.stateSnapshot()
+	state := make(map[dynmis.NodeID]dynmis.Membership, len(nodes))
+	for _, n := range nodes {
+		m := dynmis.Out
+		if n.InMIS {
+			m = dynmis.In
+		}
+		state[n.Node] = m
+	}
+	return state
+}
+
+// TestReplicaExactState: a replica that bootstraps from a mid-history
+// leader and then follows its event stream holds the leader's exact
+// State at every watermark it reaches — including across more live
+// traffic — and serves it with the leader's seq.
+func TestReplicaExactState(t *testing.T) {
+	const seed = 21
+	s, err := Open(Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cs := churnChanges(t, seed, 90, 1500)
+	// History exists before the replica is born: it must bootstrap, not
+	// replay from zero.
+	mustIngest(t, s, cs[:len(cs)/3])
+
+	rep := OpenReplica(ReplicaConfig{Leader: ts.URL})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); rep.Run(ctx) }()
+
+	waitFor(t, 5*time.Second, rep.Ready, "replica bootstrap")
+	mustIngest(t, s, cs[len(cs)/3:])
+	final := s.Seq()
+	waitFor(t, 10*time.Second, func() bool { return rep.Seq() == final }, "replica catch-up")
+
+	if got, want := replicaState(rep), serverState(t, s); !maps.Equal(got, want) {
+		t.Fatalf("replica state diverged from leader:\n got %v\nwant %v", got, want)
+	}
+
+	// The replica serves the same read surface: /v1/state and /v1/mis
+	// match the leader's byte for byte at the same watermark.
+	rts := httptest.NewServer(rep)
+	defer rts.Close()
+	for _, path := range []string{"/v1/state", "/v1/mis"} {
+		lead := getBody(t, ts.URL+path)
+		repl := getBody(t, rts.URL+path)
+		// The docs differ only in the role field.
+		var lv, rv map[string]any
+		json.Unmarshal(lead, &lv)
+		json.Unmarshal(repl, &rv)
+		delete(lv, "role")
+		delete(rv, "role")
+		lj, _ := json.Marshal(lv)
+		rj, _ := json.Marshal(rv)
+		if string(lj) != string(rj) {
+			t.Fatalf("%s diverged:\nleader  %s\nreplica %s", path, lj, rj)
+		}
+	}
+
+	// A subscriber on the *replica* sees the gap-free tail of the run.
+	floor, _ := rep.hub.bounds()
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	resp := subscribeFrom(t, sctx, rts.URL, floor)
+	defer resp.Body.Close()
+	evs, _ := readEvents(t, resp.Body, int(final-floor))
+	checkContiguous(t, evs, floor, final)
+
+	// Ingestion on the replica is refused with the leader's address.
+	hr, err := http.Post(rts.URL+"/v1/changes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica ingest: %s, want 403", hr.Status)
+	}
+	var doc struct {
+		Leader string `json:"leader"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Leader != ts.URL {
+		t.Fatalf("403 points at %q, want %q", doc.Leader, ts.URL)
+	}
+
+	cancel()
+	<-runDone
+}
+
+// TestReplicaResyncAfterRetentionLoss scripts a leader that answers the
+// replica's first resume with 409 (its position aged out of retention):
+// the replica must bootstrap again from /v1/state — resetting its own
+// hub so its subscribers can't be served a gapped history — and then
+// follow the new stream.
+func TestReplicaResyncAfterRetentionLoss(t *testing.T) {
+	var mu sync.Mutex
+	stateCalls, conflicts := 0, 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		stateCalls++
+		n := stateCalls
+		mu.Unlock()
+		doc := StateDoc{Schema: StateSchema, Role: "leader", Seq: 100, Nodes: []StateNode{{Node: 1, InMIS: true}}}
+		if n > 1 {
+			// After the 409 the leader is far ahead with different state.
+			doc.Seq = 200
+			doc.Nodes = []StateNode{{Node: 2, InMIS: true}, {Node: 3, InMIS: false}}
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		from := r.URL.Query().Get("from")
+		if from == "100" {
+			mu.Lock()
+			conflicts++
+			mu.Unlock()
+			writeJSON(w, http.StatusConflict, errorDoc{Error: errTruncated.Error(), Floor: 150, Seq: 200})
+			return
+		}
+		if from != "200" {
+			t.Errorf("unexpected resume position %q", from)
+			writeJSON(w, http.StatusConflict, errorDoc{Error: "unexpected"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		for _, ev := range []WireEvent{
+			{Seq: 201, Node: 3, From: "out", To: "in", Cause: "flip"},
+			{Seq: 202, Node: 4, From: "out", To: "in", Cause: "join"},
+		} {
+			data, _ := json.Marshal(ev)
+			w.Write(data)
+			w.Write([]byte("\n"))
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// Hold the stream open until the client leaves.
+		<-r.Context().Done()
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep := OpenReplica(ReplicaConfig{Leader: ts.URL})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); rep.Run(ctx) }()
+
+	waitFor(t, 5*time.Second, func() bool { return rep.Seq() == 202 }, "replica to fold the post-resync stream")
+	if got := rep.Resyncs(); got != 2 {
+		t.Fatalf("resyncs = %d, want 2 (bootstrap + retention loss)", got)
+	}
+	mu.Lock()
+	if conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", conflicts)
+	}
+	mu.Unlock()
+	want := map[dynmis.NodeID]dynmis.Membership{2: dynmis.In, 3: dynmis.In, 4: dynmis.In}
+	if got := replicaState(rep); !maps.Equal(got, want) {
+		t.Fatalf("replica state after resync: %v, want %v", got, want)
+	}
+	// The resync reset the replica's own hub: it restarts at the new
+	// bootstrap seq, so a local subscriber cannot span the gap.
+	if floor, watermark := rep.hub.bounds(); floor != 200 || watermark != 202 {
+		t.Fatalf("replica hub bounds (%d, %d], want (200, 202]", floor, watermark)
+	}
+
+	cancel()
+	<-runDone
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}

@@ -68,6 +68,7 @@ var kindNames = func() map[string]graph.ChangeKind {
 // Writer encodes a change stream as JSONL. Writes are buffered; call
 // Flush (or use WriteAll/Tee, which flush) before reading the output.
 type Writer struct {
+	dst    io.Writer
 	bw     *bufio.Writer
 	opened bool
 	err    error
@@ -76,7 +77,15 @@ type Writer struct {
 // NewWriter returns a Writer over w. The schema header is written before
 // the first change.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriter(w)}
+	return &Writer{dst: w, bw: bufio.NewWriter(w)}
+}
+
+// NewContinuation returns a Writer that appends records to a trace whose
+// header already exists on w's destination — it never emits a header of
+// its own. It is how a write-ahead log reopened after a restart keeps
+// appending to the same file (see dynmis/server).
+func NewContinuation(w io.Writer) *Writer {
+	return &Writer{dst: w, bw: bufio.NewWriter(w), opened: true}
 }
 
 // Write appends one change. The first Write emits the header line first.
@@ -91,6 +100,11 @@ func (w *Writer) Write(c graph.Change) error {
 			return err
 		}
 	}
+	return w.line(encodeRecord(c))
+}
+
+// encodeRecord builds the wire form of one change.
+func encodeRecord(c graph.Change) record {
 	rec := record{Kind: c.Kind.String()}
 	if c.Kind.IsEdge() {
 		u, v := c.U, c.V
@@ -100,7 +114,47 @@ func (w *Writer) Write(c graph.Change) error {
 		rec.Node = &n
 		rec.Eds = c.Edges
 	}
-	return w.line(rec)
+	return rec
+}
+
+// decodeRecord converts a wire record back into a change.
+func decodeRecord(rec record) (graph.Change, error) {
+	kind, ok := kindNames[rec.Kind]
+	if !ok {
+		return graph.Change{}, fmt.Errorf("unknown change kind %q", rec.Kind)
+	}
+	if kind.IsEdge() {
+		if rec.U == nil || rec.V == nil {
+			return graph.Change{}, fmt.Errorf("%s without endpoints", rec.Kind)
+		}
+		return graph.EdgeChange(kind, *rec.U, *rec.V), nil
+	}
+	if rec.Node == nil {
+		return graph.Change{}, fmt.Errorf("%s without node", rec.Kind)
+	}
+	return graph.NodeChange(kind, *rec.Node, rec.Eds...), nil
+}
+
+// MarshalChange encodes one change as its canonical single-line JSON
+// record, without a trailing newline — the same bytes a Writer emits for
+// it. It is the wire form the dynmis/server ingestion endpoints accept,
+// so "a line of a trace file" and "a change on the wire" are one format.
+func MarshalChange(c graph.Change) ([]byte, error) {
+	return json.Marshal(encodeRecord(c))
+}
+
+// UnmarshalChange decodes one JSON change record (one trace line after
+// the header).
+func UnmarshalChange(data []byte) (graph.Change, error) {
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return graph.Change{}, fmt.Errorf("trace: decode change: %w", err)
+	}
+	c, err := decodeRecord(rec)
+	if err != nil {
+		return graph.Change{}, fmt.Errorf("trace: decode change: %w", err)
+	}
+	return c, nil
 }
 
 // line marshals v and writes it as one newline-terminated line.
@@ -129,20 +183,59 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
+// Sync flushes buffered output and, when the underlying writer supports
+// it (an *os.File does), forces it to stable storage with fsync. It is
+// the durability hook of the write-ahead-log use: a change whose Sync
+// returned nil survives a crash of the process and the machine. On
+// writers without an fsync notion Sync is exactly Flush.
+func (w *Writer) Sync() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if s, ok := w.dst.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
 // Reader decodes a JSONL trace.
 type Reader struct {
-	sc     *bufio.Scanner
-	opened bool
-	line   int
-	err    error
+	sc           *bufio.Scanner
+	opened       bool
+	line         int
+	err          error
+	tolerateTorn bool
+	torn         bool
+}
+
+// ReaderOption configures NewReader.
+type ReaderOption func(*Reader)
+
+// TolerateTornTail makes the Reader treat a torn final line — a last
+// record left truncated by a crash mid-write, which is not valid JSON —
+// as a clean end of trace instead of a sticky decode error; TornTail
+// reports whether one was seen. Only the *final* line is forgiven: a
+// malformed line with further lines after it is corruption, not a torn
+// tail, and still fails. Write-ahead-log recovery reads with this option,
+// because a WAL's last record is torn precisely when the crash interrupted
+// an unacknowledged append.
+func TolerateTornTail() ReaderOption {
+	return func(r *Reader) { r.tolerateTorn = true }
 }
 
 // NewReader returns a Reader over r. The header is validated on the
 // first Read.
-func NewReader(r io.Reader) *Reader {
+func NewReader(r io.Reader, opts ...ReaderOption) *Reader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Reader{sc: sc}
+	rd := &Reader{sc: sc}
+	for _, o := range opts {
+		o(rd)
+	}
+	return rd
 }
 
 // Read returns the next change, or io.EOF at the end of the trace. The
@@ -156,13 +249,19 @@ func (r *Reader) Read() (graph.Change, error) {
 		data, err := r.next()
 		if err != nil {
 			if err == io.EOF {
+				if r.tolerateTorn {
+					// A WAL that crashed before its first flush is an
+					// empty file: no change in it was ever acknowledged.
+					r.torn = true
+					return graph.Change{}, io.EOF
+				}
 				err = fmt.Errorf("%w: empty input, want header %q", ErrSchema, Schema)
 			}
 			return graph.Change{}, r.fail(err)
 		}
 		var h header
 		if err := json.Unmarshal(data, &h); err != nil {
-			return graph.Change{}, r.fail(fmt.Errorf("%w: bad header line: %v", ErrSchema, err))
+			return graph.Change{}, r.tornOrFail(fmt.Errorf("%w: bad header line: %v", ErrSchema, err))
 		}
 		if h.Schema != Schema {
 			return graph.Change{}, r.fail(fmt.Errorf("%w: have %q, want %q", ErrSchema, h.Schema, Schema))
@@ -174,22 +273,13 @@ func (r *Reader) Read() (graph.Change, error) {
 	}
 	var rec record
 	if err := json.Unmarshal(data, &rec); err != nil {
+		return graph.Change{}, r.tornOrFail(fmt.Errorf("trace: line %d: %v", r.line, err))
+	}
+	c, err := decodeRecord(rec)
+	if err != nil {
 		return graph.Change{}, r.fail(fmt.Errorf("trace: line %d: %v", r.line, err))
 	}
-	kind, ok := kindNames[rec.Kind]
-	if !ok {
-		return graph.Change{}, r.fail(fmt.Errorf("trace: line %d: unknown change kind %q", r.line, rec.Kind))
-	}
-	if kind.IsEdge() {
-		if rec.U == nil || rec.V == nil {
-			return graph.Change{}, r.fail(fmt.Errorf("trace: line %d: %s without endpoints", r.line, rec.Kind))
-		}
-		return graph.EdgeChange(kind, *rec.U, *rec.V), nil
-	}
-	if rec.Node == nil {
-		return graph.Change{}, r.fail(fmt.Errorf("trace: line %d: %s without node", r.line, rec.Kind))
-	}
-	return graph.NodeChange(kind, *rec.Node, rec.Eds...), nil
+	return c, nil
 }
 
 // next returns the next non-empty line, or io.EOF.
@@ -213,6 +303,34 @@ func (r *Reader) fail(err error) error {
 	}
 	return err
 }
+
+// tornOrFail resolves a decode failure on the line just read: under
+// TolerateTornTail, a failure on the final line of the input is a torn
+// tail and reads as a clean io.EOF; anywhere else (or without the option)
+// it is the sticky error err.
+func (r *Reader) tornOrFail(err error) error {
+	if r.tolerateTorn && !r.more() {
+		r.torn = true
+		return io.EOF
+	}
+	return r.fail(err)
+}
+
+// more reports whether any non-empty line remains, consuming input to
+// find out — it is only called on the way to a terminal state.
+func (r *Reader) more() bool {
+	for r.sc.Scan() {
+		r.line++
+		if len(r.sc.Bytes()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TornTail reports whether the reader forgave a truncated final line (or
+// a truncated/absent header) under TolerateTornTail.
+func (r *Reader) TornTail() bool { return r.torn }
 
 // All exposes the remaining trace as a change iterator — assignable to
 // dynmis.Source — stopping at the end of the trace or at the first

@@ -192,6 +192,124 @@ func TestTeeFlushesOnEarlyStop(t *testing.T) {
 	}
 }
 
+// tornEncode encodes cs and truncates the output mid-way through the
+// final record, simulating a crash during an append.
+func tornEncode(t *testing.T, cs []graph.Change, cut int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, slices.Values(cs)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Cut inside the last line: drop the trailing newline plus cut bytes.
+	if cut >= 0 && len(data) > cut+1 {
+		data = data[:len(data)-1-cut]
+	}
+	return data
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	cs := sample()
+	for _, cut := range []int{1, 3, 7} {
+		data := tornEncode(t, cs, cut)
+		// Default reader: the torn line is a sticky decode error.
+		if _, err := ReadAll(bytes.NewReader(data)); err == nil || errors.Is(err, io.EOF) {
+			t.Fatalf("cut=%d: default reader must fail on a torn tail", cut)
+		}
+		// Tolerant reader: the torn record is dropped, the prefix survives.
+		r := NewReader(bytes.NewReader(data), TolerateTornTail())
+		var got []graph.Change
+		for {
+			c, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut=%d: tolerant reader failed: %v", cut, err)
+			}
+			got = append(got, c)
+		}
+		if !r.TornTail() {
+			t.Fatalf("cut=%d: TornTail not reported", cut)
+		}
+		if !changesEqual(got, cs[:len(cs)-1]) {
+			t.Fatalf("cut=%d: want the %d-change prefix, got %d changes", cut, len(cs)-1, len(got))
+		}
+	}
+}
+
+func TestTornTailOnlyForgivesTheFinalLine(t *testing.T) {
+	// A malformed line with complete lines after it is corruption, not a
+	// torn tail: the tolerant reader must still fail.
+	input := `{"schema":"dynmis-trace/v1"}` + "\n" +
+		`{"k":"node-insert","n` + "\n" +
+		`{"k":"node-insert","n":2}` + "\n"
+	r := NewReader(strings.NewReader(input), TolerateTornTail())
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("mid-trace corruption tolerated: %v", err)
+	}
+	if r.TornTail() {
+		t.Fatal("mid-trace corruption misreported as a torn tail")
+	}
+}
+
+func TestTornHeaderTolerated(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":      "",
+		"tornHeader": `{"schema":"dynmis-tr`,
+	} {
+		r := NewReader(strings.NewReader(input), TolerateTornTail())
+		if _, err := r.Read(); err != io.EOF {
+			t.Errorf("%s: want io.EOF, got %v", name, err)
+		}
+		if !r.TornTail() {
+			t.Errorf("%s: TornTail not reported", name)
+		}
+	}
+	// A complete header naming the wrong schema is never forgiven.
+	r := NewReader(strings.NewReader(`{"schema":"dynmis-trace/v999"}`+"\n"), TolerateTornTail())
+	if _, err := r.Read(); !errors.Is(err, ErrSchema) {
+		t.Errorf("wrong schema: want ErrSchema, got %v", err)
+	}
+}
+
+// syncRecorder counts Sync calls to prove Writer.Sync reaches the
+// underlying writer's fsync hook.
+type syncRecorder struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncRecorder) Sync() error { s.syncs++; return nil }
+
+func TestWriterSync(t *testing.T) {
+	var rec syncRecorder
+	w := NewWriter(&rec)
+	if err := w.Write(graph.NodeChange(graph.NodeInsert, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.syncs != 1 {
+		t.Fatalf("want 1 fsync, got %d", rec.syncs)
+	}
+	// Sync flushes: the buffered record must be visible.
+	got, err := ReadAll(bytes.NewReader(rec.Bytes()))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("after Sync: got %v, %v", got, err)
+	}
+	// On a writer without an fsync notion, Sync degrades to Flush.
+	var plain bytes.Buffer
+	w2 := NewWriter(&plain)
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), Schema) {
+		t.Fatal("Sync on an empty writer must still emit the header")
+	}
+}
+
 func changesEqual(a, b []graph.Change) bool {
 	if len(a) != len(b) {
 		return false
