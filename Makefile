@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-matrix bench bench-smoke bench-delta bench-scaling validate validate-smoke serve-smoke clean
+.PHONY: ci fmt vet build test race race-matrix bench bench-smoke bench-delta bench-scaling validate validate-smoke serve-smoke fuzz fuzz-smoke clean
 
 ci: fmt vet build race bench-smoke validate-smoke serve-smoke
 	@$(MAKE) bench-scaling || echo "bench-scaling failed (non-blocking: shared or single-core runners cannot guarantee a parallel speedup)"
@@ -86,7 +86,7 @@ bench:
 	$(GO) run ./cmd/bench -out BENCH_dynmis.json
 
 # Paper-claims validation: regenerates docs/VALIDATION.md by driving
-# the workload scenarios through all five engines with complexity
+# the workload scenarios through all eight engines with complexity
 # instrumentation and tabulating measured amortized adjustments,
 # rounds, broadcasts and messages per update against the paper's
 # bounds. Deterministic: unchanged flags reproduce the committed file
@@ -94,13 +94,27 @@ bench:
 validate:
 	$(GO) run ./cmd/validate
 
-# CI-sized validation: a tiny instrumented run across all five engines
+# CI-sized validation: a tiny instrumented run across all eight engines
 # (exercising the whole metrics path end to end), then the
 # docs-freshness check — fails if docs/VALIDATION.md's schema header
 # drifts from the generator's schema version. Writes only under /tmp.
 validate-smoke:
 	$(GO) run ./cmd/validate -quick -out /tmp/VALIDATION_smoke.md
 	$(GO) run ./cmd/validate -check
+
+# Fuzz walls. The sharded-equivalence target checks the π-equivalent
+# tier (byte-equal state and feed vs. the template); the competitor
+# target checks the tier-2 contract of the independent engines
+# (gupta-khan, aoss, sequential): per-window invariants, feed replay,
+# and slot recycling. FUZZTIME scales both; fuzz-smoke is the CI size.
+FUZZTIME ?= 60s
+
+fuzz:
+	$(GO) test -fuzz=FuzzShardedEquivalence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
+	$(GO) test -fuzz=FuzzCompetitorInvariant -fuzztime=$(FUZZTIME) -run '^$$' .
+
+fuzz-smoke:
+	@$(MAKE) fuzz FUZZTIME=30s
 
 clean:
 	$(GO) clean ./...

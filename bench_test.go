@@ -162,7 +162,7 @@ func BenchmarkE14BitComplexity(b *testing.B)   { benchExperiment(b, "E14") }
 
 func BenchmarkSeqdynEdgeChange(b *testing.B) {
 	eng := seqdyn.New(7)
-	g := buildOn(b, applyAllSeq(eng), 2000, 7)
+	g := buildOn(b, eng.ApplyAll, 2000, 7)
 	rng := rand.New(rand.NewPCG(7, 99))
 	churn := workload.EdgeChurn(rng, g, 4096)
 	var work int
@@ -175,14 +175,6 @@ func BenchmarkSeqdynEdgeChange(b *testing.B) {
 		work += rep.Work
 	}
 	b.ReportMetric(float64(work)/float64(b.N), "work/op")
-}
-
-// applyAllSeq adapts seqdyn's distinct report type to buildOn.
-func applyAllSeq(eng *seqdyn.Engine) func([]graph.Change) (core.Report, error) {
-	return func(cs []graph.Change) (core.Report, error) {
-		_, err := eng.ApplyAll(cs)
-		return core.Report{}, err
-	}
 }
 
 func BenchmarkMatchingEdgeChange(b *testing.B) {

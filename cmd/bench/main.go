@@ -11,11 +11,11 @@
 //
 //	bench [-n 2000] [-steps 20000] [-shards 1,4,8] [-window 512]
 //	      [-gomaxprocs 1,2,4,8,16] [-scenarios churn,sliding-window]
-//	      [-seed 42] [-quick] [-min-speedup 1.0]
-//	      [-record trace.jsonl] [-replay trace.jsonl]
+//	      [-engines sequential,sharded,gupta-khan] [-seed 42] [-quick]
+//	      [-min-speedup 1.0] [-record trace.jsonl] [-replay trace.jsonl]
 //	      [-out BENCH_dynmis.json]
 //
-// Engines:
+// Engines (select a subset with -engines; default all):
 //
 //   - sequential:      EngineTemplate driven change by change — the
 //     paper's per-update path. Always timed at GOMAXPROCS=1: it is the
@@ -27,6 +27,11 @@
 //     it was timed at and its scaling efficiency:
 //     (rate / sequential rate) / min(P, GOMAXPROCS) — the fraction of
 //     ideal linear scaling the run achieved.
+//   - sequential-struct: EngineSequential, the §6 single-machine data
+//     structure, driven change by change at GOMAXPROCS=1.
+//   - gupta-khan, aoss: the competitor dynamic-MIS engines, driven
+//     change by change at GOMAXPROCS=1 — the head-to-head rows against
+//     the paper's per-update path.
 //
 // -record captures the full ingested stream (warm-up + drive) of the
 // selected scenario as a dynmis/trace JSONL file; -replay benchmarks a
@@ -140,6 +145,7 @@ func main() {
 		window     = flag.Int("window", 512, "batch window for the batched/sharded engines")
 		gmpCSV     = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values for the sharded runs (default: the current value)")
 		scenCSV    = flag.String("scenarios", "", "comma-separated scenario names (default: all)")
+		enginesCSV = flag.String("engines", "", "comma-separated subset of benchmark engines (default: all; valid: "+strings.Join(benchEngineNames, ", ")+")")
 		seed       = flag.Uint64("seed", 42, "random seed (engines and workload generation)")
 		quick      = flag.Bool("quick", false, "smoke-test sizes (n=300, steps=3000)")
 		record     = flag.String("record", "", "record the ingested stream (warm-up + drive) to this trace file; requires exactly one scenario")
@@ -159,6 +165,10 @@ func main() {
 		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
 	}
 
+	sel, err := parseEngines(*enginesCSV)
+	if err != nil {
+		fatal(err)
+	}
 	jobs, err := buildJobs(*scenCSV, *replay, *seed, *n, *steps)
 	if err != nil {
 		fatal(err)
@@ -197,17 +207,40 @@ func main() {
 
 		// The sequential engines are the single-core baselines: they are
 		// always timed at GOMAXPROCS=1, whatever the sharded matrix is.
-		seq := run(jb, *seed, "sequential", 0, 0, 1, dynmis.WithEngine(dynmis.EngineTemplate))
-		res.Engines = append(res.Engines, seq,
-			run(jb, *seed, "sequential-batch", 0, *window, 1, dynmis.WithEngine(dynmis.EngineTemplate)))
-		for _, gmp := range gmpList {
-			for _, p := range shardCounts {
-				er := run(jb, *seed, "sharded", p, *window, gmp,
-					dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(p))
-				if seq.UpdatesPerSec > 0 {
-					er.ScalingEfficiency = er.UpdatesPerSec / seq.UpdatesPerSec / float64(min(p, gmp))
+		var seq engineRun
+		if sel["sequential"] {
+			seq = run(jb, *seed, "sequential", 0, 0, 1, dynmis.WithEngine(dynmis.EngineTemplate))
+			res.Engines = append(res.Engines, seq)
+		}
+		if sel["sequential-batch"] {
+			res.Engines = append(res.Engines,
+				run(jb, *seed, "sequential-batch", 0, *window, 1, dynmis.WithEngine(dynmis.EngineTemplate)))
+		}
+		if sel["sharded"] {
+			for _, gmp := range gmpList {
+				for _, p := range shardCounts {
+					er := run(jb, *seed, "sharded", p, *window, gmp,
+						dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(p))
+					if seq.UpdatesPerSec > 0 {
+						er.ScalingEfficiency = er.UpdatesPerSec / seq.UpdatesPerSec / float64(min(p, gmp))
+					}
+					res.Engines = append(res.Engines, er)
 				}
-				res.Engines = append(res.Engines, er)
+			}
+		}
+		// The single-machine per-update engines: the §6 sequential
+		// structure and the competitor algorithms, head to head.
+		for _, sm := range []struct {
+			name   string
+			engine dynmis.Engine
+		}{
+			{"sequential-struct", dynmis.EngineSequential},
+			{"gupta-khan", dynmis.EngineGuptaKhan},
+			{"aoss", dynmis.EngineAOSS},
+		} {
+			if sel[sm.name] {
+				res.Engines = append(res.Engines,
+					run(jb, *seed, sm.name, 0, 0, 1, dynmis.WithEngine(sm.engine)))
 			}
 		}
 		for _, er := range res.Engines {
@@ -451,6 +484,33 @@ func run(jb job, seed uint64, name string, shards, window, procs int, opts ...dy
 		Steals:        sum.Total.Steals,
 		Verified:      m.Verify() == nil,
 	}
+}
+
+// benchEngineNames are the selectable -engines values, in report order.
+var benchEngineNames = []string{
+	"sequential", "sequential-batch", "sharded",
+	"sequential-struct", "gupta-khan", "aoss",
+}
+
+// parseEngines resolves -engines into a selection set; an empty flag
+// selects everything, unknown names are rejected with the valid list.
+func parseEngines(csv string) (map[string]bool, error) {
+	sel := make(map[string]bool, len(benchEngineNames))
+	if csv == "" {
+		for _, name := range benchEngineNames {
+			sel[name] = true
+		}
+		return sel, nil
+	}
+	for _, s := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(s)
+		if !slices.Contains(benchEngineNames, name) {
+			return nil, fmt.Errorf("-engines: unknown engine %q (valid: %s)",
+				name, strings.Join(benchEngineNames, ", "))
+		}
+		sel[name] = true
+	}
+	return sel, nil
 }
 
 func defaultShards() string {

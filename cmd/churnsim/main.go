@@ -28,14 +28,15 @@ import (
 
 func main() {
 	var (
-		engineName = flag.String("engine", "protocol", "template | direct | protocol | async | sharded")
-		scenario   = flag.String("scenario", "churn", "workload scenario (see workload.Scenarios)")
-		n          = flag.Int("n", 300, "initial node count (scenarios may cap it)")
-		steps      = flag.Int("steps", 20000, "total churn steps")
-		window     = flag.Int("window", 2000, "reporting window")
-		seed       = flag.Uint64("seed", 3, "random seed")
-		record     = flag.String("record", "", "record the full ingested stream to this trace file")
-		replay     = flag.String("replay", "", "drive a recorded trace instead of generating churn")
+		engineName = flag.String("engine", "protocol",
+			"template | direct | protocol | async | sharded | sequential | gupta-khan | aoss")
+		scenario = flag.String("scenario", "churn", "workload scenario (see workload.Scenarios)")
+		n        = flag.Int("n", 300, "initial node count (scenarios may cap it)")
+		steps    = flag.Int("steps", 20000, "total churn steps")
+		window   = flag.Int("window", 2000, "reporting window")
+		seed     = flag.Uint64("seed", 3, "random seed")
+		record   = flag.String("record", "", "record the full ingested stream to this trace file")
+		replay   = flag.String("replay", "", "drive a recorded trace instead of generating churn")
 	)
 	flag.Parse()
 	if *record != "" && *replay != "" {
@@ -45,9 +46,9 @@ func main() {
 		fatal(fmt.Errorf("-window must be at least 1, have %d", *window))
 	}
 
-	engine, ok := engineByName(*engineName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+	engine, err := dynmis.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	m, err := dynmis.New(dynmis.WithSeed(*seed), dynmis.WithEngine(engine))
@@ -145,23 +146,6 @@ func main() {
 	}
 	fmt.Printf("\ninvariants verified after %d changes (mean adjustments %.3f, max %d)\n",
 		sum.Changes, sum.MeanAdjustments(), sum.Max.Adjustments)
-}
-
-// engineByName maps the CLI engine names onto the facade's engine enum.
-func engineByName(name string) (dynmis.Engine, bool) {
-	switch name {
-	case "template":
-		return dynmis.EngineTemplate, true
-	case "direct":
-		return dynmis.EngineDirect, true
-	case "protocol":
-		return dynmis.EngineProtocol, true
-	case "async":
-		return dynmis.EngineAsyncDirect, true
-	case "sharded":
-		return dynmis.EngineSharded, true
-	}
-	return 0, false
 }
 
 // concat chains sources back to back.

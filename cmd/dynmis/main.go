@@ -2,7 +2,7 @@
 // builds a topology, streams a random churn Source through the selected
 // engine with Maintainer.Drive, and prints the per-change cost summary
 // that the paper's complexity measures define (adjustments, rounds,
-// broadcasts, bits). All five engines are available through the facade.
+// broadcasts, bits). All eight engines are available through the facade.
 //
 // Usage:
 //
@@ -23,30 +23,20 @@ import (
 
 func main() {
 	var (
-		engineName = flag.String("engine", "protocol", "template | direct | protocol | async | sharded")
-		topology   = flag.String("topology", "gnp", "gnp | star | grid | path | cycle")
-		n          = flag.Int("n", 200, "node count (grid uses the nearest square)")
-		p          = flag.Float64("p", 0.05, "edge probability for gnp")
-		steps      = flag.Int("steps", 500, "churn steps")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		verify     = flag.Bool("verify", true, "check invariants after the run")
+		engineName = flag.String("engine", "protocol",
+			"template | direct | protocol | async | sharded | sequential | gupta-khan | aoss")
+		topology = flag.String("topology", "gnp", "gnp | star | grid | path | cycle")
+		n        = flag.Int("n", 200, "node count (grid uses the nearest square)")
+		p        = flag.Float64("p", 0.05, "edge probability for gnp")
+		steps    = flag.Int("steps", 500, "churn steps")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		verify   = flag.Bool("verify", true, "check invariants after the run")
 	)
 	flag.Parse()
 
-	var engine dynmis.Engine
-	switch *engineName {
-	case "template":
-		engine = dynmis.EngineTemplate
-	case "direct":
-		engine = dynmis.EngineDirect
-	case "protocol":
-		engine = dynmis.EngineProtocol
-	case "async":
-		engine = dynmis.EngineAsyncDirect
-	case "sharded":
-		engine = dynmis.EngineSharded
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+	engine, err := dynmis.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	m, err := dynmis.New(dynmis.WithSeed(*seed), dynmis.WithEngine(engine))
@@ -85,7 +75,7 @@ func main() {
 	// The timed phase: a churn Source streamed through the engine, with
 	// per-change reports folded into distributions as they happen.
 	churn := workload.ChurnSource(rng, workload.BuildGraph(build), workload.DefaultChurn(*steps))
-	var adj, ssize, rounds, bcasts, bits, depth stats.Series
+	var adj, ssize, rounds, bcasts, bits, depth, work stats.Series
 	sum, err := m.Drive(ctx, churn,
 		dynmis.DriveObserver(func(_ []dynmis.Change, rep dynmis.Report) {
 			adj.ObserveInt(rep.Adjustments)
@@ -94,21 +84,29 @@ func main() {
 			bcasts.ObserveInt(rep.Broadcasts)
 			bits.ObserveInt(rep.Bits)
 			depth.ObserveInt(rep.CausalDepth)
+			work.ObserveInt(rep.Work)
 		}))
 	if err != nil {
 		fatal(err)
 	}
 
+	// Single-machine engines (the sequential structure and the
+	// competitors) account update-time work, not communication.
+	singleMachine := engine == dynmis.EngineSequential || engine.Independent()
+
 	table := stats.NewTable(fmt.Sprintf("per-change cost over %d churn steps (engine=%s)", sum.Changes, engine),
 		"metric", "mean", "ci95", "max")
 	table.AddRow("adjustments", adj.Mean(), adj.CI95(), int(adj.Max()))
 	table.AddRow("|S|", ssize.Mean(), ssize.CI95(), int(ssize.Max()))
-	if engine != dynmis.EngineAsyncDirect {
-		table.AddRow("rounds", rounds.Mean(), rounds.CI95(), int(rounds.Max()))
-	} else {
+	switch {
+	case singleMachine:
+		table.AddRow("work", work.Mean(), work.CI95(), int(work.Max()))
+	case engine == dynmis.EngineAsyncDirect:
 		table.AddRow("causal depth", depth.Mean(), depth.CI95(), int(depth.Max()))
+	default:
+		table.AddRow("rounds", rounds.Mean(), rounds.CI95(), int(rounds.Max()))
 	}
-	if engine != dynmis.EngineTemplate && engine != dynmis.EngineSharded {
+	if !singleMachine && engine != dynmis.EngineTemplate && engine != dynmis.EngineSharded {
 		table.AddRow("broadcasts", bcasts.Mean(), bcasts.CI95(), int(bcasts.Max()))
 		table.AddRow("bits", bits.Mean(), bits.CI95(), int(bits.Max()))
 	}

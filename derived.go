@@ -75,14 +75,15 @@ func NewColoring(palette int, opts ...Option) (*ColoringMaintainer, error) {
 // SequentialMaintainer is the single-machine dynamic MIS data structure of
 // the paper's §6 outlook: no message passing, O(Δ) expected work per
 // update. It maintains the same structure as the distributed engines
-// (history independent, equal to sequential greedy under its order).
+// (history independent, equal to sequential greedy under its order), and
+// since it implements the full core.Engine surface it is also available
+// through New as WithEngine(EngineSequential).
 type SequentialMaintainer = seqdyn.Engine
 
-// SequentialReport is the sequential cost account (adjustments, nodes
-// processed, adjacency entries touched).
-type SequentialReport = seqdyn.Report
+// SequentialReport is the sequential cost account; Report.Work carries
+// the update-time measure (adjacency entries touched).
+type SequentialReport = Report
 
-// NewSequential returns a sequential dynamic MIS over the empty graph.
-// (It is a different data structure with its own report type, not one of
-// the five engines, so it keeps a plain seed parameter.)
+// NewSequential returns a sequential dynamic MIS over the empty graph,
+// typed as the concrete structure rather than a Maintainer.
 func NewSequential(seed uint64) *SequentialMaintainer { return seqdyn.New(seed) }

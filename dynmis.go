@@ -5,8 +5,9 @@
 // with, in expectation, a single adjustment, O(1) rounds and O(1)
 // broadcasts per topology change.
 //
-// The library exposes five engines implementing the same abstract
-// algorithm (simulated sequential random greedy):
+// The library exposes eight engines behind one uniform surface. Six of
+// them implement the paper's abstract algorithm (simulated sequential
+// random greedy):
 //
 //   - EngineTemplate: the model-level cascade of the paper's Algorithm 1 —
 //     fastest, no communication accounting.
@@ -21,6 +22,20 @@
 //     executed by P worker goroutines over a partitioned vertex space,
 //     built for sustained update throughput (see internal/shard and
 //     docs/ARCHITECTURE.md).
+//   - EngineSequential: the paper's §6 single-machine data structure —
+//     the same greedy-under-π structure maintained with a π-ordered dirty
+//     queue at O(Δ) expected update time (internal/seqdyn).
+//
+// The remaining two are competitor dynamic-MIS algorithms from the
+// follow-up literature, implemented behind the same surface so the suite
+// can benchmark the paper head to head (see Engine.Independent):
+//
+//   - EngineGuptaKhan: the deterministic blocker-count algorithm of
+//     Gupta–Khan (arXiv:1804.01823) — O(Δ) amortized adjustments per
+//     update, no random order (internal/guptakhan).
+//   - EngineAOSS: the degree-bucketed algorithm in the style of
+//     Assadi–Onak–Schieber–Solomon (arXiv:1806.10051) — prefers
+//     low-degree vertices when repairing the MIS (internal/aoss).
 //
 // Every engine implements one uniform surface (Apply, ApplyAll,
 // ApplyBatch, queries, Subscribe); optional abilities such as persistence
@@ -45,12 +60,15 @@
 // harness (cmd/validate, `make validate`) tabulates the measured
 // amortized costs against the paper's O(1) bounds in docs/VALIDATION.md.
 //
-// All engines are history independent (Definition 14): the distribution of
-// the maintained MIS depends only on the current graph, never on the
-// change history, and for a fixed seed the output equals the sequential
-// greedy MIS under the same random order. Composed structures —
+// The paper's engines are history independent (Definition 14): the
+// distribution of the maintained MIS depends only on the current graph,
+// never on the change history, and for a fixed seed the output equals the
+// sequential greedy MIS under the same random order. Composed structures —
 // correlation clustering (3-approximate in expectation), maximal matching,
-// and (Δ+1)-coloring — inherit this property.
+// and (Δ+1)-coloring — inherit this property. The competitor engines
+// (Engine.Independent reports true) maintain a valid MIS that may depend
+// on history; they are verified against a per-engine reference model and
+// the same greedy-certificate oracle instead (see Verify).
 //
 // # Quick start
 //
@@ -64,11 +82,15 @@ package dynmis
 
 import (
 	"fmt"
+	"strings"
 
+	"dynmis/internal/aoss"
 	"dynmis/internal/core"
 	"dynmis/internal/direct"
 	"dynmis/internal/graph"
+	"dynmis/internal/guptakhan"
 	"dynmis/internal/protocol"
+	"dynmis/internal/seqdyn"
 	"dynmis/internal/shard"
 	"dynmis/internal/simnet"
 	"dynmis/metrics"
@@ -151,6 +173,18 @@ const (
 	// vertex shards. Same structure as every other engine for equal
 	// seeds, highest sustained update throughput.
 	EngineSharded
+	// EngineSequential is the §6 single-machine data structure: the same
+	// greedy-under-π structure, maintained with a π-ordered dirty queue
+	// at O(Δ) expected update time. π-equivalent to the engines above.
+	EngineSequential
+	// EngineGuptaKhan is the deterministic competitor of Gupta–Khan
+	// (arXiv:1804.01823): blocker counts without a random order, O(Δ)
+	// amortized adjustments. Maintains its own valid MIS (Independent).
+	EngineGuptaKhan
+	// EngineAOSS is the degree-bucketed competitor in the style of
+	// Assadi–Onak–Schieber–Solomon (arXiv:1806.10051): repairs prefer
+	// low-degree vertices. Maintains its own valid MIS (Independent).
+	EngineAOSS
 )
 
 // String names the engine.
@@ -166,8 +200,64 @@ func (e Engine) String() string {
 		return "async-direct"
 	case EngineSharded:
 		return "sharded"
+	case EngineSequential:
+		return "sequential"
+	case EngineGuptaKhan:
+		return "gupta-khan"
+	case EngineAOSS:
+		return "aoss"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Independent reports whether the engine maintains an MIS of its own
+// (competitor algorithms: Gupta–Khan, AOSS) rather than the paper's
+// greedy-under-π structure. Independent engines still satisfy every
+// maximal-independent-set invariant and the greedy-certificate oracle
+// (Verify), but their MIS may differ from the π-equivalent engines' and
+// may depend on the change history, so byte-equality checks across
+// engines must exclude them.
+func (e Engine) Independent() bool {
+	return e == EngineGuptaKhan || e == EngineAOSS
+}
+
+// Engines lists every selectable engine in declaration order.
+func Engines() []Engine {
+	return []Engine{
+		EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect,
+		EngineSharded, EngineSequential, EngineGuptaKhan, EngineAOSS,
+	}
+}
+
+// EngineByName resolves an engine from its String name (the spelling the
+// command-line tools accept). A few aliases are recognized: "async" for
+// async-direct, "seqdyn" for sequential, "guptakhan" for gupta-khan.
+func EngineByName(name string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "template":
+		return EngineTemplate, nil
+	case "direct":
+		return EngineDirect, nil
+	case "protocol":
+		return EngineProtocol, nil
+	case "async-direct", "async":
+		return EngineAsyncDirect, nil
+	case "sharded":
+		return EngineSharded, nil
+	case "sequential", "seqdyn":
+		return EngineSequential, nil
+	case "gupta-khan", "guptakhan":
+		return EngineGuptaKhan, nil
+	case "aoss":
+		return EngineAOSS, nil
+	default:
+		names := make([]string, 0, len(Engines()))
+		for _, e := range Engines() {
+			names = append(names, e.String())
+		}
+		return 0, fmt.Errorf("%w: unknown engine %q (valid: %s)",
+			ErrInvalidOption, name, strings.Join(names, ", "))
 	}
 }
 
@@ -179,6 +269,9 @@ var (
 	_ core.Engine = (*protocol.Engine)(nil)
 	_ core.Engine = (*direct.AsyncEngine)(nil)
 	_ core.Engine = (*shard.Engine)(nil)
+	_ core.Engine = (*seqdyn.Engine)(nil)
+	_ core.Engine = (*guptakhan.Engine)(nil)
+	_ core.Engine = (*aoss.Engine)(nil)
 
 	_ core.Snapshotter = (*core.Template)(nil)
 	_ core.Snapshotter = (*shard.Engine)(nil)
@@ -188,6 +281,9 @@ var (
 	_ core.Instrument = (*protocol.Engine)(nil)
 	_ core.Instrument = (*direct.AsyncEngine)(nil)
 	_ core.Instrument = (*shard.Engine)(nil)
+	_ core.Instrument = (*seqdyn.Engine)(nil)
+	_ core.Instrument = (*guptakhan.Engine)(nil)
+	_ core.Instrument = (*aoss.Engine)(nil)
 )
 
 type config struct {
@@ -250,7 +346,7 @@ func WithWindow(n int) Option {
 // paper's cost measures — adjustments, influence-set size, cascade
 // steps, touched slots, rounds, broadcasts, message traffic — into
 // cumulative counters read with Maintainer.Metrics, and Drive reports
-// each drive's delta as Summary.Metrics. All five engines support it.
+// each drive's delta as Summary.Metrics. All engines support it.
 //
 // Without this option instrumentation is disabled and costs nothing:
 // the accounting paths are guarded by a single nil check and the
@@ -262,7 +358,8 @@ func WithInstrumentation() Option {
 // validate rejects option combinations no engine can honor.
 func (c *config) validate() error {
 	switch c.engine {
-	case EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded:
+	case EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded,
+		EngineSequential, EngineGuptaKhan, EngineAOSS:
 	default:
 		return fmt.Errorf("%w: unknown engine %v", ErrInvalidOption, c.engine)
 	}
@@ -300,6 +397,12 @@ func (c *config) build() core.Engine {
 			e.SetWindow(c.window)
 		}
 		return e
+	case EngineSequential:
+		return seqdyn.New(c.seed)
+	case EngineGuptaKhan:
+		return guptakhan.New(c.seed)
+	case EngineAOSS:
+		return aoss.New(c.seed)
 	default:
 		e := protocol.New(c.seed)
 		if c.parallel > 1 {
@@ -374,11 +477,15 @@ func (m *Maintainer) Engine() Engine { return m.engine }
 // goroutine that applied the change, after recovery has settled, so they
 // always observe the maintainer in a consistent state.
 //
-// The feed is engine-independent: for equal seeds, equal change
-// sequences and equal update granularity — the same Apply calls, or
-// ApplyBatch calls with the same batch boundaries — every engine
-// publishes the identical event stream (history independence fixes the
-// stable configurations; the feed reports nothing else). Granularity
+// Among the π-equivalent engines the feed is engine-independent: for
+// equal seeds, equal change sequences and equal update granularity — the
+// same Apply calls, or ApplyBatch calls with the same batch boundaries —
+// every such engine publishes the identical event stream (history
+// independence fixes the stable configurations; the feed reports nothing
+// else). The competitor engines (Engine.Independent) publish the same
+// kind of net-delta stream over their own MIS, with the same
+// replay-to-State guarantee, but its contents are engine-specific.
+// Granularity
 // matters because events are net deltas: a node that flips and flips
 // back within one batch window produces no event, so EngineSharded's
 // ApplyAll, which groups changes into WithWindow-sized windows, publishes
@@ -400,7 +507,10 @@ func (m *Maintainer) ApplyAll(cs []Change) (Report, error) { return m.impl.Apply
 // EngineSharded one parallel window, EngineAsyncDirect stages all changes
 // before the network drains once, and the synchronous message-passing
 // engines realize the batch sequentially — reaching the same final
-// structure by history independence.
+// structure by history independence. The competitor engines stage the
+// whole batch and settle once; because they are history dependent, the
+// batched result is a valid MIS that may differ from applying the same
+// changes one at a time.
 func (m *Maintainer) ApplyBatch(cs []Change) (Report, error) { return m.impl.ApplyBatch(cs) }
 
 // InsertNode adds a node with edges to the listed existing neighbors.
@@ -434,10 +544,9 @@ func (m *Maintainer) RemoveEdgeAbrupt(u, v NodeID) (Report, error) {
 	return m.impl.Apply(graph.EdgeChange(graph.EdgeDeleteAbrupt, u, v))
 }
 
-// Mute hides a node from its neighbors while it keeps listening. It is
-// supported by EngineTemplate, EngineDirect, EngineProtocol and
-// EngineSharded; EngineAsyncDirect does not model muting (it is a
-// synchronous-round notion) and returns an error matching
+// Mute hides a node from its neighbors while it keeps listening. Every
+// engine supports it except EngineAsyncDirect, which does not model
+// muting (it is a synchronous-round notion) and returns an error matching
 // ErrMutedUnsupported.
 func (m *Maintainer) Mute(v NodeID) (Report, error) {
 	return m.impl.Apply(graph.NodeChange(graph.NodeMute, v))
@@ -598,9 +707,12 @@ func RestoreAt(s *Snapshot, seed uint64, draws uint64, opts ...Option) (*Maintai
 	return m, nil
 }
 
-// Verify additionally asserts history independence: the current structure
-// must equal the sequential greedy MIS on the current graph under the
-// maintainer's random order.
+// Verify additionally asserts the greedy certificate: the current
+// structure must equal the sequential greedy MIS on the current graph
+// under the maintainer's order. For the π-equivalent engines this is
+// history independence (Definition 14); the competitor engines expose a
+// two-band certificate order (members before non-members) under which
+// greedy reproduces their MIS, so the same oracle verifies every engine.
 func (m *Maintainer) Verify() error {
 	if err := m.impl.Check(); err != nil {
 		return err

@@ -3,6 +3,7 @@ package dynmis
 import (
 	"errors"
 	"math/rand/v2"
+	"slices"
 	"testing"
 
 	"dynmis/internal/core"
@@ -10,10 +11,17 @@ import (
 	"dynmis/workload"
 )
 
-// allEngines lists every engine choice for feed and capability tests.
-var allEngines = []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded}
+// allEngines lists every π-equivalent engine choice for feed and
+// capability tests: the engines that draw priorities in the canonical
+// per-change sequence and therefore publish byte-identical feeds.
+var allEngines = []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineAsyncDirect, EngineSharded, EngineSequential}
 
-// eventScript builds a change sequence supported by all five engines (no
+// independentEngines lists the competitor engines: they maintain a
+// valid MIS of their own (Engine.Independent reports true), so their
+// feeds are checked by replay and invariants, not byte equality.
+var independentEngines = []Engine{EngineGuptaKhan, EngineAOSS}
+
+// eventScript builds a change sequence supported by every engine (no
 // mute/unmute, which EngineAsyncDirect rejects) against a scratch graph.
 // With abruptOnly, deletions are all abrupt, which keeps arbitrary window
 // splits valid for AsyncEngine.ApplyBatch (a gracefully deleted node may
@@ -47,7 +55,7 @@ func eventScript(t *testing.T, steps int, abruptOnly bool) []Change {
 // dense from 1.
 func TestEventsReplayPerEngine(t *testing.T) {
 	script := eventScript(t, 120, false)
-	for _, eng := range allEngines {
+	for _, eng := range slices.Concat(allEngines, independentEngines) {
 		t.Run(eng.String(), func(t *testing.T) {
 			m := mustNew(t, WithSeed(17), WithEngine(eng))
 			var events []Event
@@ -108,7 +116,8 @@ func TestEventsCrossEngineEqual(t *testing.T) {
 // TestEventsMuteReplay covers the mute/unmute path of the feed on the
 // engines that support it: muting publishes a leave, unmuting a join.
 func TestEventsMuteReplay(t *testing.T) {
-	for _, eng := range []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineSharded} {
+	for _, eng := range []Engine{EngineTemplate, EngineDirect, EngineProtocol, EngineSharded,
+		EngineSequential, EngineGuptaKhan, EngineAOSS} {
 		t.Run(eng.String(), func(t *testing.T) {
 			m := mustNew(t, WithSeed(3), WithEngine(eng))
 			var events []Event
@@ -171,6 +180,7 @@ func TestEventsBatchWindows(t *testing.T) {
 		collect(EngineAsyncDirect),
 		collect(EngineDirect),
 		collect(EngineProtocol),
+		collect(EngineSequential),
 	} {
 		if len(got) != len(ref) {
 			t.Fatalf("windowed stream lengths differ: %d vs %d", len(got), len(ref))
@@ -187,7 +197,7 @@ func TestEventsBatchWindows(t *testing.T) {
 // engine consistent — the staged prefix is recovered, Check passes, and
 // the feed's replay still matches State().
 func TestBatchErrorRecoversPrefix(t *testing.T) {
-	for _, eng := range allEngines {
+	for _, eng := range slices.Concat(allEngines, independentEngines) {
 		t.Run(eng.String(), func(t *testing.T) {
 			opts := []Option{WithSeed(7), WithEngine(eng)}
 			if eng == EngineSharded {
@@ -283,7 +293,7 @@ func TestOptionValidation(t *testing.T) {
 // TestTypedErrors: the root sentinels match every engine's validation
 // failures via errors.Is.
 func TestTypedErrors(t *testing.T) {
-	for _, eng := range allEngines {
+	for _, eng := range slices.Concat(allEngines, independentEngines) {
 		t.Run(eng.String(), func(t *testing.T) {
 			m := mustNew(t, WithEngine(eng))
 			if _, err := m.InsertEdge(1, 2); !errors.Is(err, ErrUnknownNode) || !errors.Is(err, ErrInvalidChange) {

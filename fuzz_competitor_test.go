@@ -1,0 +1,158 @@
+package dynmis
+
+// Fuzz wall for the competitor engines: the independent engines
+// (gupta-khan, aoss) and the sequential structure are not held to byte
+// equality with the template, so differential tests alone cannot catch
+// their failure modes. This target drives arbitrary sanitized change
+// streams through all three in arbitrary batch windows and checks the
+// properties that ARE their contract: the MIS invariant after every
+// window, the feed replay guarantee, and slot recycling (delete and
+// re-insert of a live node must leave a consistent structure with the
+// topology unchanged).
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/trace"
+	"dynmis/workload"
+)
+
+// fuzzCompetitorMax bounds one fuzz execution so the per-window
+// invariant checks stay fast enough for the mutator to explore broadly.
+const fuzzCompetitorMax = 1500
+
+// decodeCompetitorStream turns raw fuzz bytes into a change stream that
+// is valid when applied in order from the empty graph — the same idiom
+// as the sharded engine's fuzz wall. Bytes that parse as a JSONL trace
+// are taken as-is; anything else goes through a byte-op decoder over a
+// small ID space. Either way the stream is filtered through a scratch
+// template engine so only changes that stage cleanly survive, and the
+// target compares behaviour, not error strings.
+func decodeCompetitorStream(data []byte) []Change {
+	cs, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil || len(cs) == 0 {
+		cs = cs[:0]
+		for i := 0; i+2 < len(data) && len(cs) < fuzzCompetitorMax; i += 3 {
+			u := NodeID(data[i+1] % 48)
+			v := NodeID(data[i+2] % 48)
+			switch data[i] % 8 {
+			case 0:
+				cs = append(cs, NodeChange(NodeInsert, u))
+			case 1:
+				cs = append(cs, NodeChange(NodeInsert, u, v))
+			case 2:
+				cs = append(cs, NodeChange(NodeDeleteAbrupt, u))
+			case 3:
+				cs = append(cs, NodeChange(NodeDeleteGraceful, u))
+			case 4:
+				cs = append(cs, EdgeChange(EdgeInsert, u, v))
+			case 5:
+				cs = append(cs, EdgeChange(EdgeDeleteAbrupt, u, v))
+			case 6:
+				cs = append(cs, NodeChange(NodeMute, u))
+			case 7:
+				cs = append(cs, NodeChange(NodeUnmute, u, v))
+			}
+		}
+	}
+	if len(cs) > fuzzCompetitorMax {
+		cs = cs[:fuzzCompetitorMax]
+	}
+	scratch := core.NewTemplate(1)
+	valid := cs[:0]
+	for _, c := range cs {
+		if _, err := scratch.Apply(c); err == nil {
+			valid = append(valid, c)
+		}
+	}
+	return valid
+}
+
+// FuzzCompetitorInvariant fuzzes the tier-2 contract of the engine
+// matrix: for any valid change stream and any batch window, each
+// single-machine engine holds the MIS invariant and the greedy
+// certificate after every window, its published feed folds back to
+// State() at every window boundary, and recycling a live node
+// (abrupt delete, then re-insert with the identical neighborhood)
+// between windows neither breaks the invariant nor loses topology.
+func FuzzCompetitorInvariant(f *testing.F) {
+	// Corpus: real workload streams in trace encoding, so the mutator
+	// starts from structurally meaningful inputs.
+	seedStream := func(cs []Change) []byte {
+		var buf bytes.Buffer
+		if err := trace.WriteAll(&buf, slices.Values(cs)); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	rng := rand.New(rand.NewPCG(71, 73))
+	gnp := workload.GNP(rng, 40, 0.1)
+	churn := append(slices.Clone(gnp), workload.RandomChurn(rng, workload.BuildGraph(gnp), workload.DefaultChurn(300))...)
+	f.Add(seedStream(gnp), uint64(42), uint8(16))
+	f.Add(seedStream(churn), uint64(7), uint8(7))
+	f.Add(seedStream(workload.Cycle(32)), uint64(3), uint8(5))
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 4, 1, 2, 1, 3, 1, 6, 1, 0, 7, 1, 2}, uint64(1), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64, windowB uint8) {
+		cs := decodeCompetitorStream(data)
+		if len(cs) == 0 {
+			t.Skip("no valid changes decoded")
+		}
+		window := int(windowB)%32 + 1
+
+		for _, eng := range []Engine{EngineSequential, EngineGuptaKhan, EngineAOSS} {
+			m, err := New(WithSeed(seed), WithEngine(eng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []Event
+			m.Subscribe(func(ev Event) { events = append(events, ev) })
+
+			for lo := 0; lo < len(cs); lo += window {
+				hi := min(lo+window, len(cs))
+				if _, err := m.ApplyBatch(cs[lo:hi]); err != nil {
+					t.Fatalf("%v: window at %d: %v", eng, lo, err)
+				}
+				if err := m.Check(); err != nil {
+					t.Fatalf("%v: invariant after window at %d (window=%d): %v", eng, lo, window, err)
+				}
+				if state := ReplayEvents(events); !core.EqualStates(state, m.State()) {
+					t.Fatalf("%v: feed replay diverges from State() after window at %d", eng, lo)
+				}
+
+				// Recycle oracle: delete a live node and re-insert it
+				// with the identical neighborhood. The topology is
+				// unchanged, so the rest of the sanitized stream stays
+				// valid; the structure must survive the slot reuse.
+				if nodes := m.Nodes(); len(nodes) > 0 {
+					v := nodes[int(seed+uint64(lo))%len(nodes)]
+					nbrs := m.impl.Graph().Neighbors(v)
+					if _, err := m.RemoveNodeAbrupt(v); err != nil {
+						t.Fatalf("%v: recycle delete %d: %v", eng, v, err)
+					}
+					if _, err := m.InsertNode(v, nbrs...); err != nil {
+						t.Fatalf("%v: recycle re-insert %d: %v", eng, v, err)
+					}
+					if err := m.Check(); err != nil {
+						t.Fatalf("%v: invariant after recycling %d: %v", eng, v, err)
+					}
+					if m.impl.Graph().Degree(v) != len(nbrs) {
+						t.Fatalf("%v: recycling %d lost topology: degree %d, want %d",
+							eng, v, m.impl.Graph().Degree(v), len(nbrs))
+					}
+				}
+			}
+
+			if err := m.Verify(); err != nil {
+				t.Fatalf("%v: greedy certificate after full stream: %v", eng, err)
+			}
+			if state := ReplayEvents(events); !core.EqualStates(state, m.State()) {
+				t.Fatalf("%v: final feed replay diverges from State()", eng)
+			}
+		}
+	})
+}

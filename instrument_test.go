@@ -14,7 +14,7 @@ import (
 // complexity-instrumentation subsystem end to end: Summary.Metrics is
 // the per-drive counter delta, its adjustment account agrees with the
 // Report fold the summary already carries, the engine-specific counters
-// move exactly where the engine models them, and all five engines agree
+// move exactly where the engine models them, and the π-equivalent engines agree
 // on the paper-level measures (adjustments) for equal seeds.
 func TestDriveMetricsAcrossEngines(t *testing.T) {
 	cs := churnStream(19, 60, 500)

@@ -1,0 +1,248 @@
+package aoss
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/indep/indeptest"
+	"dynmis/workload"
+)
+
+// checkAll runs the engine's invariant stack plus the band-certificate
+// oracle (greedy-over-band-order equals the engine's own MIS).
+func checkAll(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+	if !core.EqualStates(e.State(), want) {
+		t.Fatalf("band certificate broken:\n got %v\nwant %v",
+			core.MISOf(e.State()), core.MISOf(want))
+	}
+}
+
+// TestAOSSDifferential drives the engine and the from-scratch reference
+// model through the same random churn stream in lockstep.
+func TestAOSSDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	e := New(1)
+	m := indeptest.New(indeptest.AOSSRules())
+	for i, c := range workload.GNP(rng, 60, 0.08) {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("build change %d: %v", i, err)
+		}
+		m.Apply(c)
+	}
+	if !core.EqualStates(e.State(), m.State()) {
+		t.Fatal("states diverged after build")
+	}
+	for i, c := range workload.RandomChurn(rng, e.Graph(), workload.DefaultChurn(600)) {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("change %d (%s): %v", i, c, err)
+		}
+		m.Apply(c)
+		if !core.EqualStates(e.State(), m.State()) {
+			t.Fatalf("change %d (%s): engine %v, model %v",
+				i, c, core.MISOf(e.State()), core.MISOf(m.State()))
+		}
+		if i%25 == 0 {
+			checkAll(t, e)
+		}
+	}
+	checkAll(t, e)
+}
+
+// TestAOSSBatchDifferential mirrors ApplyBatch windows against the
+// model's stage-all-then-settle.
+func TestAOSSBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	e := New(1)
+	m := indeptest.New(indeptest.AOSSRules())
+	build := workload.GNP(rng, 50, 0.1)
+	if _, err := e.ApplyBatch(build); err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyBatch(build)
+	if !core.EqualStates(e.State(), m.State()) {
+		t.Fatal("states diverged after batched build")
+	}
+	churn := workload.RandomChurn(rng, e.Graph(), workload.DefaultChurn(400))
+	const window = 8
+	for lo := 0; lo < len(churn); lo += window {
+		batch := churn[lo:min(lo+window, len(churn))]
+		if _, err := e.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch at %d: %v", lo, err)
+		}
+		m.ApplyBatch(batch)
+		if !core.EqualStates(e.State(), m.State()) {
+			t.Fatalf("batch at %d: engine and model diverged", lo)
+		}
+		checkAll(t, e)
+	}
+}
+
+// TestAOSSPrefersLowDegree pins the settle discipline on a star plus an
+// isolated pendant: when the hub and a leaf are uncovered together, the
+// leaf (lower degree class) joins first, covering the hub's... nothing —
+// but when the hub competes with a *neighbor* leaf, promoting the leaf
+// first blocks the hub.
+func TestAOSSPrefersLowDegree(t *testing.T) {
+	e := New(1)
+	mustApply := func(c graph.Change) {
+		t.Helper()
+		if _, err := e.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hub 1 with leaves 2..5, built as one batch so everything settles
+	// together: leaves are degree 1 (class 1), hub degree 4 (class 3).
+	batch := []graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+		graph.NodeChange(graph.NodeInsert, 3, 1),
+		graph.NodeChange(graph.NodeInsert, 4, 1),
+		graph.NodeChange(graph.NodeInsert, 5, 1),
+	}
+	if _, err := e.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if e.InMIS(1) {
+		t.Fatalf("hub joined before its leaves, MIS %v", e.MIS())
+	}
+	for _, leaf := range []graph.NodeID{2, 3, 4, 5} {
+		if !e.InMIS(leaf) {
+			t.Fatalf("leaf %d missing from MIS %v", leaf, e.MIS())
+		}
+	}
+	checkAll(t, e)
+	// Compare with Gupta–Khan's ID order, which would promote hub 1
+	// first and block every leaf — the policies are observably different.
+	mustApply(graph.NodeChange(graph.NodeDeleteAbrupt, 1))
+	checkAll(t, e)
+}
+
+// TestAOSSEvictsHigherDegree pins the eviction rule: connecting two MIS
+// members evicts the higher-degree endpoint.
+func TestAOSSEvictsHigherDegree(t *testing.T) {
+	e := New(1)
+	// 1 is a hub over 2,3,4 (all out once 1 settles first as a lone
+	// node); 9 is isolated. Build sequentially: insert 1 alone (joins),
+	// then its leaves (blocked), then 9 (joins).
+	for _, c := range []graph.Change{
+		graph.NodeChange(graph.NodeInsert, 1),
+		graph.NodeChange(graph.NodeInsert, 2, 1),
+		graph.NodeChange(graph.NodeInsert, 3, 1),
+		graph.NodeChange(graph.NodeInsert, 4, 1),
+		graph.NodeChange(graph.NodeInsert, 9),
+	} {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.InMIS(1) || !e.InMIS(9) {
+		t.Fatalf("setup failed, MIS %v", e.MIS())
+	}
+	// Edge 1–9: deg(1)=4 > deg(9)=1 ⇒ evict 1; its leaves are uncovered
+	// and rejoin (all degree 1, ascending ID).
+	if _, err := e.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if e.InMIS(1) {
+		t.Fatalf("higher-degree endpoint survived the eviction, MIS %v", e.MIS())
+	}
+	for _, v := range []graph.NodeID{2, 3, 4, 9} {
+		if !e.InMIS(v) {
+			t.Fatalf("expected MIS {2,3,4,9}, got %v", e.MIS())
+		}
+	}
+	checkAll(t, e)
+}
+
+// TestAOSSPrefixRecovery exercises the mid-batch error contract for the
+// second independent engine.
+func TestAOSSPrefixRecovery(t *testing.T) {
+	e := New(1)
+	if _, err := e.ApplyAll(workload.Cycle(6)); err != nil {
+		t.Fatal(err)
+	}
+	var evs []core.Event
+	e.Subscribe(func(ev core.Event) { evs = append(evs, ev) })
+	before := e.State()
+
+	batch := []graph.Change{
+		graph.NodeChange(graph.NodeDeleteAbrupt, 0),
+		graph.EdgeChange(graph.EdgeInsert, 2, 3), // invalid: edge exists
+		graph.NodeChange(graph.NodeDeleteAbrupt, 4),
+	}
+	_, err := e.ApplyBatch(batch)
+	if !errors.Is(err, graph.ErrInvalidChange) {
+		t.Fatalf("want ErrInvalidChange, got %v", err)
+	}
+	if e.Graph().HasNode(0) || !e.Graph().HasNode(4) {
+		t.Fatal("prefix-recovery boundary wrong")
+	}
+	checkAll(t, e)
+
+	after := make(map[graph.NodeID]core.Membership, len(before))
+	for v, m := range before {
+		after[v] = m
+	}
+	for _, ev := range evs {
+		if ev.Cause == core.CauseLeave {
+			delete(after, ev.Node)
+		} else {
+			after[ev.Node] = ev.To
+		}
+	}
+	if !core.EqualStates(after, e.State()) {
+		t.Fatalf("prefix feed delta does not fold to the engine state:\nfold %v\nhave %v", after, e.State())
+	}
+}
+
+// TestAOSSRecycleReinsert recycles arena slots under the bucketed queue.
+func TestAOSSRecycleReinsert(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 38))
+	e := New(1)
+	m := indeptest.New(indeptest.AOSSRules())
+	build := workload.GNP(rng, 30, 0.15)
+	for _, c := range build {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+		m.Apply(c)
+	}
+	for round := 0; round < 10; round++ {
+		nodes := e.Graph().Nodes()
+		var deleted []graph.NodeID
+		for i, v := range nodes {
+			if i%3 == round%3 {
+				if _, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, v)); err != nil {
+					t.Fatal(err)
+				}
+				m.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, v))
+				deleted = append(deleted, v)
+			}
+		}
+		for _, v := range deleted {
+			var nbrs []graph.NodeID
+			for _, u := range e.Graph().Nodes() {
+				if len(nbrs) < 3 && rng.IntN(4) == 0 {
+					nbrs = append(nbrs, u)
+				}
+			}
+			c := graph.NodeChange(graph.NodeInsert, v, nbrs...)
+			if _, err := e.Apply(c); err != nil {
+				t.Fatal(err)
+			}
+			m.Apply(c)
+		}
+		if !core.EqualStates(e.State(), m.State()) {
+			t.Fatalf("round %d: engine and model diverged", round)
+		}
+		checkAll(t, e)
+	}
+}

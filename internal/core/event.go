@@ -188,6 +188,42 @@ func DeltaFromTouched(g *graph.Graph, s State, touched map[graph.NodeID]Touched,
 	return adjustments, evs
 }
 
+// DeltaFromTouchedOn is DeltaFromTouched over any membership lookup
+// instead of the dense arena view: presence is s.Has, membership s.Get.
+// Map-backed engines (internal/seqdyn) use it with MapState; the result
+// is identical to DeltaFromTouched when both views describe the same
+// configuration.
+func DeltaFromTouchedOn(s Stater, touched map[graph.NodeID]Touched, emit bool) (adjustments int, evs []Event) {
+	for v, b := range touched {
+		present := s.Has(v)
+		switch {
+		case b.Present && present:
+			if cur := s.Get(v); cur != b.M {
+				adjustments++
+				if emit {
+					evs = append(evs, Event{Node: v, From: b.M, To: cur, Cause: CauseFlip})
+				}
+			}
+		case b.Present && !present:
+			if b.M == In {
+				adjustments++
+			}
+			if emit {
+				evs = append(evs, Event{Node: v, From: b.M, To: Out, Cause: CauseLeave})
+			}
+		case !b.Present && present:
+			cur := s.Get(v)
+			if cur == In {
+				adjustments++
+			}
+			if emit {
+				evs = append(evs, Event{Node: v, From: Out, To: cur, Cause: CauseJoin})
+			}
+		}
+	}
+	return adjustments, evs
+}
+
 // Replay folds an event stream into the membership configuration it
 // describes, starting from the empty graph: joins and flips set the
 // node's membership, leaves forget it. Replaying every event an engine

@@ -38,6 +38,12 @@ type Report struct {
 	// engine: an idle worker taking queued slots from a busier shard.
 	// Scheduling-dependent, so not deterministic across runs.
 	Steals int
+	// Work counts primitive adjacency-entry examinations — the
+	// single-machine update-time measure used by the sequential structure
+	// (internal/seqdyn) and the competitor engines (internal/guptakhan,
+	// internal/aoss), where the cost model is data-structure work rather
+	// than communication. Zero for the distributed engines.
+	Work int
 }
 
 // Add accumulates o into r (for sequence-level totals).
@@ -53,6 +59,7 @@ func (r *Report) Add(o Report) {
 	}
 	r.CrossShard += o.CrossShard
 	r.Steals += o.Steals
+	r.Work += o.Work
 }
 
 // MaxOf raises each field of r to the corresponding field of o — the
@@ -67,6 +74,7 @@ func (r *Report) MaxOf(o Report) {
 	r.CausalDepth = max(r.CausalDepth, o.CausalDepth)
 	r.CrossShard = max(r.CrossShard, o.CrossShard)
 	r.Steals = max(r.Steals, o.Steals)
+	r.Work = max(r.Work, o.Work)
 }
 
 // String renders the non-zero fields compactly.

@@ -22,7 +22,7 @@ var e16 = Experiment{
 func runE16(cfg Config) (*Result, error) {
 	res := result(e16)
 	table := stats.NewTable("sequential dynamic MIS: work per edge-change update on G(n, 8/n)",
-		"n", "m", "updates", "mean work", "max work", "mean processed", "recompute work (n+2m)")
+		"n", "m", "updates", "mean work", "max work", "mean flips", "recompute work (n+2m)")
 
 	ns := []int{200, 800, 3200, 12800}
 	if cfg.Quick {
@@ -36,19 +36,19 @@ func runE16(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		m := eng.Graph().EdgeCount()
-		var work, processed stats.Series
+		var work, flips stats.Series
 		for _, c := range workload.EdgeChurn(rng, eng.Graph(), steps) {
 			rep, err := eng.Apply(c)
 			if err != nil {
 				return nil, err
 			}
 			work.ObserveInt(rep.Work)
-			processed.ObserveInt(rep.Processed)
+			flips.ObserveInt(rep.Flips)
 		}
 		if err := eng.Check(); err != nil {
 			return nil, err
 		}
-		table.AddRow(n, m, work.N(), work.Mean(), int(work.Max()), processed.Mean(), n+2*m)
+		table.AddRow(n, m, work.N(), work.Mean(), int(work.Max()), flips.Mean(), n+2*m)
 	}
 	res.Tables = append(res.Tables, table)
 

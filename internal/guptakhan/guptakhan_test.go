@@ -1,0 +1,286 @@
+package guptakhan
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+	"dynmis/internal/indep/indeptest"
+	"dynmis/metrics"
+	"dynmis/workload"
+)
+
+// checkAll runs the engine's full invariant stack plus the
+// band-certificate oracle: the engine's MIS must equal the sequential
+// greedy MIS under its own (band) order — the property the facade's
+// Verify and cmd/validate rely on.
+func checkAll(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.GreedyMIS(e.Graph().Clone(), e.Order())
+	if !core.EqualStates(e.State(), want) {
+		t.Fatalf("band certificate broken:\n got %v\nwant %v",
+			core.MISOf(e.State()), core.MISOf(want))
+	}
+}
+
+// TestGuptaKhanDifferential drives the engine and the from-scratch
+// reference model (internal/indep/indeptest) through the same random
+// churn stream and demands identical states after every change.
+func TestGuptaKhanDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	e := New(1)
+	m := indeptest.New(indeptest.GuptaKhanRules())
+	for i, c := range workload.GNP(rng, 60, 0.08) {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("build change %d: %v", i, err)
+		}
+		m.Apply(c)
+	}
+	if !core.EqualStates(e.State(), m.State()) {
+		t.Fatal("states diverged after build")
+	}
+	for i, c := range workload.RandomChurn(rng, e.Graph(), workload.DefaultChurn(600)) {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("change %d (%s): %v", i, c, err)
+		}
+		m.Apply(c)
+		if !core.EqualStates(e.State(), m.State()) {
+			t.Fatalf("change %d (%s): engine %v, model %v",
+				i, c, core.MISOf(e.State()), core.MISOf(m.State()))
+		}
+		if i%25 == 0 {
+			checkAll(t, e)
+		}
+	}
+	checkAll(t, e)
+}
+
+// TestGuptaKhanBatchDifferential does the same through ApplyBatch
+// windows: the model stages the same window and settles once, so the
+// batched engine must match it exactly too.
+func TestGuptaKhanBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	e := New(1)
+	m := indeptest.New(indeptest.GuptaKhanRules())
+	build := workload.GNP(rng, 50, 0.1)
+	if _, err := e.ApplyBatch(build); err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyBatch(build)
+	if !core.EqualStates(e.State(), m.State()) {
+		t.Fatal("states diverged after batched build")
+	}
+	churn := workload.RandomChurn(rng, e.Graph(), workload.DefaultChurn(400))
+	const window = 8
+	for lo := 0; lo < len(churn); lo += window {
+		batch := churn[lo:min(lo+window, len(churn))]
+		if _, err := e.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch at %d: %v", lo, err)
+		}
+		m.ApplyBatch(batch)
+		if !core.EqualStates(e.State(), m.State()) {
+			t.Fatalf("batch at %d: engine and model diverged", lo)
+		}
+		checkAll(t, e)
+	}
+}
+
+// TestGuptaKhanEviction pins the deterministic tie-break: inserting an
+// edge between two MIS members evicts the larger ID, and the eviction's
+// uncovered neighbors rejoin smallest-ID first.
+func TestGuptaKhanEviction(t *testing.T) {
+	e := New(1)
+	mustApply := func(c graph.Change) {
+		t.Helper()
+		if _, err := e.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustApply(graph.NodeChange(graph.NodeInsert, 1))
+	mustApply(graph.NodeChange(graph.NodeInsert, 2))
+	if len(e.MIS()) != 2 {
+		t.Fatalf("isolated nodes must both join, got %v", e.MIS())
+	}
+	rep, err := e.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.InMIS(2) || !e.InMIS(1) {
+		t.Fatalf("evicting the larger ID should leave MIS={1}, got %v", e.MIS())
+	}
+	if rep.Adjustments != 1 || rep.Flips != 1 {
+		t.Fatalf("eviction must report one adjustment and one flip, got %+v", rep)
+	}
+	checkAll(t, e)
+}
+
+// TestGuptaKhanDivergesFromPi documents that this is genuinely a
+// different algorithm: after a member's deletion, greedy-over-π may
+// promote a π-early neighbor chain, whereas Gupta–Khan promotes only
+// vertices the deletion uncovered. On a path 1–2–3 with MIS {1,3},
+// deleting 1 changes nothing here (2 is still blocked by 3), while the
+// paper's engines may flip 2 in if π(2) < π(3).
+func TestGuptaKhanDivergesFromPi(t *testing.T) {
+	e := New(1)
+	if _, err := e.ApplyAll(workload.Path(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Path(3) inserts 0,1,2 with edges 0–1, 1–2: settle order 0 first,
+	// then 2 (1 is blocked): MIS {0,2}.
+	if got := e.MIS(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("expected MIS {0,2} on the path, got %v", got)
+	}
+	if _, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// 1 is still covered by 2 — no flip, unlike a π order with π(1)<π(2).
+	if got := e.MIS(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("deletion must not flip covered vertex 1, got %v", got)
+	}
+	checkAll(t, e)
+}
+
+// TestGuptaKhanPrefixRecovery exercises the mid-batch error contract:
+// the staged prefix stays applied, the settle pass restores the
+// invariant, and the published feed delta folds to the engine's state.
+func TestGuptaKhanPrefixRecovery(t *testing.T) {
+	e := New(1)
+	if _, err := e.ApplyAll(workload.Cycle(6)); err != nil {
+		t.Fatal(err)
+	}
+	var evs []core.Event
+	e.Subscribe(func(ev core.Event) { evs = append(evs, ev) })
+	before := e.State()
+
+	batch := []graph.Change{
+		graph.NodeChange(graph.NodeDeleteAbrupt, 0), // valid: may uncover neighbors
+		graph.EdgeChange(graph.EdgeInsert, 2, 3),    // invalid: edge exists
+		graph.NodeChange(graph.NodeDeleteAbrupt, 4), // must never be staged
+	}
+	_, err := e.ApplyBatch(batch)
+	if !errors.Is(err, graph.ErrInvalidChange) {
+		t.Fatalf("want ErrInvalidChange, got %v", err)
+	}
+	if e.Graph().HasNode(0) {
+		t.Fatal("staged prefix (delete 0) was rolled back")
+	}
+	if !e.Graph().HasNode(4) {
+		t.Fatal("suffix after the failing change was applied")
+	}
+	checkAll(t, e)
+
+	// The prefix's feed delta was published before the error returned.
+	after := make(map[graph.NodeID]core.Membership, len(before))
+	for v, m := range before {
+		after[v] = m
+	}
+	for _, ev := range evs {
+		if ev.Cause == core.CauseLeave {
+			delete(after, ev.Node)
+		} else {
+			after[ev.Node] = ev.To
+		}
+	}
+	if !core.EqualStates(after, e.State()) {
+		t.Fatalf("prefix feed delta does not fold to the engine state:\nfold %v\nhave %v", after, e.State())
+	}
+}
+
+// TestGuptaKhanRecycleReinsert deletes and re-inserts IDs so arena
+// slots are recycled, checking that no stale blocker count or band
+// priority survives the recycling.
+func TestGuptaKhanRecycleReinsert(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	e := New(1)
+	if _, err := e.ApplyAll(workload.GNP(rng, 30, 0.15)); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		// Delete a third of the nodes, then re-insert them with fresh
+		// random attachments: their slots are recycled.
+		nodes := e.Graph().Nodes()
+		var deleted []graph.NodeID
+		for i, v := range nodes {
+			if i%3 == round%3 {
+				if _, err := e.Apply(graph.NodeChange(graph.NodeDeleteAbrupt, v)); err != nil {
+					t.Fatal(err)
+				}
+				deleted = append(deleted, v)
+			}
+		}
+		for _, v := range deleted {
+			alive := e.Graph().Nodes()
+			var nbrs []graph.NodeID
+			for _, u := range alive {
+				if len(nbrs) < 3 && rng.IntN(4) == 0 {
+					nbrs = append(nbrs, u)
+				}
+			}
+			if _, err := e.Apply(graph.NodeChange(graph.NodeInsert, v, nbrs...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkAll(t, e)
+	}
+}
+
+// TestGuptaKhanFeedAndMetrics folds the whole event stream back into a
+// state map and checks the instrumentation counters account every
+// successful window.
+func TestGuptaKhanFeedAndMetrics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	e := New(1)
+	coll := metrics.NewCollector()
+	e.Instrument(coll)
+	var evs []core.Event
+	e.Subscribe(func(ev core.Event) { evs = append(evs, ev) })
+
+	changes := workload.GNP(rng, 40, 0.1)
+	changes = append(changes, workload.RandomChurn(rng, workload.BuildGraph(changes), workload.DefaultChurn(300))...)
+	for i, c := range changes {
+		if _, err := e.Apply(c); err != nil {
+			t.Fatalf("change %d: %v", i, err)
+		}
+	}
+	if !core.EqualStates(core.Replay(evs), e.State()) {
+		t.Fatal("event stream does not fold back to the engine state")
+	}
+	snap := coll.Snapshot()
+	if snap.Updates != uint64(len(changes)) || snap.Windows != uint64(len(changes)) {
+		t.Fatalf("counters miss windows: %+v", snap)
+	}
+	if snap.Adjustments == 0 || snap.Flips == 0 || snap.TouchedSlots == 0 {
+		t.Fatalf("counters not accounted: %+v", snap)
+	}
+	// Detach and confirm the account freezes.
+	e.Instrument(nil)
+	if e.Collector() != nil {
+		t.Fatal("detach failed")
+	}
+	if _, err := e.Apply(graph.NodeChange(graph.NodeInsert, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if coll.Snapshot().Updates != snap.Updates {
+		t.Fatal("detached collector still accounted")
+	}
+}
+
+// TestGuptaKhanInvalidChange checks sentinel error wrapping and that a
+// rejected single change leaves the engine untouched.
+func TestGuptaKhanInvalidChange(t *testing.T) {
+	e := New(1)
+	if _, err := e.Apply(graph.EdgeChange(graph.EdgeInsert, 1, 2)); !errors.Is(err, graph.ErrInvalidChange) {
+		t.Fatalf("edge between absent nodes: want ErrInvalidChange, got %v", err)
+	}
+	if _, err := e.Apply(graph.Change{Kind: graph.ChangeKind(42), Node: 1}); !errors.Is(err, graph.ErrInvalidChange) {
+		t.Fatalf("unknown kind: want ErrInvalidChange, got %v", err)
+	}
+	if e.Graph().NodeCount() != 0 || e.Order().Len() != 0 {
+		t.Fatal("rejected changes mutated the engine")
+	}
+}

@@ -1,0 +1,182 @@
+// Package indeptest provides the naive reference model the independent
+// engines (internal/guptakhan, internal/aoss) are differentially tested
+// against. The model recomputes everything from scratch with maps and
+// full scans — no counters, no queues, no arenas — so a bookkeeping bug
+// in the real engines (a missed blocker decrement, a stale queue entry,
+// a recycled-slot leak) cannot also be present here. Both engines fix
+// their papers' unspecified tie-breaks deterministically; Rules encodes
+// those same tie-breaks declaratively, which makes the model's settle
+// loop ("repeatedly promote the best uncovered vertex") an executable
+// statement of each algorithm's specification.
+package indeptest
+
+import (
+	"math/bits"
+	"slices"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// Rules fixes the two decisions that distinguish the independent
+// engines: which endpoint of a fresh M–M edge is evicted, and which
+// uncovered vertex the settle loop promotes next.
+type Rules struct {
+	Evict func(m *Model, u, v graph.NodeID) graph.NodeID
+	Next  func(m *Model) graph.NodeID // graph.None when no uncovered vertex remains
+}
+
+// Model is the from-scratch reference implementation.
+type Model struct {
+	Adj map[graph.NodeID]map[graph.NodeID]struct{}
+	In  map[graph.NodeID]bool // false ⇒ present but out of M
+	R   Rules
+}
+
+// New returns an empty model governed by r.
+func New(r Rules) *Model {
+	return &Model{
+		Adj: make(map[graph.NodeID]map[graph.NodeID]struct{}),
+		In:  make(map[graph.NodeID]bool),
+		R:   r,
+	}
+}
+
+// Degree returns v's current degree.
+func (m *Model) Degree(v graph.NodeID) int { return len(m.Adj[v]) }
+
+// Covered reports whether v has an MIS neighbor.
+func (m *Model) Covered(v graph.NodeID) bool {
+	for u := range m.Adj[v] {
+		if m.In[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// Uncovered returns every present vertex that is out of M with no MIS
+// neighbor, sorted by ID.
+func (m *Model) Uncovered() []graph.NodeID {
+	var out []graph.NodeID
+	for v := range m.Adj {
+		if !m.In[v] && !m.Covered(v) {
+			out = append(out, v)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Stage mirrors one change's staging: the topology mutation plus the
+// M–M eviction, without settling. Changes must be valid (the tests feed
+// streams generated against the live engine's graph).
+func (m *Model) Stage(c graph.Change) {
+	switch c.Kind {
+	case graph.EdgeInsert:
+		m.Adj[c.U][c.V] = struct{}{}
+		m.Adj[c.V][c.U] = struct{}{}
+		if m.In[c.U] && m.In[c.V] {
+			m.In[m.R.Evict(m, c.U, c.V)] = false
+		}
+	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
+		delete(m.Adj[c.U], c.V)
+		delete(m.Adj[c.V], c.U)
+	case graph.NodeInsert, graph.NodeUnmute:
+		m.Adj[c.Node] = make(map[graph.NodeID]struct{}, len(c.Edges))
+		for _, u := range c.Edges {
+			m.Adj[c.Node][u] = struct{}{}
+			m.Adj[u][c.Node] = struct{}{}
+		}
+		m.In[c.Node] = false
+	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
+		for u := range m.Adj[c.Node] {
+			delete(m.Adj[u], c.Node)
+		}
+		delete(m.Adj, c.Node)
+		delete(m.In, c.Node)
+	}
+}
+
+// Settle promotes uncovered vertices in the rules' order until none
+// remains.
+func (m *Model) Settle() {
+	for {
+		v := m.R.Next(m)
+		if v == graph.None {
+			return
+		}
+		m.In[v] = true
+	}
+}
+
+// Apply is one single-change window: stage, then settle.
+func (m *Model) Apply(c graph.Change) { m.Stage(c); m.Settle() }
+
+// ApplyBatch is one multi-change window: stage everything, settle once.
+func (m *Model) ApplyBatch(cs []graph.Change) {
+	for _, c := range cs {
+		m.Stage(c)
+	}
+	m.Settle()
+}
+
+// State returns the membership map in the Engine.State wire format.
+func (m *Model) State() map[graph.NodeID]core.Membership {
+	out := make(map[graph.NodeID]core.Membership, len(m.In))
+	for v, in := range m.In {
+		out[v] = core.Membership(in)
+	}
+	return out
+}
+
+// GuptaKhanRules is the reference statement of internal/guptakhan's
+// discipline: evict the larger-ID endpoint, promote the smallest-ID
+// uncovered vertex first.
+func GuptaKhanRules() Rules {
+	return Rules{
+		Evict: func(_ *Model, u, v graph.NodeID) graph.NodeID {
+			if u > v {
+				return u
+			}
+			return v
+		},
+		Next: func(m *Model) graph.NodeID {
+			if un := m.Uncovered(); len(un) > 0 {
+				return un[0]
+			}
+			return graph.None
+		},
+	}
+}
+
+// AOSSRules is the reference statement of internal/aoss's discipline:
+// evict the higher-degree endpoint (tie: larger ID), promote the
+// uncovered vertex with the smallest (degree class, ID) first.
+func AOSSRules() Rules {
+	bucket := func(deg int) int { return bits.Len(uint(deg)) }
+	return Rules{
+		Evict: func(m *Model, u, v graph.NodeID) graph.NodeID {
+			du, dv := m.Degree(u), m.Degree(v)
+			if du != dv {
+				if du > dv {
+					return u
+				}
+				return v
+			}
+			if u > v {
+				return u
+			}
+			return v
+		},
+		Next: func(m *Model) graph.NodeID {
+			best, bestB := graph.None, 0
+			for _, v := range m.Uncovered() {
+				if b := bucket(m.Degree(v)); best == graph.None || b < bestB {
+					best, bestB = v, b
+				}
+			}
+			return best
+		},
+	}
+}

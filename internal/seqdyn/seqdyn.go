@@ -8,39 +8,53 @@
 // flips at most once per update (unlike the distributed cascade, which
 // may flip a node several times), and the work is O(Σ_{flipped} deg),
 // i.e. O(Δ) in expectation by Theorem 1.
+//
+// The Engine implements the full core.Engine surface (plus the
+// core.Instrument capability), so the facade exposes it uniformly as
+// EngineSequential. It draws priorities through ord.Ensure in the same
+// per-change sequence as core.StageChange, which makes it π-equivalent
+// to the distributed engines: equal seeds and equal change sequences
+// produce byte-identical states and event feeds.
 package seqdyn
 
 import (
 	"container/heap"
 	"fmt"
+	"maps"
 
 	"dynmis/internal/core"
 	"dynmis/internal/graph"
 	"dynmis/internal/order"
+	"dynmis/metrics"
 )
-
-// Report is the sequential cost account for one update.
-type Report struct {
-	// Adjustments is the number of nodes whose membership changed.
-	Adjustments int
-	// Processed is the number of dirty nodes examined.
-	Processed int
-	// Work counts adjacency entries touched — the sequential update
-	// time up to logarithmic heap factors.
-	Work int
-}
 
 // Engine is the sequential dynamic MIS structure. The zero value is not
 // usable; call New.
 type Engine struct {
 	g        *graph.Graph
 	ord      *order.Order
-	in       map[graph.NodeID]bool
+	in       map[graph.NodeID]core.Membership
 	blockers map[graph.NodeID]int // count of earlier In-neighbors
 
 	queue  nodeHeap
 	queued map[graph.NodeID]bool
+
+	feed core.Feed
+	coll *metrics.Collector // nil while instrumentation is disabled
+
+	// Window scratch.
+	one     [1]graph.Change
+	touched map[graph.NodeID]core.Touched
+	flips   int
+	work    int
 }
+
+// Engine implements the uniform surface and the instrumentation
+// capability.
+var (
+	_ core.Engine     = (*Engine)(nil)
+	_ core.Instrument = (*Engine)(nil)
+)
 
 // New returns an engine over an empty graph.
 func New(seed uint64) *Engine { return NewWithOrder(order.New(seed)) }
@@ -50,9 +64,10 @@ func NewWithOrder(ord *order.Order) *Engine {
 	return &Engine{
 		g:        graph.New(),
 		ord:      ord,
-		in:       make(map[graph.NodeID]bool),
+		in:       make(map[graph.NodeID]core.Membership),
 		blockers: make(map[graph.NodeID]int),
 		queued:   make(map[graph.NodeID]bool),
+		touched:  make(map[graph.NodeID]core.Touched),
 	}
 }
 
@@ -63,50 +78,129 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 func (e *Engine) Order() *order.Order { return e.ord }
 
 // InMIS reports whether v is in the MIS.
-func (e *Engine) InMIS(v graph.NodeID) bool { return e.in[v] }
+func (e *Engine) InMIS(v graph.NodeID) bool { return e.in[v] == core.In }
 
 // MIS returns the sorted current MIS.
-func (e *Engine) MIS() []graph.NodeID { return core.MISOf(e.State()) }
+func (e *Engine) MIS() []graph.NodeID { return core.MISOf(e.in) }
 
-// State returns the membership map.
-func (e *Engine) State() map[graph.NodeID]core.Membership {
-	out := make(map[graph.NodeID]core.Membership, len(e.in))
-	for v, in := range e.in {
-		if in {
-			out[v] = core.In
-		} else {
-			out[v] = core.Out
-		}
-	}
-	return out
-}
+// State returns a copy of the membership map.
+func (e *Engine) State() map[graph.NodeID]core.Membership { return maps.Clone(e.in) }
+
+// Subscribe registers a change-feed callback; see core.Feed.
+func (e *Engine) Subscribe(fn func(core.Event)) { e.feed.Subscribe(fn) }
+
+// Instrument attaches a complexity collector (nil detaches).
+func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
+
+// Collector returns the attached collector, or nil.
+func (e *Engine) Collector() *metrics.Collector { return e.coll }
 
 // Apply performs one topology change and restores the MIS invariant,
-// reporting the sequential work done.
-func (e *Engine) Apply(c graph.Change) (Report, error) {
-	if err := c.Validate(e.g); err != nil {
-		return Report{}, err
+// reporting the sequential work done (Report.Work counts adjacency
+// entries touched — the update-time measure).
+func (e *Engine) Apply(c graph.Change) (core.Report, error) {
+	e.one[0] = c
+	return e.applyWindow(e.one[:], false)
+}
+
+// ApplyBatch stages several changes and settles once: blocker counts
+// are maintained per staged change, and one π-ordered settle pass
+// restores the invariant over the combined damage. On a mid-batch
+// validation error the staged prefix stays applied and the settle pass
+// recovers it (publishing the prefix's feed delta) before the error
+// returns. By history independence the batched result equals per-change
+// application — only the cost accounting differs.
+func (e *Engine) ApplyBatch(cs []graph.Change) (core.Report, error) {
+	return e.applyWindow(cs, true)
+}
+
+// ApplyAll applies a sequence of changes one window each, accumulating
+// reports. It stops at the first error.
+func (e *Engine) ApplyAll(cs []graph.Change) (core.Report, error) {
+	var total core.Report
+	for i, c := range cs {
+		rep, err := e.Apply(c)
+		if err != nil {
+			return total, fmt.Errorf("change %d (%s): %w", i, c, err)
+		}
+		total.Add(rep)
 	}
-	var rep Report
+	return total, nil
+}
+
+// applyWindow stages every change, runs one π-ordered settle pass, then
+// accounts the net adjustments and the feed delta from the touched set.
+func (e *Engine) applyWindow(cs []graph.Change, batch bool) (core.Report, error) {
+	clear(e.touched)
+	e.flips, e.work = 0, 0
+
+	var stageErr error
+	for i, c := range cs {
+		if !c.Kind.IsEdge() {
+			if _, seen := e.touched[c.Node]; !seen {
+				_, present := e.in[c.Node]
+				e.touched[c.Node] = core.Touched{Present: present, M: e.in[c.Node]}
+			}
+		}
+		if err := e.stage(c); err != nil {
+			if batch {
+				err = fmt.Errorf("batch change %d: %w", i, err)
+			}
+			stageErr = err
+			break
+		}
+	}
+	e.settle()
+
+	adj, evs := core.DeltaFromTouchedOn(core.MapState(e.in), e.touched, e.feed.Active())
+	e.feed.PublishSorted(evs)
+	if stageErr != nil {
+		return core.Report{}, stageErr
+	}
+
+	rep := core.Report{
+		Adjustments: adj,
+		SSize:       e.flips, // each node flips at most once per window
+		Flips:       e.flips,
+		Work:        e.work,
+	}
+	if mc := e.coll; mc != nil {
+		mc.Updates += uint64(len(cs))
+		mc.Windows++
+		mc.Adjustments += uint64(adj)
+		mc.Influence += uint64(rep.SSize)
+		mc.Flips += uint64(rep.Flips)
+		mc.TouchedSlots += uint64(len(e.touched))
+	}
+	return rep, nil
+}
+
+// stage validates and applies one change, maintaining the blocker
+// counts and dirtying the nodes whose invariant it may have violated.
+// On a validation error nothing has been mutated.
+func (e *Engine) stage(c graph.Change) error {
+	if err := c.Validate(e.g); err != nil {
+		return err
+	}
 	switch c.Kind {
 	case graph.EdgeInsert:
 		if err := e.g.AddEdge(c.U, c.V); err != nil {
-			return Report{}, err
+			return err
 		}
-		rep.Work++
+		e.work++
 		lo, hi := e.orient(c.U, c.V)
-		if e.in[lo] {
+		if e.in[lo] == core.In {
 			e.blockers[hi]++
 			e.dirty(hi)
 		}
 
 	case graph.EdgeDeleteGraceful, graph.EdgeDeleteAbrupt:
 		if err := e.g.RemoveEdge(c.U, c.V); err != nil {
-			return Report{}, err
+			return err
 		}
-		rep.Work++
+		e.work++
 		lo, hi := e.orient(c.U, c.V)
-		if e.in[lo] {
+		if e.in[lo] == core.In {
 			e.blockers[hi]--
 			e.dirty(hi)
 		}
@@ -114,29 +208,29 @@ func (e *Engine) Apply(c graph.Change) (Report, error) {
 	case graph.NodeInsert, graph.NodeUnmute:
 		e.ord.Ensure(c.Node)
 		if err := c.Apply(e.g); err != nil {
-			return Report{}, err
+			return err
 		}
 		count := 0
 		e.g.EachNeighbor(c.Node, func(u graph.NodeID) {
-			rep.Work++
-			if e.ord.Less(u, c.Node) && e.in[u] {
+			e.work++
+			if e.ord.Less(u, c.Node) && e.in[u] == core.In {
 				count++
 			}
 		})
-		e.in[c.Node] = false
+		e.in[c.Node] = core.Out
 		e.blockers[c.Node] = count
 		e.dirty(c.Node)
 
 	case graph.NodeDeleteGraceful, graph.NodeDeleteAbrupt, graph.NodeMute:
-		wasIn := e.in[c.Node]
+		wasIn := e.in[c.Node] == core.In
 		nbrs := e.g.Neighbors(c.Node)
 		if err := c.Apply(e.g); err != nil {
-			return Report{}, err
+			return err
 		}
 		if wasIn {
-			rep.Adjustments++ // the departing MIS node itself
+			e.flips++ // the departing MIS node itself
 			for _, u := range nbrs {
-				rep.Work++
+				e.work++
 				if !e.ord.Less(u, c.Node) {
 					e.blockers[u]--
 					e.dirty(u)
@@ -151,11 +245,9 @@ func (e *Engine) Apply(c graph.Change) (Report, error) {
 		}
 
 	default:
-		return Report{}, fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
+		return fmt.Errorf("%w: unknown kind %v", graph.ErrInvalidChange, c.Kind)
 	}
-
-	e.settle(&rep)
-	return rep, nil
+	return nil
 }
 
 // orient returns the pair (earlier, later) by π.
@@ -179,7 +271,7 @@ func (e *Engine) dirty(v graph.NodeID) {
 // settle processes dirty nodes in increasing π order. Because a node's
 // membership depends only on earlier nodes, by the time a node is popped
 // every earlier node is final — so each node flips at most once.
-func (e *Engine) settle(rep *Report) {
+func (e *Engine) settle() {
 	for e.queue.Len() > 0 {
 		item := heap.Pop(&e.queue).(nodeItem)
 		v := item.id
@@ -190,19 +282,24 @@ func (e *Engine) settle(rep *Report) {
 		if !e.g.HasNode(v) {
 			continue
 		}
-		rep.Processed++
-		want := e.blockers[v] == 0
+		want := core.Membership(e.blockers[v] == 0)
 		if e.in[v] == want {
 			continue
 		}
+		// First touch records the pre-window membership for the net
+		// delta; a settle pass flips each node at most once, so the
+		// current value is still the pre-window one.
+		if _, seen := e.touched[v]; !seen {
+			e.touched[v] = core.Touched{Present: true, M: e.in[v]}
+		}
 		e.in[v] = want
-		rep.Adjustments++
+		e.flips++
 		delta := -1
-		if want {
+		if want == core.In {
 			delta = 1
 		}
 		e.g.EachNeighbor(v, func(u graph.NodeID) {
-			rep.Work++
+			e.work++
 			if e.ord.Less(v, u) {
 				e.blockers[u] += delta
 				e.dirty(u)
@@ -211,31 +308,15 @@ func (e *Engine) settle(rep *Report) {
 	}
 }
 
-// ApplyAll applies a sequence of changes, accumulating reports.
-func (e *Engine) ApplyAll(cs []graph.Change) (Report, error) {
-	var total Report
-	for i, c := range cs {
-		rep, err := e.Apply(c)
-		if err != nil {
-			return total, fmt.Errorf("change %d: %w", i, err)
-		}
-		total.Adjustments += rep.Adjustments
-		total.Processed += rep.Processed
-		total.Work += rep.Work
-	}
-	return total, nil
-}
-
 // Check verifies the MIS invariant and the blocker counts.
 func (e *Engine) Check() error {
-	state := e.State()
-	if err := core.CheckInvariant(e.g, e.ord, state); err != nil {
+	if err := core.CheckInvariant(e.g, e.ord, e.in); err != nil {
 		return err
 	}
 	for _, v := range e.g.Nodes() {
 		count := 0
 		e.g.EachNeighbor(v, func(u graph.NodeID) {
-			if e.ord.Less(u, v) && e.in[u] {
+			if e.ord.Less(u, v) && e.in[u] == core.In {
 				count++
 			}
 		})

@@ -94,7 +94,8 @@ func TestRecycledNodePrioritiesRedrawn(t *testing.T) {
 }
 
 // TestRecycleEventFeedEngineIndependent: delete/re-insert churn over the
-// same NodeIDs publishes the identical event stream on all five engines,
+// same NodeIDs publishes the identical event stream on every
+// π-equivalent engine,
 // and every engine still matches its greedy oracle afterwards.
 func TestRecycleEventFeedEngineIndependent(t *testing.T) {
 	script := recycleScript()
@@ -128,7 +129,8 @@ func TestRecycleEventFeedEngineIndependent(t *testing.T) {
 // recycling: after heavy delete/re-insert churn, the maintained structure
 // equals that of a fresh engine fed only the surviving topology... which
 // is exactly what Verify checks against the greedy oracle — here we
-// additionally pin that the final states agree across all five engines.
+// additionally pin that the final states agree across the π-equivalent
+// engines.
 func TestRecycleMatchesFreshEngine(t *testing.T) {
 	script := recycleScript()
 	states := make([]map[NodeID]Membership, 0, len(allEngines))
