@@ -5,10 +5,11 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-matrix bench bench-smoke bench-delta bench-scaling validate validate-smoke serve-smoke fuzz fuzz-smoke clean
+.PHONY: ci fmt vet build test race race-matrix bench bench-big bench-big-smoke bench-alloc bench-smoke bench-delta bench-scaling validate validate-smoke serve-smoke fuzz fuzz-smoke clean
 
-ci: fmt vet build race bench-smoke validate-smoke serve-smoke
+ci: fmt vet build race bench-smoke bench-alloc validate-smoke serve-smoke
 	@$(MAKE) bench-scaling || echo "bench-scaling failed (non-blocking: shared or single-core runners cannot guarantee a parallel speedup)"
+	@$(MAKE) bench-big-smoke || echo "bench-big-smoke failed (non-blocking: timing- and RAM-sensitive on shared runners; run locally to investigate)"
 
 # gofmt enforcement: fail with the offending file list if any file is not
 # gofmt-clean.
@@ -81,9 +82,32 @@ bench-scaling:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# Full benchmark: regenerates the checked-in BENCH_dynmis.json.
+# Full benchmark: regenerates the checked-in BENCH_dynmis.json,
+# including the big-graph tier (so a plain regeneration never drops the
+# committed "big" section). Takes several minutes: the big tier streams
+# 10^5- and 10^6-node scenarios through four engines.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_dynmis.json
+	$(GO) run ./cmd/bench -big -out BENCH_dynmis.json
+
+# Big-graph tier alone at full scale (n = 10^5 and 10^6), regenerating
+# the committed file's big section alongside the regular tier.
+bench-big:
+	$(GO) run ./cmd/bench -big -out BENCH_dynmis.json
+
+# CI-sized big tier: n = 10^5 only, fewer steps, bounded to minutes on a
+# single core. Writes only under /tmp; `make ci` runs it non-blocking.
+bench-big-smoke:
+	$(GO) run ./cmd/bench -big -big-n 100000 -big-steps 20000 -quick -serve-steps 0 \
+		-out /tmp/BENCH_dynmis_big_smoke.json
+
+# Allocation-regression gate: the steady-state churn benchmark must
+# report zero allocations per update once the arena and spill pool have
+# warmed up — the property that keeps long-running daemons flat. The
+# grep fails the target if the benchmark reports a nonzero allocs/op.
+bench-alloc:
+	$(GO) test -run '^$$' -bench BenchmarkSteadyStateEdgeChurn -benchmem ./internal/graph | tee /tmp/bench_alloc.txt
+	@grep -E 'BenchmarkSteadyStateEdgeChurn.*\s0 B/op\s+0 allocs/op' /tmp/bench_alloc.txt >/dev/null \
+		|| { echo "bench-alloc: steady-state churn allocates (want 0 B/op, 0 allocs/op)"; exit 1; }
 
 # Paper-claims validation: regenerates docs/VALIDATION.md by driving
 # the workload scenarios through all eight engines with complexity

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynmis"
+	"dynmis/workload"
+)
+
+// The big-graph tier: the memory-lean arena's reason to exist. Regular
+// scenarios materialize their change slices (fine at n=2000); at
+// n=10^6 the slice would dwarf the engine under measurement, so this
+// tier drives the streaming big scenarios (workload.BigScenarios) —
+// lazy build and drive streams from one generator — through the
+// arena-backed engines and reports the two memory figures the ROADMAP
+// tracks: deterministic bytes/node from the engine's own account
+// (committable, no machine noise) and the coarse process peak RSS.
+
+// bigRun is one (scenario, n, engine) measurement.
+type bigRun struct {
+	Engine        string  `json:"engine"`
+	Shards        int     `json:"shards,omitempty"`
+	Window        int     `json:"window,omitempty"`
+	Gomaxprocs    int     `json:"gomaxprocs"`
+	Nodes         int64   `json:"nodes"` // live nodes after the drive
+	Edges         int64   `json:"edges"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	DriveSeconds  float64 `json:"drive_seconds"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+
+	// The memory columns. BytesPerNode and TotalBytes come from the
+	// engine's deterministic account (core.MemoryReporter);
+	// SpillUtilization is live spill bytes over slab bytes. PeakRSSKB is
+	// the process high-watermark (getrusage) sampled right after the
+	// run — a watermark never decreases, so within a file runs are
+	// ordered small n first and a row's value is only attributable to it
+	// when it exceeds every earlier row's. HeapDeltaBytes (with -mem) is
+	// the post-GC live-heap growth across the run.
+	BytesPerNode     float64 `json:"bytes_per_node"`
+	TotalBytes       int64   `json:"total_bytes"`
+	SpillUtilization float64 `json:"spill_utilization"`
+	PeakRSSKB        int64   `json:"peak_rss_kb"`
+	HeapDeltaBytes   int64   `json:"heap_delta_bytes,omitempty"`
+
+	Verified bool `json:"verified"`
+}
+
+// bigScenarioResult groups the runs of one (scenario, n) cell.
+type bigScenarioResult struct {
+	Scenario    string   `json:"scenario"`
+	Description string   `json:"description"`
+	N           int      `json:"n"`
+	Steps       int      `json:"steps"`
+	Runs        []bigRun `json:"runs"`
+}
+
+// bigEngineNames are the selectable -big-engines values: the
+// arena-backed engines (all implement the memory capability). The
+// message-passing engines replicate O(n) state per simulated node and
+// have no business at this tier.
+var bigEngineNames = []string{"sequential", "sharded", "sequential-struct", "gupta-khan", "aoss"}
+
+// defaultBigEngines is the head-to-head set the committed artifact
+// carries.
+const defaultBigEngines = "sequential,sharded,gupta-khan,aoss"
+
+// runBig executes the big tier: every selected scenario at every n,
+// sizes ascending (so the peak-RSS watermark stays attributable),
+// every selected engine per cell.
+func runBig(seed uint64, sizes []int, steps int, enginesCSV string, window int, memFlag bool) ([]bigScenarioResult, error) {
+	names, err := parseBigEngines(enginesCSV)
+	if err != nil {
+		return nil, err
+	}
+	var results []bigScenarioResult
+	for _, n := range sizes {
+		for _, sc := range workload.BigScenarios() {
+			res := bigScenarioResult{Scenario: sc.Name, Description: sc.Description, N: n, Steps: steps}
+			fmt.Printf("== big: %s (n=%d, %d updates)\n", sc.Name, n, steps)
+			for _, name := range names {
+				br, err := runBigEngine(sc, seed, n, steps, name, window, memFlag)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Printf("   %-18s %12.0f updates/s  %7.1f B/node  util=%.2f  rss=%dMB  n=%d m=%d  verified=%v\n",
+					bigLabel(br), br.UpdatesPerSec, br.BytesPerNode, br.SpillUtilization,
+					br.PeakRSSKB/1024, br.Nodes, br.Edges, br.Verified)
+				if !br.Verified {
+					return nil, fmt.Errorf("big %s/%s failed MIS verification", sc.Name, name)
+				}
+				res.Runs = append(res.Runs, br)
+			}
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+// runBigEngine drives one cell: untimed streamed warm-up (after Grow
+// pre-sizes the arena), timed streamed churn, then the memory account
+// and the oracle verification.
+func runBigEngine(sc workload.BigScenario, seed uint64, n, steps int, name string, window int, memFlag bool) (bigRun, error) {
+	opts := []dynmis.Option{dynmis.WithSeed(seed)}
+	br := bigRun{Engine: name, Gomaxprocs: runtime.GOMAXPROCS(0)}
+	var driveOpts []dynmis.DriveOption
+	switch name {
+	case "sequential":
+		opts = append(opts, dynmis.WithEngine(dynmis.EngineTemplate))
+	case "sequential-struct":
+		opts = append(opts, dynmis.WithEngine(dynmis.EngineSequential))
+	case "gupta-khan":
+		opts = append(opts, dynmis.WithEngine(dynmis.EngineGuptaKhan))
+	case "aoss":
+		opts = append(opts, dynmis.WithEngine(dynmis.EngineAOSS))
+	case "sharded":
+		shards := min(4, runtime.GOMAXPROCS(0))
+		opts = append(opts, dynmis.WithEngine(dynmis.EngineSharded), dynmis.WithShards(shards))
+		driveOpts = append(driveOpts, dynmis.DriveWindow(window))
+		br.Shards, br.Window = shards, window
+	default:
+		return bigRun{}, fmt.Errorf("big tier: unknown engine %q", name)
+	}
+
+	var before runtime.MemStats
+	if memFlag {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
+
+	m, err := dynmis.New(opts...)
+	if err != nil {
+		return bigRun{}, err
+	}
+	build, drive := sc.Streams(workload.Rand(seed), n, steps)
+	ctx := context.Background()
+
+	m.Grow(n)
+	start := time.Now()
+	if _, err := m.Drive(ctx, build, driveOpts...); err != nil {
+		return bigRun{}, fmt.Errorf("big %s/%s build: %w", sc.Name, name, err)
+	}
+	br.BuildSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	sum, err := m.Drive(ctx, drive, driveOpts...)
+	br.DriveSeconds = time.Since(start).Seconds()
+	if err != nil {
+		return bigRun{}, fmt.Errorf("big %s/%s drive: %w", sc.Name, name, err)
+	}
+	br.UpdatesPerSec = float64(sum.Changes) / br.DriveSeconds
+
+	mem, ok := m.MemoryProfile()
+	if !ok {
+		return bigRun{}, fmt.Errorf("big %s/%s: engine lacks the memory capability", sc.Name, name)
+	}
+	br.Nodes, br.Edges = mem.Nodes, mem.Edges
+	br.BytesPerNode, br.TotalBytes, br.SpillUtilization = mem.BytesPerNode, mem.TotalBytes, mem.SpillUtilization
+
+	if memFlag {
+		var after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		br.HeapDeltaBytes = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	}
+	br.PeakRSSKB = peakRSSKB()
+	br.Verified = m.Verify() == nil
+	return br, nil
+}
+
+// peakRSSKB returns the process's peak resident set in KB (getrusage
+// reports KB on Linux, bytes on Darwin).
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS == "darwin" {
+		rss /= 1024
+	}
+	return rss
+}
+
+func parseBigEngines(csv string) ([]string, error) {
+	var names []string
+	for _, s := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(s)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, v := range bigEngineNames {
+			if v == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-big-engines: unknown engine %q (valid: %s)",
+				name, strings.Join(bigEngineNames, ", "))
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-big-engines: empty selection")
+	}
+	return names, nil
+}
+
+func bigLabel(br bigRun) string {
+	if br.Shards > 0 {
+		return fmt.Sprintf("%s-%d", br.Engine, br.Shards)
+	}
+	return br.Engine
+}

@@ -13,6 +13,8 @@
 //	      [-gomaxprocs 1,2,4,8,16] [-scenarios churn,sliding-window]
 //	      [-engines sequential,sharded,gupta-khan] [-seed 42] [-quick]
 //	      [-min-speedup 1.0] [-record trace.jsonl] [-replay trace.jsonl]
+//	      [-big] [-big-n 100000,1000000] [-big-steps 100000]
+//	      [-big-engines sequential,sharded,gupta-khan,aoss] [-mem]
 //	      [-out BENCH_dynmis.json]
 //
 // Engines (select a subset with -engines; default all):
@@ -42,6 +44,14 @@
 // -min-speedup gates CI smoke runs: after benchmarking, exit nonzero
 // unless the headline sharded rate reaches the given multiple of the
 // sequential rate.
+//
+// -big runs the big-graph tier: streamed capped-power-law and
+// city-scale geometric scenarios (workload.BigScenarios) at -big-n
+// sizes through the arena-backed engines, reporting the deterministic
+// bytes/node account and the process peak RSS per run — nothing is
+// materialized, so the tier runs at n=10^6 (make bench-big). -mem
+// additionally records post-GC live-heap deltas for every run in both
+// tiers.
 package main
 
 import (
@@ -66,8 +76,11 @@ import (
 // level into every engine run (a file may now mix runs at different
 // GOMAXPROCS) and added per-run scaling_efficiency. v3 added the "serve"
 // section: the dynmisd daemon benchmarked over real loopback HTTP
-// (ingest throughput and subscriber-visible event latency).
-const Schema = "dynmis-bench/v3"
+// (ingest throughput and subscriber-visible event latency). v4 added
+// the memory columns (bytes_per_node, total_bytes on arena-backed
+// runs; heap_delta_bytes under -mem) and the "big" section: the
+// big-graph tier (-big) with per-run bytes_per_node and peak_rss_kb.
+const Schema = "dynmis-bench/v4"
 
 // engineRun is one (scenario, engine, gomaxprocs) measurement in the
 // emitted JSON.
@@ -88,7 +101,16 @@ type engineRun struct {
 	SSize             int     `json:"s_size"`
 	CrossShard        int     `json:"cross_shard,omitempty"`
 	Steals            int     `json:"steals,omitempty"`
-	Verified          bool    `json:"verified"`
+	// The memory columns (schema v4). BytesPerNode and TotalBytes come
+	// from the engine's deterministic retained-bytes account and are
+	// zero for the message-passing engines (no memory capability);
+	// HeapDeltaBytes is the post-GC live-heap growth across the run,
+	// recorded only under -mem (it is machine- and GC-timing-noisy, so
+	// it never gates anything).
+	BytesPerNode   float64 `json:"bytes_per_node,omitempty"`
+	TotalBytes     int64   `json:"total_bytes,omitempty"`
+	HeapDeltaBytes int64   `json:"heap_delta_bytes,omitempty"`
+	Verified       bool    `json:"verified"`
 }
 
 type scenarioResult struct {
@@ -99,14 +121,15 @@ type scenarioResult struct {
 }
 
 type benchOutput struct {
-	Schema    string           `json:"schema"`
-	Go        string           `json:"go"`
-	NumCPU    int              `json:"num_cpu"`
-	Seed      uint64           `json:"seed"`
-	Steps     int              `json:"steps"`
-	Scenarios []scenarioResult `json:"scenarios"`
-	Headline  headline         `json:"headline"`
-	Serve     *serveResult     `json:"serve,omitempty"`
+	Schema    string              `json:"schema"`
+	Go        string              `json:"go"`
+	NumCPU    int                 `json:"num_cpu"`
+	Seed      uint64              `json:"seed"`
+	Steps     int                 `json:"steps"`
+	Scenarios []scenarioResult    `json:"scenarios"`
+	Headline  headline            `json:"headline"`
+	Big       []bigScenarioResult `json:"big,omitempty"`
+	Serve     *serveResult        `json:"serve,omitempty"`
 }
 
 // headline is the number the ROADMAP tracks: sharded updates/sec on the
@@ -155,8 +178,14 @@ func main() {
 		serveSubs  = flag.Int("serve-subs", 64, "concurrent event subscribers in the serve benchmark")
 		baseline   = flag.String("baseline", "", "compare per-scenario updates/sec against this previously emitted JSON (e.g. the committed BENCH_dynmis.json)")
 		minSpeedup = flag.Float64("min-speedup", 0, "exit nonzero unless the headline sharded speedup vs sequential reaches this factor")
+		big        = flag.Bool("big", false, "run the big-graph tier (streamed million-node scenarios with memory columns)")
+		bigN       = flag.String("big-n", "100000,1000000", "comma-separated sizes for the big tier")
+		bigSteps   = flag.Int("big-steps", 100000, "timed churn steps per big-tier engine run")
+		bigEngines = flag.String("big-engines", defaultBigEngines, "comma-separated big-tier engines (valid: "+strings.Join(bigEngineNames, ", ")+")")
+		mem        = flag.Bool("mem", false, "record post-GC live-heap deltas (heap_delta_bytes) for every run")
 	)
 	flag.Parse()
+	memFlag = *mem
 	if *quick {
 		*n, *steps = 300, 3000
 		*serveSteps, *serveSubs = 5000, 8
@@ -265,6 +294,22 @@ func main() {
 			h.Speedup, h.SpeedupVsBatch, h.ScalingEfficiency)
 	}
 
+	// The big-graph tier: streamed scenarios at -big-n sizes with the
+	// memory columns. Runs after the regular tier so its far larger
+	// peak-RSS watermarks cannot contaminate it, and sizes ascend within
+	// it for the same reason.
+	if *big {
+		sizes, err := parseCounts(*bigN, "-big-n")
+		if err != nil {
+			fatal(err)
+		}
+		slices.Sort(sizes)
+		output.Big, err = runBig(*seed, sizes, *bigSteps, *bigEngines, *window, memFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	// The serve section: dynmisd over real loopback HTTP. Skipped in
 	// -replay mode (the section always benches the churn scenario at its
 	// own size) and when -serve-steps is 0.
@@ -319,58 +364,59 @@ func main() {
 	}
 }
 
-// baselineFile parses both schema versions: v1 carried one top-level
-// gomaxprocs for every run, v2 records it per run.
+// baselineFile parses a previously emitted output for diffing.
 type baselineFile struct {
-	Schema     string           `json:"schema"`
-	GOMAXPROCS int              `json:"gomaxprocs"` // v1 only
-	Steps      int              `json:"steps"`
-	Scenarios  []scenarioResult `json:"scenarios"`
+	Schema    string              `json:"schema"`
+	Steps     int                 `json:"steps"`
+	Scenarios []scenarioResult    `json:"scenarios"`
+	Big       []bigScenarioResult `json:"big"`
 }
 
-// printDelta renders this run's per-scenario updates/sec against a
-// previously emitted JSON file (either schema version). It is a report,
-// not a gate: engines whose scenario or configuration is absent from the
-// baseline print "new", and differing -steps merely change measurement
-// noise. Comparing rates measured at different GOMAXPROCS would be
-// meaningless, though, so those entries are refused with a note instead
-// of a ratio.
+// printDelta renders this run's per-scenario updates/sec — and, where
+// both sides carry them, the memory columns — against a previously
+// emitted JSON file. It is a report, not a gate: engines whose scenario
+// or configuration is absent from the baseline print "new", and
+// differing -steps merely change measurement noise. Two comparisons are
+// refused outright because their ratios would be meaningless: a
+// baseline from a different schema version (field meanings shifted —
+// regenerate it with this binary) and entries measured at a different
+// GOMAXPROCS.
 func printDelta(w io.Writer, cur benchOutput, path string, data []byte) error {
 	var base baselineFile
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	switch base.Schema {
-	case Schema, "dynmis-bench/v1", "dynmis-bench/v2":
-	default:
-		return fmt.Errorf("baseline %s: unsupported schema %q", path, base.Schema)
+	if base.Schema != Schema {
+		return fmt.Errorf("baseline %s uses schema %q but this binary emits %q: cross-schema runs are not comparable — regenerate the baseline with this binary",
+			path, base.Schema, Schema)
 	}
 	// A baseline may carry a whole GOMAXPROCS matrix per engine (the
 	// committed file does), so match on (scenario, engine, procs) first;
 	// the name-only map is kept solely to distinguish "measured at a
 	// different GOMAXPROCS" from "not in the baseline at all".
-	rate := make(map[string]float64)
+	old := make(map[string]engineRun)
 	procsOf := make(map[string][]int)
 	for _, sc := range base.Scenarios {
 		for _, er := range sc.Engines {
-			procs := er.Gomaxprocs
-			if procs == 0 {
-				procs = base.GOMAXPROCS // v1: one global value
-			}
 			key := sc.Scenario + "/" + label(er)
-			rate[fmt.Sprintf("%s@%d", key, procs)] = er.UpdatesPerSec
-			procsOf[key] = append(procsOf[key], procs)
+			old[fmt.Sprintf("%s@%d", key, er.Gomaxprocs)] = er
+			procsOf[key] = append(procsOf[key], er.Gomaxprocs)
 		}
 	}
 	fmt.Fprintf(w, "\ndelta vs %s (steps %d -> %d):\n", path, base.Steps, cur.Steps)
 	for _, sc := range cur.Scenarios {
 		for _, er := range sc.Engines {
 			key := sc.Scenario + "/" + label(er)
-			old, ok := rate[fmt.Sprintf("%s@%d", key, er.Gomaxprocs)]
+			b, ok := old[fmt.Sprintf("%s@%d", key, er.Gomaxprocs)]
 			switch {
-			case ok && old > 0:
-				fmt.Fprintf(w, "  %-32s %12.0f updates/s  %8.2fx (baseline %.0f)\n",
-					key, er.UpdatesPerSec, er.UpdatesPerSec/old, old)
+			case ok && b.UpdatesPerSec > 0:
+				memCol := ""
+				if er.BytesPerNode > 0 && b.BytesPerNode > 0 {
+					memCol = fmt.Sprintf("  %7.1f B/node %8.2fx (baseline %.1f)",
+						er.BytesPerNode, er.BytesPerNode/b.BytesPerNode, b.BytesPerNode)
+				}
+				fmt.Fprintf(w, "  %-32s %12.0f updates/s  %8.2fx (baseline %.0f)%s\n",
+					key, er.UpdatesPerSec, er.UpdatesPerSec/b.UpdatesPerSec, b.UpdatesPerSec, memCol)
 			case len(procsOf[key]) > 0:
 				fmt.Fprintf(w, "  %-32s %12.0f updates/s   (not comparable: baseline at GOMAXPROCS=%v, this run at %d)\n",
 					key, er.UpdatesPerSec, procsOf[key], er.Gomaxprocs)
@@ -379,7 +425,36 @@ func printDelta(w io.Writer, cur benchOutput, path string, data []byte) error {
 			}
 		}
 	}
+	printBigDelta(w, cur.Big, base.Big)
 	return nil
+}
+
+// printBigDelta diffs the big-tier rows on both rate and bytes/node,
+// keyed by (scenario, n, engine).
+func printBigDelta(w io.Writer, cur, base []bigScenarioResult) {
+	if len(cur) == 0 {
+		return
+	}
+	old := make(map[string]bigRun)
+	for _, sc := range base {
+		for _, br := range sc.Runs {
+			old[fmt.Sprintf("%s@%d/%s", sc.Scenario, sc.N, bigLabel(br))] = br
+		}
+	}
+	for _, sc := range cur {
+		for _, br := range sc.Runs {
+			key := fmt.Sprintf("%s@%d/%s", sc.Scenario, sc.N, bigLabel(br))
+			b, ok := old[key]
+			if !ok {
+				fmt.Fprintf(w, "  %-32s %12.0f updates/s  %7.1f B/node   (new)\n",
+					key, br.UpdatesPerSec, br.BytesPerNode)
+				continue
+			}
+			fmt.Fprintf(w, "  %-32s %12.0f updates/s  %8.2fx (baseline %.0f)  %7.1f B/node %8.2fx (baseline %.1f)\n",
+				key, br.UpdatesPerSec, br.UpdatesPerSec/b.UpdatesPerSec, b.UpdatesPerSec,
+				br.BytesPerNode, br.BytesPerNode/b.BytesPerNode, b.BytesPerNode)
+		}
+	}
 }
 
 // buildJobs resolves the workload set: recorded-trace replay, or the
@@ -441,6 +516,10 @@ func recordJob(path string, jb job) error {
 	return f.Close()
 }
 
+// memFlag mirrors -mem: record noisy live-heap deltas alongside the
+// deterministic retained-bytes account.
+var memFlag bool
+
 // run drives the job's warm-up untimed and its drive stream timed into a
 // freshly configured maintainer at the requested GOMAXPROCS, then
 // verifies the final structure against the greedy oracle — the
@@ -449,6 +528,11 @@ func run(jb job, seed uint64, name string, shards, window, procs int, opts ...dy
 	prev := runtime.GOMAXPROCS(procs)
 	defer runtime.GOMAXPROCS(prev)
 
+	var before runtime.MemStats
+	if memFlag {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
 	m, err := dynmis.New(append(opts, dynmis.WithSeed(seed))...)
 	if err != nil {
 		fatal(err)
@@ -470,7 +554,7 @@ func run(jb job, seed uint64, name string, shards, window, procs int, opts ...dy
 	if err != nil {
 		fatal(err)
 	}
-	return engineRun{
+	er := engineRun{
 		Engine:        name,
 		Shards:        shards,
 		Window:        window,
@@ -484,6 +568,19 @@ func run(jb job, seed uint64, name string, shards, window, procs int, opts ...dy
 		Steals:        sum.Total.Steals,
 		Verified:      m.Verify() == nil,
 	}
+	// The deterministic retained-bytes account, on engines that keep
+	// one (the arena-backed set); the message-passing engines leave the
+	// columns zero.
+	if prof, ok := m.MemoryProfile(); ok {
+		er.BytesPerNode, er.TotalBytes = prof.BytesPerNode, prof.TotalBytes
+	}
+	if memFlag {
+		var after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		er.HeapDeltaBytes = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	}
+	return er
 }
 
 // benchEngineNames are the selectable -engines values, in report order.

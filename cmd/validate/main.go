@@ -57,8 +57,9 @@ import (
 // schemaVersion names the layout of the emitted document. Bump it when
 // the table columns or the header structure change, and regenerate
 // docs/VALIDATION.md in the same commit: cmd/validate -check fails CI
-// whenever the committed header and this constant drift apart.
-const schemaVersion = "dynmis-validate/v2"
+// whenever the committed header and this constant drift apart. v3 added
+// the deterministic B/node memory column to the head-to-head table.
+const schemaVersion = "dynmis-validate/v3"
 
 // schemaMarker is the exact prefix of the machine-readable header line.
 const schemaMarker = "<!-- schema: "
@@ -394,12 +395,18 @@ One run per engine on the %q scenario at n=%d, %d updates, seed %d —
 identical change stream for every engine. "adj/upd" is the measure the
 paper optimizes (E ≤ 1, independent of Δ); Gupta–Khan guarantees only
 O(Δ) amortized, and AOSS trades adjustments for set size (see the
-quality section). "upd/s" and "B/upd" (bytes allocated per update) are
-filled by running cmd/validate -timing locally; they are machine
-dependent and not committed.
+quality section). "B/node" is the engine's retained memory per live
+node from its deterministic capacity-based account (the arena lanes,
+the NodeID index, the shared spill pool and the engine's auxiliary
+state) — computed from counts, not runtime introspection, so it is
+byte-stable and committed; the message-passing engines keep per-node
+simulation state outside the arena account and render "·". "upd/s" and
+"B/upd" (bytes allocated per update) are filled by running
+cmd/validate -timing locally; they are machine dependent and not
+committed.
 
-| engine | updates | adj/upd | flips/upd | work/upd | rounds/upd | upd/s | B/upd |
-|---|---:|---:|---:|---:|---:|---:|---:|
+| engine | updates | adj/upd | flips/upd | work/upd | rounds/upd | B/node | upd/s | B/upd |
+|---|---:|---:|---:|---:|---:|---:|---:|---:|
 `, sc.Name, sc.ClampNodes(n), steps, seed)
 	fmt.Printf("== head-to-head (%s, n=%d)\n", sc.Name, sc.ClampNodes(n))
 	for _, es := range engines() {
@@ -447,10 +454,14 @@ dependent and not committed.
 			updPerSec = fmt.Sprintf("%.0f", float64(sum.Changes)/elapsed.Seconds())
 			bytesPerUpd = fmt.Sprintf("%.0f", float64(allocated)/float64(sum.Changes))
 		}
-		fmt.Fprintf(doc, "| %s | %d | %.3f | %s | %s | %s | %s | %s |\n",
+		bytesPerNode := "·"
+		if prof, ok := m.MemoryProfile(); ok {
+			bytesPerNode = fmt.Sprintf("%.1f", prof.BytesPerNode)
+		}
+		fmt.Fprintf(doc, "| %s | %d | %.3f | %s | %s | %s | %s | %s | %s |\n",
 			es.name, sum.Changes, sum.MeanAdjustments(), per(sum.Total.Flips),
-			per(sum.Total.Work), per(sum.Total.Rounds), updPerSec, bytesPerUpd)
-		fmt.Printf("   %-14s adj/upd=%.3f upd/s=%s\n", es.name, sum.MeanAdjustments(), updPerSec)
+			per(sum.Total.Work), per(sum.Total.Rounds), bytesPerNode, updPerSec, bytesPerUpd)
+		fmt.Printf("   %-14s adj/upd=%.3f B/node=%s upd/s=%s\n", es.name, sum.MeanAdjustments(), bytesPerNode, updPerSec)
 	}
 	doc.WriteString("\n")
 }
@@ -574,6 +585,10 @@ func writeReadingGuide(doc *strings.Builder) {
 - **|MIS|/greedy** — the engine's final set size over a fresh
   random-greedy MIS on the same final graph; 1.0 is the random-greedy
   distribution the paper's engines realize, higher is a larger set.
+- **B/node** (head-to-head table) — retained bytes per live node from
+  the engine's deterministic memory account: arena lanes + NodeID index
+  + shared spill pool + engine auxiliary state, all computed from
+  capacities and counts so the figure is byte-stable across machines.
 - **·** — the engine does not model that quantity (the model-level
   template has no network; the message-passing engines no cascade
   scratch; the asynchronous engine no global rounds; the distributed

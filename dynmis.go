@@ -284,6 +284,12 @@ var (
 	_ core.Instrument = (*seqdyn.Engine)(nil)
 	_ core.Instrument = (*guptakhan.Engine)(nil)
 	_ core.Instrument = (*aoss.Engine)(nil)
+
+	_ core.MemoryReporter = (*core.Template)(nil)
+	_ core.MemoryReporter = (*shard.Engine)(nil)
+	_ core.MemoryReporter = (*seqdyn.Engine)(nil)
+	_ core.MemoryReporter = (*guptakhan.Engine)(nil)
+	_ core.MemoryReporter = (*aoss.Engine)(nil)
 )
 
 type config struct {
@@ -624,6 +630,22 @@ func (m *Maintainer) ResetMetrics() {
 	if m.coll != nil {
 		m.coll.Reset()
 	}
+}
+
+// MemoryProfile returns the engine's live retained-bytes account —
+// arena lanes, hash index, spill pool, free-lists, engine auxiliary
+// storage, and the headline bytes/node — and whether the engine
+// implements the core.MemoryReporter capability. The arena-backed
+// engines (template, sharded, sequential, gupta-khan, aoss) do; the
+// message-passing engines, whose state is per-node network knowledge,
+// do not. The account is deterministic for a given change history, so
+// harnesses commit it in artifacts (BENCH_dynmis.json's big-graph tier,
+// docs/VALIDATION.md's head-to-head table, /metricsz).
+func (m *Maintainer) MemoryProfile() (metrics.Memory, bool) {
+	if r, ok := m.impl.(core.MemoryReporter); ok {
+		return r.MemoryProfile(), true
+	}
+	return metrics.Memory{}, false
 }
 
 // Snapshot is a serializable image of the maintained structure (graph,

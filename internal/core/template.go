@@ -61,9 +61,10 @@ type Template struct {
 // Template implements the full engine surface plus the persistence and
 // instrumentation capabilities.
 var (
-	_ Engine      = (*Template)(nil)
-	_ Snapshotter = (*Template)(nil)
-	_ Instrument  = (*Template)(nil)
+	_ Engine         = (*Template)(nil)
+	_ Snapshotter    = (*Template)(nil)
+	_ Instrument     = (*Template)(nil)
+	_ MemoryReporter = (*Template)(nil)
 )
 
 // NewTemplate returns an engine over an empty graph with a fresh random

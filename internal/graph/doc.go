@@ -13,8 +13,10 @@
 //
 //   - the node ID (IDAt; None marks a free slot),
 //   - the adjacency list, stored as *neighbor slots* in ascending slot
-//     order — inline in the slot entry up to 4 neighbors, spilling into
-//     a sorted slice beyond that (NeighborSlots, DegreeAt),
+//     order — inline in the 24-byte slot header up to 4 neighbors,
+//     spilling into a block of the shared CSR-style spill pool beyond
+//     that (NeighborSlots, DegreeAt; see spill.go for the pool's
+//     size-class layout and the shrink-back policy),
 //   - a uint64 priority lane written through by an attached
 //     internal/order.Order (PrioAt, SetPrioAt, LessAt),
 //   - a one-byte membership lane owned by internal/core's State view
@@ -42,15 +44,18 @@
 //
 // # Free-list recycling
 //
-// Deleting a node zeroes its lanes, resets its adjacency (keeping any
-// spill capacity), marks the slot None and pushes it onto a LIFO
-// free-list; the next insertion pops it. Consequences: the arena's
-// footprint tracks the *live* node count, not the insertion history;
-// steady-state churn allocates almost nothing (hot slots keep their
-// spill slices); and because both auxiliary lanes are zeroed on free
-// *and* on reallocation, a recycled slot can never leak the previous
-// tenant's priority or membership — the delete/re-insert aliasing tests
-// (ref_test.go, the root recycle_test.go) pin this.
+// Deleting a node zeroes its lanes, resets its adjacency (returning any
+// spill block to the shared pool), marks the slot None and pushes it
+// onto a LIFO free-list; the next insertion pops it. Consequences: the
+// arena's footprint tracks the *live* node count, not the insertion
+// history; steady-state churn allocates almost nothing (spill capacity
+// recycles through the pool's per-class free-lists, shared by all hubs
+// rather than pinned per slot); and because both auxiliary lanes are
+// zeroed on free *and* on reallocation, a recycled slot can never leak
+// the previous tenant's priority or membership — the delete/re-insert
+// aliasing tests (ref_test.go, the root recycle_test.go) pin this.
+// Mem reports the resulting retained-bytes account (MemStats),
+// deterministically for a given operation history.
 //
 // # Grow and the index watermark
 //

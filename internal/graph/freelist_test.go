@@ -118,3 +118,79 @@ func TestRepartitionPreservesFreeSet(t *testing.T) {
 		t.Fatal("clone diverged from partitioned original")
 	}
 }
+
+// Satellite coverage for the million-node tier: Grow and the
+// partitioned free-list must compose at n = 10^5 — grow-after-partition
+// keeps the block-cyclic spread, a bulk delete/re-insert wave recycles
+// every slot without growing the arena (O(1) pops, no rebucketing), and
+// a final Grow stays watermark-idempotent.
+func TestGrowAfterPartitionAtScale(t *testing.T) {
+	const (
+		n     = 100_000
+		parts = 8
+		block = 512
+	)
+	g := New()
+	g.PartitionFreeList(parts, block)
+	g.Grow(n)
+
+	slots := g.Slots() // 0: Grow reserves capacity, not slots
+	for v := range NodeID(n) {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Slots() != slots+n {
+		t.Fatalf("Slots = %d after %d inserts over %d", g.Slots(), n, slots)
+	}
+
+	// Delete a skewed contiguous half — the pattern that pathologically
+	// clumps an unpartitioned LIFO list.
+	for v := range NodeID(n / 2) {
+		if err := g.RemoveNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.FreeSlots() != n/2 {
+		t.Fatalf("FreeSlots = %d, want %d", g.FreeSlots(), n/2)
+	}
+
+	// Round-robin: the first `parts` reallocations must land in distinct
+	// partitions even though the freed range was contiguous.
+	seen := make(map[int]bool)
+	for v := NodeID(n); v < NodeID(n)+parts; v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+		i, _ := g.Index(v)
+		seen[i/block%parts] = true
+	}
+	if len(seen) != parts {
+		t.Fatalf("first %d allocations hit %d partitions, want %d", parts, len(seen), parts)
+	}
+
+	// The rest of the wave must drain the free-list before the arena
+	// grows a single slot.
+	for v := NodeID(n) + parts; v < NodeID(n)+NodeID(n/2); v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.FreeSlots() != 0 {
+		t.Fatalf("FreeSlots = %d after refill", g.FreeSlots())
+	}
+	if g.Slots() != slots+n {
+		t.Fatalf("arena grew to %d slots despite full recycling", g.Slots())
+	}
+
+	// A satisfied Grow (the free-list can supply the slot and the index
+	// has reached the watermark before) must not rebuild the index.
+	if err := g.RemoveNode(NodeID(n)); err != nil {
+		t.Fatal(err)
+	}
+	capBefore := g.idxCap
+	g.Grow(1)
+	if g.idxCap != capBefore {
+		t.Fatalf("satisfied Grow rebuilt the index watermark: %d -> %d", capBefore, g.idxCap)
+	}
+}

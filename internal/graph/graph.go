@@ -38,30 +38,38 @@ var (
 // slot itself; only nodes of larger degree allocate a spill slice.
 const inlineDegree = 4
 
-// adjacency is one slot's neighbor list, as slot indices in ascending
-// order. While spill is nil the neighbors live in inline[:deg]; once the
-// degree first exceeds inlineDegree they move into the spill slice (kept
-// with len == deg) and stay there — including across slot recycling, so a
-// hot slot's capacity is reused instead of reallocated.
+// adjacency is one slot's neighbor-list header: 24 bytes, down from the
+// ~48 of the former {deg, inline, spill []int32} layout. Neighbors are
+// slot indices in ascending order. While ref is zero they live in
+// inline[:deg]; once the degree first exceeds inlineDegree they move
+// into a spill-pool block named by ref (see spill.go). Degree drops
+// revert the migration: back down a size class at quarter-occupancy,
+// back inline once the list fits again — so a once-hot hub releases its
+// peak allocation to the shared pool instead of pinning it forever.
 type adjacency struct {
 	deg    int32
+	ref    spillRef // 0 = inline; else the spill-pool block holding the list
 	inline [inlineDegree]int32
-	spill  []int32
 }
 
-// slots returns the neighbor slots in ascending slot order. The returned
-// slice aliases the arena and is valid only until the next mutation.
-func (a *adjacency) slots() []int32 {
-	if a.spill != nil {
-		return a.spill
+// adjSlots returns slot i's neighbor slots in ascending slot order. The
+// returned slice aliases the arena and is valid only until the next
+// mutation of slot i's own list (mutating other slots' lists may retire
+// the backing slab, but the returned snapshot stays intact and current —
+// RemoveNode relies on this while unlinking a victim's neighbors).
+func (g *Graph) adjSlots(i int32) []int32 {
+	a := &g.adj[i]
+	if a.ref != 0 {
+		return g.pool.block(a.ref)[:a.deg]
 	}
 	return a.inline[:a.deg]
 }
 
-// contains reports whether j is a neighbor slot.
-func (a *adjacency) contains(j int32) bool {
-	if a.spill != nil {
-		_, ok := slices.BinarySearch(a.spill, j)
+// adjContains reports whether j is a neighbor slot of i.
+func (g *Graph) adjContains(i, j int32) bool {
+	a := &g.adj[i]
+	if a.ref != 0 {
+		_, ok := slices.BinarySearch(g.pool.block(a.ref)[:a.deg], j)
 		return ok
 	}
 	for _, s := range a.inline[:a.deg] {
@@ -72,10 +80,11 @@ func (a *adjacency) contains(j int32) bool {
 	return false
 }
 
-// insert adds neighbor slot j, keeping ascending order. j must not be
-// present.
-func (a *adjacency) insert(j int32) {
-	if a.spill == nil {
+// adjInsert adds neighbor slot j to slot i, keeping ascending order. j
+// must not be present.
+func (g *Graph) adjInsert(i, j int32) {
+	a := &g.adj[i]
+	if a.ref == 0 {
 		if int(a.deg) < inlineDegree {
 			k := a.deg
 			for k > 0 && a.inline[k-1] > j {
@@ -86,37 +95,77 @@ func (a *adjacency) insert(j int32) {
 			a.deg++
 			return
 		}
-		a.spill = make([]int32, a.deg, 2*inlineDegree)
-		copy(a.spill, a.inline[:a.deg])
+		// First overflow: migrate inline into a class-0 block.
+		r := g.pool.alloc(0)
+		copy(g.pool.block(r), a.inline[:a.deg])
+		a.ref = r
 	}
-	k, _ := slices.BinarySearch(a.spill, j)
-	a.spill = slices.Insert(a.spill, k, j)
+	if int(a.deg) == spillClassCap(a.ref.class()) {
+		// Block full: promote one size class (doubling the capacity).
+		r := g.pool.alloc(a.ref.class() + 1)
+		copy(g.pool.block(r), g.pool.block(a.ref)[:a.deg])
+		g.pool.release(a.ref)
+		a.ref = r
+	}
+	blk := g.pool.block(a.ref)
+	k, _ := slices.BinarySearch(blk[:a.deg], j)
+	copy(blk[k+1:int(a.deg)+1], blk[k:a.deg])
+	blk[k] = j
 	a.deg++
 }
 
-// remove deletes neighbor slot j. j must be present.
-func (a *adjacency) remove(j int32) {
-	if a.spill != nil {
-		k, _ := slices.BinarySearch(a.spill, j)
-		a.spill = slices.Delete(a.spill, k, k+1)
-		a.deg--
+// adjRemove deletes neighbor slot j from slot i. j must be present.
+func (g *Graph) adjRemove(i, j int32) {
+	a := &g.adj[i]
+	if a.ref == 0 {
+		for k := int32(0); k < a.deg; k++ {
+			if a.inline[k] == j {
+				copy(a.inline[k:a.deg-1], a.inline[k+1:a.deg])
+				a.deg--
+				return
+			}
+		}
 		return
 	}
-	for k := int32(0); k < a.deg; k++ {
-		if a.inline[k] == j {
-			copy(a.inline[k:a.deg-1], a.inline[k+1:a.deg])
-			a.deg--
-			return
-		}
+	blk := g.pool.block(a.ref)
+	k, _ := slices.BinarySearch(blk[:a.deg], j)
+	copy(blk[k:int(a.deg)-1], blk[k+1:a.deg])
+	a.deg--
+	g.adjShrink(a)
+}
+
+// adjShrink reverts spill storage as churn drops the degree: back into
+// the inline header once the list fits there, or down one size class
+// once the block is at most quarter-full. The quarter threshold is
+// hysteresis — after the downshift the new block is at most half-full,
+// so the very next insert can never force an immediate re-promotion,
+// and a node oscillating around a class boundary does plain O(1)
+// free-list pushes and pops rather than GC traffic.
+func (g *Graph) adjShrink(a *adjacency) {
+	if int(a.deg) <= inlineDegree {
+		copy(a.inline[:a.deg], g.pool.block(a.ref)[:a.deg])
+		g.pool.release(a.ref)
+		a.ref = 0
+		return
+	}
+	if c := a.ref.class(); c > 0 && int(a.deg) <= spillClassCap(c)/4 {
+		r := g.pool.alloc(c - 1)
+		copy(g.pool.block(r), g.pool.block(a.ref)[:a.deg])
+		g.pool.release(a.ref)
+		a.ref = r
 	}
 }
 
-// reset empties the list for slot recycling, retaining spill capacity.
-func (a *adjacency) reset() {
-	a.deg = 0
-	if a.spill != nil {
-		a.spill = a.spill[:0]
+// adjReset empties slot i's list for slot recycling, returning any spill
+// block to the pool (where any future hub, not just this slot's next
+// tenant, can reuse it).
+func (g *Graph) adjReset(i int32) {
+	a := &g.adj[i]
+	if a.ref != 0 {
+		g.pool.release(a.ref)
+		a.ref = 0
 	}
+	a.deg = 0
 }
 
 // Graph is a mutable undirected simple graph. The zero value is not ready to
@@ -125,7 +174,8 @@ type Graph struct {
 	idx    map[NodeID]int32 // NodeID → dense slot
 	idxCap int              // size hint the idx map was last built with
 	ids    []NodeID         // slot → NodeID; None when the slot is free
-	adj    []adjacency      // slot → neighbor slots
+	adj    []adjacency      // slot → neighbor-list header
+	pool   spillPool        // shared storage for lists that outgrow the header
 	prio   []uint64         // slot → priority lane (see Order.Attach)
 	state  []byte           // slot → membership lane (owned by internal/core)
 	free   [][]int32        // recycled slots per partition, popped LIFO
@@ -251,7 +301,7 @@ func (g *Graph) IDAt(i int) NodeID { return g.ids[i] }
 // NeighborSlots returns the neighbor slots of the node in slot i, in
 // ascending slot order. The slice aliases the arena: it is read-only and
 // valid only until the next mutation.
-func (g *Graph) NeighborSlots(i int) []int32 { return g.adj[i].slots() }
+func (g *Graph) NeighborSlots(i int) []int32 { return g.adjSlots(int32(i)) }
 
 // DegreeAt returns the degree of the node in slot i.
 func (g *Graph) DegreeAt(i int) int { return int(g.adj[i].deg) }
@@ -301,7 +351,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	if !ok {
 		return false
 	}
-	return g.adj[i].contains(j)
+	return g.adjContains(i, j)
 }
 
 // alloc claims a slot for v: a recycled one if available (drawn from the
@@ -326,7 +376,7 @@ func (g *Graph) alloc(v NodeID) int32 {
 		g.state = append(g.state, 0)
 	}
 	g.ids[i] = v
-	g.adj[i].reset()
+	g.adjReset(i)
 	g.prio[i] = 0
 	g.state[i] = 0
 	g.idx[v] = i
@@ -347,18 +397,22 @@ func (g *Graph) AddNode(v NodeID) error {
 }
 
 // RemoveNode deletes v and all incident edges. v's slot is zeroed
-// (lanes and adjacency, retaining spill capacity) and pushed onto the
-// free-list for recycling by a future insertion.
+// (lanes and adjacency; any spill block returns to the shared pool) and
+// pushed onto the free-list for recycling by a future insertion.
 func (g *Graph) RemoveNode(v NodeID) error {
 	i, ok := g.idx[v]
 	if !ok {
 		return fmt.Errorf("remove node %d: %w", v, ErrNoNode)
 	}
-	for _, j := range g.adj[i].slots() {
-		g.adj[j].remove(i)
+	// Unlinking i from each neighbor may shrink that neighbor's block and
+	// grow a smaller class's slab, but never mutates i's own list — so
+	// the adjSlots snapshot stays correct even if its backing slab is
+	// retired mid-loop (see adjSlots).
+	for _, j := range g.adjSlots(i) {
+		g.adjRemove(j, i)
 		g.edges--
 	}
-	g.adj[i].reset()
+	g.adjReset(i)
 	g.prio[i] = 0
 	g.state[i] = 0
 	g.ids[i] = None
@@ -382,11 +436,11 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	if !ok {
 		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, v, ErrNoNode)
 	}
-	if g.adj[i].contains(j) {
+	if g.adjContains(i, j) {
 		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrEdgeExists)
 	}
-	g.adj[i].insert(j)
-	g.adj[j].insert(i)
+	g.adjInsert(i, j)
+	g.adjInsert(j, i)
 	g.edges++
 	return nil
 }
@@ -395,11 +449,11 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 func (g *Graph) RemoveEdge(u, v NodeID) error {
 	i, iok := g.idx[u]
 	j, jok := g.idx[v]
-	if !iok || !jok || !g.adj[i].contains(j) {
+	if !iok || !jok || !g.adjContains(i, j) {
 		return fmt.Errorf("remove edge {%d,%d}: %w", u, v, ErrNoEdge)
 	}
-	g.adj[i].remove(j)
-	g.adj[j].remove(i)
+	g.adjRemove(i, j)
+	g.adjRemove(j, i)
 	g.edges--
 	return nil
 }
@@ -411,7 +465,7 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 	if !ok {
 		return nil
 	}
-	nb := g.adj[i].slots()
+	nb := g.adjSlots(i)
 	out := make([]NodeID, len(nb))
 	for k, j := range nb {
 		out[k] = g.ids[j]
@@ -427,7 +481,7 @@ func (g *Graph) EachNeighbor(v NodeID, fn func(u NodeID)) {
 	if !ok {
 		return
 	}
-	for _, j := range g.adj[i].slots() {
+	for _, j := range g.adjSlots(i) {
 		fn(g.ids[j])
 	}
 }
@@ -494,7 +548,7 @@ func (g *Graph) Edges() [][2]NodeID {
 		if g.ids[i] == None {
 			continue
 		}
-		for _, j := range g.adj[i].slots() {
+		for _, j := range g.adjSlots(int32(i)) {
 			if g.ids[i] < g.ids[j] {
 				out = append(out, [2]NodeID{g.ids[i], g.ids[j]})
 			}
@@ -518,7 +572,8 @@ func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		idx:    make(map[NodeID]int32, len(g.idx)),
 		ids:    slices.Clone(g.ids),
-		adj:    make([]adjacency, len(g.adj)),
+		adj:    slices.Clone(g.adj), // headers are plain values; refs stay valid
+		pool:   g.pool.clone(),      // …against the cloned pool's identical layout
 		prio:   slices.Clone(g.prio),
 		state:  slices.Clone(g.state),
 		free:   make([][]int32, len(g.free)),
@@ -532,12 +587,6 @@ func (g *Graph) Clone() *Graph {
 	}
 	for v, i := range g.idx {
 		c.idx[v] = i
-	}
-	for i := range g.adj {
-		c.adj[i] = adjacency{deg: g.adj[i].deg, inline: g.adj[i].inline}
-		if g.adj[i].spill != nil {
-			c.adj[i].spill = slices.Clone(g.adj[i].spill)
-		}
 	}
 	return c
 }
@@ -557,9 +606,9 @@ func (g *Graph) Equal(h *Graph) bool {
 		if !ok || g.adj[i].deg != h.adj[j].deg {
 			return false
 		}
-		for _, k := range g.adj[i].slots() {
+		for _, k := range g.adjSlots(int32(i)) {
 			hj, ok := h.idx[g.ids[k]]
-			if !ok || !h.adj[j].contains(hj) {
+			if !ok || !h.adjContains(j, hj) {
 				return false
 			}
 		}

@@ -1,0 +1,87 @@
+package graph
+
+import "unsafe"
+
+// indexBytesPerEntry estimates the NodeID→slot hash table's footprint
+// per entry: 12 payload bytes (8-byte key, 4-byte value) plus bucket
+// metadata and load-factor slack, amortized to roughly twice the
+// payload. It is a documented estimate — Go does not expose map
+// footprints — chosen deterministic (a function of entry count only) so
+// that arena-derived memory numbers are reproducible across runs and
+// machines and can be committed in artifacts.
+const indexBytesPerEntry = 24
+
+// MemStats is a live memory account of the arena, computed from slice
+// capacities — the bytes the structure retains, not the bytes it
+// happens to touch. All figures are deterministic for a given operation
+// history (no runtime introspection), so callers can commit them in
+// benchmark and validation artifacts.
+type MemStats struct {
+	Nodes int // live nodes
+	Slots int // arena size including free slots
+	Edges int
+
+	// LaneBytes covers the parallel slot lanes (ids, adjacency headers,
+	// priority, state) at capacity.
+	LaneBytes int64
+	// IndexBytes is the estimated NodeID→slot hash index footprint (see
+	// indexBytesPerEntry), sized by its capacity watermark.
+	IndexBytes int64
+	// FreeBytes covers the slot free-list partitions and the spill
+	// pool's per-class free-lists, at capacity.
+	FreeBytes int64
+	// SpillSlabBytes is the spill pool's total slab storage at capacity;
+	// SpillLiveBytes is the portion in blocks currently assigned to a
+	// slot (so SpillLiveBytes/SpillSlabBytes is pool utilization).
+	SpillSlabBytes int64
+	SpillLiveBytes int64
+	// SpillFreeBlocks counts recycled blocks awaiting reuse, across all
+	// size classes.
+	SpillFreeBlocks int
+
+	// TotalBytes is the sum of the retained-bytes figures above
+	// (slab bytes count fully; the live subset is informational).
+	TotalBytes int64
+}
+
+// BytesPerNode is the headline figure: total retained bytes amortized
+// over live nodes (0 for an empty graph).
+func (s MemStats) BytesPerNode() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / float64(s.Nodes)
+}
+
+// SpillUtilization is the fraction of spill slab storage in live blocks
+// (1 when no slab exists: an all-inline graph wastes nothing).
+func (s MemStats) SpillUtilization() float64 {
+	if s.SpillSlabBytes == 0 {
+		return 1
+	}
+	return float64(s.SpillLiveBytes) / float64(s.SpillSlabBytes)
+}
+
+// Mem returns the arena's current memory account.
+func (g *Graph) Mem() MemStats {
+	s := MemStats{Nodes: g.n, Slots: len(g.ids), Edges: g.edges}
+	s.LaneBytes = int64(cap(g.ids))*int64(unsafe.Sizeof(NodeID(0))) +
+		int64(cap(g.adj))*int64(unsafe.Sizeof(adjacency{})) +
+		int64(cap(g.prio))*8 +
+		int64(cap(g.state))
+	s.IndexBytes = int64(max(len(g.idx), g.idxCap)) * indexBytesPerEntry
+	for _, part := range g.free {
+		s.FreeBytes += int64(cap(part)) * 4
+	}
+	for c := range g.pool.classes {
+		sc := &g.pool.classes[c]
+		bcap := spillClassCap(c)
+		s.SpillSlabBytes += int64(cap(sc.slab)) * 4
+		s.FreeBytes += int64(cap(sc.free)) * 4
+		live := len(sc.slab)/bcap - len(sc.free)
+		s.SpillLiveBytes += int64(live) * int64(bcap) * 4
+		s.SpillFreeBlocks += len(sc.free)
+	}
+	s.TotalBytes = s.LaneBytes + s.IndexBytes + s.FreeBytes + s.SpillSlabBytes
+	return s
+}

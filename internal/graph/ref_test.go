@@ -424,3 +424,46 @@ func TestErrorMessagesKeepContext(t *testing.T) {
 		t.Fatalf("error %q does not name the edge", err)
 	}
 }
+
+// TestDenseVsReferenceModelLargeStream is the scale variant of the
+// differential test: one long randomized stream over an ID space wide
+// enough to build real hubs, with Grow and free-list repartitioning
+// mixed in mid-stream, so the spill pool crosses class promotions,
+// downshifts, shrink-to-inline reversions and block recycling many
+// thousands of times under full observable-equality checking.
+func TestDenseVsReferenceModelLargeStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential stream skipped with -short")
+	}
+	rng := rand.New(rand.NewPCG(0xb16, 0x57a6e))
+	g, ref := New(), newRef()
+	const (
+		steps   = 150_000
+		idSpace = 384 // wide enough for degree ≫ inlineDegree hubs, small enough to recycle
+	)
+	for i := 0; i < steps; i++ {
+		switch i {
+		case steps / 5:
+			g.Grow(idSpace)
+		case steps / 3:
+			g.PartitionFreeList(8, 16)
+		case 2 * steps / 3:
+			g.PartitionFreeList(1, 1)
+		}
+		applyBoth(t, g, ref, randOp(rng, idSpace))
+		if i%12_500 == 0 {
+			compareAll(t, g, ref)
+		}
+	}
+	compareAll(t, g, ref)
+
+	// The stream's churn must leave the pool consistent: live spill can
+	// never exceed slab storage, and utilization is a valid fraction.
+	m := g.Mem()
+	if m.SpillLiveBytes > m.SpillSlabBytes {
+		t.Fatalf("live spill %d exceeds slab %d", m.SpillLiveBytes, m.SpillSlabBytes)
+	}
+	if u := m.SpillUtilization(); u < 0 || u > 1 {
+		t.Fatalf("SpillUtilization = %v", u)
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import "slices"
+
+// The spill pool holds every neighbor list that outgrew the inline
+// header. Instead of one GC-tracked []int32 per hub node (a pointer, a
+// length, a capacity and a separate heap object each), lists live as
+// fixed-capacity blocks carved back to back out of a handful of large
+// per-size-class slabs — a CSR-style compacted layout with O(1)
+// recycling:
+//
+//	class 0:  [ blk0 | blk1 | blk2 | ... ]   8 slots per block
+//	class 1:  [ blk0 | blk1 | ...        ]  16 slots per block
+//	class c:  [ ...                      ]  (8 << c) slots per block
+//
+// A slot's adjacency header stores a 4-byte spillRef naming its block;
+// freed blocks go onto a per-class LIFO free-list and are handed out
+// again without allocating. The GC sees ~2·classes objects total instead
+// of one per hub, and capacity released by one node is reusable by any
+// other node of the same class — a once-hot hub no longer pins its peak
+// allocation forever.
+//
+// Growth doubles per class (slices.Grow), so slab bytes stay within 2x
+// of the high-water block demand, and each block's capacity is within 2x
+// of the degree that forced it (power-of-two classes).
+
+// spillRef names a block in the spill pool. The zero value means "no
+// spill: neighbors are inline". Otherwise the top 5 bits carry the size
+// class and the low 27 bits carry the block index within the class,
+// biased by one so that class-0 block 0 is distinguishable from "none".
+type spillRef uint32
+
+const (
+	spillIdxBits = 27
+	spillIdxMask = 1<<spillIdxBits - 1
+
+	// spillClasses bounds the class lane: class 23 blocks hold 8<<23 =
+	// 67M neighbors, beyond any graph the 27-bit block index can arise
+	// from.
+	spillClasses = 24
+)
+
+func makeSpillRef(class int, idx uint32) spillRef {
+	return spillRef(class)<<spillIdxBits | spillRef(idx+1)
+}
+
+func (r spillRef) class() int    { return int(r >> spillIdxBits) }
+func (r spillRef) index() uint32 { return uint32(r&spillIdxMask) - 1 }
+
+// spillClassCap returns the neighbor capacity of class-c blocks:
+// 8, 16, 32, … (power-of-two multiples of 2·inlineDegree).
+func spillClassCap(c int) int { return (2 * inlineDegree) << c }
+
+// spillClass is one size class: a slab of back-to-back blocks plus the
+// LIFO free-list of recycled block indices.
+type spillClass struct {
+	slab []int32
+	free []uint32
+}
+
+// spillPool is the per-Graph shared spill store. The zero value is ready
+// to use.
+type spillPool struct {
+	classes [spillClasses]spillClass
+}
+
+// alloc hands out a class-c block: a recycled one if available, else a
+// fresh block appended to the class slab. Block contents are NOT zeroed;
+// the caller copies the live list in before raising deg.
+func (p *spillPool) alloc(c int) spillRef {
+	sc := &p.classes[c]
+	if k := len(sc.free); k > 0 {
+		idx := sc.free[k-1]
+		sc.free = sc.free[:k-1]
+		return makeSpillRef(c, idx)
+	}
+	bcap := spillClassCap(c)
+	idx := uint32(len(sc.slab) / bcap)
+	need := len(sc.slab) + bcap
+	sc.slab = slices.Grow(sc.slab, bcap)[:need]
+	return makeSpillRef(c, idx)
+}
+
+// block returns r's full-capacity storage. The slice aliases the slab
+// and is valid until the slab next grows; the live list is block[:deg].
+func (p *spillPool) block(r spillRef) []int32 {
+	bcap := spillClassCap(r.class())
+	off := int(r.index()) * bcap
+	return p.classes[r.class()].slab[off : off+bcap : off+bcap]
+}
+
+// release returns r's block to its class free-list for O(1) reuse.
+func (p *spillPool) release(r spillRef) {
+	c := r.class()
+	p.classes[c].free = append(p.classes[c].free, r.index())
+}
+
+// clone deep-copies the pool; block indices (and hence every spillRef
+// held by adjacency headers) stay valid against the copy.
+func (p *spillPool) clone() spillPool {
+	var c spillPool
+	for i := range p.classes {
+		c.classes[i].slab = slices.Clone(p.classes[i].slab)
+		c.classes[i].free = slices.Clone(p.classes[i].free)
+	}
+	return c
+}

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSpillRefEncoding(t *testing.T) {
+	for _, c := range []int{0, 1, 5, spillClasses - 1} {
+		for _, idx := range []uint32{0, 1, 7, spillIdxMask - 1} {
+			r := makeSpillRef(c, idx)
+			if r == 0 {
+				t.Fatalf("makeSpillRef(%d, %d) = 0, collides with the inline sentinel", c, idx)
+			}
+			if r.class() != c || r.index() != idx {
+				t.Fatalf("roundtrip(%d, %d) = (%d, %d)", c, idx, r.class(), r.index())
+			}
+		}
+	}
+	if got := spillClassCap(0); got != 2*inlineDegree {
+		t.Fatalf("spillClassCap(0) = %d, want %d", got, 2*inlineDegree)
+	}
+	for c := 1; c < spillClasses; c++ {
+		if spillClassCap(c) != 2*spillClassCap(c-1) {
+			t.Fatalf("class %d capacity %d is not double class %d's %d",
+				c, spillClassCap(c), c-1, spillClassCap(c-1))
+		}
+	}
+}
+
+// star wires hub 0 to leaves 1..deg on a fresh graph.
+func star(t *testing.T, deg int) *Graph {
+	t.Helper()
+	g := New()
+	if err := g.AddNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for v := NodeID(1); v <= NodeID(deg); v++ {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// A spilled node whose degree falls back to inlineDegree must return to
+// inline storage and release its block to the pool — the
+// spill-never-shrinks fix.
+func TestSpillShrinksBackInline(t *testing.T) {
+	const deg = 64
+	g := star(t, deg)
+	hub, _ := g.Index(0)
+	if g.adj[hub].ref == 0 {
+		t.Fatalf("degree-%d hub is not spilled", deg)
+	}
+	if live := g.Mem().SpillLiveBytes; live == 0 {
+		t.Fatal("SpillLiveBytes = 0 with a spilled hub")
+	}
+	for v := NodeID(1); v <= NodeID(deg-inlineDegree); v++ {
+		if err := g.RemoveEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Degree(0) != inlineDegree {
+		t.Fatalf("Degree(0) = %d, want %d", g.Degree(0), inlineDegree)
+	}
+	if r := g.adj[hub].ref; r != 0 {
+		t.Fatalf("hub still spilled (ref %#x) at degree %d", r, inlineDegree)
+	}
+	if live := g.Mem().SpillLiveBytes; live != 0 {
+		t.Fatalf("SpillLiveBytes = %d after shrink, want 0", live)
+	}
+	// The neighbor set must have survived the inline migration.
+	want := []NodeID{NodeID(deg - inlineDegree + 1), NodeID(deg - inlineDegree + 2), NodeID(deg - 1), NodeID(deg)}
+	got := g.Neighbors(0)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+// Degree drops must also step down size classes (at quarter occupancy),
+// and the hysteresis gap must prevent immediate re-promotion.
+func TestSpillClassDownshift(t *testing.T) {
+	const deg = 256 // class 5 (cap 256) once it exceeds 128
+	g := star(t, deg)
+	hub, _ := g.Index(0)
+	startClass := g.adj[hub].ref.class()
+	if cap := spillClassCap(startClass); cap < deg {
+		t.Fatalf("class %d (cap %d) cannot hold degree %d", startClass, cap, deg)
+	}
+	// Remove down to cap/4 of the starting class: exactly the downshift
+	// threshold.
+	target := spillClassCap(startClass) / 4
+	for v := NodeID(1); g.Degree(0) > target; v++ {
+		if err := g.RemoveEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := g.adj[hub].ref.class()
+	if c >= startClass {
+		t.Fatalf("class %d did not shrink from %d at degree %d", c, startClass, target)
+	}
+	// Hysteresis: the post-shrink block must absorb at least one insert
+	// without promoting (deg ≤ cap/2 after a downshift).
+	if spillClassCap(c) < 2*target {
+		t.Fatalf("post-shrink class %d (cap %d) violates the half-full bound at degree %d",
+			c, spillClassCap(c), target)
+	}
+}
+
+// Satellite: retained bytes must return to baseline across hub
+// delete/re-insert cycles — the pool recycles blocks instead of
+// allocating fresh spill per incarnation, and no cycle leaks.
+func TestSpillChurnRetainedBytesStable(t *testing.T) {
+	const deg = 128
+	g := star(t, deg)
+	leaves := g.Neighbors(0)
+
+	cycle := func() {
+		if err := g.RemoveNode(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddNode(0); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range leaves {
+			if err := g.AddEdge(0, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cycle() // settle: the first cycle may size pool free-lists
+	base := g.Mem()
+	for i := 0; i < 50; i++ {
+		cycle()
+		m := g.Mem()
+		if m.TotalBytes != base.TotalBytes {
+			t.Fatalf("cycle %d: retained bytes %d, baseline %d (spill slab %d → %d)",
+				i, m.TotalBytes, base.TotalBytes, base.SpillSlabBytes, m.SpillSlabBytes)
+		}
+		if m.SpillLiveBytes != base.SpillLiveBytes {
+			t.Fatalf("cycle %d: live spill %d, baseline %d", i, m.SpillLiveBytes, base.SpillLiveBytes)
+		}
+	}
+}
+
+// The pool's block accounting must stay consistent under random churn:
+// every live slot's ref resolves to a distinct block, and MemStats'
+// live-block census agrees with the refs actually held.
+func TestSpillPoolCensus(t *testing.T) {
+	g := New()
+	rng := rand.New(rand.NewPCG(7, 7))
+	const ids = 64
+	for step := 0; step < 20000; step++ {
+		u, v := NodeID(rng.IntN(ids)), NodeID(rng.IntN(ids))
+		switch rng.IntN(5) {
+		case 0:
+			g.AddNode(u)
+		case 1:
+			g.RemoveNode(u)
+		default:
+			if !g.HasNode(u) || !g.HasNode(v) || u == v {
+				continue
+			}
+			if g.HasEdge(u, v) {
+				g.RemoveEdge(u, v)
+			} else {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+
+	owned := make(map[spillRef]int32)
+	liveBytes := int64(0)
+	for i := range g.adj {
+		a := &g.adj[i]
+		if g.ids[i] == None {
+			if a.ref != 0 {
+				t.Fatalf("free slot %d holds spill ref %#x", i, a.ref)
+			}
+			continue
+		}
+		if a.ref == 0 {
+			if int(a.deg) > inlineDegree {
+				t.Fatalf("slot %d: degree %d without spill", i, a.deg)
+			}
+			continue
+		}
+		if prev, dup := owned[a.ref]; dup {
+			t.Fatalf("slots %d and %d share spill block %#x", prev, i, a.ref)
+		}
+		owned[a.ref] = int32(i)
+		bcap := spillClassCap(a.ref.class())
+		if int(a.deg) > bcap || int(a.deg) <= inlineDegree {
+			t.Fatalf("slot %d: degree %d outside (inline, cap %d]", i, a.deg, bcap)
+		}
+		liveBytes += int64(bcap) * 4
+	}
+	if m := g.Mem(); m.SpillLiveBytes != liveBytes {
+		t.Fatalf("MemStats.SpillLiveBytes = %d, refs hold %d", m.SpillLiveBytes, liveBytes)
+	}
+}
+
+func TestMemStatsAccounting(t *testing.T) {
+	g := New()
+	if m := g.Mem(); m.TotalBytes != 0 || m.BytesPerNode() != 0 || m.SpillUtilization() != 1 {
+		t.Fatalf("empty graph MemStats = %+v", m)
+	}
+	const n = 1000
+	g.Grow(n)
+	for v := range NodeID(n) {
+		if err := g.AddNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 4*n; i++ {
+		u, v := NodeID(rng.IntN(n)), NodeID(rng.IntN(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	m := g.Mem()
+	if m.Nodes != n || m.Slots != n {
+		t.Fatalf("MemStats nodes/slots = %d/%d, want %d/%d", m.Nodes, m.Slots, n, n)
+	}
+	if m.Edges != g.EdgeCount() {
+		t.Fatalf("MemStats.Edges = %d, want %d", m.Edges, g.EdgeCount())
+	}
+	if sum := m.LaneBytes + m.IndexBytes + m.FreeBytes + m.SpillSlabBytes; sum != m.TotalBytes {
+		t.Fatalf("TotalBytes %d != component sum %d", m.TotalBytes, sum)
+	}
+	if m.BytesPerNode() <= 0 {
+		t.Fatalf("BytesPerNode = %v", m.BytesPerNode())
+	}
+	if u := m.SpillUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("SpillUtilization = %v", u)
+	}
+	if m.SpillLiveBytes > m.SpillSlabBytes {
+		t.Fatalf("live spill %d exceeds slab %d", m.SpillLiveBytes, m.SpillSlabBytes)
+	}
+}
+
+// Steady-state edge churn on a warm arena must not allocate: inserts
+// and deletes recycle pool blocks and free slots without touching the
+// GC. This is the allocation-regression gate for the storage layer.
+func BenchmarkSteadyStateEdgeChurn(b *testing.B) {
+	const n = 1024
+	g := New()
+	g.Grow(n)
+	for v := range NodeID(n) {
+		if err := g.AddNode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Warm up degrees past the spill boundary so churn crosses it.
+	var edges [][2]NodeID
+	for i := 0; i < 8*n; i++ {
+		u, v := NodeID(rng.IntN(n)), NodeID(rng.IntN(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+			edges = append(edges, [2]NodeID{u, v})
+		}
+	}
+	// Settle pool free-list capacities with one pass of delete+re-insert
+	// before measuring.
+	for _, e := range edges {
+		g.RemoveEdge(e[0], e[1])
+		g.AddEdge(e[0], e[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[rng.IntN(len(edges))]
+		g.RemoveEdge(e[0], e[1])
+		g.AddEdge(e[0], e[1])
+	}
+}

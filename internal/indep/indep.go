@@ -85,8 +85,9 @@ type Engine struct {
 // from the membership lane, so there is no extra structure to persist,
 // and the priority stream of a π engine's snapshot is meaningless here).
 var (
-	_ core.Engine     = (*Engine)(nil)
-	_ core.Instrument = (*Engine)(nil)
+	_ core.Engine         = (*Engine)(nil)
+	_ core.Instrument     = (*Engine)(nil)
+	_ core.MemoryReporter = (*Engine)(nil)
 )
 
 // New returns an engine over an empty graph. The seed only initializes
@@ -131,6 +132,14 @@ func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
 
 // Collector returns the attached collector, or nil.
 func (e *Engine) Collector() *metrics.Collector { return e.coll }
+
+// MemoryProfile accounts a counter-skeleton engine: the arena plus the
+// slot-indexed blocker-count lane and the order's (typically empty)
+// priority table. Policy-internal scratch (settle heaps, buckets) is
+// O(pending work) and transient, so it is not estimated.
+func (e *Engine) MemoryProfile() metrics.Memory {
+	return core.ArenaMemory(e.g, int64(cap(e.cnt))*4+e.ord.MemBytes())
+}
 
 // Apply performs one topology change and restores the MIS invariant. On
 // a validation error the engine is unchanged.

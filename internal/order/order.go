@@ -137,6 +137,13 @@ func (o *Order) Less(u, v graph.NodeID) bool {
 // Len returns the number of assigned priorities.
 func (o *Order) Len() int { return len(o.prio) }
 
+// MemBytes estimates the priority table's retained footprint: 16
+// payload bytes per entry (NodeID key, uint64 priority) plus bucket
+// metadata and load-factor slack amortized to half the payload again —
+// deterministic in the entry count, so engines can fold it into their
+// committed memory profiles (core.MemoryReporter).
+func (o *Order) MemBytes() int64 { return int64(len(o.prio)) * 24 }
+
 // Snapshot returns a copy of the priority table (for oracles and engines
 // that must evaluate the same π on a different graph).
 func (o *Order) Snapshot() map[graph.NodeID]Priority {

@@ -52,8 +52,9 @@ type Engine struct {
 // Engine implements the uniform surface and the instrumentation
 // capability.
 var (
-	_ core.Engine     = (*Engine)(nil)
-	_ core.Instrument = (*Engine)(nil)
+	_ core.Engine         = (*Engine)(nil)
+	_ core.Instrument     = (*Engine)(nil)
+	_ core.MemoryReporter = (*Engine)(nil)
 )
 
 // New returns an engine over an empty graph.
@@ -94,6 +95,19 @@ func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
 
 // Collector returns the attached collector, or nil.
 func (e *Engine) Collector() *metrics.Collector { return e.coll }
+
+// MemoryProfile accounts the sequential engine: the arena plus its
+// ID-space membership and blocker maps, the settle heap and the order's
+// priority table. Map footprints use the same deterministic
+// bytes-per-entry estimate as the arena index.
+func (e *Engine) MemoryProfile() metrics.Memory {
+	aux := int64(len(e.in))*17 + // NodeID key + 1-byte membership, ~2x for buckets
+		int64(len(e.blockers))*24 +
+		int64(len(e.queued))*17 +
+		int64(cap(e.queue))*8 +
+		e.ord.MemBytes()
+	return core.ArenaMemory(e.g, aux)
+}
 
 // Apply performs one topology change and restores the MIS invariant,
 // reporting the sequential work done (Report.Work counts adjacency

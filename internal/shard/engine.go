@@ -151,9 +151,10 @@ type Engine struct {
 // data the template engine persists, merely partitioned) and the
 // instrumentation capability.
 var (
-	_ core.Engine      = (*Engine)(nil)
-	_ core.Snapshotter = (*Engine)(nil)
-	_ core.Instrument  = (*Engine)(nil)
+	_ core.Engine         = (*Engine)(nil)
+	_ core.Snapshotter    = (*Engine)(nil)
+	_ core.Instrument     = (*Engine)(nil)
+	_ core.MemoryReporter = (*Engine)(nil)
 )
 
 // New returns an engine over the empty graph with the given shard count
@@ -215,6 +216,27 @@ func (e *Engine) Instrument(c *metrics.Collector) { e.coll = c }
 
 // Collector returns the attached collector, or nil.
 func (e *Engine) Collector() *metrics.Collector { return e.coll }
+
+// MemoryProfile accounts the sharded engine: the arena plus its
+// per-slot cascade lanes (flags, flip counts, pre-flip bytes), the
+// per-owner seed staging, each worker's deque, run stack, outboxes and
+// touched log, and the order's priority table. Safe only while the
+// engine is quiescent (between windows), like every other accessor.
+func (e *Engine) MemoryProfile() metrics.Memory {
+	aux := int64(cap(e.flags)+cap(e.flipCount))*4 +
+		int64(cap(e.firstBefore)) +
+		e.ord.MemBytes()
+	for _, b := range e.seedBatch {
+		aux += int64(cap(b)) * 4
+	}
+	for _, w := range e.workers {
+		aux += int64(cap(w.local)+cap(w.touched))*4 + w.deque.MemBytes()
+		for _, o := range w.out {
+			aux += int64(cap(o)) * 4
+		}
+	}
+	return core.ArenaMemory(e.g, aux)
+}
 
 // owner maps a slot to its shard: contiguous ownerBlock-sized slot blocks,
 // round-robin across shards.

@@ -35,6 +35,15 @@ type Deque struct {
 	n    int     // live entries
 }
 
+// MemBytes returns the ring's retained storage. Callers must be the
+// owner of a quiescent deque (the engine between windows); it takes the
+// lock only to satisfy the race detector's discipline.
+func (d *Deque) MemBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(cap(d.buf)) * 4
+}
+
 // grow doubles the ring so that at least need more entries fit. Caller
 // holds mu.
 func (d *Deque) grow(need int) {

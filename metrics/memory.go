@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Memory is a live memory account of an engine's maintained state: the
+// graph arena's retained bytes plus the engine's own slot-indexed
+// auxiliary lanes. Engines expose it through the core.MemoryReporter
+// capability; dynmisd's /metricsz endpoint and the bench/validate
+// harnesses surface it. Every figure is computed from slice capacities
+// and entry counts — deterministic for a given operation history, no
+// runtime introspection — so memory columns can be committed in
+// artifacts (BENCH_dynmis.json, docs/VALIDATION.md) without machine
+// noise. The JSON tags are stable wire names; renaming one is a
+// wire-format change.
+type Memory struct {
+	// Nodes/Slots/Edges size the structure: live nodes, arena slots
+	// (including free ones awaiting recycling), undirected edges.
+	Nodes int64 `json:"nodes"`
+	Slots int64 `json:"slots"`
+	Edges int64 `json:"edges"`
+
+	// ArenaBytes covers the parallel slot lanes (IDs, adjacency headers,
+	// priority, state) at capacity; IndexBytes is the estimated
+	// NodeID→slot hash index; FreeBytes the slot and spill-block
+	// free-lists.
+	ArenaBytes int64 `json:"arena_bytes"`
+	IndexBytes int64 `json:"index_bytes"`
+	FreeBytes  int64 `json:"free_bytes"`
+
+	// SpillSlabBytes is the shared spill pool's slab storage at
+	// capacity; SpillLiveBytes the portion in blocks currently assigned
+	// to a node; SpillFreeBlocks the recycled blocks awaiting reuse.
+	SpillSlabBytes  int64 `json:"spill_slab_bytes"`
+	SpillLiveBytes  int64 `json:"spill_live_bytes"`
+	SpillFreeBlocks int64 `json:"spill_free_blocks"`
+
+	// AuxBytes covers the engine's own slot-indexed scratch and state
+	// lanes beyond the shared arena (cascade worklists, blocker counts,
+	// shard ownership maps, …).
+	AuxBytes int64 `json:"aux_bytes"`
+
+	// TotalBytes is the whole account; BytesPerNode amortizes it over
+	// live nodes (0 when empty) — the headline figure of the big-graph
+	// benchmark tier. SpillUtilization is SpillLive/SpillSlab (1 when no
+	// slab exists).
+	TotalBytes       int64   `json:"total_bytes"`
+	BytesPerNode     float64 `json:"bytes_per_node"`
+	SpillUtilization float64 `json:"spill_utilization"`
+}
+
+// String renders the account compactly, leading with the headline
+// bytes/node figure.
+func (m Memory) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory(nodes=%d B/node=%.1f total=%d", m.Nodes, m.BytesPerNode, m.TotalBytes)
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"arena", m.ArenaBytes}, {"index", m.IndexBytes}, {"free", m.FreeBytes},
+		{"slab", m.SpillSlabBytes}, {"spill-live", m.SpillLiveBytes}, {"aux", m.AuxBytes},
+	} {
+		if f.v != 0 {
+			fmt.Fprintf(&b, " %s=%d", f.name, f.v)
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}

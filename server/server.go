@@ -456,6 +456,11 @@ type Metricsz struct {
 
 	Engine          *metrics.Counters  `json:"engine,omitempty"`
 	EnginePerUpdate *metrics.PerUpdate `json:"engine_per_update,omitempty"`
+	// Memory is the engine's live retained-bytes account (bytes/node,
+	// spill-pool utilization, …) when the engine implements the
+	// memory-reporting capability; absent on replicas, whose state is a
+	// plain membership map rather than an arena.
+	Memory *metrics.Memory `json:"memory,omitempty"`
 }
 
 // Metricsz snapshots the serving counters and the engine's complexity
@@ -482,6 +487,9 @@ func (s *Server) Metricsz() Metricsz {
 	if ctr, ok := s.m.Metrics(); ok {
 		per := ctr.PerUpdate()
 		mz.Engine, mz.EnginePerUpdate = &ctr, &per
+	}
+	if mem, ok := s.m.MemoryProfile(); ok {
+		mz.Memory = &mem
 	}
 	s.mu.Unlock()
 	return mz

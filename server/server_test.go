@@ -581,11 +581,31 @@ func TestMetricszShape(t *testing.T) {
 		"wal_bytes", "wal_fsyncs", "snapshots",
 		"events_published", "events_evicted",
 		"subscribers", "subscribers_total", "subscribers_dropped",
-		"engine", "engine_per_update",
+		"engine", "engine_per_update", "memory",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("/metricsz missing key %q", key)
 		}
+	}
+	var mem map[string]json.RawMessage
+	if err := json.Unmarshal(doc["memory"], &mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"nodes", "slots", "edges", "arena_bytes", "index_bytes",
+		"spill_slab_bytes", "spill_live_bytes", "aux_bytes",
+		"total_bytes", "bytes_per_node", "spill_utilization",
+	} {
+		if _, ok := mem[key]; !ok {
+			t.Errorf("/metricsz memory missing key %q", key)
+		}
+	}
+	var totalBytes int64
+	if err := json.Unmarshal(mem["total_bytes"], &totalBytes); err != nil {
+		t.Fatal(err)
+	}
+	if totalBytes <= 0 {
+		t.Errorf("/metricsz memory total_bytes = %d, want > 0", totalBytes)
 	}
 	var engine map[string]json.RawMessage
 	if err := json.Unmarshal(doc["engine"], &engine); err != nil {

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"iter"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// The big-graph tier cannot go through Scenario/Instantiate: an
+// Instance materializes every change, and at 10^6 nodes that slice
+// alone would dwarf the engine whose footprint the tier exists to
+// measure. A BigScenario instead hands out two lazy streams — a warm-up
+// build of about n nodes and a drive of steps churn changes — produced
+// by one generator whose shadow state (grid index, attachment urn) is
+// shared between them. Nothing is ever materialized; re-invoking
+// Streams with an equal-seeded rng replays the identical sequence, so
+// every engine in a benchmark run sees the same workload.
+type BigScenario struct {
+	Name        string
+	Description string
+	// Streams returns the paired lazy streams for size n. The build
+	// stream must be fully consumed before the drive stream is touched:
+	// drive continues from the state build left behind.
+	Streams func(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Change])
+}
+
+// bigDeleteFraction keeps big-tier churn roughly size-stable while
+// still exercising growth: 1/2 of steps delete, 1/2 insert.
+const bigDeleteFraction = 0.5
+
+// BigHubDegree is the big tier's target maximum degree: hubs of a few
+// thousand, the shape of real bounded-fan-out networks, independent of
+// n (so 10^5 and 10^6 runs stress the same spill size classes).
+const BigHubDegree = 2048
+
+// BigScenarios returns the big-graph benchmark tier.
+func BigScenarios() []BigScenario {
+	return []BigScenario{
+		{
+			Name: "big-power-law",
+			Description: fmt.Sprintf(
+				"capped preferential attachment (3 per node, hubs saturate at %d) with delete/insert churn",
+				BigHubDegree),
+			Streams: func(rng *rand.Rand, n, steps int) (iter.Seq[graph.Change], iter.Seq[graph.Change]) {
+				return bigPowerLaw(rng, n, steps)
+			},
+		},
+		{
+			Name:        "big-geometric",
+			Description: "city-scale unit-disk field (expected degree 12) with arrival/departure churn",
+			Streams: func(rng *rand.Rand, n, steps int) (iter.Seq[graph.Change], iter.Seq[graph.Change]) {
+				return bigGeometric(rng, n, steps)
+			},
+		},
+	}
+}
+
+// BigScenarioByName returns the named big scenario.
+func BigScenarioByName(name string) (BigScenario, error) {
+	for _, s := range BigScenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return BigScenario{}, fmt.Errorf("workload: unknown big scenario %q", name)
+}
+
+// bigPowerLaw builds an n-node capped-preferential-attachment graph and
+// drives hub churn over it. One hubGen is shared between the streams —
+// the drive continues from the exact shadow state the build left, with
+// no intermediate clone or materialization.
+func bigPowerLaw(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Change]) {
+	g := graph.New()
+	g.Grow(n)
+	gen := newHubGen(g)
+	opts := PowerLawHubOptions{TargetHubDegree: BigHubDegree, AttachPerNode: 3}
+
+	build = func(yield func(graph.Change) bool) {
+		bo := opts
+		bo.Steps = n
+		gen.run(rng, bo, yield)
+	}
+	drive = func(yield func(graph.Change) bool) {
+		do := opts
+		do.Steps = steps
+		do.DeleteFraction = bigDeleteFraction
+		gen.run(rng, do, yield)
+	}
+	return build, drive
+}
+
+// bigGeometric builds a city-scale unit-disk field and drives
+// arrival/departure churn over the same grid index.
+func bigGeometric(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Change]) {
+	radius := CityScaleRadius(n)
+	cg := newCellGrid(radius)
+	live := make([]int32, 0, n)
+
+	build = func(yield func(graph.Change) bool) {
+		for v := int32(0); v < int32(n); v++ {
+			p := [2]float64{rng.Float64(), rng.Float64()}
+			nbrs := cg.neighbors(p)
+			cg.add(v, p)
+			live = append(live, v)
+			if !yield(graph.NodeChange(graph.NodeInsert, graph.NodeID(v), nbrs...)) {
+				return
+			}
+		}
+	}
+	drive = geometricChurn(rng, cg, live, int32(n), steps, bigDeleteFraction)
+	return build, drive
+}

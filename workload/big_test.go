@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+// TestPowerLawHubDegreeTarget is the satellite property test for the
+// hub-degree parameter: on a graph large enough that uncapped
+// preferential attachment would blow past the target, the generated
+// maximum degree must land at the cap — never above it, and within
+// tolerance below it (the hub actually saturates).
+func TestPowerLawHubDegreeTarget(t *testing.T) {
+	const n, attach, target = 20_000, 3, 200
+	// Uncapped Barabási–Albert max degree grows like attach·√n ≈ 424
+	// here, comfortably past the 200 cap, so the cap must bind.
+	if uncapped := float64(attach) * math.Sqrt(n); uncapped < 1.5*target {
+		t.Fatalf("test misconfigured: uncapped hub estimate %.0f does not exceed target %d", uncapped, target)
+	}
+	g := graph.New()
+	for c := range PowerLawHub(Rand(41), n, attach, target) {
+		mustApply(c, g)
+	}
+	maxDeg := 0
+	for v := range g.NodeSeq() {
+		maxDeg = max(maxDeg, g.Degree(v))
+	}
+	if maxDeg > target {
+		t.Fatalf("max degree %d exceeds target hub degree %d", maxDeg, target)
+	}
+	if maxDeg < target*8/10 {
+		t.Fatalf("max degree %d never approached target %d (want ≥ %d)", maxDeg, target, target*8/10)
+	}
+}
+
+// TestPowerLawHubHeavyTail checks the distribution below the cap is
+// actually skewed: the top percentile of nodes must hold a
+// disproportionate share of edge endpoints (a uniform-degree graph
+// would give the top 1% exactly 1%).
+func TestPowerLawHubHeavyTail(t *testing.T) {
+	const n = 10_000
+	g := graph.New()
+	for c := range PowerLawHub(Rand(7), n, 3, 500) {
+		mustApply(c, g)
+	}
+	degs := make([]int, 0, n)
+	total := 0
+	for v := range g.NodeSeq() {
+		d := g.Degree(v)
+		degs = append(degs, d)
+		total += d
+	}
+	slices.Sort(degs)
+	topShare := 0
+	for _, d := range degs[len(degs)-len(degs)/100:] {
+		topShare += d
+	}
+	if frac := float64(topShare) / float64(total); frac < 0.05 {
+		t.Fatalf("top 1%% of nodes hold only %.1f%% of endpoints — not heavy-tailed", 100*frac)
+	}
+}
+
+// TestPowerLawHubSourceChurnValid drives the churn form (deletes
+// enabled) through a replica graph to confirm every change applies, and
+// pins determinism for equal seeds.
+func TestPowerLawHubSourceChurnValid(t *testing.T) {
+	opts := PowerLawHubOptions{Steps: 2_000, TargetHubDegree: 64, AttachPerNode: 3, DeleteFraction: 0.4}
+	start := BuildGraph(GNP(Rand(3), 60, 0.08))
+
+	g := start.Clone()
+	var first []string
+	for c := range PowerLawHubSource(Rand(11), start, opts) {
+		if err := c.Apply(g); err != nil {
+			t.Fatalf("invalid change %v: %v", c, err)
+		}
+		first = append(first, c.String())
+	}
+	if len(first) != opts.Steps {
+		t.Fatalf("stream yielded %d changes, want %d", len(first), opts.Steps)
+	}
+	replay := slices.Collect(PowerLawHubSource(Rand(11), start, opts))
+	for i, c := range replay {
+		if c.String() != first[i] {
+			t.Fatalf("replay diverges at change %d: %v vs %s", i, c, first[i])
+		}
+	}
+}
+
+// TestUnitDiskGridMatchesQuadratic pins the grid builder against the
+// all-pairs reference: same rng, same point set, same graph.
+func TestUnitDiskGridMatchesQuadratic(t *testing.T) {
+	const n, radius = 600, 0.05
+	want := BuildGraph(UnitDisk(Rand(29), n, radius))
+	got := graph.New()
+	for c := range UnitDiskGrid(Rand(29), n, radius) {
+		mustApply(c, got)
+	}
+	if !want.Equal(got) {
+		t.Fatal("grid unit-disk graph differs from the quadratic reference")
+	}
+}
+
+// TestCityScaleRadius pins the preset to its documented expected
+// degree.
+func TestCityScaleRadius(t *testing.T) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		r := CityScaleRadius(n)
+		if deg := ExpectedUnitDiskDegree(n, r); math.Abs(deg-12) > 1e-9 {
+			t.Fatalf("n=%d: CityScaleRadius gives expected degree %v, want 12", n, deg)
+		}
+	}
+}
+
+// TestGeometricChurnSourceValid drives the standalone geometric churn
+// from an empty field and checks validity plus rough size stability.
+func TestGeometricChurnSourceValid(t *testing.T) {
+	g := graph.New()
+	for c := range GeometricChurnSource(Rand(5), 0.05, 3_000, 0.45) {
+		if err := c.Apply(g); err != nil {
+			t.Fatalf("invalid change %v: %v", c, err)
+		}
+	}
+	if n := g.NodeCount(); n < 100 {
+		t.Fatalf("field collapsed to %d nodes", n)
+	}
+}
+
+// TestBigScenarios exercises the registry at a small n: the build
+// stream delivers exactly n inserts, the drive continues validly from
+// the built state, equal seeds replay identically, and the power-law
+// build respects the hub cap.
+func TestBigScenarios(t *testing.T) {
+	const n, steps = 3_000, 1_500
+	for _, sc := range BigScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			build, drive := sc.Streams(Rand(13), n, steps)
+			g := graph.New()
+			builds := 0
+			for c := range build {
+				if c.Kind != graph.NodeInsert {
+					t.Fatalf("build emitted non-insert %v", c)
+				}
+				mustApply(c, g)
+				builds++
+			}
+			if builds != n {
+				t.Fatalf("build yielded %d changes, want %d", builds, n)
+			}
+			var sig []string
+			drives := 0
+			for c := range drive {
+				if err := c.Apply(g); err != nil {
+					t.Fatalf("drive change %d invalid: %v", drives, err)
+				}
+				sig = append(sig, c.String())
+				drives++
+			}
+			if drives != steps {
+				t.Fatalf("drive yielded %d changes, want %d", drives, steps)
+			}
+			if sc.Name == "big-power-law" {
+				for v := range g.NodeSeq() {
+					if d := g.Degree(v); d > BigHubDegree {
+						t.Fatalf("node %v degree %d exceeds hub cap %d", v, d, BigHubDegree)
+					}
+				}
+			}
+
+			// Replay: equal seeds must reproduce the identical drive.
+			build2, drive2 := sc.Streams(Rand(13), n, steps)
+			for range build2 {
+			}
+			i := 0
+			for c := range drive2 {
+				if c.String() != sig[i] {
+					t.Fatalf("replay diverges at drive change %d: %v vs %s", i, c, sig[i])
+				}
+				i++
+			}
+		})
+	}
+
+	if _, err := BigScenarioByName("big-power-law"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BigScenarioByName("no-such"); err == nil {
+		t.Fatal("BigScenarioByName accepted an unknown name")
+	}
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"iter"
+	"math"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// This file is the big-tier geometric layer. The quadratic all-pairs
+// scan in UnitDisk is fine at workshop sizes but hopeless at 10^6
+// nodes; the grid variants below bucket points into radius-sized cells
+// so that building is O(n + m) and a single arrival or departure is
+// O(expected degree). The same grid doubles as an incremental index,
+// which is what makes a streaming churn source possible at city scale.
+
+// UnitDiskRadiusForDegree returns the radius at which a unit-disk graph
+// on n uniform points has expected degree deg (ignoring border
+// effects): deg = n·π·r².
+func UnitDiskRadiusForDegree(n int, deg float64) float64 {
+	return math.Sqrt(deg / (float64(n) * math.Pi))
+}
+
+// CityScaleRadius is the big-tier geometric preset: the radius giving
+// expected degree 12 at size n — dense enough that MIS recomputation
+// has real work per change, sparse enough that a million-node field
+// stays around six million edges (a metro-area radio deployment, not a
+// clique).
+func CityScaleRadius(n int) float64 { return UnitDiskRadiusForDegree(n, 12) }
+
+// cellGrid buckets unit-square points into cells of side ≥ radius, so
+// all neighbors of a point lie in its 3×3 cell block. Membership is
+// kept swap-deletable for O(1) departures.
+type cellGrid struct {
+	side   int // cells per axis
+	radius float64
+	cells  [][]int32 // cell -> member ids
+	pos    [][2]float64
+	where  []int32 // id -> index within its cell, -1 when absent
+}
+
+func newCellGrid(radius float64) *cellGrid {
+	side := int(1 / radius)
+	if side < 1 {
+		side = 1
+	}
+	return &cellGrid{
+		side:   side,
+		radius: radius,
+		cells:  make([][]int32, side*side),
+	}
+}
+
+func (cg *cellGrid) cellOf(p [2]float64) int {
+	cx := min(int(p[0]*float64(cg.side)), cg.side-1)
+	cy := min(int(p[1]*float64(cg.side)), cg.side-1)
+	return cy*cg.side + cx
+}
+
+// neighbors returns the ids within radius of p, scanning only the 3×3
+// cell block around p's cell.
+func (cg *cellGrid) neighbors(p [2]float64) []graph.NodeID {
+	r2 := cg.radius * cg.radius
+	cx := min(int(p[0]*float64(cg.side)), cg.side-1)
+	cy := min(int(p[1]*float64(cg.side)), cg.side-1)
+	var out []graph.NodeID
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= cg.side {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= cg.side {
+				continue
+			}
+			for _, id := range cg.cells[y*cg.side+x] {
+				q := cg.pos[id]
+				ddx, ddy := p[0]-q[0], p[1]-q[1]
+				if ddx*ddx+ddy*ddy <= r2 {
+					out = append(out, graph.NodeID(id))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// add registers id at p. The id must be fresh or previously removed.
+func (cg *cellGrid) add(id int32, p [2]float64) {
+	for int(id) >= len(cg.pos) {
+		cg.pos = append(cg.pos, [2]float64{})
+		cg.where = append(cg.where, -1)
+	}
+	cg.pos[id] = p
+	c := cg.cellOf(p)
+	cg.where[id] = int32(len(cg.cells[c]))
+	cg.cells[c] = append(cg.cells[c], id)
+}
+
+// remove unregisters id (swap-delete within its cell).
+func (cg *cellGrid) remove(id int32) {
+	c := cg.cellOf(cg.pos[id])
+	members := cg.cells[c]
+	i := cg.where[id]
+	last := members[len(members)-1]
+	members[i] = last
+	cg.where[last] = i
+	cg.cells[c] = members[:len(members)-1]
+	cg.where[id] = -1
+}
+
+// UnitDiskGrid streams the insertion sequence of a random geometric
+// graph on n uniform points with the given radius, in O(n + m) via
+// cell bucketing. With the same rng it samples the identical point set
+// as UnitDisk and therefore yields the identical graph (each arriving
+// node attaches to all earlier nodes in range), but it materializes no
+// change slice and never compares an out-of-range pair.
+func UnitDiskGrid(rng *rand.Rand, n int, radius float64) iter.Seq[graph.Change] {
+	return func(yield func(graph.Change) bool) {
+		cg := newCellGrid(radius)
+		for v := 0; v < n; v++ {
+			p := [2]float64{rng.Float64(), rng.Float64()}
+			nbrs := cg.neighbors(p)
+			cg.add(int32(v), p)
+			if !yield(graph.NodeChange(graph.NodeInsert, graph.NodeID(v), nbrs...)) {
+				return
+			}
+		}
+	}
+}
+
+// UnitDiskGridChanges is the materialized form of UnitDiskGrid for
+// tests and small instances.
+func UnitDiskGridChanges(rng *rand.Rand, n int, radius float64) []graph.Change {
+	var cs []graph.Change
+	for c := range UnitDiskGrid(rng, n, radius) {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// GeometricChurnSource streams steps changes of arrival/departure churn
+// over a geometric field: each step either removes a uniform live node
+// (probability deleteFraction, half graceful, half abrupt) or inserts a
+// fresh node at a uniform position attached to everything in radio
+// range. The grid index makes each step O(expected degree), so the
+// source runs at the 10^6-node tier.
+//
+// This standalone variant starts from an empty field (the graph grows
+// toward its churn equilibrium) and exists for tests; driving churn
+// over a pre-built field needs the field's point layout, which only the
+// builder has, so the big tier uses BigGeometric — it shares one grid
+// between the build stream and the drive stream.
+func GeometricChurnSource(rng *rand.Rand, radius float64, steps int, deleteFraction float64) iter.Seq[graph.Change] {
+	cg := newCellGrid(radius)
+	return geometricChurn(rng, cg, nil, 0, steps, deleteFraction)
+}
+
+// geometricChurn is the shared drive loop: churn over an existing grid
+// whose live members are listed in live (swap-deletable), with fresh
+// IDs starting at next.
+func geometricChurn(rng *rand.Rand, cg *cellGrid, live []int32, next int32, steps int, deleteFraction float64) iter.Seq[graph.Change] {
+	return func(yield func(graph.Change) bool) {
+		for emitted := 0; emitted < steps; emitted++ {
+			var c graph.Change
+			if len(live) > 1 && rng.Float64() < deleteFraction {
+				i := rng.IntN(len(live))
+				victim := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				cg.remove(victim)
+				kind := graph.NodeDeleteGraceful
+				if rng.IntN(2) == 0 {
+					kind = graph.NodeDeleteAbrupt
+				}
+				c = graph.NodeChange(kind, graph.NodeID(victim))
+			} else {
+				p := [2]float64{rng.Float64(), rng.Float64()}
+				nbrs := cg.neighbors(p)
+				cg.add(next, p)
+				live = append(live, next)
+				c = graph.NodeChange(graph.NodeInsert, graph.NodeID(next), nbrs...)
+				next++
+			}
+			if !yield(c) {
+				return
+			}
+		}
+	}
+}

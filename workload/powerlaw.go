@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"iter"
+	"math/rand/v2"
+
+	"dynmis/internal/graph"
+)
+
+// PowerLawHubOptions tunes PowerLawHubSource: preferential-attachment
+// churn whose hubs saturate at a *target maximum degree* instead of
+// growing unboundedly with n. Real large graphs (social, overlay,
+// peer-to-peer) have heavy tails but bounded hubs — follower caps,
+// connection limits, NIC fan-out — and the big-graph benchmark tier
+// wants exactly that shape: a million nodes, hubs of a few thousand.
+type PowerLawHubOptions struct {
+	// Steps is the number of changes to generate.
+	Steps int
+	// TargetHubDegree caps every node's degree: attachments are drawn
+	// preferentially (degree-proportional over edge endpoints) but a
+	// saturated candidate is rejected, so the degree distribution is
+	// power-law below the cap with hubs parked at it. Values < 1
+	// mean 64.
+	TargetHubDegree int
+	// AttachPerNode is how many attachments a fresh node requests
+	// (capped by the live population). Values < 1 mean 3.
+	AttachPerNode int
+	// DeleteFraction is the probability a step deletes a uniform live
+	// node instead of inserting (half graceful, half abrupt). The
+	// default 0 never deletes; the big-tier churn uses 0.5.
+	DeleteFraction float64
+}
+
+func (o PowerLawHubOptions) withDefaults() PowerLawHubOptions {
+	if o.TargetHubDegree < 1 {
+		o.TargetHubDegree = 64
+	}
+	if o.AttachPerNode < 1 {
+		o.AttachPerNode = 3
+	}
+	return o
+}
+
+// PowerLawHubSource streams opts.Steps valid changes starting from the
+// given graph (which is only read — a scratch clone tracks validity):
+// capped preferential attachment with uniform decay. Unlike
+// PowerLawSource it never scans the node or edge set, so a step is
+// O(attachments) regardless of n — the property that makes it usable
+// at the 10^6-node benchmark tier.
+func PowerLawHubSource(rng *rand.Rand, start *graph.Graph, opts PowerLawHubOptions) iter.Seq[graph.Change] {
+	opts = opts.withDefaults()
+	return func(yield func(graph.Change) bool) {
+		gen := newHubGen(start.Clone())
+		gen.run(rng, opts, yield)
+	}
+}
+
+// PowerLawHub generates a heavy-tailed graph of n nodes with hubs
+// saturating at targetHub, as a streaming insertion sequence — the
+// warm-up builder of the big-graph tier (it materializes no change
+// slice, so a 10^6-node build allocates only the generator's own
+// shadow state). attach is the per-node attachment request (< 1 = 3).
+func PowerLawHub(rng *rand.Rand, n, attach, targetHub int) iter.Seq[graph.Change] {
+	opts := PowerLawHubOptions{Steps: n, TargetHubDegree: targetHub, AttachPerNode: attach}
+	return PowerLawHubSource(rng, graph.New(), opts)
+}
+
+// PowerLawHubChanges is the materialized form of PowerLawHub for tests
+// and small instances.
+func PowerLawHubChanges(rng *rand.Rand, n, attach, targetHub int) []graph.Change {
+	var cs []graph.Change
+	for c := range PowerLawHub(rng, n, attach, targetHub) {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// hubGen is the generator's shadow state: a private graph tracking
+// validity and degrees, the live-node slice for O(1) uniform sampling,
+// and the degree-proportional endpoint urn (entries of departed nodes
+// are dropped lazily as sampling touches them, keeping deletions O(1)).
+// The big tier shares one hubGen between its build and drive streams so
+// the drive continues exactly where the build stopped, with no clone.
+type hubGen struct {
+	g    *graph.Graph
+	live []graph.NodeID
+	urn  []graph.NodeID
+	next graph.NodeID
+	seen map[graph.NodeID]bool // attachment de-dup scratch
+}
+
+// newHubGen seeds the shadow state from g, taking ownership of it.
+func newHubGen(g *graph.Graph) *hubGen {
+	gen := &hubGen{g: g, seen: make(map[graph.NodeID]bool, 8)}
+	for v := range g.NodeSeq() {
+		gen.live = append(gen.live, v)
+		gen.urn = append(gen.urn, v)
+		if v >= gen.next {
+			gen.next = v + 1
+		}
+	}
+	for _, e := range g.Edges() {
+		gen.urn = append(gen.urn, e[0], e[1])
+	}
+	return gen
+}
+
+// run emits opts.Steps changes, folding each into the shadow state.
+func (gen *hubGen) run(rng *rand.Rand, opts PowerLawHubOptions, yield func(graph.Change) bool) {
+	opts = opts.withDefaults()
+	for emitted := 0; emitted < opts.Steps; emitted++ {
+		if !yield(gen.step(rng, opts)) {
+			return
+		}
+	}
+}
+
+// step generates and applies one change.
+func (gen *hubGen) step(rng *rand.Rand, opts PowerLawHubOptions) graph.Change {
+	var c graph.Change
+	if len(gen.live) > 1 && rng.Float64() < opts.DeleteFraction {
+		i := rng.IntN(len(gen.live))
+		victim := gen.live[i]
+		gen.live[i] = gen.live[len(gen.live)-1]
+		gen.live = gen.live[:len(gen.live)-1]
+		kind := graph.NodeDeleteGraceful
+		if rng.IntN(2) == 0 {
+			kind = graph.NodeDeleteAbrupt
+		}
+		c = graph.NodeChange(kind, victim)
+	} else {
+		nbrs := gen.drawAttachments(rng, opts)
+		c = graph.NodeChange(graph.NodeInsert, gen.next, nbrs...)
+		gen.live = append(gen.live, gen.next)
+		gen.urn = append(gen.urn, gen.next)
+		for _, u := range nbrs {
+			gen.urn = append(gen.urn, gen.next, u)
+		}
+		gen.next++
+	}
+	mustApply(c, gen.g)
+	return c
+}
+
+// drawAttachments samples up to AttachPerNode distinct unsaturated live
+// targets: degree-proportionally from the urn three times out of four,
+// uniformly otherwise (the uniform arm keeps low-degree nodes reachable
+// and bounds the tail when hubs saturate).
+func (gen *hubGen) drawAttachments(rng *rand.Rand, opts PowerLawHubOptions) []graph.NodeID {
+	want := min(opts.AttachPerNode, len(gen.live))
+	var nbrs []graph.NodeID
+	clear(gen.seen)
+	for tries := 0; len(nbrs) < want && tries < 16*want; tries++ {
+		var t graph.NodeID
+		if len(gen.urn) > 0 && rng.IntN(4) > 0 {
+			i := rng.IntN(len(gen.urn))
+			t = gen.urn[i]
+			if !gen.g.HasNode(t) {
+				gen.urn[i] = gen.urn[len(gen.urn)-1]
+				gen.urn = gen.urn[:len(gen.urn)-1]
+				continue
+			}
+		} else {
+			t = gen.live[rng.IntN(len(gen.live))]
+		}
+		if gen.seen[t] || gen.g.Degree(t) >= opts.TargetHubDegree {
+			continue
+		}
+		gen.seen[t] = true
+		nbrs = append(nbrs, t)
+	}
+	return nbrs
+}
