@@ -41,6 +41,9 @@ const (
 )
 
 func makeSpillRef(class int, idx uint32) spillRef {
+	if idx+1 > spillIdxMask {
+		panic("graph: spill block index overflows the 27-bit ref lane")
+	}
 	return spillRef(class)<<spillIdxBits | spillRef(idx+1)
 }
 

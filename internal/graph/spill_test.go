@@ -28,6 +28,17 @@ func TestSpillRefEncoding(t *testing.T) {
 	}
 }
 
+// A block index whose bias carry would overflow the 27-bit lane must
+// panic rather than silently alias another class's storage.
+func TestSpillRefIndexOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("makeSpillRef accepted an index that overflows the 27-bit lane")
+		}
+	}()
+	makeSpillRef(0, spillIdxMask)
+}
+
 // star wires hub 0 to leaves 1..deg on a fresh graph.
 func star(t *testing.T, deg int) *Graph {
 	t.Helper()

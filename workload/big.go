@@ -14,9 +14,11 @@ import (
 // measure. A BigScenario instead hands out two lazy streams — a warm-up
 // build of about n nodes and a drive of steps churn changes — produced
 // by one generator whose shadow state (grid index, attachment urn) is
-// shared between them. Nothing is ever materialized; re-invoking
-// Streams with an equal-seeded rng replays the identical sequence, so
-// every engine in a benchmark run sees the same workload.
+// shared between them. Nothing is ever materialized; both streams are
+// single-use (each step consumes rng and shadow state), and replay is
+// only by re-invoking Streams with an equal-seeded rng — which yields
+// the identical sequence, so every engine in a benchmark run sees the
+// same workload.
 type BigScenario struct {
 	Name        string
 	Description string
@@ -109,6 +111,10 @@ func bigGeometric(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Cha
 			}
 		}
 	}
-	drive = geometricChurn(rng, cg, live, int32(n), steps, bigDeleteFraction)
+	// live is shared by pointer: the drive must see the n build-era
+	// nodes appended above, not the empty header that existed when the
+	// streams were constructed, so churn deletions reach the pre-built
+	// field rather than only drive-inserted nodes.
+	drive = geometricChurn(rng, cg, &live, int32(n), steps, bigDeleteFraction)
 	return build, drive
 }

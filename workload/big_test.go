@@ -190,3 +190,40 @@ func TestBigScenarios(t *testing.T) {
 		t.Fatal("BigScenarioByName accepted an unknown name")
 	}
 }
+
+// TestBigGeometricDriveChurnsBuiltField pins the review fix for the
+// stale-live-slice bug: the drive stream must treat the n build-era
+// nodes as live, so its deletions land on the pre-built field rather
+// than only on nodes the drive itself inserted. With deleteFraction 1/2
+// and a uniform victim choice over ~n live nodes, a drive of n/2 steps
+// that never deletes a build-era ID is astronomically unlikely — it can
+// only mean the drive captured an empty live set.
+func TestBigGeometricDriveChurnsBuiltField(t *testing.T) {
+	const n, steps = 2_000, 1_000
+	sc, err := BigScenarioByName("big-geometric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, drive := sc.Streams(Rand(17), n, steps)
+	g := graph.New()
+	for c := range build {
+		mustApply(c, g)
+	}
+	buildEraDeletes := 0
+	for c := range drive {
+		if err := c.Apply(g); err != nil {
+			t.Fatalf("invalid drive change %v: %v", c, err)
+		}
+		if c.Kind != graph.NodeInsert && int(c.Node) < n {
+			buildEraDeletes++
+		}
+	}
+	if buildEraDeletes == 0 {
+		t.Fatalf("drive of %d steps deleted no build-era node (IDs < %d): drive does not see the built field as live", steps, n)
+	}
+	// Deletions over the mostly-build-era live set should overwhelmingly
+	// hit build-era IDs, not just once by luck.
+	if buildEraDeletes < steps/10 {
+		t.Fatalf("only %d of %d drive steps deleted build-era nodes — live set looks mostly drive-local", buildEraDeletes, steps)
+	}
+}

@@ -148,6 +148,12 @@ func UnitDiskGridChanges(rng *rand.Rand, n int, radius float64) []graph.Change {
 // range. The grid index makes each step O(expected degree), so the
 // source runs at the 10^6-node tier.
 //
+// The returned sequence is SINGLE-USE: each step mutates the shared
+// grid index and rng, so iterating it a second time continues from
+// (and corrupts) the state the first pass left behind rather than
+// replaying. Replay by calling GeometricChurnSource again with an
+// equal-seeded rng.
+//
 // This standalone variant starts from an empty field (the graph grows
 // toward its churn equilibrium) and exists for tests; driving churn
 // over a pre-built field needs the field's point layout, which only the
@@ -155,21 +161,26 @@ func UnitDiskGridChanges(rng *rand.Rand, n int, radius float64) []graph.Change {
 // between the build stream and the drive stream.
 func GeometricChurnSource(rng *rand.Rand, radius float64, steps int, deleteFraction float64) iter.Seq[graph.Change] {
 	cg := newCellGrid(radius)
-	return geometricChurn(rng, cg, nil, 0, steps, deleteFraction)
+	var live []int32
+	return geometricChurn(rng, cg, &live, 0, steps, deleteFraction)
 }
 
 // geometricChurn is the shared drive loop: churn over an existing grid
-// whose live members are listed in live (swap-deletable), with fresh
-// IDs starting at next.
-func geometricChurn(rng *rand.Rand, cg *cellGrid, live []int32, next int32, steps int, deleteFraction float64) iter.Seq[graph.Change] {
+// whose live members are listed in *live (swap-deletable), with fresh
+// IDs starting at next. The live slice is taken by pointer so a caller
+// that populates it after constructing the sequence (bigGeometric's
+// build stream) is still seen, and so the loop's own mutations never
+// race a stale copy of the header. Like every churn source here the
+// returned sequence is single-use: it consumes rng and grid state.
+func geometricChurn(rng *rand.Rand, cg *cellGrid, live *[]int32, next int32, steps int, deleteFraction float64) iter.Seq[graph.Change] {
 	return func(yield func(graph.Change) bool) {
 		for emitted := 0; emitted < steps; emitted++ {
 			var c graph.Change
-			if len(live) > 1 && rng.Float64() < deleteFraction {
-				i := rng.IntN(len(live))
-				victim := live[i]
-				live[i] = live[len(live)-1]
-				live = live[:len(live)-1]
+			if len(*live) > 1 && rng.Float64() < deleteFraction {
+				i := rng.IntN(len(*live))
+				victim := (*live)[i]
+				(*live)[i] = (*live)[len(*live)-1]
+				*live = (*live)[:len(*live)-1]
 				cg.remove(victim)
 				kind := graph.NodeDeleteGraceful
 				if rng.IntN(2) == 0 {
@@ -180,7 +191,7 @@ func geometricChurn(rng *rand.Rand, cg *cellGrid, live []int32, next int32, step
 				p := [2]float64{rng.Float64(), rng.Float64()}
 				nbrs := cg.neighbors(p)
 				cg.add(next, p)
-				live = append(live, next)
+				*live = append(*live, next)
 				c = graph.NodeChange(graph.NodeInsert, graph.NodeID(next), nbrs...)
 				next++
 			}
