@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-matrix bench bench-big bench-big-smoke bench-alloc bench-smoke bench-delta bench-scaling validate validate-smoke serve-smoke fuzz fuzz-smoke clean
+.PHONY: ci fmt vet build test race race-matrix bench bench-big bench-big-smoke bench-alloc bench-smoke bench-delta bench-scaling validate validate-smoke validate-adaptive-smoke serve-smoke fuzz fuzz-smoke clean
 
-ci: fmt vet build race bench-smoke bench-alloc validate-smoke serve-smoke
+ci: fmt vet build race bench-smoke bench-alloc validate-smoke validate-adaptive-smoke serve-smoke
 	@$(MAKE) bench-scaling || echo "bench-scaling failed (non-blocking: shared or single-core runners cannot guarantee a parallel speedup)"
 	@$(MAKE) bench-big-smoke || echo "bench-big-smoke failed (non-blocking: timing- and RAM-sensitive on shared runners; run locally to investigate)"
 
@@ -126,16 +126,27 @@ validate-smoke:
 	$(GO) run ./cmd/validate -quick -out /tmp/VALIDATION_smoke.md
 	$(GO) run ./cmd/validate -check
 
+# Adaptive-adversary gate: the full engine × policy matrix (all four
+# AdaptiveSource policies, engine-in-the-loop via DriveInteractive,
+# all eight engines) at tiny sizes, every run verified against the
+# greedy oracle. Writes nothing.
+validate-adaptive-smoke:
+	$(GO) run ./cmd/validate -adaptive-smoke
+
 # Fuzz walls. The sharded-equivalence target checks the π-equivalent
 # tier (byte-equal state and feed vs. the template); the competitor
 # target checks the tier-2 contract of the independent engines
 # (gupta-khan, aoss, sequential): per-window invariants, feed replay,
-# and slot recycling. FUZZTIME scales both; fuzz-smoke is the CI size.
+# and slot recycling; the importer target checks that arbitrary edge
+# lists never panic the SNAP importer and that every accepted import
+# round-trips byte-identically. FUZZTIME scales all; fuzz-smoke is the
+# CI size.
 FUZZTIME ?= 60s
 
 fuzz:
 	$(GO) test -fuzz=FuzzShardedEquivalence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
 	$(GO) test -fuzz=FuzzCompetitorInvariant -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzTraceImport -fuzztime=$(FUZZTIME) -run '^$$' ./trace/importer
 
 fuzz-smoke:
 	@$(MAKE) fuzz FUZZTIME=30s

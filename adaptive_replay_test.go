@@ -1,0 +1,88 @@
+package dynmis_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"dynmis"
+	"dynmis/trace"
+	"dynmis/trace/importer"
+	"dynmis/workload"
+)
+
+// TestAdaptiveTraceReplayAcrossEngines closes the adaptive loop back
+// into the oblivious world: an adaptive adversary's drive depends on
+// the engine it watched, but the stream it *resolved to* is just a
+// change sequence. Record one (warm-up + the changes DriveObserver saw)
+// and it must pass the same two-tier cross-engine replay wall as any
+// generated workload — byte-equal feeds on the π-equivalent engines,
+// invariants on the competitors.
+func TestAdaptiveTraceReplayAcrossEngines(t *testing.T) {
+	for _, name := range []string{"adaptive-mis", "adaptive-hub", "adaptive-gk"} {
+		t.Run(name, func(t *testing.T) {
+			sc, ok := workload.ScenarioByName(name)
+			if !ok {
+				t.Fatalf("scenario %s missing", name)
+			}
+			const seed, n, steps = 19, 80, 600
+			rng := workload.Rand(seed)
+			build := sc.Build(rng, n)
+			rec := dynmis.MustNew(dynmis.WithSeed(seed), dynmis.WithEngine(dynmis.EngineTemplate))
+			rec.Grow(n)
+			if _, err := rec.Drive(context.Background(), slices.Values(build)); err != nil {
+				t.Fatal(err)
+			}
+			src := sc.NewAdaptive(rng, workload.BuildGraph(build), rec.MIS(), steps)
+			drive := make([]dynmis.Change, 0, steps)
+			sum, err := rec.DriveInteractive(context.Background(), src,
+				dynmis.DriveObserver(func(applied []dynmis.Change, _ dynmis.Report) {
+					drive = append(drive, applied...)
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Changes != steps || len(drive) != steps {
+				t.Fatalf("resolved %d changes (observer saw %d), want %d", sum.Changes, len(drive), steps)
+			}
+			var file bytes.Buffer
+			if err := trace.WriteAll(&file, slices.Values(slices.Concat(build, drive))); err != nil {
+				t.Fatal(err)
+			}
+			replayTraceAcrossEngines(t, file.Bytes(), seed)
+		})
+	}
+}
+
+// TestImportedTraceReplayAcrossEngines holds the committed real-graph
+// fixtures to the same wall: a SNAP-style edge list imported by
+// trace/importer is a first-class trace, so it must drive all eight
+// engines under the two-tier contract — including the temporal fixture
+// through its sliding window, whose expiry deletions exercise the
+// graceful-removal path.
+func TestImportedTraceReplayAcrossEngines(t *testing.T) {
+	cases := []struct {
+		name string
+		opts importer.Options
+	}{
+		{"karate.txt", importer.Options{}},
+		{"florentine.txt", importer.Options{}},
+		{"temporal-synthetic.txt", importer.Options{Window: 10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("trace", "importer", "testdata", tc.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var imported bytes.Buffer
+			if _, err := importer.Import(&imported, bytes.NewReader(raw), tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			replayTraceAcrossEngines(t, imported.Bytes(), 23)
+		})
+	}
+}

@@ -35,6 +35,15 @@
 //     change by change at GOMAXPROCS=1 — the head-to-head rows against
 //     the paper's per-update path.
 //
+// Besides the oblivious scenarios, -scenarios accepts the adaptive-
+// adversary suite (adaptive-oblivious, adaptive-mis, adaptive-hub,
+// adaptive-gk). An adaptive drive cannot be generated ahead of an
+// engine, so bench resolves it once against the template engine
+// (Maintainer.DriveInteractive) and benchmarks the captured stream —
+// every engine, and any -record'ed trace of it, replays the adversary's
+// realized decisions bit for bit. They are not in the default set, so
+// the committed BENCH_dynmis.json shape is unchanged unless asked for.
+//
 // -record captures the full ingested stream (warm-up + drive) of the
 // selected scenario as a dynmis/trace JSONL file; -replay benchmarks a
 // previously recorded trace instead of generating a workload, timing the
@@ -490,6 +499,14 @@ func buildJobs(scenCSV, replay string, seed uint64, n, steps int) ([]job, error)
 	}
 	jobs := make([]job, 0, len(scenarios))
 	for _, sc := range scenarios {
+		if sc.IsAdaptive() {
+			jb, err := resolveAdaptive(sc, seed, n, steps)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, jb)
+			continue
+		}
 		inst := sc.Instantiate(seed, n, steps)
 		jobs = append(jobs, job{
 			name:        sc.Name,
@@ -500,6 +517,44 @@ func buildJobs(scenCSV, replay string, seed uint64, n, steps int) ([]job, error)
 		})
 	}
 	return jobs, nil
+}
+
+// resolveAdaptive materializes an adaptive scenario's drive phase by
+// running its adversary engine-in-the-loop against the template engine
+// (DriveInteractive) and capturing the resolved change stream through
+// DriveObserver. The captured slice is an ordinary oblivious stream:
+// every benchmarked engine — and a -record'ed trace of it — replays the
+// adversary's realized decisions bit for bit, which is what makes
+// adaptive runs timeable on the same identical-stream footing as every
+// other scenario.
+func resolveAdaptive(sc workload.Scenario, seed uint64, n, steps int) (job, error) {
+	n = sc.ClampNodes(n)
+	rng := workload.Rand(seed)
+	build := sc.Build(rng, n)
+	m, err := dynmis.New(dynmis.WithEngine(dynmis.EngineTemplate), dynmis.WithSeed(seed))
+	if err != nil {
+		return job{}, err
+	}
+	ctx := context.Background()
+	m.Grow(n)
+	if _, err := m.Drive(ctx, slices.Values(build)); err != nil {
+		return job{}, fmt.Errorf("adaptive %s warm-up: %w", sc.Name, err)
+	}
+	src := sc.NewAdaptive(rng, workload.BuildGraph(build), m.MIS(), steps)
+	drive := make([]dynmis.Change, 0, steps)
+	obs := dynmis.DriveObserver(func(applied []dynmis.Change, _ dynmis.Report) {
+		drive = append(drive, applied...)
+	})
+	if _, err := m.DriveInteractive(ctx, src, obs); err != nil {
+		return job{}, fmt.Errorf("adaptive %s drive: %w", sc.Name, err)
+	}
+	return job{
+		name:        sc.Name,
+		description: sc.Description + " (resolved against the template engine, replayed obliviously)",
+		nodes:       n,
+		build:       build,
+		drive:       drive,
+	}, nil
 }
 
 // recordJob writes the job's full ingested stream as a trace file.

@@ -6,7 +6,6 @@ import (
 	"iter"
 
 	"dynmis/internal/core"
-	"dynmis/metrics"
 )
 
 // Source is a stream of topology changes — the one way bulk updates enter
@@ -65,6 +64,75 @@ func DriveObserver(fn func(applied []Change, rep Report)) DriveOption {
 	return func(c *driveConfig) { c.observer = fn }
 }
 
+// InteractiveSource is the feedback-coupled form of Source: instead of
+// yielding a fixed stream, it is asked for each change in turn and shown
+// the membership events the previous change produced — the net delta the
+// engine published on its change feed. An adaptive adversary
+// (dynmis/workload's AdaptiveSource) uses exactly this capability: it
+// observes the current MIS through the events and chooses its next
+// change as a function of it, which is the adversary model the paper's
+// oblivious-adversary assumption (§1.1) rules out.
+//
+// Next returns the next change and true, or false to end the drive. On
+// the first call last is nil; afterwards it holds the previous change's
+// events in canonical (ascending node) order. The slice is reused
+// between calls — copy it to retain. Record the resolved stream with
+// DriveObserver (or trace.Writer) and it becomes an ordinary oblivious
+// Source that replays bit-for-bit into any engine.
+type InteractiveSource interface {
+	Next(last []Event) (Change, bool)
+}
+
+// DriveInteractive pulls changes from an InteractiveSource, feeding the
+// membership events of each applied change back into the source's next
+// decision. Cancellation, error handling, Summary folding and the
+// observer contract match Drive exactly; the one restriction is that
+// DriveWindow is rejected (ErrInvalidOption), because the feedback
+// contract is "the net delta of the change just applied" and windowed
+// application has no per-change delta to report.
+func (m *Maintainer) DriveInteractive(ctx context.Context, src InteractiveSource, opts ...DriveOption) (Summary, error) {
+	var cfg driveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.window > 1 {
+		return Summary{}, fmt.Errorf("%w: DriveWindow(%d) with DriveInteractive: feedback is per change", ErrInvalidOption, cfg.window)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var (
+		sum    Summary
+		single [1]Change
+		last   []Event
+	)
+	tap := m.feedTap()
+	finish := m.metricsFinisher()
+	for {
+		if err := ctx.Err(); err != nil {
+			return finish(sum), err
+		}
+		c, ok := src.Next(last)
+		if !ok {
+			return finish(sum), nil
+		}
+		tap.buf = tap.buf[:0]
+		tap.active = true
+		rep, err := m.impl.Apply(c)
+		tap.active = false
+		if err != nil {
+			return finish(sum), fmt.Errorf("dynmis: drive: change %d: %w", sum.Changes, err)
+		}
+		sum.Observe(rep, c)
+		if cfg.observer != nil {
+			single[0] = c
+			cfg.observer(single[:], rep)
+		}
+		last = tap.buf
+	}
+}
+
 // Drive pulls changes from src and applies them until the source is
 // exhausted, returning the aggregate Summary. It is the streaming
 // ingestion surface: per-change guarantees (single adjustment, O(1)
@@ -95,22 +163,8 @@ func (m *Maintainer) Drive(ctx context.Context, src Source, opts ...DriveOption)
 		sum    Summary
 		buf    []Change
 		single [1]Change
-		start  metrics.Counters
 	)
-	if m.coll != nil {
-		start = m.coll.Snapshot()
-	}
-	// finish stamps the summary with the engine's instrumentation delta
-	// over this drive (when a collector is attached) on every return
-	// path, success or not — an interrupted drive still reports the
-	// counters of its applied prefix.
-	finish := func(s Summary) Summary {
-		if m.coll != nil {
-			d := m.coll.Snapshot().Diff(start)
-			s.Metrics = &d
-		}
-		return s
-	}
+	finish := m.metricsFinisher()
 	apply := func(cs []Change) error {
 		var (
 			rep Report
@@ -159,6 +213,22 @@ func (m *Maintainer) Drive(ctx context.Context, src Source, opts ...DriveOption)
 		}
 	}
 	return finish(sum), ctx.Err()
+}
+
+// metricsFinisher snapshots the instrumentation counters (when a
+// collector is attached) and returns the closure the drive loops call on
+// every return path, success or not, to stamp a Summary with the delta —
+// an interrupted drive still reports the counters of its applied prefix.
+func (m *Maintainer) metricsFinisher() func(Summary) Summary {
+	if m.coll == nil {
+		return func(s Summary) Summary { return s }
+	}
+	start := m.coll.Snapshot()
+	return func(s Summary) Summary {
+		d := m.coll.Snapshot().Diff(start)
+		s.Metrics = &d
+		return s
+	}
 }
 
 // NodesSeq iterates over the visible node set in unspecified order,

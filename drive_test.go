@@ -220,13 +220,9 @@ func TestDriveStopsOnRejectedChange(t *testing.T) {
 	}
 }
 
-// TestTraceReplayAcrossEngines is the acceptance property, as a
-// two-tier contract. Tier 1: a recorded workload trace replays through
-// every π-equivalent engine with the identical event stream and final
-// state for equal seeds. Tier 2: the independent competitor engines
-// ingest the same trace and are held to invariants instead — every
-// replay passes Check and Verify (the two-band certificate order), the
-// published feed folds back to State(), and the MIS is non-degenerate.
+// TestTraceReplayAcrossEngines is the acceptance property: a recorded
+// workload trace held to the two-tier cross-engine replay contract of
+// replayTraceAcrossEngines.
 func TestTraceReplayAcrossEngines(t *testing.T) {
 	// Record the generated workload once.
 	var file bytes.Buffer
@@ -238,7 +234,20 @@ func TestTraceReplayAcrossEngines(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	replayTraceAcrossEngines(t, file.Bytes(), 77)
+}
 
+// replayTraceAcrossEngines drives one trace through all eight engines
+// under the two-tier contract. Tier 1: every π-equivalent engine
+// replays it with the identical event stream and final state for equal
+// seeds. Tier 2: the independent competitor engines ingest the same
+// trace and are held to invariants instead — every replay passes Check
+// and Verify (the two-band certificate order), the published feed folds
+// back to State(), and the MIS is non-degenerate. Any trace source —
+// recorded oblivious workloads, resolved adaptive-adversary runs,
+// imported real-graph edge lists — plugs into the same wall.
+func replayTraceAcrossEngines(t *testing.T, traceBytes []byte, seed uint64) {
+	t.Helper()
 	type outcome struct {
 		events []dynmis.Event
 		state  map[dynmis.NodeID]dynmis.Membership
@@ -246,10 +255,10 @@ func TestTraceReplayAcrossEngines(t *testing.T) {
 	}
 	run := func(e dynmis.Engine) outcome {
 		t.Helper()
-		m := dynmis.MustNew(dynmis.WithSeed(77), dynmis.WithEngine(e))
+		m := dynmis.MustNew(dynmis.WithSeed(seed), dynmis.WithEngine(e))
 		var evs []dynmis.Event
 		m.Subscribe(func(ev dynmis.Event) { evs = append(evs, ev) })
-		r := trace.NewReader(bytes.NewReader(file.Bytes()))
+		r := trace.NewReader(bytes.NewReader(traceBytes))
 		if _, err := m.Drive(context.Background(), r.All()); err != nil {
 			t.Fatalf("%v: %v", e, err)
 		}

@@ -437,6 +437,31 @@ type Maintainer struct {
 	impl   core.Engine
 	engine Engine
 	coll   *metrics.Collector // nil unless WithInstrumentation
+	tap    *eventTap          // lazily registered by DriveInteractive
+}
+
+// eventTap is the internal feed subscriber behind DriveInteractive: the
+// engine's Feed has no unsubscribe, so the maintainer registers one tap
+// forever on first use and toggles it around each interactive apply. It
+// costs one bool check per event while inactive.
+type eventTap struct {
+	active bool
+	buf    []Event
+}
+
+// feedTap returns the maintainer's event tap, registering it on the
+// change feed on first call.
+func (m *Maintainer) feedTap() *eventTap {
+	if m.tap == nil {
+		tap := &eventTap{}
+		m.impl.Subscribe(func(ev Event) {
+			if tap.active {
+				tap.buf = append(tap.buf, ev)
+			}
+		})
+		m.tap = tap
+	}
+	return m.tap
 }
 
 // newMaintainer wraps a built engine, attaching an instrumentation

@@ -1,6 +1,12 @@
-package core
+// Package core_test holds the workload-driven core tests: workload now
+// imports core (the adaptive adversary folds core.Events), so tests that
+// drive core engines with workload generators must live outside the
+// package to keep the test build acyclic.
+package core_test
 
 import (
+	. "dynmis/internal/core"
+
 	"math/rand/v2"
 	"testing"
 

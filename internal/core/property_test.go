@@ -1,6 +1,8 @@
-package core
+package core_test // see batch_test.go for why these tests are external
 
 import (
+	. "dynmis/internal/core"
+
 	"math/rand/v2"
 	"testing"
 	"testing/quick"

@@ -1,0 +1,333 @@
+// Package importer converts SNAP-style edge lists — the lingua franca
+// of published real-world graph datasets — into canonical dynmis-trace
+// JSONL, so a crawl of an autonomous-system topology or a temporal
+// contact network can be replayed into any engine exactly like a
+// synthetic workload.
+//
+// The input is line-oriented: `u v` or `u v timestamp` with the fields
+// separated by any whitespace, `#` or `%` comment lines, and blank
+// lines, all of which the common SNAP/KONECT exports use. Each new
+// endpoint becomes a bare node-insert on first appearance and each edge
+// line an edge-insert, so the emitted trace applies cleanly to an empty
+// graph. With a positive Window, three-field lines become a sliding
+// window over time: an edge expires Window time units after its
+// insertion (a graceful edge delete), and a node whose last edge
+// expired leaves the graph (a graceful node delete) until an edge
+// mentions it again.
+//
+// The output is produced by a trace.Writer, so it is canonical byte for
+// byte: importing the same input with the same options always yields
+// identical bytes, and re-encoding the imported trace (trace.ReadAll →
+// trace.WriteAll) reproduces it exactly — the round-trip the importer
+// fuzz target pins.
+package importer
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dynmis/internal/graph"
+	"dynmis/trace"
+)
+
+// Policy says what to do with an input line the import could either
+// drop or reject.
+type Policy uint8
+
+const (
+	// PolicySkip drops the offending line and counts it in Stats — the
+	// default, because published datasets routinely contain self-loops
+	// and repeated edges.
+	PolicySkip Policy = iota
+	// PolicyError aborts the import on the first offending line.
+	PolicyError
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicySkip:
+		return "skip"
+	case PolicyError:
+		return "error"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy resolves the flag spellings of a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "skip":
+		return PolicySkip, nil
+	case "error":
+		return PolicyError, nil
+	default:
+		return 0, fmt.Errorf("importer: unknown policy %q (want skip or error)", s)
+	}
+}
+
+// Options configures an Import.
+type Options struct {
+	// Window, when positive, turns a three-field temporal edge list into
+	// a sliding window: an edge inserted at time t expires (graceful
+	// edge delete) as soon as a line with timestamp ≥ t+Window is
+	// reached, and a node whose last edge expired is deleted until it
+	// reappears. Window mode requires every line to carry a timestamp
+	// and the timestamps to be non-decreasing (SNAP temporal exports
+	// are sorted; a decreasing timestamp is a malformed file, not a
+	// reordering request). Zero imports the graph cumulatively,
+	// ignoring any timestamp field.
+	Window int64
+	// Normalize renumbers node IDs densely (0, 1, 2, …) in order of
+	// first appearance. Without it raw IDs are used verbatim, and
+	// negative raw IDs are rejected (graph.None is -1, so they cannot
+	// name nodes).
+	Normalize bool
+	// SelfLoops says what to do with a line whose endpoints are equal.
+	SelfLoops Policy
+	// Duplicates says what to do with an edge that is already present.
+	// In window mode a skipped duplicate does not refresh the original
+	// edge's expiry — the line is dropped entirely.
+	Duplicates Policy
+}
+
+// Stats is the import accounting: what was read, what was emitted, and
+// what each policy dropped.
+type Stats struct {
+	// Lines is the number of input lines read, including comments and
+	// blanks.
+	Lines int
+	// Comments counts `#`/`%` comment lines and blank lines.
+	Comments int
+	// Edges is the number of edge-insert changes emitted.
+	Edges int
+	// Nodes is the number of node-insert changes emitted (re-arrivals
+	// after a window expiry count again).
+	Nodes int
+	// SelfLoops and Duplicates count lines dropped under PolicySkip.
+	SelfLoops  int
+	Duplicates int
+	// ExpiredEdges and ExpiredNodes count the deletions the sliding
+	// window emitted.
+	ExpiredEdges int
+	ExpiredNodes int
+	// Changes is the total number of changes written.
+	Changes int
+}
+
+// windowEdge is one FIFO entry of the sliding window.
+type windowEdge struct {
+	u, v graph.NodeID
+	at   int64
+}
+
+// importer is the state of one Import run.
+type importer struct {
+	opts  Options
+	w     *trace.Writer
+	g     *graph.Graph           // mirror of the emitted graph
+	ids   map[int64]graph.NodeID // raw → emitted ID (stable across window re-arrivals)
+	queue []windowEdge           // window FIFO, insertion order = time order
+	last  int64                  // newest timestamp seen
+	timed bool                   // any timestamp seen yet
+	stats Stats
+}
+
+// Import converts the edge list on src into a canonical trace on dst
+// and reports what it did. On error the trace written so far is valid
+// JSONL of the applied prefix; Stats covers exactly that prefix.
+func Import(dst io.Writer, src io.Reader, opts Options) (Stats, error) {
+	imp := &importer{
+		opts: opts,
+		w:    trace.NewWriter(dst),
+		g:    graph.New(),
+		ids:  make(map[int64]graph.NodeID),
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		imp.stats.Lines++
+		if err := imp.line(sc.Bytes()); err != nil {
+			return imp.stats, fmt.Errorf("importer: line %d: %w", imp.stats.Lines, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return imp.stats, fmt.Errorf("importer: %w", err)
+	}
+	if err := imp.w.Flush(); err != nil {
+		return imp.stats, fmt.Errorf("importer: %w", err)
+	}
+	return imp.stats, nil
+}
+
+// errSkip is the internal signal that a policy dropped the line.
+var errSkip = errors.New("skip")
+
+// line processes one input line.
+func (imp *importer) line(raw []byte) error {
+	line := bytes.TrimSpace(raw)
+	if len(line) == 0 || line[0] == '#' || line[0] == '%' {
+		imp.stats.Comments++
+		return nil
+	}
+	fields := bytes.Fields(line)
+	if len(fields) != 2 && len(fields) != 3 {
+		return fmt.Errorf("want `u v` or `u v timestamp`, have %d fields", len(fields))
+	}
+	rawU, err := strconv.ParseInt(string(fields[0]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad source ID %q: %v", fields[0], err)
+	}
+	rawV, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad target ID %q: %v", fields[1], err)
+	}
+
+	if imp.opts.Window > 0 {
+		if len(fields) != 3 {
+			return errors.New("window mode needs `u v timestamp` lines")
+		}
+		at, err := strconv.ParseInt(string(fields[2]), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp %q: %v", fields[2], err)
+		}
+		if imp.timed && at < imp.last {
+			return fmt.Errorf("timestamp %d after %d: window mode needs non-decreasing timestamps", at, imp.last)
+		}
+		imp.last, imp.timed = at, true
+		if err := imp.expire(at); err != nil {
+			return err
+		}
+		u, v, err := imp.endpoints(rawU, rawV)
+		if err == errSkip {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		imp.queue = append(imp.queue, windowEdge{u: u, v: v, at: at})
+		return nil
+	}
+
+	_, _, err = imp.endpoints(rawU, rawV)
+	if err == errSkip {
+		return nil
+	}
+	return err
+}
+
+// endpoints applies the self-loop and duplicate policies, materializes
+// missing endpoints, and emits the edge. It returns errSkip when a
+// policy dropped the line.
+func (imp *importer) endpoints(rawU, rawV int64) (u, v graph.NodeID, err error) {
+	if rawU == rawV {
+		if imp.opts.SelfLoops == PolicyError {
+			return 0, 0, fmt.Errorf("self-loop at node %d", rawU)
+		}
+		imp.stats.SelfLoops++
+		return 0, 0, errSkip
+	}
+	if u, err = imp.node(rawU); err != nil {
+		return 0, 0, err
+	}
+	if v, err = imp.node(rawV); err != nil {
+		return 0, 0, err
+	}
+	if imp.g.HasEdge(u, v) {
+		if imp.opts.Duplicates == PolicyError {
+			return 0, 0, fmt.Errorf("duplicate edge %d %d", rawU, rawV)
+		}
+		imp.stats.Duplicates++
+		return 0, 0, errSkip
+	}
+	if err := imp.emit(graph.EdgeChange(graph.EdgeInsert, u, v)); err != nil {
+		return 0, 0, err
+	}
+	imp.stats.Edges++
+	return u, v, nil
+}
+
+// node resolves a raw ID, emitting a bare node-insert when the node is
+// not currently in the graph. The raw→ID mapping is stable for the
+// whole import, so a node that expired out of the window keeps its ID
+// on re-arrival.
+func (imp *importer) node(raw int64) (graph.NodeID, error) {
+	id, ok := imp.ids[raw]
+	if !ok {
+		if imp.opts.Normalize {
+			id = graph.NodeID(len(imp.ids))
+		} else {
+			if raw < 0 {
+				return 0, fmt.Errorf("negative node ID %d needs -normalize (graph IDs are non-negative)", raw)
+			}
+			id = graph.NodeID(raw)
+		}
+		imp.ids[raw] = id
+	}
+	if imp.g.HasNode(id) {
+		return id, nil
+	}
+	if err := imp.emit(graph.NodeChange(graph.NodeInsert, id)); err != nil {
+		return 0, err
+	}
+	imp.stats.Nodes++
+	return id, nil
+}
+
+// expire pops every window edge whose lifetime ended at or before now,
+// emitting graceful edge deletes, and deletes nodes their last edge
+// left isolated.
+func (imp *importer) expire(now int64) error {
+	for len(imp.queue) > 0 && imp.queue[0].at+imp.opts.Window <= now {
+		e := imp.queue[0]
+		imp.queue = imp.queue[1:]
+		if err := imp.emit(graph.EdgeChange(graph.EdgeDeleteGraceful, e.u, e.v)); err != nil {
+			return err
+		}
+		imp.stats.ExpiredEdges++
+		for _, n := range [2]graph.NodeID{e.u, e.v} {
+			if imp.g.Degree(n) == 0 {
+				if err := imp.emit(graph.NodeChange(graph.NodeDeleteGraceful, n)); err != nil {
+					return err
+				}
+				imp.stats.ExpiredNodes++
+			}
+		}
+	}
+	return nil
+}
+
+// emit applies the change to the mirror and writes it to the trace —
+// the mirror application is what guarantees every emitted trace applies
+// cleanly to an empty graph.
+func (imp *importer) emit(c graph.Change) error {
+	if err := apply(c, imp.g); err != nil {
+		return err
+	}
+	if err := imp.w.Write(c); err != nil {
+		return err
+	}
+	imp.stats.Changes++
+	return nil
+}
+
+// apply folds one of the importer's change kinds into the mirror.
+func apply(c graph.Change, g *graph.Graph) error {
+	switch c.Kind {
+	case graph.NodeInsert:
+		return g.AddNode(c.Node)
+	case graph.NodeDeleteGraceful:
+		return g.RemoveNode(c.Node)
+	case graph.EdgeInsert:
+		return g.AddEdge(c.U, c.V)
+	case graph.EdgeDeleteGraceful:
+		return g.RemoveEdge(c.U, c.V)
+	default:
+		return fmt.Errorf("unexpected change kind %v", c.Kind)
+	}
+}

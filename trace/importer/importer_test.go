@@ -1,0 +1,274 @@
+package importer_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"dynmis/internal/graph"
+	"dynmis/trace"
+	"dynmis/trace/importer"
+)
+
+// applyAll folds an imported change stream into a fresh graph, failing
+// on the first rejected change — every emitted trace must apply cleanly
+// from empty.
+func applyAll(t *testing.T, cs []graph.Change) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i, c := range cs {
+		if err := applyOne(c, g); err != nil {
+			t.Fatalf("change %d (%v): %v", i, c, err)
+		}
+	}
+	return g
+}
+
+func applyOne(c graph.Change, g *graph.Graph) error {
+	switch c.Kind {
+	case graph.NodeInsert:
+		return g.AddNode(c.Node)
+	case graph.NodeDeleteGraceful:
+		return g.RemoveNode(c.Node)
+	case graph.EdgeInsert:
+		return g.AddEdge(c.U, c.V)
+	case graph.EdgeDeleteGraceful:
+		return g.RemoveEdge(c.U, c.V)
+	default:
+		return fmt.Errorf("unexpected kind %v", c.Kind)
+	}
+}
+
+func importFixture(t *testing.T, name string, opts importer.Options) ([]byte, importer.Stats) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	stats, err := importer.Import(&out, bytes.NewReader(src), opts)
+	if err != nil {
+		t.Fatalf("import %s: %v", name, err)
+	}
+	return out.Bytes(), stats
+}
+
+func TestImportKarate(t *testing.T) {
+	out, stats := importFixture(t, "karate.txt", importer.Options{})
+	want := importer.Stats{Lines: 82, Comments: 4, Nodes: 34, Edges: 78, Changes: 112}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	cs, err := trace.ReadAll(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := applyAll(t, cs)
+	if g.NodeCount() != 34 || g.EdgeCount() != 78 {
+		t.Fatalf("imported graph has %d nodes, %d edges; want 34, 78", g.NodeCount(), g.EdgeCount())
+	}
+	// Node 1 (the instructor) and node 34 (the president) are the two
+	// faction hubs of the published network.
+	if d := g.Degree(1); d != 16 {
+		t.Errorf("degree(1) = %d, want 16", d)
+	}
+	if d := g.Degree(34); d != 17 {
+		t.Errorf("degree(34) = %d, want 17", d)
+	}
+}
+
+func TestImportFlorentine(t *testing.T) {
+	out, stats := importFixture(t, "florentine.txt", importer.Options{})
+	want := importer.Stats{Lines: 26, Comments: 6, Nodes: 15, Edges: 20, Changes: 35}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	cs, err := trace.ReadAll(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := applyAll(t, cs)
+	// The Medici (node 8) are the highest-degree family — the point of
+	// the dataset.
+	if d := g.Degree(8); d != 6 {
+		t.Errorf("degree(Medici) = %d, want 6", d)
+	}
+}
+
+// TestImportDeterministic pins the byte-for-byte guarantee: equal input
+// and options yield equal output, and the canonical re-encoding
+// round-trip (ReadAll → WriteAll) reproduces the import exactly.
+func TestImportDeterministic(t *testing.T) {
+	for _, name := range []string{"karate.txt", "florentine.txt", "temporal-synthetic.txt"} {
+		opts := importer.Options{}
+		if strings.HasPrefix(name, "temporal") {
+			opts.Window = 10
+		}
+		a, _ := importFixture(t, name, opts)
+		b, _ := importFixture(t, name, opts)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two imports differ", name)
+		}
+		cs, err := trace.ReadAll(bytes.NewReader(a))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var re bytes.Buffer
+		if err := trace.WriteAll(&re, slices.Values(cs)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(a, re.Bytes()) {
+			t.Errorf("%s: ReadAll→WriteAll is not byte-identical", name)
+		}
+	}
+}
+
+// TestImportWindow steps the synthetic temporal fixture through a
+// 10-unit sliding window and checks the expiry account: five edges and
+// three nodes age out, and two nodes re-enter on the final line.
+func TestImportWindow(t *testing.T) {
+	out, stats := importFixture(t, "temporal-synthetic.txt", importer.Options{Window: 10})
+	want := importer.Stats{
+		Lines: 11, Comments: 3,
+		Nodes: 8, Edges: 8,
+		ExpiredEdges: 5, ExpiredNodes: 3,
+		Changes: 24,
+	}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	cs, err := trace.ReadAll(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := applyAll(t, cs)
+	if g.NodeCount() != 5 || g.EdgeCount() != 3 {
+		t.Fatalf("final window graph has %d nodes, %d edges; want 5, 3", g.NodeCount(), g.EdgeCount())
+	}
+	for _, v := range []graph.NodeID{0, 1, 2, 4, 5} {
+		if !g.HasNode(v) {
+			t.Errorf("node %d missing from final window", v)
+		}
+	}
+	if g.HasNode(3) {
+		t.Error("node 3 should have expired")
+	}
+}
+
+func TestImportPolicies(t *testing.T) {
+	in := "1 1\n1 2\n1 2\n2 1\n"
+	var out bytes.Buffer
+	stats, err := importer.Import(&out, strings.NewReader(in), importer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 1 is a self-loop; 1 2 repeated and 2 1 (same undirected edge)
+	// are duplicates.
+	if stats.SelfLoops != 1 || stats.Duplicates != 2 || stats.Edges != 1 {
+		t.Fatalf("stats = %+v, want 1 self-loop, 2 duplicates, 1 edge", stats)
+	}
+	if _, err := importer.Import(&bytes.Buffer{}, strings.NewReader("3 3\n"),
+		importer.Options{SelfLoops: importer.PolicyError}); err == nil {
+		t.Error("self-loop under PolicyError did not fail")
+	}
+	if _, err := importer.Import(&bytes.Buffer{}, strings.NewReader("1 2\n2 1\n"),
+		importer.Options{Duplicates: importer.PolicyError}); err == nil {
+		t.Error("duplicate under PolicyError did not fail")
+	}
+}
+
+func TestImportNormalize(t *testing.T) {
+	in := "# big and negative IDs\n9000000000 -5\n-5 7\n"
+	if _, err := importer.Import(&bytes.Buffer{}, strings.NewReader(in), importer.Options{}); err == nil {
+		t.Fatal("negative raw ID without Normalize did not fail")
+	}
+	var out bytes.Buffer
+	stats, err := importer.Import(&out, strings.NewReader(in), importer.Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 3 || stats.Edges != 2 {
+		t.Fatalf("stats = %+v, want 3 nodes, 2 edges", stats)
+	}
+	cs, err := trace.ReadAll(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := applyAll(t, cs)
+	// First-appearance order: 9000000000→0, -5→1, 7→2.
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatalf("normalized edges wrong; graph %v", g)
+	}
+}
+
+func TestImportRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts importer.Options
+	}{
+		{"one field", "7\n", importer.Options{}},
+		{"four fields", "1 2 3 4\n", importer.Options{}},
+		{"bad id", "a 2\n", importer.Options{}},
+		{"bad timestamp", "1 2 x\n", importer.Options{Window: 5}},
+		{"missing timestamp", "1 2\n", importer.Options{Window: 5}},
+		{"decreasing timestamps", "1 2 9\n2 3 4\n", importer.Options{Window: 5}},
+	}
+	for _, tc := range cases {
+		if _, err := importer.Import(&bytes.Buffer{}, strings.NewReader(tc.in), tc.opts); err == nil {
+			t.Errorf("%s: import accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+// FuzzTraceImport is the importer's fuzz wall: arbitrary bytes under
+// arbitrary option combinations must never panic, and every accepted
+// import must (a) decode as a valid trace, (b) re-encode byte-
+// identically — the canonical-output contract — and (c) apply cleanly
+// to an empty graph.
+func FuzzTraceImport(f *testing.F) {
+	for _, name := range []string{"karate.txt", "florentine.txt", "temporal-synthetic.txt"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, int64(0), false, uint8(0), uint8(0))
+		f.Add(data, int64(10), true, uint8(1), uint8(1))
+	}
+	f.Add([]byte("1 1\n1 2\n1 2\n-3 4\n"), int64(0), true, uint8(0), uint8(0))
+	f.Add([]byte("9223372036854775807 -9223372036854775808 9223372036854775807\n"), int64(1), true, uint8(0), uint8(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, window int64, normalize bool, selfLoops, dups uint8) {
+		opts := importer.Options{
+			Window:     window,
+			Normalize:  normalize,
+			SelfLoops:  importer.Policy(selfLoops % 2),
+			Duplicates: importer.Policy(dups % 2),
+		}
+		var out bytes.Buffer
+		if _, err := importer.Import(&out, bytes.NewReader(data), opts); err != nil {
+			return // rejected inputs only need to not panic
+		}
+		cs, err := trace.ReadAll(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("accepted import does not decode: %v", err)
+		}
+		var re bytes.Buffer
+		if err := trace.WriteAll(&re, slices.Values(cs)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), re.Bytes()) {
+			t.Fatal("accepted import does not round-trip byte-identically")
+		}
+		g := graph.New()
+		for i, c := range cs {
+			if err := applyOne(c, g); err != nil {
+				t.Fatalf("change %d (%v) rejected: %v", i, c, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,386 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"dynmis/internal/core"
+	"dynmis/internal/graph"
+)
+
+// This file is the adaptive-adversary subsystem. Every other generator
+// in the package honors the paper's oblivious-adversary assumption
+// (§1.1): the change sequence is fixed before the algorithm draws a
+// single priority. An AdaptiveSource deliberately violates it — it
+// subscribes to the engine's membership feed through the
+// dynmis.InteractiveSource capability and chooses each change as a
+// function of the *current* MIS. That is exactly the adversary the
+// paper's O(1) amortized-adjustment proof excludes, and exactly the
+// adversary that exposes competitor weak spots such as Gupta–Khan's
+// O(Δ) bound under targeted max-degree churn.
+//
+// An adaptive run is engine-in-the-loop, so different engines may see
+// different change sequences (each reacts to its own MIS) — but the
+// π-equivalent engines maintain identical MISs for equal seeds, so they
+// resolve identical streams too. Record the resolved stream (the
+// changes actually emitted) and it becomes an ordinary oblivious trace
+// that replays bit-for-bit into all eight engines.
+
+// AdaptivePolicy selects how an AdaptiveSource exploits its view of the
+// current MIS.
+type AdaptivePolicy uint8
+
+const (
+	// PolicyOblivious is the control: the same insert/delete shape as the
+	// adaptive policies, but the victim of every deletion is chosen
+	// uniformly from all nodes, ignoring the feedback entirely. Comparing
+	// any adaptive policy against this control isolates the value of
+	// adaptivity from the op mix.
+	PolicyOblivious AdaptivePolicy = iota + 1
+	// PolicyTargetMIS deletes a uniformly random *current MIS member*
+	// every deletion step — each deletion is guaranteed to force at least
+	// one adjustment plus the repair cascade around the victim.
+	PolicyTargetMIS
+	// PolicyTargetHub deletes the maximum-degree current MIS member
+	// (smallest ID on ties) — the member whose removal uncovers the most
+	// neighbors at once.
+	PolicyTargetHub
+	// PolicyGKWorstCase drives max-degree churn at a designated hub to
+	// stress Gupta–Khan's O(Δ) amortized bound: it feeds fresh leaves
+	// onto the current maximum-degree MIS member until its degree
+	// reaches a threshold, then inserts an edge from a smaller-ID MIS
+	// member to it. Gupta–Khan deterministically evicts the larger-ID
+	// endpoint — the fattened hub — and promotes every leaf it
+	// exclusively covered (Θ(degree) adjustments from one edge insert),
+	// while a π engine flips whichever endpoint has the larger priority,
+	// so the adversary's aim only lands half the time and the cascade is
+	// bounded by Theorem 1 in expectation.
+	PolicyGKWorstCase
+)
+
+// String names the policy.
+func (p AdaptivePolicy) String() string {
+	switch p {
+	case PolicyOblivious:
+		return "oblivious"
+	case PolicyTargetMIS:
+		return "target-mis"
+	case PolicyTargetHub:
+		return "target-hub"
+	case PolicyGKWorstCase:
+		return "gk-worst-case"
+	default:
+		return fmt.Sprintf("AdaptivePolicy(%d)", uint8(p))
+	}
+}
+
+// adaptiveAttach caps a replenishing node's uniform attachments, the
+// same fan-in the sliding-window generator uses.
+const adaptiveAttach = 4
+
+// AdaptiveSource issues changes as a function of the current MIS. It
+// implements the dynmis.InteractiveSource capability: drive it with
+// Maintainer.DriveInteractive, which shows it the membership events of
+// each applied change before asking for the next one.
+//
+// The source maintains an exact mirror of the engine's graph (it
+// applies its own emitted changes to a clone of the warm-up graph) and
+// an exact mirror of the engine's MIS (seeded with the post-warm-up MIS
+// and folded forward from the feedback events), so every emitted change
+// is valid by construction and every targeting decision observes the
+// engine's true current state.
+type AdaptiveSource struct {
+	policy  AdaptivePolicy
+	rng     *rand.Rand
+	g       *graph.Graph
+	mis     map[graph.NodeID]bool
+	next    graph.NodeID // next fresh node ID
+	target  int          // node count the replenish rule restores
+	trigger int          // GK: hub degree that arms the eviction
+	steps   int
+	emitted int
+	pending [2]graph.NodeID // GK: trigger edge awaiting cleanup
+	armed   bool
+	cool    int                   // GK: steps until the next trigger may fire
+	eval    graph.NodeID          // GK: hub whose eviction is judged next step
+	tough   map[graph.NodeID]bool // GK: hubs that survived their trigger
+}
+
+// NewAdaptiveSource builds an adaptive adversary over a warmed-up
+// engine. start is the engine's current graph (cloned, never written)
+// and mis its current MIS — pass Maintainer.MIS() after driving the
+// scenario's Build phase. steps bounds the number of changes emitted.
+func NewAdaptiveSource(policy AdaptivePolicy, rng *rand.Rand, start *graph.Graph, mis []graph.NodeID, steps int) *AdaptiveSource {
+	switch policy {
+	case PolicyOblivious, PolicyTargetMIS, PolicyTargetHub, PolicyGKWorstCase:
+	default:
+		panic(fmt.Sprintf("workload: unknown adaptive policy %v", policy))
+	}
+	s := &AdaptiveSource{
+		policy: policy,
+		rng:    rng,
+		g:      start.Clone(),
+		mis:    make(map[graph.NodeID]bool, len(mis)),
+		target: start.NodeCount(),
+		steps:  steps,
+		eval:   graph.None,
+	}
+	s.trigger = max(8, s.target/32)
+	for _, v := range start.Nodes() {
+		if v >= s.next {
+			s.next = v + 1
+		}
+	}
+	for _, v := range mis {
+		if !s.g.HasNode(v) {
+			panic(fmt.Sprintf("workload: adaptive MIS seed node %d absent from start graph", v))
+		}
+		s.mis[v] = true
+	}
+	return s
+}
+
+// Next folds the previous change's membership events into the MIS
+// mirror, then emits the policy's next change. It returns false once
+// the step budget is spent. Next implements dynmis.InteractiveSource.
+func (s *AdaptiveSource) Next(last []core.Event) (graph.Change, bool) {
+	for _, ev := range last {
+		if ev.Cause == core.CauseLeave || ev.To != core.In {
+			delete(s.mis, ev.Node)
+			continue
+		}
+		s.mis[ev.Node] = true
+	}
+	if s.emitted >= s.steps {
+		return graph.Change{}, false
+	}
+
+	var c graph.Change
+	switch s.policy {
+	case PolicyTargetMIS:
+		c = s.stepTarget(false)
+	case PolicyTargetHub:
+		c = s.stepTarget(true)
+	case PolicyGKWorstCase:
+		c = s.stepGK()
+	default:
+		c = s.stepOblivious()
+	}
+	mustApply(c, s.g)
+	s.emitted++
+	return c, true
+}
+
+// Emitted reports how many changes the source has issued so far.
+func (s *AdaptiveSource) Emitted() int { return s.emitted }
+
+// misMembers returns the mirrored MIS in ascending ID order — the
+// deterministic base set every targeting decision samples from.
+func (s *AdaptiveSource) misMembers() []graph.NodeID {
+	ms := make([]graph.NodeID, 0, len(s.mis))
+	for v := range s.mis {
+		ms = append(ms, v)
+	}
+	slices.Sort(ms)
+	return ms
+}
+
+// deleteNode builds a graceful or abrupt deletion with equal
+// probability, the DefaultChurn mix.
+func (s *AdaptiveSource) deleteNode(v graph.NodeID) graph.Change {
+	kind := graph.NodeDeleteGraceful
+	if s.rng.IntN(2) == 0 {
+		kind = graph.NodeDeleteAbrupt
+	}
+	return graph.NodeChange(kind, v)
+}
+
+// replenish inserts a fresh node attached to up to adaptiveAttach
+// uniformly chosen existing nodes.
+func (s *AdaptiveSource) replenish() graph.Change {
+	nodes := s.g.Nodes()
+	var nbrs []graph.NodeID
+	for _, i := range s.rng.Perm(len(nodes)) {
+		nbrs = append(nbrs, nodes[i])
+		if len(nbrs) == adaptiveAttach {
+			break
+		}
+	}
+	c := graph.NodeChange(graph.NodeInsert, s.next, nbrs...)
+	s.next++
+	return c
+}
+
+// stepOblivious is the control policy: replenish below target,
+// otherwise delete a uniformly random node — MIS-blind.
+func (s *AdaptiveSource) stepOblivious() graph.Change {
+	nodes := s.g.Nodes()
+	if len(nodes) < s.target || len(nodes) == 0 {
+		return s.replenish()
+	}
+	return s.deleteNode(nodes[s.rng.IntN(len(nodes))])
+}
+
+// stepTarget implements TargetMIS (hub=false) and TargetHub (hub=true):
+// replenish below target, otherwise delete a current MIS member — a
+// uniformly random one, or the maximum-degree one.
+func (s *AdaptiveSource) stepTarget(hub bool) graph.Change {
+	if s.g.NodeCount() < s.target {
+		return s.replenish()
+	}
+	ms := s.misMembers()
+	if len(ms) == 0 {
+		return s.replenish()
+	}
+	if !hub {
+		return s.deleteNode(ms[s.rng.IntN(len(ms))])
+	}
+	victim, best := ms[0], -1
+	for _, v := range ms {
+		if d := s.g.Degree(v); d > best {
+			victim, best = v, d
+		}
+	}
+	return s.deleteNode(victim)
+}
+
+// gkCooldown spaces triggers out: without it an engine that dodges the
+// eviction would be re-triggered every other step, turning the run into
+// a pure edge toggle instead of the fatten-and-evict cycle the policy
+// is about.
+const gkCooldown = 4
+
+// stepGK is the Gupta–Khan stressor state machine. Its cycle: feed
+// fresh leaves onto the maximum-degree MIS member until it reaches the
+// trigger degree, then insert an edge from a smaller-ID MIS member (the
+// anchor) to it. Gupta–Khan deterministically evicts the larger-ID
+// endpoint — the fattened hub — and promotes every exclusively covered
+// leaf: a guaranteed Θ(trigger) adjustment burst, every cycle. A π
+// engine flips whichever endpoint drew the larger priority, so the aim
+// lands only half the time — and a hub that survives its trigger is
+// marked "tough": its leaves are culled while still covered (zero
+// adjustments, an option Gupta–Khan never offers because its hubs never
+// survive) and it is not targeted again. The asymmetry the policy
+// exploits is exactly determinism: against Gupta–Khan every fattened
+// leaf is paid for in promotions; against a randomized engine half the
+// investment is reclaimed for free.
+//
+// Step order:
+//
+//  1. if a trigger edge is pending, delete it (cleanup), and judge the
+//     previous hub next step: still a member → tough;
+//  2. trigger, when the fattest non-tough member has reached the
+//     trigger degree, an anchor exists, and the cooldown has passed;
+//  3. below target, feed a fresh leaf onto the fattening hub;
+//  4. otherwise cull, cheapest first: a covered leaf of a tough hub, a
+//     spent hub (evicted, still fat — its leaves turn isolated and
+//     recycle), an isolated node, a uniformly random non-member, and as
+//     a last resort the thinnest member.
+func (s *AdaptiveSource) stepGK() graph.Change {
+	if s.armed {
+		s.armed = false
+		s.cool = gkCooldown
+		s.eval = s.pending[1]
+		return graph.EdgeChange(graph.EdgeDeleteGraceful, s.pending[0], s.pending[1])
+	}
+	if s.eval != graph.None {
+		if s.mis[s.eval] {
+			if s.tough == nil {
+				s.tough = make(map[graph.NodeID]bool)
+			}
+			s.tough[s.eval] = true
+		}
+		s.eval = graph.None
+	}
+	if s.cool > 0 {
+		s.cool--
+	}
+
+	ms := s.misMembers()
+	hub, best := graph.None, -1
+	for i, v := range ms {
+		// The smallest-ID member can only ever be an anchor (the victim
+		// needs a smaller-ID partner), so it is never the fattening hub.
+		if i == 0 || s.tough[v] {
+			continue
+		}
+		if d := s.g.Degree(v); d > best {
+			hub, best = v, d
+		}
+	}
+	if best >= s.trigger && s.cool == 0 {
+		// The anchor must have a smaller ID than the hub so Gupta–Khan's
+		// evict-the-larger rule lands on the hub, and must not already be
+		// its neighbor (two MIS members never are, but the mirror check
+		// keeps the emitted change valid unconditionally).
+		for _, u := range ms {
+			if u >= hub {
+				break
+			}
+			if !s.g.HasEdge(u, hub) {
+				s.pending = [2]graph.NodeID{u, hub}
+				s.armed = true
+				return graph.EdgeChange(graph.EdgeInsert, u, hub)
+			}
+		}
+	}
+
+	if s.g.NodeCount() < s.target || len(ms) == 0 {
+		if hub == graph.None {
+			return s.replenish()
+		}
+		c := graph.NodeChange(graph.NodeInsert, s.next, hub)
+		s.next++
+		return c
+	}
+	var isolated, out []graph.NodeID
+	spent, spentDeg := graph.None, s.trigger/2
+	for _, v := range s.g.Nodes() {
+		if s.g.Degree(v) == 0 {
+			isolated = append(isolated, v)
+			continue
+		}
+		if s.mis[v] {
+			continue
+		}
+		out = append(out, v)
+		if d := s.g.Degree(v); d >= spentDeg {
+			spent, spentDeg = v, d
+		}
+	}
+	// Ascending-ID iteration keeps the resolved stream deterministic for
+	// a given seed — map order would not be.
+	toughs := make([]graph.NodeID, 0, len(s.tough))
+	for t := range s.tough {
+		toughs = append(toughs, t)
+	}
+	slices.Sort(toughs)
+	for _, t := range toughs {
+		if !s.g.HasNode(t) || !s.mis[t] {
+			delete(s.tough, t)
+			continue
+		}
+		for _, l := range s.g.Neighbors(t) {
+			if !s.mis[l] && s.g.Degree(l) == 1 {
+				return s.deleteNode(l)
+			}
+		}
+	}
+	switch {
+	case spent != graph.None:
+		return s.deleteNode(spent)
+	case len(isolated) > 0:
+		return s.deleteNode(isolated[s.rng.IntN(len(isolated))])
+	case len(out) > 0:
+		return s.deleteNode(out[s.rng.IntN(len(out))])
+	default:
+		thin, td := ms[0], s.g.Degree(ms[0])
+		for _, v := range ms[1:] {
+			if d := s.g.Degree(v); d < td {
+				thin, td = v, d
+			}
+		}
+		return s.deleteNode(thin)
+	}
+}

@@ -15,10 +15,10 @@ import (
 // build of about n nodes and a drive of steps churn changes — produced
 // by one generator whose shadow state (grid index, attachment urn) is
 // shared between them. Nothing is ever materialized; both streams are
-// single-use (each step consumes rng and shadow state), and replay is
-// only by re-invoking Streams with an equal-seeded rng — which yields
-// the identical sequence, so every engine in a benchmark run sees the
-// same workload.
+// single-use (each step consumes rng and shadow state; a second
+// iteration panics), and replay is only by re-invoking Streams with an
+// equal-seeded rng — which yields the identical sequence, so every
+// engine in a benchmark run sees the same workload.
 type BigScenario struct {
 	Name        string
 	Description string
@@ -79,17 +79,17 @@ func bigPowerLaw(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Chan
 	gen := newHubGen(g)
 	opts := PowerLawHubOptions{TargetHubDegree: BigHubDegree, AttachPerNode: 3}
 
-	build = func(yield func(graph.Change) bool) {
+	build = singleUse("big-power-law build", func(yield func(graph.Change) bool) {
 		bo := opts
 		bo.Steps = n
 		gen.run(rng, bo, yield)
-	}
-	drive = func(yield func(graph.Change) bool) {
+	})
+	drive = singleUse("big-power-law drive", func(yield func(graph.Change) bool) {
 		do := opts
 		do.Steps = steps
 		do.DeleteFraction = bigDeleteFraction
 		gen.run(rng, do, yield)
-	}
+	})
 	return build, drive
 }
 
@@ -100,7 +100,7 @@ func bigGeometric(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Cha
 	cg := newCellGrid(radius)
 	live := make([]int32, 0, n)
 
-	build = func(yield func(graph.Change) bool) {
+	build = singleUse("big-geometric build", func(yield func(graph.Change) bool) {
 		for v := int32(0); v < int32(n); v++ {
 			p := [2]float64{rng.Float64(), rng.Float64()}
 			nbrs := cg.neighbors(p)
@@ -110,11 +110,11 @@ func bigGeometric(rng *rand.Rand, n, steps int) (build, drive iter.Seq[graph.Cha
 				return
 			}
 		}
-	}
+	})
 	// live is shared by pointer: the drive must see the n build-era
 	// nodes appended above, not the empty header that existed when the
 	// streams were constructed, so churn deletions reach the pre-built
 	// field rather than only drive-inserted nodes.
-	drive = geometricChurn(rng, cg, &live, int32(n), steps, bigDeleteFraction)
+	drive = singleUse("big-geometric drive", geometricChurn(rng, cg, &live, int32(n), steps, bigDeleteFraction))
 	return build, drive
 }

@@ -118,7 +118,7 @@ func (cg *cellGrid) remove(id int32) {
 // node attaches to all earlier nodes in range), but it materializes no
 // change slice and never compares an out-of-range pair.
 func UnitDiskGrid(rng *rand.Rand, n int, radius float64) iter.Seq[graph.Change] {
-	return func(yield func(graph.Change) bool) {
+	return singleUse("UnitDiskGrid", func(yield func(graph.Change) bool) {
 		cg := newCellGrid(radius)
 		for v := 0; v < n; v++ {
 			p := [2]float64{rng.Float64(), rng.Float64()}
@@ -128,7 +128,7 @@ func UnitDiskGrid(rng *rand.Rand, n int, radius float64) iter.Seq[graph.Change] 
 				return
 			}
 		}
-	}
+	})
 }
 
 // UnitDiskGridChanges is the materialized form of UnitDiskGrid for
@@ -149,9 +149,8 @@ func UnitDiskGridChanges(rng *rand.Rand, n int, radius float64) []graph.Change {
 // source runs at the 10^6-node tier.
 //
 // The returned sequence is SINGLE-USE: each step mutates the shared
-// grid index and rng, so iterating it a second time continues from
-// (and corrupts) the state the first pass left behind rather than
-// replaying. Replay by calling GeometricChurnSource again with an
+// grid index and rng, so iterating it a second time cannot replay —
+// it panics. Replay by calling GeometricChurnSource again with an
 // equal-seeded rng.
 //
 // This standalone variant starts from an empty field (the graph grows
@@ -162,7 +161,7 @@ func UnitDiskGridChanges(rng *rand.Rand, n int, radius float64) []graph.Change {
 func GeometricChurnSource(rng *rand.Rand, radius float64, steps int, deleteFraction float64) iter.Seq[graph.Change] {
 	cg := newCellGrid(radius)
 	var live []int32
-	return geometricChurn(rng, cg, &live, 0, steps, deleteFraction)
+	return singleUse("GeometricChurnSource", geometricChurn(rng, cg, &live, 0, steps, deleteFraction))
 }
 
 // geometricChurn is the shared drive loop: churn over an existing grid

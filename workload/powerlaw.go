@@ -49,10 +49,10 @@ func (o PowerLawHubOptions) withDefaults() PowerLawHubOptions {
 // at the 10^6-node benchmark tier.
 func PowerLawHubSource(rng *rand.Rand, start *graph.Graph, opts PowerLawHubOptions) iter.Seq[graph.Change] {
 	opts = opts.withDefaults()
-	return func(yield func(graph.Change) bool) {
+	return singleUse("PowerLawHubSource", func(yield func(graph.Change) bool) {
 		gen := newHubGen(start.Clone())
 		gen.run(rng, opts, yield)
-	}
+	})
 }
 
 // PowerLawHub generates a heavy-tailed graph of n nodes with hubs

@@ -30,11 +30,34 @@ type Scenario struct {
 	// Stream returns a Source of exactly steps timed changes, valid when
 	// applied after the warm-up. g is the warmed-up graph (read-only).
 	// The source draws from rng as it is consumed, so it is single-use.
+	// Adaptive scenarios have no Stream (it is nil): their drive phase
+	// depends on engine output and is built with NewAdaptive instead.
 	Stream func(rng *rand.Rand, g *graph.Graph, steps int) iter.Seq[graph.Change]
+	// Adaptive selects the adaptive-adversary policy of the drive phase;
+	// zero for the oblivious scenarios.
+	Adaptive AdaptivePolicy
+}
+
+// IsAdaptive reports whether the scenario's drive phase is an adaptive
+// adversary (engine-in-the-loop) rather than an oblivious stream.
+func (s Scenario) IsAdaptive() bool { return s.Adaptive != 0 }
+
+// NewAdaptive builds the scenario's adaptive drive source over a
+// warmed-up engine: g is the engine's current graph and mis its current
+// MIS (Maintainer.MIS() after driving Build). It panics on oblivious
+// scenarios — those have a Stream.
+func (s Scenario) NewAdaptive(rng *rand.Rand, g *graph.Graph, mis []graph.NodeID, steps int) *AdaptiveSource {
+	if !s.IsAdaptive() {
+		panic("workload: scenario " + s.Name + " is oblivious; use Stream/Drive")
+	}
+	return NewAdaptiveSource(s.Adaptive, rng, g, mis, steps)
 }
 
 // Drive materializes the scenario's drive stream as a slice.
 func (s Scenario) Drive(rng *rand.Rand, g *graph.Graph, steps int) []graph.Change {
+	if s.IsAdaptive() {
+		panic("workload: scenario " + s.Name + " is adaptive (engine-in-the-loop); drive it with NewAdaptive + Maintainer.DriveInteractive")
+	}
 	return slices.Collect(s.Stream(rng, g, steps))
 }
 
@@ -91,9 +114,56 @@ func Scenarios() []Scenario {
 	}
 }
 
-// ScenarioByName returns the named scenario, or false.
+// AdaptiveScenarios returns the adaptive-adversary suite: every drive
+// phase observes the engine's membership feed and targets the current
+// MIS (see AdaptivePolicy), with an MIS-blind control of the same op
+// shape. They warm up on the same G(n,p) the churn scenario uses, so
+// adaptive-vs-oblivious differences come from the targeting alone. They
+// are not part of Scenarios(): an adaptive drive cannot be materialized
+// ahead of an engine, so the harnesses wire them through NewAdaptive +
+// DriveInteractive (cmd/bench resolves them against a template engine,
+// cmd/validate runs them engine-in-the-loop per engine).
+func AdaptiveScenarios() []Scenario {
+	build := func(rng *rand.Rand, n int) []graph.Change {
+		return GNP(rng, n, 8/float64(n))
+	}
+	return []Scenario{
+		{
+			Name:        "adaptive-oblivious",
+			Description: "control: same insert/delete shape as the adaptive policies, victims chosen MIS-blind",
+			Build:       build,
+			Adaptive:    PolicyOblivious,
+		},
+		{
+			Name:        "adaptive-mis",
+			Description: "adaptive adversary deletes a uniformly random current MIS member every deletion step",
+			Build:       build,
+			Adaptive:    PolicyTargetMIS,
+		},
+		{
+			Name:        "adaptive-hub",
+			Description: "adaptive adversary deletes the maximum-degree current MIS member every deletion step",
+			Build:       build,
+			Adaptive:    PolicyTargetHub,
+		},
+		{
+			Name:        "adaptive-gk",
+			Description: "fattens the max-degree MIS member with fresh leaves, then triggers Gupta–Khan's evict-larger-ID rule on it",
+			Build:       build,
+			Adaptive:    PolicyGKWorstCase,
+		},
+	}
+}
+
+// ScenarioByName returns the named scenario — oblivious or adaptive —
+// or false.
 func ScenarioByName(name string) (Scenario, bool) {
 	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range AdaptiveScenarios() {
 		if s.Name == name {
 			return s, true
 		}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"iter"
+	"strings"
+	"testing"
+
+	"dynmis/internal/graph"
+)
+
+// expectSingleUsePanic is deferred by the reuse tests: the enclosing
+// function must die with the singleUse diagnostic.
+func expectSingleUsePanic(t *testing.T) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatal("re-iterating a consumed generator source did not panic")
+	}
+	if msg := fmt.Sprint(r); !strings.Contains(msg, "single-use") {
+		t.Fatalf("unexpected panic re-iterating a consumed source: %v", r)
+	}
+}
+
+// TestScenarioStreamsSingleUse is the regression test for the silent-
+// reuse bug: a generator source consumes its rng, so re-iterating one
+// used to yield a stream that looked plausible but matched nothing —
+// now it panics, for every named oblivious scenario.
+func TestScenarioStreamsSingleUse(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			rng := Rand(7)
+			n := sc.ClampNodes(48)
+			build := sc.Build(rng, n)
+			src := sc.Stream(rng, BuildGraph(build), 16)
+			count := 0
+			for range src {
+				count++
+			}
+			if count != 16 {
+				t.Fatalf("first pass yielded %d changes, want 16", count)
+			}
+			defer expectSingleUsePanic(t)
+			for range src {
+				t.Fatal("consumed source yielded a change")
+			}
+		})
+	}
+}
+
+// TestScenarioStreamPartialConsumesSource pins the stricter half of the
+// contract: even an abandoned first pass has consumed rng state, so the
+// source is spent the moment iteration starts.
+func TestScenarioStreamPartialConsumesSource(t *testing.T) {
+	sc, ok := ScenarioByName("churn")
+	if !ok {
+		t.Fatal("churn scenario missing")
+	}
+	rng := Rand(7)
+	build := sc.Build(rng, 48)
+	src := sc.Stream(rng, BuildGraph(build), 16)
+	for range src {
+		break // abandon after one change
+	}
+	defer expectSingleUsePanic(t)
+	for range src {
+	}
+}
+
+// TestBigScenarioStreamsSingleUse covers the big tier: its build and
+// drive streams share one generator's shadow state, so re-iterating
+// either would corrupt rather than replay — both must panic.
+func TestBigScenarioStreamsSingleUse(t *testing.T) {
+	for _, sc := range BigScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			build, drive := sc.Streams(Rand(7), 64, 16)
+			for range build {
+			}
+			for range drive {
+			}
+			for _, s := range []struct {
+				name string
+				src  iter.Seq[graph.Change]
+			}{{"build", build}, {"drive", drive}} {
+				func() {
+					defer expectSingleUsePanic(t)
+					for range s.src {
+						t.Fatalf("consumed %s stream yielded a change", s.name)
+					}
+				}()
+			}
+		})
+	}
+}

@@ -14,9 +14,12 @@ import (
 // materializing a slice. A generator source draws from the rng it was
 // given as it is consumed, so it is single-use: iterate it once, or
 // record it with dynmis/trace to replay the identical stream into many
-// engines. The slice-returning functions (RandomChurn, SlidingWindow, …)
-// are Collect'ed forms of the same generators, so for equal rng states
-// the stream and the slice are identical change for change.
+// engines. Iterating a consumed generator source panics (see singleUse)
+// — a second pass would not replay the stream, it would silently
+// generate a different one. The slice-returning functions (RandomChurn,
+// SlidingWindow, …) are Collect'ed forms of the same generators, so for
+// equal rng states the stream and the slice are identical change for
+// change.
 
 // streamRand is the stream constant of the package's canonical rng; every
 // tool that instantiates a scenario through Rand/Instantiate shares it,
@@ -29,6 +32,26 @@ const streamRand = 0xd15_c0de
 // so equal seeds mean equal workloads across tools.
 func Rand(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, streamRand))
+}
+
+// singleUse guards a generator stream against reuse. Generator sources
+// consume their rng (and any shadow state) as they run, so a second
+// iteration would not replay the stream — it would silently generate a
+// different (or empty) one from wherever the first pass left that
+// state. That bug class is worth a panic: iterate a generator once, and
+// replay by re-deriving it from its constructor with an equal-seeded
+// rng, or by recording the stream with dynmis/trace. Even a partial
+// first pass consumes state, so it too spends the source.
+func singleUse(name string, src iter.Seq[graph.Change]) iter.Seq[graph.Change] {
+	spent := false
+	return func(yield func(graph.Change) bool) {
+		if spent {
+			panic("workload: " + name + " is single-use and was iterated twice; " +
+				"re-derive it from its constructor with an equal-seeded rng, or record it with dynmis/trace to replay")
+		}
+		spent = true
+		src(yield)
+	}
 }
 
 // ChurnSource is the streaming form of RandomChurn: a Source yielding
@@ -46,7 +69,7 @@ func ChurnSource(rng *rand.Rand, start *graph.Graph, opts ChurnOptions) iter.Seq
 		totalW += w
 	}
 
-	return func(yield func(graph.Change) bool) {
+	return singleUse("ChurnSource", func(yield func(graph.Change) bool) {
 		if totalW == 0 {
 			return
 		}
@@ -121,7 +144,7 @@ func ChurnSource(rng *rand.Rand, start *graph.Graph, opts ChurnOptions) iter.Seq
 				return
 			}
 		}
-	}
+	})
 }
 
 // SlidingWindowSource is the streaming form of SlidingWindow: each step
@@ -129,7 +152,7 @@ func ChurnSource(rng *rand.Rand, start *graph.Graph, opts ChurnOptions) iter.Seq
 // members of the current window or deletes the oldest node, keeping the
 // window near its starting size.
 func SlidingWindowSource(rng *rand.Rand, start *graph.Graph, steps int) iter.Seq[graph.Change] {
-	return func(yield func(graph.Change) bool) {
+	return singleUse("SlidingWindowSource", func(yield func(graph.Change) bool) {
 		window := start.Nodes() // ascending IDs = arrival order
 		next := graph.NodeID(0)
 		if len(window) > 0 {
@@ -164,13 +187,13 @@ func SlidingWindowSource(rng *rand.Rand, start *graph.Graph, steps int) iter.Seq
 				return
 			}
 		}
-	}
+	})
 }
 
 // PowerLawSource is the streaming form of PowerLawChurn: preferential
 // attachment growth with uniform decay.
 func PowerLawSource(rng *rand.Rand, start *graph.Graph, steps int) iter.Seq[graph.Change] {
-	return func(yield func(graph.Change) bool) {
+	return singleUse("PowerLawSource", func(yield func(graph.Change) bool) {
 		g := start.Clone()
 		// endpoint list with one entry per half-edge plus one per node:
 		// sampling uniformly from it is degree+1-proportional sampling.
@@ -228,7 +251,7 @@ func PowerLawSource(rng *rand.Rand, start *graph.Graph, steps int) iter.Seq[grap
 				return
 			}
 		}
-	}
+	})
 }
 
 // SingleNodeChurnSource is the streaming form of SingleNodeChurn: on a
@@ -254,7 +277,7 @@ func SingleNodeChurnSource(rng *rand.Rand, start *graph.Graph, steps int) iter.S
 	}
 	leaves := start.Neighbors(hub)
 
-	return func(yield func(graph.Change) bool) {
+	return singleUse("SingleNodeChurnSource", func(yield func(graph.Change) bool) {
 		if hub == graph.None {
 			// An empty warm-up has no hub to churn.
 			return
@@ -276,17 +299,19 @@ func SingleNodeChurnSource(rng *rand.Rand, start *graph.Graph, steps int) iter.S
 				return
 			}
 		}
-	}
+	})
 }
 
 // AdversarialSource is the streaming form of AdversarialDeletions: the
-// §1.1 lower-bound pattern on a warmed-up K_{k,k}.
+// §1.1 lower-bound pattern on a warmed-up K_{k,k}. It draws nothing
+// from the rng, but it is wrapped single-use like every other generator
+// so the Scenario.Stream contract is uniform across scenarios.
 func AdversarialSource(_ *rand.Rand, start *graph.Graph, steps int) iter.Seq[graph.Change] {
 	nodes := start.Nodes()
 	half := len(nodes) / 2
 	left, right := nodes[:half], nodes[half:]
 
-	return func(yield func(graph.Change) bool) {
+	return singleUse("AdversarialSource", func(yield func(graph.Change) bool) {
 		if len(left) == 0 {
 			// A warm-up of fewer than two nodes has no L side; the loop
 			// below would never make progress.
@@ -312,7 +337,7 @@ func AdversarialSource(_ *rand.Rand, start *graph.Graph, steps int) iter.Seq[gra
 				}
 			}
 		}
-	}
+	})
 }
 
 // Instance is one fully materialized scenario run: the warm-up sequence
